@@ -1,0 +1,301 @@
+// Benchmarks that regenerate the paper's evaluation (section 6): one
+// bench per table and figure, plus micro-benchmarks for the substrates
+// those experiments exercise. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full paper-vs-measured reports (with shape checks), use
+// cmd/pperfgrid-bench instead; these benches express the same workloads
+// through the standard testing.B harness.
+package pperfgrid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/experiment"
+	"pperfgrid/internal/flatfile"
+	"pperfgrid/internal/gsi"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+)
+
+// benchCfg keeps bench runtimes sane: mapping latencies at 1/1000 of the
+// paper's (the ratios, not the absolutes, are what matter).
+func benchCfg() experiment.Config {
+	return experiment.Config{
+		Scale: 0.001,
+		Seed:  1,
+		SMG98: datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8},
+	}
+}
+
+// BenchmarkTable4 measures one calibrated getPR through the full stack
+// (client stub -> SOAP -> container -> Execution instance -> Mapping
+// Layer -> store) per data source, caching off — the per-query cost whose
+// decomposition is the paper's Table 4.
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range experiment.AllSourceNames {
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.CachingOff = true
+			src, err := experiment.NewSource(name, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+			c := client.NewWithoutRegistry()
+			binding, err := c.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs, err := binding.QueryExecutions(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, q := src.QueryFor(0)
+			payload := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs, err := refs[i%len(refs)].PerformanceResults(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload = 0
+				for _, s := range perfdata.EncodeResults(rs) {
+					payload += len(s)
+				}
+			}
+			b.ReportMetric(float64(payload), "payload-bytes")
+		})
+	}
+}
+
+// BenchmarkTable5 measures the same getPR with the Performance Results
+// cache off and on — the per-query cost pair behind the paper's Table 5
+// speedups.
+func BenchmarkTable5(b *testing.B) {
+	for _, name := range experiment.AllSourceNames {
+		for _, caching := range []string{"CachingOff", "CachingOn"} {
+			b.Run(name+"/"+caching, func(b *testing.B) {
+				cfg := benchCfg()
+				cfg.CachingOff = caching == "CachingOff"
+				src, err := experiment.NewSource(name, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer src.Close()
+				c := client.NewWithoutRegistry()
+				binding, err := c.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+				if err != nil {
+					b.Fatal(err)
+				}
+				refs, err := binding.QueryExecutions(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, q := src.QueryFor(0)
+				ref := refs[0]
+				if _, err := ref.PerformanceResults(q); err != nil { // warm
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ref.PerformanceResults(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12 measures one threaded query batch (10 repeats per
+// Execution instance) against 1-host and 2-host HPL sites at the paper's
+// batch sizes — the workload of Figure 12.
+func BenchmarkFigure12(b *testing.B) {
+	for _, hosts := range []int{1, 2} {
+		for _, n := range []int{2, 8, 32} {
+			b.Run(fmt.Sprintf("hosts=%d/execs=%d", hosts, n), func(b *testing.B) {
+				cfg := benchCfg()
+				cfg.Replicas = hosts
+				cfg.Workers = 1
+				cfg.CachingOff = true
+				src, err := experiment.NewHPLSource(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer src.Close()
+				c := client.NewWithoutRegistry()
+				binding, err := c.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+				if err != nil {
+					b.Fatal(err)
+				}
+				refs, err := binding.QueryExecutions(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					results := client.QueryPerformanceResults(refs[:n], q, client.ParallelOptions{Repeats: 10})
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSOAPRoundTrip isolates the marshalling component of Table 4's
+// overhead at the paper's three payload scales (~8 B, ~5.7 KB, ~60 KB+).
+func BenchmarkSOAPRoundTrip(b *testing.B) {
+	for _, items := range []int{1, 80, 1000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			vals := make([]string, items)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("gflops|/Process/%d|hpl|0.0-132.5|%d.25", i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := soap.EncodeResponse("getPR", nil, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := soap.DecodeResponse(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinidb measures the SQL engine behind the relational wrappers:
+// the wide-table point query (HPL) and the star fact-table join (SMG98).
+func BenchmarkMinidb(b *testing.B) {
+	b.Run("WidePointQuery", func(b *testing.B) {
+		db := minidb.NewDatabase()
+		d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+		if err := datagen.LoadWideTable(db, "executions", d); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT gflops FROM executions WHERE execid = '150'"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("StarFactJoin", func(b *testing.B) {
+		db := minidb.NewDatabase()
+		d := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8, Seed: 1})
+		if err := datagen.LoadStarSchema(db, d); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := db.Query("SELECT f.path, r.value FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = '1' AND r.metricid = 1")
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFlatfileParse measures the custom ASCII parser's per-query
+// re-parse cost — the RMA Mapping-Layer path.
+func BenchmarkFlatfileParse(b *testing.B) {
+	d := datagen.PrestaRMA(datagen.RMAConfig{Executions: 1, MessageSizes: 20, Seed: 1}).ToFlatfile()
+	files, err := flatfile.Encode(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := flatfile.OpenFiles(files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Execution("1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManagerHandles measures the Manager's instance-cache hit path,
+// the paper's justification for caching Execution GSHs.
+func BenchmarkManagerHandles(b *testing.B) {
+	d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+	w, err := mapping.NewWideTable(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer site.Close()
+	ids := make([]string, 124)
+	for i := range ids {
+		ids[i] = fmt.Sprint(100 + i)
+	}
+	if _, err := site.Manager().ExecutionHandles(ids); err != nil { // create once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := site.Manager().ExecutionHandles(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachePolicies measures Get/Put throughput per replacement
+// policy under capacity pressure.
+func BenchmarkCachePolicies(b *testing.B) {
+	results := []perfdata.Result{{Metric: "m", Focus: "/", Type: "t", Time: perfdata.TimeRange{Start: 0, End: 1}, Value: 1}}
+	for _, policy := range []string{"lru", "lfu", "cost"} {
+		b.Run(policy, func(b *testing.B) {
+			cache := core.NewCache(policy, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := fmt.Sprintf("k%d", i%128)
+				if _, ok := cache.Get(key); !ok {
+					cache.Put(key, results, time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGSISignVerify measures the security extension's per-request
+// cost: header signing plus verification.
+func BenchmarkGSISignVerify(b *testing.B) {
+	authority, err := gsi.NewAuthority([]byte("bench-master"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, err := authority.Issue("bench@pdx.edu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	verifier := gsi.NewVerifier(authority)
+	provider := cred.HeaderProvider()
+	params := []string{"gflops", "0", "132.5", "hpl"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &soap.Request{Operation: "getPR", Params: params, Headers: provider("getPR", params)}
+		if _, err := verifier.Verify(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command pperfgrid-bench regenerates the paper's evaluation: Table 4
+// (grid services overhead), Table 5 (Performance Results caching), and
+// Figure 12 (scalability), plus the ablation studies DESIGN.md lists. Each
+// report prints the measured values next to the paper's and runs shape
+// checks on the qualitative relationships.
+//
+// Usage:
+//
+//	pperfgrid-bench -all            # every table, figure, and ablation
+//	pperfgrid-bench -table 4        # just Table 4
+//	pperfgrid-bench -table 5
+//	pperfgrid-bench -figure 12
+//	pperfgrid-bench -ablations
+//	pperfgrid-bench -all -quick     # reduced sample sizes for smoke runs
+//	pperfgrid-bench -all -scale 0.02  # heavier Mapping-Layer calibration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/experiment"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "reproduce one table: 4 or 5")
+		figure    = flag.Int("figure", 0, "reproduce one figure: 12")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		all       = flag.Bool("all", false, "run everything")
+		quick     = flag.Bool("quick", false, "reduced sample sizes")
+		scale     = flag.Float64("scale", 0.01, "Mapping-Layer calibration scale (fraction of the paper's latencies)")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.Config{Scale: *scale, Seed: *seed}
+	if *quick {
+		cfg.SMG98 = datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8}
+	}
+	failed := false
+
+	if *all || *table == 4 {
+		runStep("Table 4 (grid services overhead)", func() (shaped, error) {
+			t4 := experiment.Table4Config{Config: cfg}
+			if *quick {
+				t4.QueriesPerSource = 10
+			}
+			return experiment.RunTable4(t4)
+		}, &failed)
+	}
+	if *all || *table == 5 {
+		runStep("Table 5 (Performance Results caching)", func() (shaped, error) {
+			t5 := experiment.Table5Config{Config: cfg}
+			if *quick {
+				t5.QueriesPerRun = 10
+			}
+			return experiment.RunTable5(t5)
+		}, &failed)
+	}
+	if *all || *figure == 12 {
+		runStep("Figure 12 (scalability)", func() (shaped, error) {
+			f12 := experiment.Figure12Config{Config: cfg}
+			if *quick {
+				f12.ExecutionCounts = []int{2, 8, 32}
+				f12.Repeats = 5
+				f12.BatchRuns = 2
+			}
+			return experiment.RunFigure12(f12)
+		}, &failed)
+	}
+	if *all || *ablations {
+		runAblations(cfg, *quick)
+	}
+	if failed {
+		log.Fatal("pperfgrid-bench: one or more shape checks FAILED")
+	}
+}
+
+// shaped is any report that can render itself and check the paper's shape.
+type shaped interface {
+	Render() string
+	ShapeOK() bool
+}
+
+func runStep(name string, run func() (shaped, error), failed *bool) {
+	fmt.Printf("=== %s ===\n", name)
+	start := time.Now()
+	report, err := run()
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: %s: %v", name, err)
+	}
+	fmt.Print(report.Render())
+	fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	if !report.ShapeOK() {
+		*failed = true
+	}
+}
+
+func runAblations(cfg experiment.Config, quick bool) {
+	fmt.Println("=== Ablations ===")
+
+	counts := []int{1, 10, 100, 1000}
+	rounds := 50
+	if quick {
+		counts = []int{1, 10, 100}
+		rounds = 10
+	}
+	points, err := experiment.RunSOAPOverheadSweep(counts, 64, rounds)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: soap sweep: %v", err)
+	}
+	fmt.Print(experiment.RenderSOAPOverhead(points))
+	fmt.Println()
+
+	execs, repeats := 32, 5
+	if quick {
+		execs, repeats = 8, 2
+	}
+	policyRows, err := experiment.RunPolicyAblation(cfg, execs, repeats)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: policy ablation: %v", err)
+	}
+	fmt.Print(experiment.RenderPolicyAblation(policyRows))
+	fmt.Println()
+
+	capacity, queries := 8, 300
+	if quick {
+		capacity, queries = 4, 60
+	}
+	cacheRows, err := experiment.RunCachePolicyAblation(cfg, capacity, queries)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: cache ablation: %v", err)
+	}
+	fmt.Print(experiment.RenderCachePolicyAblation(cacheRows))
+	fmt.Println()
+
+	nq := 50
+	if quick {
+		nq = 10
+	}
+	bypassRows, err := experiment.RunLocalBypass(cfg, nq)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: local bypass: %v", err)
+	}
+	fmt.Print(experiment.RenderLocalBypass(bypassRows))
+	fmt.Println()
+
+	fan := []int{1, 8, 32}
+	if quick {
+		fan = []int{1, 8}
+	}
+	fanPoints, err := experiment.RunNotificationFanout(fan)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: fanout: %v", err)
+	}
+	fmt.Print(experiment.RenderNotificationFanout(fanPoints))
+	fmt.Println()
+
+	fq := 50
+	if quick {
+		fq = 10
+	}
+	formatRows, err := experiment.RunStoreFormatComparison(cfg, fq)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: store formats: %v", err)
+	}
+	fmt.Print(experiment.RenderStoreFormats(formatRows))
+	fmt.Println()
+
+	qmExecs, qmRounds := 64, 3
+	if quick {
+		qmExecs, qmRounds = 8, 2
+	}
+	qmRows, err := experiment.RunQueryModels(cfg, qmExecs, qmRounds)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: query models: %v", err)
+	}
+	fmt.Print(experiment.RenderQueryModels(qmRows, qmExecs))
+	fmt.Println()
+}

@@ -1,0 +1,248 @@
+// Command pperfgrid-client is the consumer-side CLI: the programmatic
+// equivalent of the paper's GUI client, covering its four panels —
+// discovery (Figure 8), the Application Query Panel (Figure 9), the
+// Execution Query Panel (Figure 10), and visualization (Figure 11).
+//
+// Usage:
+//
+//	# Browse the data grid.
+//	pperfgrid-client -registry 127.0.0.1:9000 -list
+//
+//	# Query executions and chart a metric (the Figure 9-11 flow).
+//	pperfgrid-client -registry 127.0.0.1:9000 -service PSU/HPL \
+//	                 -query numprocesses=2 -query numprocesses=4 \
+//	                 -metric gflops -type hpl
+//
+//	# Bind straight to a factory, skipping the registry.
+//	pperfgrid-client -factory 'http://127.0.0.1:9001/ogsa/services/ApplicationFactory/0' \
+//	                 -metric gflops -type hpl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var queries, foci repeatedFlag
+	var (
+		regHost = flag.String("registry", "", "registry host:port")
+		list    = flag.Bool("list", false, "list organizations and services, then exit")
+		service = flag.String("service", "", "service to bind, as ORG/NAME")
+		factory = flag.String("factory", "", "Application factory GSH to bind directly")
+		metric  = flag.String("metric", "", "metric for the Performance Result query")
+		typ     = flag.String("type", perfdata.UndefinedType, "collector type filter")
+		start   = flag.Float64("start", 0, "query start time")
+		end     = flag.Float64("end", 1e12, "query end time")
+		width   = flag.Int("width", 50, "chart width in characters")
+	)
+	flag.Var(&queries, "query", "execution query attr=value (repeatable, OR semantics)")
+	flag.Var(&foci, "focus", "focus filter (repeatable)")
+	flag.Parse()
+
+	var c *client.Client
+	if *regHost != "" {
+		c = client.New(*regHost)
+	} else {
+		c = client.NewWithoutRegistry()
+	}
+
+	if *list {
+		listGrid(c)
+		return
+	}
+
+	binding, err := bind(c, *regHost, *service, *factory)
+	if err != nil {
+		log.Fatalf("pperfgrid-client: %v", err)
+	}
+	showApplication(binding)
+
+	execs, err := binding.QueryExecutions(parseQueries(queries))
+	if err != nil {
+		log.Fatalf("pperfgrid-client: query executions: %v", err)
+	}
+	fmt.Printf("\n%d execution(s) matched\n", len(execs))
+	if len(execs) == 0 {
+		return
+	}
+
+	if *metric == "" {
+		showExecutionPanel(execs[0])
+		fmt.Println("\npass -metric to run a Performance Result query")
+		return
+	}
+
+	q := perfdata.Query{Metric: *metric, Foci: foci, Time: perfdata.TimeRange{Start: *start, End: *end}, Type: *typ}
+	results := client.QueryPerformanceResults(execs, q, client.ParallelOptions{})
+	labels := make([]string, 0, len(results))
+	values := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("pperfgrid-client: getPR on %s: %v", r.Exec.Handle, r.Err)
+		}
+		info, err := r.Exec.Info()
+		if err != nil {
+			log.Fatalf("pperfgrid-client: getInfo: %v", err)
+		}
+		id := info[0].Value
+		sum := 0.0
+		for _, res := range r.Results {
+			sum += res.Value
+		}
+		labels = append(labels, id)
+		if n := len(r.Results); n > 0 {
+			values = append(values, sum/float64(n))
+		} else {
+			values = append(values, 0)
+		}
+	}
+	fmt.Println()
+	fmt.Print(viz.BarChart(fmt.Sprintf("mean %s per execution", *metric), labels, values, *width))
+}
+
+func listGrid(c *client.Client) {
+	orgs, err := c.DiscoverOrganizations("")
+	if err != nil {
+		log.Fatalf("pperfgrid-client: %v", err)
+	}
+	if len(orgs) == 0 {
+		fmt.Println("no organizations published")
+		return
+	}
+	for _, o := range orgs {
+		fmt.Printf("%s  (%s)  %s\n", o.Name, o.Contact, o.Description)
+		svcs, err := c.DiscoverServices(o.Name)
+		if err != nil {
+			log.Fatalf("pperfgrid-client: %v", err)
+		}
+		for _, s := range svcs {
+			fmt.Printf("  %s — %s\n    factory: %s\n", s.Name, s.Description, s.FactoryHandle)
+		}
+	}
+}
+
+func bind(c *client.Client, regHost, service, factory string) (*client.Binding, error) {
+	switch {
+	case factory != "":
+		h, err := gsh.Parse(factory)
+		if err != nil {
+			return nil, err
+		}
+		return c.BindFactory("direct", h)
+	case service != "":
+		org, name, ok := strings.Cut(service, "/")
+		if !ok {
+			return nil, fmt.Errorf("-service must be ORG/NAME, got %q", service)
+		}
+		svcs, err := c.DiscoverServices(org)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range svcs {
+			if s.Name == name {
+				return c.Bind(s)
+			}
+		}
+		return nil, fmt.Errorf("service %s not published by %s", name, org)
+	case regHost != "":
+		// Bind the first published service.
+		orgs, err := c.DiscoverOrganizations("")
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range orgs {
+			svcs, err := c.DiscoverServices(o.Name)
+			if err != nil {
+				return nil, err
+			}
+			if len(svcs) > 0 {
+				return c.Bind(svcs[0])
+			}
+		}
+		return nil, fmt.Errorf("no services published in registry")
+	}
+	return nil, fmt.Errorf("need -registry, -service, or -factory")
+}
+
+func showApplication(b *client.Binding) {
+	info, err := b.AppInfo()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getAppInfo: %v", err)
+	}
+	fmt.Printf("bound to %s\n", b.Key())
+	for _, kv := range info {
+		fmt.Printf("  %s: %s\n", kv.Name, kv.Value)
+	}
+	n, err := b.NumExecs()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getNumExecs: %v", err)
+	}
+	fmt.Printf("  executions available: %d\n", n)
+	params, err := b.ExecQueryParams()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getExecQueryParams: %v", err)
+	}
+	fmt.Println("  queryable attributes:")
+	for _, p := range params {
+		vals := strings.Join(p.Values, ", ")
+		if len(vals) > 60 {
+			vals = vals[:57] + "..."
+		}
+		fmt.Printf("    %s: %s\n", p.Name, vals)
+	}
+}
+
+func showExecutionPanel(e *client.ExecutionRef) {
+	fmt.Printf("\nexecution %s\n", e.Handle)
+	metrics, err := e.Metrics()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getMetrics: %v", err)
+	}
+	types, err := e.Types()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getTypes: %v", err)
+	}
+	tr, err := e.TimeStartEnd()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getTimeStartEnd: %v", err)
+	}
+	focusList, err := e.Foci()
+	if err != nil {
+		log.Fatalf("pperfgrid-client: getFoci: %v", err)
+	}
+	fmt.Printf("  metrics: %s\n", strings.Join(metrics, ", "))
+	fmt.Printf("  types:   %s\n", strings.Join(types, ", "))
+	fmt.Printf("  time:    %s\n", tr.Encode())
+	if len(focusList) > 8 {
+		focusList = append(focusList[:8], "...")
+	}
+	fmt.Printf("  foci:    %s\n", strings.Join(focusList, ", "))
+}
+
+func parseQueries(raw []string) []client.AttrQuery {
+	var out []client.AttrQuery
+	for _, s := range raw {
+		attr, val, ok := strings.Cut(s, "=")
+		if !ok {
+			log.Fatalf("pperfgrid-client: -query must be attr=value, got %q", s)
+		}
+		out = append(out, client.AttrQuery{Attribute: attr, Value: val})
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Command pperfgrid-registry runs a standalone UDDI-style registry server:
+// the service-publishing and discovery point of a PPerfGrid data grid
+// (Figure 8 of the paper).
+//
+// Usage:
+//
+//	pperfgrid-registry -addr 127.0.0.1:9000
+//
+// Sites publish their Application factories here with pperfgrid-server
+// -registry, and clients discover them with pperfgrid-client -registry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	state := flag.String("state", "", "snapshot file for persistence across restarts (optional)")
+	flag.Parse()
+
+	cont := container.New(ogsi.NewHosting("pending:0"), container.Options{})
+	if err := cont.Start(*addr); err != nil {
+		log.Fatalf("pperfgrid-registry: %v", err)
+	}
+	defer cont.Close()
+
+	reg := registry.New()
+	if *state != "" {
+		loaded, err := registry.LoadFile(*state)
+		if err != nil {
+			log.Fatalf("pperfgrid-registry: load state: %v", err)
+		}
+		reg = loaded
+		fmt.Printf("restored %d organization(s) from %s\n", len(reg.FindOrganizations("")), *state)
+	}
+	in, err := registry.Deploy(cont.Hosting(), reg)
+	if err != nil {
+		log.Fatalf("pperfgrid-registry: deploy: %v", err)
+	}
+	fmt.Printf("PPerfGrid registry listening on %s\n", cont.Host())
+	fmt.Printf("registry service handle: %s\n", in.Handle())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if *state != "" {
+		if err := reg.SaveFile(*state); err != nil {
+			log.Fatalf("pperfgrid-registry: save state: %v", err)
+		}
+		fmt.Printf("state saved to %s\n", *state)
+	}
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,143 @@
+// Command pperfgrid-server runs one PPerfGrid site: a synthetic
+// performance data store behind its Mapping-Layer wrapper, exposed as
+// Application and Execution grid services, optionally replicated across
+// in-process hosts and published to a registry.
+//
+// Usage:
+//
+//	pperfgrid-server -dataset hpl  -store wide -addr 127.0.0.1:9001 \
+//	                 -registry 127.0.0.1:9000 -org PSU
+//	pperfgrid-server -dataset rma  -store flat
+//	pperfgrid-server -dataset smg98 -store star -replicas 2 -workers 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/registry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:0", "primary host listen address")
+		dataset  = flag.String("dataset", "hpl", "dataset to generate: hpl | rma | smg98")
+		store    = flag.String("store", "", "store format: wide | star | flat | xml (default: the paper's format for the dataset)")
+		regHost  = flag.String("registry", "", "registry host:port to publish to (optional)")
+		org      = flag.String("org", "PSU", "organization name for registry publication")
+		contact  = flag.String("contact", "pperfgrid@pdx.edu", "organization contact")
+		replicas = flag.Int("replicas", 1, "number of replica hosts")
+		workers  = flag.Int("workers", 0, "simulated CPUs per host (0 = unbounded)")
+		cacheOff = flag.Bool("cache-off", false, "disable the Performance Results cache")
+		cachePol = flag.String("cache-policy", "lru", "cache replacement policy: lru | lfu | cost")
+		cacheCap = flag.Int("cache-capacity", 0, "cache capacity (0 = unbounded)")
+		notify   = flag.Bool("notifications", false, "enable Execution update notifications")
+		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		execs    = flag.Int("executions", 0, "override execution count (0 = dataset default)")
+	)
+	flag.Parse()
+
+	d, defaultStore, err := makeDataset(*dataset, *seed, *execs)
+	if err != nil {
+		log.Fatalf("pperfgrid-server: %v", err)
+	}
+	if *store == "" {
+		*store = defaultStore
+	}
+
+	wrappers := make([]mapping.ApplicationWrapper, *replicas)
+	for i := range wrappers {
+		w, err := makeWrapper(*store, d)
+		if err != nil {
+			log.Fatalf("pperfgrid-server: %v", err)
+		}
+		wrappers[i] = w
+	}
+
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:       d.Name,
+		Wrappers:      wrappers,
+		Workers:       *workers,
+		CachingOff:    *cacheOff,
+		CachePolicy:   *cachePol,
+		CacheCapacity: *cacheCap,
+		Notifications: *notify,
+		Addr:          *addr,
+	})
+	if err != nil {
+		log.Fatalf("pperfgrid-server: %v", err)
+	}
+	defer site.Close()
+
+	fmt.Printf("PPerfGrid site %q (%s store) serving %d executions\n", d.Name, *store, len(d.Execs))
+	for i, h := range site.Hosts() {
+		role := "replica"
+		if i == 0 {
+			role = "primary"
+		}
+		fmt.Printf("  host %d (%s): %s\n", i, role, h)
+	}
+	fmt.Printf("Application factory: %s\n", site.ApplicationFactoryHandle())
+
+	if *regHost != "" {
+		pub := registry.Connect(*regHost)
+		if err := pub.PublishOrganization(registry.Organization{Name: *org, Contact: *contact}); err != nil {
+			log.Fatalf("pperfgrid-server: publish organization: %v", err)
+		}
+		if err := pub.PublishService(registry.ServiceEntry{
+			Organization:  *org,
+			Name:          d.Name,
+			Description:   fmt.Sprintf("%s dataset in a %s store (%d executions)", d.Name, *store, len(d.Execs)),
+			FactoryHandle: site.ApplicationFactoryHandle().String(),
+		}); err != nil {
+			log.Fatalf("pperfgrid-server: publish service: %v", err)
+		}
+		fmt.Printf("published as %s/%s in registry %s\n", *org, d.Name, *regHost)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func makeDataset(name string, seed int64, execs int) (*datagen.Dataset, string, error) {
+	switch strings.ToLower(name) {
+	case "hpl":
+		cfg := datagen.HPLConfig{Executions: execs, Seed: seed}
+		return datagen.HPL(cfg), "wide", nil
+	case "rma":
+		cfg := datagen.RMAConfig{Executions: execs, Seed: seed}
+		return datagen.PrestaRMA(cfg), "flat", nil
+	case "smg98":
+		cfg := datagen.DefaultSMG98
+		cfg.Seed = seed
+		if execs > 0 {
+			cfg.Executions = execs
+		}
+		return datagen.SMG98(cfg), "star", nil
+	}
+	return nil, "", fmt.Errorf("unknown dataset %q (want hpl, rma, or smg98)", name)
+}
+
+func makeWrapper(store string, d *datagen.Dataset) (mapping.ApplicationWrapper, error) {
+	switch strings.ToLower(store) {
+	case "wide":
+		return mapping.NewWideTable(d)
+	case "star":
+		return mapping.NewStar(d)
+	case "flat":
+		return mapping.NewFlatFile(d)
+	case "xml":
+		return mapping.NewXML(d)
+	}
+	return nil, fmt.Errorf("unknown store %q (want wide, star, flat, or xml)", store)
+}

@@ -1,0 +1,16 @@
+// Package pperfgrid is a from-scratch Go reproduction of PPerfGrid, the
+// Grid-services-based tool for the exchange of heterogeneous parallel
+// performance data (Hoffman, Portland State University, 2004).
+//
+// The implementation lives under internal/: the OGSI grid-service
+// substrate (ogsi, container, soap, wsdl, gsh), the data substrates
+// (minidb, flatfile, xmlstore, datagen), the PPerfGrid layers (mapping,
+// core, client, registry, viz), the GSI-style security extension (gsi),
+// and the evaluation harness (experiment). Executables are under cmd/,
+// runnable examples under examples/, and the benchmark suite that
+// regenerates the paper's Table 4, Table 5, and Figure 12 is in
+// bench_test.go next to this file.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package pperfgrid

@@ -1,0 +1,106 @@
+// Analysis: the comparative-profiling workflows the paper defers to its
+// PPerfDB integration, running over the PPerfGrid virtual view — a strong-
+// scaling study of HPL grouped by process count, a metric-value filter on
+// the execution set, and a per-MPI-function diff between two SMG98 traces.
+//
+// Run with:
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/compare"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+func main() {
+	scalingStudy()
+	executionDiff()
+}
+
+// scalingStudy groups HPL runs by numprocesses and reports speedup and
+// parallel efficiency of the gflops throughput.
+func scalingStudy() {
+	w, err := mapping.NewWideTable(datagen.HPL(datagen.HPLConfig{Executions: 48, Seed: 17}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	obs, err := compare.Collect(execs, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points, err := compare.ScalingStudy(obs, "numprocesses", compare.Throughput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(compare.RenderScaling("gflops", "numprocesses", points))
+
+	// The future-work metric-value filter: which runs beat 20 gflops?
+	fast, err := compare.FilterByValue(obs, ">", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d of %d executions exceed 20 gflops:", len(fast), len(obs))
+	for _, o := range fast {
+		fmt.Printf(" %s(np=%s)", o.ExecID, o.Attrs["numprocesses"])
+	}
+	fmt.Println()
+}
+
+// executionDiff compares per-MPI-function exclusive time between two SMG98
+// traces — the comparative-profiling core of the PPerfDB line of work.
+func executionDiff() {
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 6, Seed: 17})
+	w, err := mapping.NewStar(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "SMG98", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("SMG98", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil || len(execs) < 2 {
+		log.Fatalf("executions: %d, %v", len(execs), err)
+	}
+	q := perfdata.Query{Metric: "excl_time", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "vampir"}
+	obs, err := compare.Collect(execs[:2], q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deltas := compare.DiffExecutions(obs[0], obs[1])
+	fmt.Println()
+	fmt.Print(compare.RenderDiff("run "+obs[0].ExecID, "run "+obs[1].ExecID, deltas, 10))
+	fmt.Println("\n(per-function exclusive-time changes, largest movers first)")
+}

@@ -1,0 +1,124 @@
+// Notifications: the paper's future-work streaming scenario. Performance
+// data for a run is "streamed from a running application"; the Execution
+// Grid service notifies subscribed clients each time the data store is
+// updated, and the clients re-query to pick up fresh results — a push
+// model instead of polling.
+//
+// Run with:
+//
+//	go run ./examples/notifications
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+)
+
+func main() {
+	// A live run: the Memory wrapper is mutable, standing in for a data
+	// store that a running application keeps appending to.
+	dataset := datagen.HPL(datagen.HPLConfig{Executions: 1, Seed: 13})
+	live := mapping.NewMemory(dataset)
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:       "HPL-live",
+		Wrappers:      []mapping.ApplicationWrapper{live},
+		Notifications: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+
+	// The consumer binds and finds the in-flight execution.
+	c := client.NewWithoutRegistry()
+	app, err := c.BindFactory("HPL-live", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs, err := app.QueryExecutions(nil)
+	if err != nil || len(execs) != 1 {
+		log.Fatalf("executions: %d, %v", len(execs), err)
+	}
+	exec := execs[0]
+
+	// The consumer hosts a NotificationSink in its own container and
+	// subscribes it to the Execution's update topic.
+	sinkCont := container.New(ogsi.NewHosting("pending:0"), container.Options{})
+	if err := sinkCont.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer sinkCont.Close()
+	updates := make(chan string, 8)
+	sinkIn, err := container.DeploySink(sinkCont.Hosting(), ogsi.SinkFunc(func(topic, msg string) error {
+		updates <- msg
+		return nil
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := exec.Call(ogsi.OpSubscribe, core.UpdatesTopic, sinkIn.Handle().String()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subscribed to execution updates")
+
+	query := func() {
+		q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+		rs, err := exec.PerformanceResults(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  current gflops results: %d", len(rs))
+		for _, r := range rs {
+			fmt.Printf("  [%s: %.3f]", r.Time.Encode(), r.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println("initial state:")
+	query()
+
+	// The running application appends two more measurement intervals; the
+	// site pushes an update notification after each.
+	for phase := 1; phase <= 2; phase++ {
+		appendPhase(live, phase)
+		site.NotifyUpdate("100", fmt.Sprintf("phase %d results appended", phase))
+		select {
+		case msg := <-updates:
+			fmt.Printf("\npush notification: %q — re-querying\n", msg)
+			query()
+		case <-time.After(3 * time.Second):
+			log.Fatal("notification never arrived")
+		}
+	}
+	fmt.Println("\nstreaming updates delivered by push, no polling required")
+}
+
+// appendPhase mutates the live store the way a running application's
+// measurement phases would.
+func appendPhase(m *mapping.Memory, phase int) {
+	e := &m.Execs[0]
+	var lastGflops float64
+	for _, r := range e.Results {
+		if r.Metric == "gflops" {
+			lastGflops = r.Value
+		}
+	}
+	start := e.Time.End
+	end := start + 30
+	e.Time.End = end
+	e.Results = append(e.Results, perfdata.Result{
+		Metric: "gflops",
+		Focus:  "/",
+		Type:   "hpl",
+		Time:   perfdata.TimeRange{Start: start, End: end},
+		Value:  lastGflops * (1 + 0.05*float64(phase)),
+	})
+}

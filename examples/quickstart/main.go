@@ -1,0 +1,106 @@
+// Quickstart: stand up one PPerfGrid site over a synthetic HPL dataset and
+// walk the paper's Figure 3 flow end to end — bind to the Application
+// factory, create an Application Grid service instance, query it for
+// Executions, bind to the returned Execution instances, and query them for
+// Performance Results, finishing with a Figure 11-style chart.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+func main() {
+	// 1. The Data Layer + Mapping Layer: an HPL-shaped dataset in a
+	//    single-table relational store behind its SQL wrapper.
+	dataset := datagen.HPL(datagen.HPLConfig{Executions: 24, Seed: 7})
+	wrapper, err := mapping.NewWideTable(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The Semantic + Services Layers: one PPerfGrid site hosting the
+	//    Application and Execution grid services over HTTP/SOAP.
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:  "HPL",
+		Wrappers: []mapping.ApplicationWrapper{wrapper},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+	fmt.Printf("site up at %s\n", site.PrimaryHost())
+	fmt.Printf("application factory: %s\n\n", site.ApplicationFactoryHandle())
+
+	// 3. The Virtualization Layer: a client binds to the factory and
+	//    creates an Application service instance (Figure 3, steps 2a-2c).
+	c := client.NewWithoutRegistry()
+	app, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := app.AppInfo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range info {
+		fmt.Printf("%s: %s\n", kv.Name, kv.Value)
+	}
+
+	// 4. Attribute discovery, then a batched execution query
+	//    (steps 3a-3i): all runs on 2 or 4 processes.
+	params, err := app.ExecQueryParams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nqueryable attributes:")
+	for _, p := range params {
+		fmt.Printf("  %s (%d values)\n", p.Name, len(p.Values))
+	}
+	execs, err := app.QueryExecutions([]client.AttrQuery{
+		{Attribute: "numprocesses", Value: "2"},
+		{Attribute: "numprocesses", Value: "4"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d executions matched numprocesses in {2, 4}\n", len(execs))
+
+	// 5. Performance Result queries, one goroutine per Execution instance
+	//    (steps 4a-4f).
+	q := perfdata.Query{
+		Metric: "gflops",
+		Time:   perfdata.TimeRange{Start: 0, End: 1e9},
+		Type:   "hpl",
+	}
+	results := client.QueryPerformanceResults(execs, q, client.ParallelOptions{})
+
+	labels := make([]string, 0, len(results))
+	values := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("query %s: %v", r.Exec.Handle, r.Err)
+		}
+		ri, err := r.Exec.Info()
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels = append(labels, ri[0].Value)
+		values = append(values, r.Results[0].Value)
+	}
+
+	// 6. Visualization (Figure 11).
+	fmt.Println()
+	fmt.Print(viz.BarChart("gflops per execution", labels, values, 48))
+}

@@ -1,0 +1,117 @@
+// Secure exchange: the paper's future-work GSI integration. A virtual
+// organization shares a trust root (the Authority); every SOAP request is
+// HMAC-signed, the site verifies signatures and applies an authorization
+// policy, and an analyst delegates a short-lived proxy credential to a
+// batch job — single sign-on without sharing the long-term secret.
+//
+// Run with:
+//
+//	go run ./examples/secure
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/gsi"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+func main() {
+	// The virtual organization's trust root.
+	authority, err := gsi.NewAuthority([]byte("pperfgrid-vo-master-key"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	verifier := gsi.NewVerifier(authority)
+	policy := gsi.AllowIdentities("analyst@pdx.edu")
+
+	// A site that rejects unsigned or unauthorized requests before
+	// dispatch.
+	w, err := mapping.NewWideTable(datagen.HPL(datagen.HPLConfig{Executions: 8, Seed: 11}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:      "HPL",
+		Wrappers:     []mapping.ApplicationWrapper{w},
+		Interceptors: []container.Interceptor{gsi.Interceptor(verifier, policy)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+	fmt.Printf("secured site at %s\n\n", site.PrimaryHost())
+
+	// 1. An anonymous client is rejected.
+	anon := client.NewWithoutRegistry()
+	if _, err := anon.BindFactory("HPL", site.ApplicationFactoryHandle()); err != nil {
+		fmt.Printf("anonymous client: rejected (%v)\n", err)
+	}
+
+	// 2. An unauthorized identity signs correctly but fails policy.
+	mallory, err := authority.Issue("mallory@example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := client.NewWithoutRegistry()
+	mc.SetCredential(mallory.HeaderProvider())
+	if _, err := mc.BindFactory("HPL", site.ApplicationFactoryHandle()); err != nil {
+		fmt.Printf("unauthorized identity: rejected (%v)\n", err)
+	}
+
+	// 3. The authorized analyst works end to end.
+	analyst, err := authority.Issue("analyst@pdx.edu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ac := client.NewWithoutRegistry()
+	ac.SetCredential(analyst.HeaderProvider())
+	app, err := ac.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs, err := app.QueryExecutions(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalyst: bound and found %d executions\n", len(execs))
+
+	// 4. The analyst delegates a 30-second proxy to a batch job; the job
+	//    queries with the proxy, never holding the long-term credential.
+	proxy := analyst.Delegate(30 * time.Second)
+	job := client.NewWithoutRegistry()
+	job.SetCredential(proxy.HeaderProvider())
+	japp, err := job.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	jexecs, err := japp.QueryExecutions([]client.AttrQuery{{Attribute: "numprocesses", Value: "2"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	results := client.QueryPerformanceResults(jexecs, q, client.ParallelOptions{})
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		info, _ := r.Exec.Info()
+		fmt.Printf("batch job (delegated proxy): execution %s gflops = %.3f\n",
+			info[0].Value, r.Results[0].Value)
+	}
+
+	// 5. An expired proxy is rejected.
+	stale := analyst.Delegate(-time.Second)
+	sc := client.NewWithoutRegistry()
+	sc.SetCredential(stale.HeaderProvider())
+	if _, err := sc.BindFactory("HPL", site.ApplicationFactoryHandle()); err != nil {
+		fmt.Printf("\nexpired proxy: rejected (%v)\n", err)
+	}
+}

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+)
+
+// This file implements the paper's future-work "registry-callback model"
+// for large queries: instead of one blocked goroutine per Execution call,
+// the client hosts a single NotificationSink, fires non-blocking
+// getPRAsync requests at every Execution instance, and collects the
+// results as they are pushed back.
+
+// callbackHub is the client's callback endpoint: one container, one sink,
+// and a routing table from request ID to waiting channel.
+type callbackHub struct {
+	cont *container.Container
+	sink gsh.Handle
+	seq  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[string]chan asyncOutcome
+}
+
+type asyncOutcome struct {
+	results []perfdata.Result
+	err     error
+}
+
+// EnableCallbacks starts the client's callback endpoint (an in-process
+// container hosting one NotificationSink). It is idempotent.
+func (c *Client) EnableCallbacks() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.callbacks != nil {
+		return nil
+	}
+	hub := &callbackHub{pending: make(map[string]chan asyncOutcome)}
+	hub.cont = container.New(ogsi.NewHosting("pending:0"), container.Options{})
+	if err := hub.cont.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("client: start callback container: %w", err)
+	}
+	sinkIn, err := container.DeploySink(hub.cont.Hosting(), ogsi.SinkFunc(hub.deliver))
+	if err != nil {
+		hub.cont.Close()
+		return fmt.Errorf("client: deploy callback sink: %w", err)
+	}
+	hub.sink = sinkIn.Handle()
+	c.callbacks = hub
+	return nil
+}
+
+// Close releases the client's callback endpoint, if any.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.callbacks != nil {
+		c.callbacks.cont.Close()
+		c.callbacks = nil
+	}
+}
+
+// deliver routes one pushed outcome to its waiting request.
+func (h *callbackHub) deliver(topic, message string) error {
+	if topic != core.AsyncPRTopic {
+		return fmt.Errorf("client: unexpected callback topic %q", topic)
+	}
+	requestID, rs, err := core.DecodeAsyncOutcome(message)
+	if requestID == "" {
+		return err
+	}
+	h.mu.Lock()
+	ch, ok := h.pending[requestID]
+	delete(h.pending, requestID)
+	h.mu.Unlock()
+	if !ok {
+		// Late delivery after timeout: drop silently (at-most-once).
+		return nil
+	}
+	ch <- asyncOutcome{results: rs, err: err}
+	return nil
+}
+
+// register allocates a request ID and its result channel.
+func (h *callbackHub) register() (string, chan asyncOutcome) {
+	id := fmt.Sprintf("req-%d", h.seq.Add(1))
+	ch := make(chan asyncOutcome, 1)
+	h.mu.Lock()
+	h.pending[id] = ch
+	h.mu.Unlock()
+	return id, ch
+}
+
+// cancel abandons a pending request after timeout.
+func (h *callbackHub) cancel(id string) {
+	h.mu.Lock()
+	delete(h.pending, id)
+	h.mu.Unlock()
+}
+
+// QueryPerformanceResultsCallback runs one getPR against every execution
+// using the callback model: each Execution instance is sent a non-blocking
+// getPRAsync carrying the client sink's handle, and results are pushed
+// back as notifications — no goroutine blocks per call. Results return in
+// input order; executions that miss the timeout report an error.
+//
+// EnableCallbacks must have been called on the owning client.
+func (c *Client) QueryPerformanceResultsCallback(execs []*ExecutionRef, q perfdata.Query, timeout time.Duration) ([]PRResult, error) {
+	c.mu.Lock()
+	hub := c.callbacks
+	c.mu.Unlock()
+	if hub == nil {
+		return nil, fmt.Errorf("client: callbacks not enabled (call EnableCallbacks)")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	type pendingReq struct {
+		id string
+		ch chan asyncOutcome
+	}
+	out := make([]PRResult, len(execs))
+	reqs := make([]pendingReq, len(execs))
+	start := time.Now()
+
+	// Fire phase: one short acknowledgment round trip per execution.
+	for i, e := range execs {
+		out[i].Exec = e
+		id, ch := hub.register()
+		reqs[i] = pendingReq{id: id, ch: ch}
+		params := append([]string{id, hub.sink.String()}, q.WireParams()...)
+		if _, err := e.Call(core.OpGetPRAsync, params...); err != nil {
+			hub.cancel(id)
+			out[i].Err = err
+			reqs[i].ch = nil
+		}
+	}
+
+	// Collect phase: wait for pushes, bounded by one shared deadline.
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for i := range execs {
+		if reqs[i].ch == nil {
+			continue
+		}
+		select {
+		case outcome := <-reqs[i].ch:
+			out[i].Results = outcome.results
+			out[i].Err = outcome.err
+			out[i].Elapsed = time.Since(start)
+		case <-deadline.C:
+			// Deadline hit: everything still pending times out.
+			for j := i; j < len(execs); j++ {
+				if reqs[j].ch == nil {
+					continue
+				}
+				select {
+				case outcome := <-reqs[j].ch:
+					out[j].Results = outcome.results
+					out[j].Err = outcome.err
+					out[j].Elapsed = time.Since(start)
+				default:
+					hub.cancel(reqs[j].id)
+					out[j].Err = fmt.Errorf("client: callback for %s timed out after %v", execs[j].Handle, timeout)
+				}
+			}
+			return out, nil
+		}
+	}
+	return out, nil
+}

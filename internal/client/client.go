@@ -1,0 +1,430 @@
+// Package client implements PPerfGrid's Virtualization Layer: the consumer
+// side of the system (section 5.5 of the paper). It provides programmatic
+// equivalents of the PPerfGrid client's four GUI panels:
+//
+//   - Service publishing and discovery against the UDDI registry
+//     (Figure 8) — Discover* and Bind*.
+//   - The Application Query Panel (Figure 9) — attribute discovery and
+//     batched execution queries, each attribute/value pair a separate
+//     query OR'd together.
+//   - The Execution Query Panel (Figure 10) — metric/foci/type/time
+//     discovery and parallel Performance Result queries, one goroutine per
+//     Execution instance like the paper's one-thread-per-query client.
+//   - Visualization (Figure 11) — package viz renders the results.
+//
+// A Binding presents a remote Application Grid service as a local object;
+// the same interface covers the paper's future-work "local bypass", where
+// a co-located client skips the Services Layer entirely.
+package client
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/registry"
+)
+
+// Caller abstracts an invocable service endpoint: a SOAP stub for remote
+// services, or a direct in-process invoker for the local bypass.
+type Caller interface {
+	Call(op string, params ...string) ([]string, error)
+}
+
+// Resolver turns a GSH string into a Caller.
+type Resolver func(handle string) (Caller, error)
+
+// Client is a PPerfGrid consumer session.
+type Client struct {
+	reg     *registry.Client
+	headers container.HeaderProvider
+
+	mu        sync.Mutex
+	bindings  map[string]*Binding // key: org/name
+	callbacks *callbackHub        // non-nil once EnableCallbacks succeeds
+}
+
+// New creates a client session against the registry at host:port.
+func New(registryHost string) *Client {
+	return &Client{reg: registry.Connect(registryHost), bindings: make(map[string]*Binding)}
+}
+
+// NewWithoutRegistry creates a client session for direct binding (no
+// registry discovery), e.g. when factory handles are known out of band.
+func NewWithoutRegistry() *Client {
+	return &Client{bindings: make(map[string]*Binding)}
+}
+
+// SetCredential installs a SOAP header provider (e.g. a gsi credential's
+// HeaderProvider) applied to every remote call made by this client.
+func (c *Client) SetCredential(p container.HeaderProvider) { c.headers = p }
+
+// DiscoverOrganizations queries the registry by name substring; empty
+// returns all (the Figure 8 search box).
+func (c *Client) DiscoverOrganizations(query string) ([]registry.Organization, error) {
+	if c.reg == nil {
+		return nil, fmt.Errorf("client: no registry configured")
+	}
+	return c.reg.FindOrganizations(query)
+}
+
+// DiscoverServices lists an organization's published services.
+func (c *Client) DiscoverServices(org string) ([]registry.ServiceEntry, error) {
+	if c.reg == nil {
+		return nil, fmt.Errorf("client: no registry configured")
+	}
+	return c.reg.Services(org)
+}
+
+// newStub dials a handle with the client's credential installed.
+func (c *Client) newStub(h gsh.Handle) *container.Stub {
+	s := container.Dial(h)
+	if c.headers != nil {
+		s.SetHeaderProvider(c.headers)
+	}
+	return s
+}
+
+// remoteResolver resolves handles to credentialed SOAP stubs.
+func (c *Client) remoteResolver(handle string) (Caller, error) {
+	h, err := gsh.Parse(handle)
+	if err != nil {
+		return nil, err
+	}
+	return c.newStub(h), nil
+}
+
+// Bind binds to a discovered service: it dials the Application factory,
+// calls CreateService, and adds the resulting Application instance to the
+// client's current bindings (the Figure 8 "Current Bindings" list).
+func (c *Client) Bind(entry registry.ServiceEntry) (*Binding, error) {
+	h, err := gsh.Parse(entry.FactoryHandle)
+	if err != nil {
+		return nil, fmt.Errorf("client: bind %s: %w", entry.Name, err)
+	}
+	factory := c.newStub(h)
+	app, err := factory.CreateService()
+	if err != nil {
+		return nil, fmt.Errorf("client: bind %s: %w", entry.Name, err)
+	}
+	b := &Binding{
+		Entry:   entry,
+		app:     app,
+		resolve: c.remoteResolver,
+	}
+	c.addBinding(b)
+	return b, nil
+}
+
+// BindFactory binds directly to an Application factory handle, without
+// registry discovery.
+func (c *Client) BindFactory(name string, factory gsh.Handle) (*Binding, error) {
+	return c.Bind(registry.ServiceEntry{Name: name, FactoryHandle: factory.String()})
+}
+
+// BindLocal binds to a co-located site, skipping the Services Layer — the
+// paper's future-work local-bypass optimization. Operations invoke the
+// site's service instances in-process, with no SOAP marshalling.
+func (c *Client) BindLocal(name string, site *core.Site) (*Binding, error) {
+	hosting := site.Containers()[0].Hosting()
+	resolve := func(handle string) (Caller, error) {
+		h, err := gsh.Parse(handle)
+		if err != nil {
+			return nil, err
+		}
+		for _, cont := range site.Containers() {
+			if in, ok := cont.Hosting().LookupHandle(h); ok {
+				return localCaller{in}, nil
+			}
+		}
+		return nil, fmt.Errorf("client: handle %s not hosted by local site", handle)
+	}
+	// Create the Application instance through the local factory.
+	fin, ok := hosting.LookupHandle(site.ApplicationFactoryHandle())
+	if !ok {
+		return nil, fmt.Errorf("client: local site has no application factory")
+	}
+	out, err := fin.Invoke(ogsi.OpCreateService, nil)
+	if err != nil {
+		return nil, err
+	}
+	app, err := resolve(out[0])
+	if err != nil {
+		return nil, err
+	}
+	b := &Binding{
+		Entry:   registry.ServiceEntry{Name: name, FactoryHandle: site.ApplicationFactoryHandle().String()},
+		app:     app,
+		resolve: resolve,
+		local:   true,
+	}
+	c.addBinding(b)
+	return b, nil
+}
+
+func (c *Client) addBinding(b *Binding) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bindings[b.Key()] = b
+}
+
+// Bindings returns the current bindings, sorted by key.
+func (c *Client) Bindings() []*Binding {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Binding, 0, len(c.bindings))
+	for _, b := range c.bindings {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Unbind removes a binding from the session.
+func (c *Client) Unbind(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.bindings, key)
+}
+
+// localCaller invokes an in-process instance directly.
+type localCaller struct {
+	in *ogsi.Instance
+}
+
+func (l localCaller) Call(op string, params ...string) ([]string, error) {
+	return l.in.Invoke(op, params)
+}
+
+// Binding is one bound Application Grid service instance.
+type Binding struct {
+	Entry   registry.ServiceEntry
+	app     Caller
+	resolve Resolver
+	local   bool
+}
+
+// Key identifies the binding in the session.
+func (b *Binding) Key() string {
+	if b.Entry.Organization != "" {
+		return b.Entry.Organization + "/" + b.Entry.Name
+	}
+	return b.Entry.Name
+}
+
+// Local reports whether the binding bypasses the Services Layer.
+func (b *Binding) Local() bool { return b.local }
+
+// AppInfo returns the application's metadata.
+func (b *Binding) AppInfo() ([]perfdata.KV, error) {
+	out, err := b.app.Call(core.OpGetAppInfo)
+	if err != nil {
+		return nil, err
+	}
+	return perfdata.ParseKVs(out)
+}
+
+// NumExecs returns the number of available executions.
+func (b *Binding) NumExecs() (int, error) {
+	out, err := b.app.Call(core.OpGetNumExecs)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("client: getNumExecs returned %d values", len(out))
+	}
+	return strconv.Atoi(out[0])
+}
+
+// ExecQueryParams returns the execution-describing attributes and their
+// value sets — the Application Query Panel's attribute discovery.
+func (b *Binding) ExecQueryParams() ([]perfdata.Attribute, error) {
+	rows, err := b.app.Call(core.OpGetExecQueryParams)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]perfdata.Attribute, len(rows))
+	for i, row := range rows {
+		a, err := perfdata.ParseAttribute(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// AttrQuery is one Application Query Panel row: executions where
+// Attribute = Value.
+type AttrQuery struct {
+	Attribute string
+	Value     string
+}
+
+// QueryExecutions runs a batch of attribute queries (OR semantics, like
+// "stringing 'OR' terms together in SQL" per section 5.3.1.2) and returns
+// the deduplicated Execution references. An empty batch returns all
+// executions.
+func (b *Binding) QueryExecutions(queries []AttrQuery) ([]*ExecutionRef, error) {
+	var handles []string
+	if len(queries) == 0 {
+		out, err := b.app.Call(core.OpGetAllExecs)
+		if err != nil {
+			return nil, err
+		}
+		handles = out
+	} else {
+		seen := map[string]bool{}
+		for _, q := range queries {
+			out, err := b.app.Call(core.OpGetExecs, q.Attribute, q.Value)
+			if err != nil {
+				return nil, fmt.Errorf("client: getExecs(%s,%s): %w", q.Attribute, q.Value, err)
+			}
+			for _, h := range out {
+				if !seen[h] {
+					seen[h] = true
+					handles = append(handles, h)
+				}
+			}
+		}
+	}
+	refs := make([]*ExecutionRef, len(handles))
+	for i, h := range handles {
+		caller, err := b.resolve(h)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := gsh.Parse(h)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = &ExecutionRef{Binding: b, Handle: parsed, exec: caller}
+	}
+	return refs, nil
+}
+
+// ExecutionRef is a bound Execution Grid service instance.
+type ExecutionRef struct {
+	Binding *Binding
+	Handle  gsh.Handle
+	exec    Caller
+}
+
+// Call exposes raw operations (e.g. FindServiceData) on the instance.
+func (e *ExecutionRef) Call(op string, params ...string) ([]string, error) {
+	return e.exec.Call(op, params...)
+}
+
+// Info returns the execution's metadata.
+func (e *ExecutionRef) Info() ([]perfdata.KV, error) {
+	out, err := e.exec.Call(core.OpGetInfo)
+	if err != nil {
+		return nil, err
+	}
+	return perfdata.ParseKVs(out)
+}
+
+// Foci returns the execution's unique focus values.
+func (e *ExecutionRef) Foci() ([]string, error) { return e.exec.Call(core.OpGetFoci) }
+
+// Metrics returns the execution's unique metric names.
+func (e *ExecutionRef) Metrics() ([]string, error) { return e.exec.Call(core.OpGetMetrics) }
+
+// Types returns the execution's unique collector types.
+func (e *ExecutionRef) Types() ([]string, error) { return e.exec.Call(core.OpGetTypes) }
+
+// TimeStartEnd returns the execution's time range.
+func (e *ExecutionRef) TimeStartEnd() (perfdata.TimeRange, error) {
+	out, err := e.exec.Call(core.OpGetTimeStartEnd)
+	if err != nil {
+		return perfdata.TimeRange{}, err
+	}
+	if len(out) != 2 {
+		return perfdata.TimeRange{}, fmt.Errorf("client: getTimeStartEnd returned %d values", len(out))
+	}
+	start, err1 := strconv.ParseFloat(out[0], 64)
+	end, err2 := strconv.ParseFloat(out[1], 64)
+	if err1 != nil || err2 != nil {
+		return perfdata.TimeRange{}, fmt.Errorf("client: bad time values %v", out)
+	}
+	return perfdata.TimeRange{Start: start, End: end}, nil
+}
+
+// PerformanceResults runs one getPR query against this execution.
+func (e *ExecutionRef) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	out, err := e.exec.Call(core.OpGetPR, q.WireParams()...)
+	if err != nil {
+		return nil, err
+	}
+	return perfdata.ParseResults(out)
+}
+
+// Destroy destroys the remote Execution instance.
+func (e *ExecutionRef) Destroy() error {
+	_, err := e.exec.Call(ogsi.OpDestroy)
+	return err
+}
+
+// PRResult is the outcome of one execution's query in a parallel batch.
+type PRResult struct {
+	Exec    *ExecutionRef
+	Results []perfdata.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// ParallelOptions tunes QueryPerformanceResults.
+type ParallelOptions struct {
+	// Repeats re-runs each execution's query N times in its goroutine
+	// (the paper repeated each query 10 times per thread to increase host
+	// load); the recorded results come from the final run. 0 means 1.
+	Repeats int
+	// MaxInFlight bounds concurrent queries; 0 means one goroutine per
+	// execution, the paper's model.
+	MaxInFlight int
+}
+
+// QueryPerformanceResults queries every execution in parallel — one
+// goroutine per Execution Grid service instance — and returns per-
+// execution outcomes in input order.
+func QueryPerformanceResults(execs []*ExecutionRef, q perfdata.Query, opts ParallelOptions) []PRResult {
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	out := make([]PRResult, len(execs))
+	var sem chan struct{}
+	if opts.MaxInFlight > 0 {
+		sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	var wg sync.WaitGroup
+	for i, e := range execs {
+		wg.Add(1)
+		go func(i int, e *ExecutionRef) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			start := time.Now()
+			var rs []perfdata.Result
+			var err error
+			for r := 0; r < repeats; r++ {
+				rs, err = e.PerformanceResults(q)
+				if err != nil {
+					break
+				}
+			}
+			out[i] = PRResult{Exec: e, Results: rs, Err: err, Elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}

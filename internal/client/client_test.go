@@ -1,0 +1,405 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/gsi"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/registry"
+)
+
+// testGrid stands up a registry plus one HPL site and publishes it.
+type testGrid struct {
+	regHost string
+	site    *core.Site
+}
+
+func startGrid(t *testing.T, execs int) *testGrid {
+	t.Helper()
+	regCont := container.New(ogsi.NewHosting("x:0"), container.Options{})
+	if err := regCont.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { regCont.Close() })
+	if _, err := registry.Deploy(regCont.Hosting(), registry.New()); err != nil {
+		t.Fatal(err)
+	}
+
+	d := datagen.HPL(datagen.HPLConfig{Executions: execs, Seed: 41})
+	w, err := mapping.NewWideTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+
+	pub := registry.Connect(regCont.Host())
+	if err := pub.PublishOrganization(registry.Organization{Name: "PSU", Contact: "pperfgrid@pdx.edu"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.PublishService(registry.ServiceEntry{
+		Organization: "PSU", Name: "HPL", Description: "Linpack runs",
+		FactoryHandle: site.ApplicationFactoryHandle().String(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &testGrid{regHost: regCont.Host(), site: site}
+}
+
+// TestDiscoverBindQueryVisualizeFlow is the full consumer workflow of the
+// paper's Figures 8–11, driven programmatically.
+func TestDiscoverBindQueryVisualizeFlow(t *testing.T) {
+	grid := startGrid(t, 10)
+	c := New(grid.regHost)
+
+	orgs, err := c.DiscoverOrganizations("")
+	if err != nil || len(orgs) != 1 || orgs[0].Name != "PSU" {
+		t.Fatalf("discover orgs: %+v, %v", orgs, err)
+	}
+	svcs, err := c.DiscoverServices("PSU")
+	if err != nil || len(svcs) != 1 {
+		t.Fatalf("discover services: %+v, %v", svcs, err)
+	}
+
+	b, err := c.Bind(svcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bindings(); len(got) != 1 || got[0].Key() != "PSU/HPL" {
+		t.Errorf("bindings = %v", got)
+	}
+
+	info, err := b.AppInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info[0].Name != "name" || info[0].Value != "HPL" {
+		t.Errorf("app info = %+v", info)
+	}
+	if n, err := b.NumExecs(); err != nil || n != 10 {
+		t.Errorf("NumExecs = %d, %v", n, err)
+	}
+
+	params, err := b.ExecQueryParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var numProcVals []string
+	for _, p := range params {
+		if p.Name == "numprocesses" {
+			numProcVals = p.Values
+		}
+	}
+	if len(numProcVals) == 0 {
+		t.Fatal("attribute discovery missing numprocesses")
+	}
+
+	// Application Query Panel: two attribute queries OR'd.
+	execs, err := b.QueryExecutions([]AttrQuery{
+		{Attribute: "numprocesses", Value: numProcVals[0]},
+		{Attribute: "numprocesses", Value: numProcVals[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execs) < 2 {
+		t.Fatalf("execs = %d", len(execs))
+	}
+
+	// Execution Query Panel: discovery then parallel getPR.
+	tr, err := execs[0].TimeStartEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := execs[0].Metrics()
+	if err != nil || len(metrics) == 0 {
+		t.Fatalf("metrics: %v, %v", metrics, err)
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: tr.End * 10}, Type: "hpl"}
+	results := QueryPerformanceResults(execs, q, ParallelOptions{})
+	if len(results) != len(execs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %s: %v", r.Exec.Handle, r.Err)
+		}
+		if len(r.Results) != 1 || r.Results[0].Metric != "gflops" {
+			t.Errorf("results for %s: %+v", r.Exec.Handle, r.Results)
+		}
+		if r.Elapsed <= 0 {
+			t.Error("elapsed not recorded")
+		}
+	}
+}
+
+func TestQueryExecutionsDeduplicates(t *testing.T) {
+	grid := startGrid(t, 6)
+	c := New(grid.regHost)
+	svcs, _ := c.DiscoverServices("PSU")
+	b, err := c.Bind(svcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same query twice must not duplicate handles.
+	execs, err := b.QueryExecutions([]AttrQuery{
+		{Attribute: "numprocesses", Value: "2"},
+		{Attribute: "numprocesses", Value: "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range execs {
+		h := e.Handle.String()
+		if seen[h] {
+			t.Errorf("duplicate handle %s", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestQueryExecutionsEmptyBatchReturnsAll(t *testing.T) {
+	grid := startGrid(t, 4)
+	c := New(grid.regHost)
+	svcs, _ := c.DiscoverServices("PSU")
+	b, _ := c.Bind(svcs[0])
+	execs, err := b.QueryExecutions(nil)
+	if err != nil || len(execs) != 4 {
+		t.Fatalf("all execs = %d, %v", len(execs), err)
+	}
+}
+
+func TestRepeatsAndMaxInFlight(t *testing.T) {
+	grid := startGrid(t, 4)
+	c := New(grid.regHost)
+	svcs, _ := c.DiscoverServices("PSU")
+	b, _ := c.Bind(svcs[0])
+	execs, _ := b.QueryExecutions(nil)
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e6}, Type: "hpl"}
+	results := QueryPerformanceResults(execs, q, ParallelOptions{Repeats: 3, MaxInFlight: 2})
+	for _, r := range results {
+		if r.Err != nil || len(r.Results) != 1 {
+			t.Errorf("repeat query: %+v", r)
+		}
+	}
+}
+
+func TestLocalBypassBinding(t *testing.T) {
+	grid := startGrid(t, 5)
+	c := NewWithoutRegistry()
+	b, err := c.BindLocal("HPL", grid.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Local() {
+		t.Error("local binding not marked local")
+	}
+	if n, err := b.NumExecs(); err != nil || n != 5 {
+		t.Fatalf("NumExecs = %d, %v", n, err)
+	}
+	execs, err := b.QueryExecutions([]AttrQuery{{Attribute: "numprocesses", Value: "2"}})
+	if err != nil || len(execs) == 0 {
+		t.Fatalf("execs: %d, %v", len(execs), err)
+	}
+	tr, _ := execs[0].TimeStartEnd()
+	rs, err := execs[0].PerformanceResults(perfdata.Query{Metric: "gflops", Time: tr, Type: "hpl"})
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("local getPR: %v, %v", rs, err)
+	}
+	// Remote and local answers agree.
+	cr := New(grid.regHost)
+	svcs, _ := cr.DiscoverServices("PSU")
+	rb, _ := cr.Bind(svcs[0])
+	rexecs, _ := rb.QueryExecutions([]AttrQuery{{Attribute: "numprocesses", Value: "2"}})
+	rtr, _ := rexecs[0].TimeStartEnd()
+	rrs, err := rexecs[0].PerformanceResults(perfdata.Query{Metric: "gflops", Time: rtr, Type: "hpl"})
+	if err != nil || len(rrs) != 1 || rrs[0].Value != rs[0].Value {
+		t.Errorf("local/remote mismatch: %v vs %v (%v)", rs, rrs, err)
+	}
+}
+
+func TestClientWithoutRegistryErrors(t *testing.T) {
+	c := NewWithoutRegistry()
+	if _, err := c.DiscoverOrganizations(""); err == nil {
+		t.Error("want error without registry")
+	}
+	if _, err := c.DiscoverServices("PSU"); err == nil {
+		t.Error("want error without registry")
+	}
+}
+
+func TestBindBadHandle(t *testing.T) {
+	c := NewWithoutRegistry()
+	if _, err := c.Bind(registry.ServiceEntry{Name: "X", FactoryHandle: "junk"}); err == nil {
+		t.Error("bad factory handle: want error")
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	grid := startGrid(t, 2)
+	c := New(grid.regHost)
+	svcs, _ := c.DiscoverServices("PSU")
+	b, _ := c.Bind(svcs[0])
+	c.Unbind(b.Key())
+	if len(c.Bindings()) != 0 {
+		t.Error("binding survived Unbind")
+	}
+}
+
+// TestSecuredGridEndToEnd drives the client through a GSI-secured site.
+func TestSecuredGridEndToEnd(t *testing.T) {
+	authority, err := gsi.NewAuthority([]byte("vo-master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := gsi.NewVerifier(authority)
+
+	d := datagen.HPL(datagen.HPLConfig{Executions: 3, Seed: 42})
+	w, err := mapping.NewWideTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:      "HPL",
+		Wrappers:     []mapping.ApplicationWrapper{w},
+		Interceptors: []container.Interceptor{gsi.Interceptor(verifier, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	// Unsigned client is rejected.
+	anon := NewWithoutRegistry()
+	if _, err := anon.BindFactory("HPL", site.ApplicationFactoryHandle()); err == nil || !strings.Contains(err.Error(), "not signed") {
+		t.Fatalf("unsigned bind: %v", err)
+	}
+
+	// Credentialed client succeeds end to end.
+	cred, err := authority.Issue("analyst@pdx.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWithoutRegistry()
+	c.SetCredential(cred.HeaderProvider())
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil || len(execs) != 3 {
+		t.Fatalf("execs: %d, %v", len(execs), err)
+	}
+	tr, err := execs[0].TimeStartEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := execs[0].PerformanceResults(perfdata.Query{Metric: "gflops", Time: tr, Type: "hpl"})
+	if err != nil || len(rs) != 1 {
+		t.Errorf("secured getPR: %v, %v", rs, err)
+	}
+
+	// Delegated proxy works too (single sign-on).
+	proxy := cred.Delegate(time.Minute)
+	c2 := NewWithoutRegistry()
+	c2.SetCredential(proxy.HeaderProvider())
+	if _, err := c2.BindFactory("HPL", site.ApplicationFactoryHandle()); err != nil {
+		t.Errorf("proxy bind: %v", err)
+	}
+}
+
+// TestCallbackQueryModel exercises the future-work registry-callback
+// query path end to end and checks it agrees with the blocking model.
+func TestCallbackQueryModel(t *testing.T) {
+	grid := startGrid(t, 8)
+	c := New(grid.regHost)
+	t.Cleanup(c.Close)
+	if err := c.EnableCallbacks(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableCallbacks(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	svcs, _ := c.DiscoverServices("PSU")
+	b, err := c.Bind(svcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+
+	blocking := QueryPerformanceResults(execs, q, ParallelOptions{})
+	callback, err := c.QueryPerformanceResultsCallback(execs, q, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(callback) != len(blocking) {
+		t.Fatalf("sizes differ: %d vs %d", len(callback), len(blocking))
+	}
+	for i := range callback {
+		if callback[i].Err != nil {
+			t.Fatalf("callback %d: %v", i, callback[i].Err)
+		}
+		want := perfdata.EncodeResults(blocking[i].Results)
+		got := perfdata.EncodeResults(callback[i].Results)
+		if len(got) != len(want) || got[0] != want[0] {
+			t.Errorf("execution %d differs: %v vs %v", i, got, want)
+		}
+		if callback[i].Elapsed <= 0 {
+			t.Error("elapsed not recorded")
+		}
+	}
+}
+
+func TestCallbackQueryRequiresEnable(t *testing.T) {
+	grid := startGrid(t, 2)
+	c := New(grid.regHost)
+	svcs, _ := c.DiscoverServices("PSU")
+	b, _ := c.Bind(svcs[0])
+	execs, _ := b.QueryExecutions(nil)
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	if _, err := c.QueryPerformanceResultsCallback(execs, q, time.Second); err == nil {
+		t.Error("want error without EnableCallbacks")
+	}
+}
+
+func TestCallbackErrorOutcomeDelivered(t *testing.T) {
+	grid := startGrid(t, 2)
+	c := New(grid.regHost)
+	t.Cleanup(c.Close)
+	if err := c.EnableCallbacks(); err != nil {
+		t.Fatal(err)
+	}
+	svcs, _ := c.DiscoverServices("PSU")
+	b, _ := c.Bind(svcs[0])
+	execs, _ := b.QueryExecutions(nil)
+	// An invalid time range is rejected synchronously at parse; a valid
+	// range with an unknown metric succeeds with zero results. Exercise
+	// the synchronous-failure branch with a malformed request instead.
+	if _, err := execs[0].Call(core.OpGetPRAsync, "id-1"); err == nil {
+		t.Error("short params: want synchronous fault")
+	}
+	// Unknown metric: delivered outcome with empty results, no error.
+	q := perfdata.Query{Metric: "nope", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	out, err := c.QueryPerformanceResultsCallback(execs[:1], q, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil || len(out[0].Results) != 0 {
+		t.Errorf("unknown metric outcome: %+v", out[0])
+	}
+}

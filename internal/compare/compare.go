@@ -1,0 +1,315 @@
+// Package compare implements multi-execution performance analysis over the
+// PPerfGrid virtual view — the analysis capability the paper defers to its
+// PPerfDB integration ("apply the full-featured analysis capability ...
+// to performance data from multiple executions of an application,
+// regardless of the data format, schema, or location", section 7).
+//
+// It collects one metric across any set of bound Execution Grid service
+// instances (which may span sites and storage formats), then supports the
+// two analyses the PPerfDB line of work centres on:
+//
+//   - scaling studies: group executions by a numeric attribute (typically
+//     numprocesses) and compute per-group means, parallel speedup, and
+//     efficiency;
+//   - execution diffing: align two runs' results by (metric, focus) and
+//     report per-resource changes, the core of comparative profiling.
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// Observation is one execution's answer to a metric query, together with
+// the execution's identity and attributes.
+type Observation struct {
+	Source  string // binding key of the owning site
+	ExecID  string
+	Attrs   map[string]string
+	Results []perfdata.Result
+}
+
+// Mean returns the mean result value, or 0 with no results.
+func (o Observation) Mean() float64 {
+	if len(o.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range o.Results {
+		sum += r.Value
+	}
+	return sum / float64(len(o.Results))
+}
+
+// Sum returns the summed result value.
+func (o Observation) Sum() float64 {
+	sum := 0.0
+	for _, r := range o.Results {
+		sum += r.Value
+	}
+	return sum
+}
+
+// Collect runs the query against every execution in parallel (one
+// goroutine per Execution Grid service instance) and returns one
+// Observation per execution, in input order. Executions that fail produce
+// an error naming the instance.
+func Collect(execs []*client.ExecutionRef, q perfdata.Query) ([]Observation, error) {
+	results := client.QueryPerformanceResults(execs, q, client.ParallelOptions{})
+	out := make([]Observation, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("compare: query %s: %w", r.Exec.Handle, r.Err)
+		}
+		info, err := r.Exec.Info()
+		if err != nil {
+			return nil, fmt.Errorf("compare: info %s: %w", r.Exec.Handle, err)
+		}
+		o := Observation{Source: r.Exec.Binding.Key(), Attrs: map[string]string{}, Results: r.Results}
+		for _, kv := range info {
+			if kv.Name == "id" {
+				o.ExecID = kv.Value
+				continue
+			}
+			o.Attrs[kv.Name] = kv.Value
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// MetricKind tells the scaling analysis how to orient speedup.
+type MetricKind int
+
+const (
+	// Throughput metrics (gflops, bandwidth) improve upward: speedup at
+	// scale s is value(s)/value(base).
+	Throughput MetricKind = iota
+	// TimeLike metrics (runtimesec, latency) improve downward: speedup is
+	// value(base)/value(s).
+	TimeLike
+)
+
+// ScalingPoint is one group of a scaling study.
+type ScalingPoint struct {
+	Scale      int // the grouping attribute's value, e.g. process count
+	Executions int
+	Mean       float64
+	Speedup    float64 // relative to the smallest scale
+	Efficiency float64 // Speedup / (Scale / baseScale)
+}
+
+// ScalingStudy groups observations by an integer attribute and computes
+// the classic strong-scaling table. Observations lacking the attribute or
+// with a non-integer value are skipped; at least two groups are required.
+func ScalingStudy(obs []Observation, attr string, kind MetricKind) ([]ScalingPoint, error) {
+	groups := map[int][]Observation{}
+	for _, o := range obs {
+		raw, ok := o.Attrs[attr]
+		if !ok {
+			continue
+		}
+		scale, err := strconv.Atoi(raw)
+		if err != nil {
+			continue
+		}
+		groups[scale] = append(groups[scale], o)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("compare: scaling study needs >= 2 %q groups, got %d", attr, len(groups))
+	}
+	scales := make([]int, 0, len(groups))
+	for s := range groups {
+		scales = append(scales, s)
+	}
+	sort.Ints(scales)
+
+	out := make([]ScalingPoint, 0, len(scales))
+	for _, s := range scales {
+		sum := 0.0
+		for _, o := range groups[s] {
+			sum += o.Mean()
+		}
+		out = append(out, ScalingPoint{
+			Scale:      s,
+			Executions: len(groups[s]),
+			Mean:       sum / float64(len(groups[s])),
+		})
+	}
+	base := out[0]
+	for i := range out {
+		if base.Mean != 0 {
+			switch kind {
+			case Throughput:
+				out[i].Speedup = out[i].Mean / base.Mean
+			case TimeLike:
+				if out[i].Mean != 0 {
+					out[i].Speedup = base.Mean / out[i].Mean
+				}
+			}
+		}
+		ideal := float64(out[i].Scale) / float64(base.Scale)
+		if ideal != 0 {
+			out[i].Efficiency = out[i].Speedup / ideal
+		}
+	}
+	return out, nil
+}
+
+// RenderScaling formats a scaling study.
+func RenderScaling(metric, attr string, points []ScalingPoint) string {
+	header := []string{attr, "Executions", "Mean " + metric, "Speedup", "Efficiency"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Scale), strconv.Itoa(p.Executions),
+			fmt.Sprintf("%.4g", p.Mean), fmt.Sprintf("%.2f", p.Speedup),
+			fmt.Sprintf("%.0f%%", p.Efficiency*100),
+		})
+	}
+	return viz.Table(fmt.Sprintf("Scaling study — %s vs %s", metric, attr), header, rows)
+}
+
+// Delta is one aligned (metric, focus) pair's change between two runs.
+type Delta struct {
+	Metric string
+	Focus  string
+	A, B   float64 // mean values in each run
+	// RelChange is (B-A)/A as a percentage; +Inf-like cases report 0 with
+	// OnlyIn set instead.
+	RelChange float64
+	// OnlyIn marks resources present in just one run: "A", "B", or "".
+	OnlyIn string
+}
+
+// DiffExecutions aligns two observations by (metric, focus) and reports
+// per-resource changes, sorted by descending absolute relative change with
+// one-sided entries last.
+func DiffExecutions(a, b Observation) []Delta {
+	type key struct{ metric, focus string }
+	agg := func(o Observation) map[key][]float64 {
+		m := map[key][]float64{}
+		for _, r := range o.Results {
+			k := key{r.Metric, r.Focus}
+			m[k] = append(m[k], r.Value)
+		}
+		return m
+	}
+	mean := func(vs []float64) float64 {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		return sum / float64(len(vs))
+	}
+	am, bm := agg(a), agg(b)
+	keys := map[key]bool{}
+	for k := range am {
+		keys[k] = true
+	}
+	for k := range bm {
+		keys[k] = true
+	}
+	var out []Delta
+	for k := range keys {
+		d := Delta{Metric: k.metric, Focus: k.focus}
+		av, aok := am[k]
+		bv, bok := bm[k]
+		switch {
+		case aok && bok:
+			d.A, d.B = mean(av), mean(bv)
+			if d.A != 0 {
+				d.RelChange = (d.B - d.A) / d.A * 100
+			}
+		case aok:
+			d.A = mean(av)
+			d.OnlyIn = "A"
+		default:
+			d.B = mean(bv)
+			d.OnlyIn = "B"
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].OnlyIn == "") != (out[j].OnlyIn == "") {
+			return out[i].OnlyIn == ""
+		}
+		ai, aj := out[i].RelChange, out[j].RelChange
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		return out[i].Focus < out[j].Focus
+	})
+	return out
+}
+
+// RenderDiff formats an execution diff; top bounds the rows shown (0 =
+// all).
+func RenderDiff(aName, bName string, deltas []Delta, top int) string {
+	header := []string{"Metric", "Focus", aName, bName, "Change"}
+	var rows [][]string
+	for i, d := range deltas {
+		if top > 0 && i >= top {
+			rows = append(rows, []string{fmt.Sprintf("... %d more", len(deltas)-top)})
+			break
+		}
+		change := fmt.Sprintf("%+.1f%%", d.RelChange)
+		if d.OnlyIn != "" {
+			change = "only in " + d.OnlyIn
+		}
+		rows = append(rows, []string{
+			d.Metric, d.Focus, fmt.Sprintf("%.4g", d.A), fmt.Sprintf("%.4g", d.B), change,
+		})
+	}
+	return viz.Table(fmt.Sprintf("Execution diff — %s vs %s", aName, bName), header, rows)
+}
+
+// FilterByValue keeps observations whose aggregate satisfies the
+// comparison — the paper's future-work Execution Query Panel "option to
+// filter results based on a metric value". op is one of "<", "<=", ">",
+// ">=", "=", "!=".
+func FilterByValue(obs []Observation, op string, threshold float64) ([]Observation, error) {
+	pred, err := valuePredicate(op, threshold)
+	if err != nil {
+		return nil, err
+	}
+	var out []Observation
+	for _, o := range obs {
+		if len(o.Results) > 0 && pred(o.Mean()) {
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
+
+func valuePredicate(op string, threshold float64) (func(float64) bool, error) {
+	switch op {
+	case "<":
+		return func(v float64) bool { return v < threshold }, nil
+	case "<=":
+		return func(v float64) bool { return v <= threshold }, nil
+	case ">":
+		return func(v float64) bool { return v > threshold }, nil
+	case ">=":
+		return func(v float64) bool { return v >= threshold }, nil
+	case "=":
+		return func(v float64) bool { return v == threshold }, nil
+	case "!=":
+		return func(v float64) bool { return v != threshold }, nil
+	}
+	return nil, fmt.Errorf("compare: unknown operator %q", op)
+}

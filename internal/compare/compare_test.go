@@ -1,0 +1,240 @@
+package compare
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+func obs(id string, attrs map[string]string, vals ...float64) Observation {
+	o := Observation{ExecID: id, Attrs: attrs}
+	for i, v := range vals {
+		o.Results = append(o.Results, perfdata.Result{
+			Metric: "m", Focus: "/", Type: "t",
+			Time:  perfdata.TimeRange{Start: float64(i), End: float64(i + 1)},
+			Value: v,
+		})
+	}
+	return o
+}
+
+func TestObservationAggregates(t *testing.T) {
+	o := obs("1", nil, 2, 4, 6)
+	if o.Mean() != 4 {
+		t.Errorf("Mean = %v", o.Mean())
+	}
+	if o.Sum() != 12 {
+		t.Errorf("Sum = %v", o.Sum())
+	}
+	empty := Observation{}
+	if empty.Mean() != 0 || empty.Sum() != 0 {
+		t.Error("empty aggregates nonzero")
+	}
+}
+
+func TestScalingStudyThroughput(t *testing.T) {
+	var all []Observation
+	// Two runs per process count; throughput roughly doubles per scale
+	// doubling, at 80% efficiency for the largest.
+	for _, g := range []struct {
+		procs string
+		vals  []float64
+	}{
+		{"2", []float64{10, 10}},
+		{"4", []float64{19, 21}},
+		{"8", []float64{32, 32}},
+	} {
+		for _, v := range g.vals {
+			all = append(all, obs("x", map[string]string{"numprocesses": g.procs}, v))
+		}
+	}
+	points, err := ScalingStudy(all, "numprocesses", Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Scale != 2 || points[0].Speedup != 1 || points[0].Efficiency != 1 {
+		t.Errorf("base point: %+v", points[0])
+	}
+	if points[1].Mean != 20 || points[1].Speedup != 2 || points[1].Efficiency != 1 {
+		t.Errorf("4-proc point: %+v", points[1])
+	}
+	if math.Abs(points[2].Speedup-3.2) > 1e-9 || math.Abs(points[2].Efficiency-0.8) > 1e-9 {
+		t.Errorf("8-proc point: %+v", points[2])
+	}
+	out := RenderScaling("gflops", "numprocesses", points)
+	if !strings.Contains(out, "Scaling study") || !strings.Contains(out, "80%") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestScalingStudyTimeLike(t *testing.T) {
+	all := []Observation{
+		obs("a", map[string]string{"numprocesses": "2"}, 100),
+		obs("b", map[string]string{"numprocesses": "8"}, 30),
+	}
+	points, err := ScalingStudy(all, "numprocesses", TimeLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time dropped 100 -> 30 across a 4x scale increase.
+	if math.Abs(points[1].Speedup-100.0/30.0) > 1e-9 {
+		t.Errorf("time-like speedup = %v", points[1].Speedup)
+	}
+	if math.Abs(points[1].Efficiency-100.0/30.0/4.0) > 1e-9 {
+		t.Errorf("efficiency = %v", points[1].Efficiency)
+	}
+}
+
+func TestScalingStudyErrors(t *testing.T) {
+	one := []Observation{obs("a", map[string]string{"numprocesses": "2"}, 1)}
+	if _, err := ScalingStudy(one, "numprocesses", Throughput); err == nil {
+		t.Error("single group: want error")
+	}
+	bad := []Observation{
+		obs("a", map[string]string{"numprocesses": "two"}, 1),
+		obs("b", nil, 1),
+	}
+	if _, err := ScalingStudy(bad, "numprocesses", Throughput); err == nil {
+		t.Error("no usable groups: want error")
+	}
+}
+
+func TestDiffExecutions(t *testing.T) {
+	a := Observation{ExecID: "a", Results: []perfdata.Result{
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Send", Value: 10, Time: perfdata.TimeRange{Start: 0, End: 1}},
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Recv", Value: 5, Time: perfdata.TimeRange{Start: 0, End: 1}},
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Wait", Value: 2, Time: perfdata.TimeRange{Start: 0, End: 1}},
+	}}
+	b := Observation{ExecID: "b", Results: []perfdata.Result{
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Send", Value: 20, Time: perfdata.TimeRange{Start: 0, End: 1}},
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Recv", Value: 5.5, Time: perfdata.TimeRange{Start: 0, End: 1}},
+		{Metric: "excl_time", Focus: "/Code/MPI/MPI_Bcast", Value: 3, Time: perfdata.TimeRange{Start: 0, End: 1}},
+	}}
+	deltas := DiffExecutions(a, b)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	// Sorted by |relative change| descending, one-sided entries last.
+	if deltas[0].Focus != "/Code/MPI/MPI_Send" || deltas[0].RelChange != 100 {
+		t.Errorf("top delta: %+v", deltas[0])
+	}
+	if deltas[1].Focus != "/Code/MPI/MPI_Recv" || deltas[1].RelChange != 10 {
+		t.Errorf("second delta: %+v", deltas[1])
+	}
+	onlySeen := map[string]string{}
+	for _, d := range deltas[2:] {
+		onlySeen[d.Focus] = d.OnlyIn
+	}
+	if onlySeen["/Code/MPI/MPI_Wait"] != "A" || onlySeen["/Code/MPI/MPI_Bcast"] != "B" {
+		t.Errorf("one-sided entries: %v", onlySeen)
+	}
+	out := RenderDiff("run-a", "run-b", deltas, 2)
+	if !strings.Contains(out, "+100.0%") || !strings.Contains(out, "2 more") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestDiffMeansRepeatedBins(t *testing.T) {
+	a := Observation{Results: []perfdata.Result{
+		{Metric: "m", Focus: "/f", Value: 1, Time: perfdata.TimeRange{Start: 0, End: 1}},
+		{Metric: "m", Focus: "/f", Value: 3, Time: perfdata.TimeRange{Start: 1, End: 2}},
+	}}
+	b := Observation{Results: []perfdata.Result{
+		{Metric: "m", Focus: "/f", Value: 4, Time: perfdata.TimeRange{Start: 0, End: 2}},
+	}}
+	deltas := DiffExecutions(a, b)
+	if len(deltas) != 1 || deltas[0].A != 2 || deltas[0].B != 4 || deltas[0].RelChange != 100 {
+		t.Errorf("deltas = %+v", deltas)
+	}
+}
+
+func TestFilterByValue(t *testing.T) {
+	all := []Observation{
+		obs("slow", nil, 1),
+		obs("mid", nil, 5),
+		obs("fast", nil, 9),
+		{ExecID: "empty"}, // no results: never matches
+	}
+	got, err := FilterByValue(all, ">", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{}
+	for _, o := range got {
+		ids = append(ids, o.ExecID)
+	}
+	if !reflect.DeepEqual(ids, []string{"mid", "fast"}) {
+		t.Errorf("ids = %v", ids)
+	}
+	for _, op := range []string{"<", "<=", ">=", "=", "!="} {
+		if _, err := FilterByValue(all, op, 5); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+	if _, err := FilterByValue(all, "~", 5); err == nil {
+		t.Error("unknown op: want error")
+	}
+}
+
+// TestCollectOverWire drives Collect against a live site.
+func TestCollectOverWire(t *testing.T) {
+	d := datagen.HPL(datagen.HPLConfig{Executions: 12, Seed: 61})
+	w, err := mapping.NewWideTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	obs, err := Collect(execs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 12 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	for _, o := range obs {
+		if o.ExecID == "" || o.Attrs["numprocesses"] == "" || len(o.Results) != 1 {
+			t.Errorf("observation incomplete: %+v", o)
+		}
+		if o.Source != "HPL" {
+			t.Errorf("source = %q", o.Source)
+		}
+	}
+	// End-to-end scaling study over the wire-collected data.
+	points, err := ScalingStudy(obs, "numprocesses", Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 || points[0].Speedup != 1 {
+		t.Errorf("points = %+v", points)
+	}
+	// Bigger process counts generally deliver more gflops in the
+	// generator's model.
+	last := points[len(points)-1]
+	if last.Mean <= points[0].Mean {
+		t.Errorf("scaling not increasing: %+v", points)
+	}
+}

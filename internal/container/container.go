@@ -1,0 +1,244 @@
+// Package container implements the grid service hosting environment — the
+// role Apache Tomcat + Apache Axis play in the paper's Services Layer
+// (Figure 6).
+//
+// A Container binds an HTTP listener and routes SOAP messages to the grid
+// service instances of an ogsi.Hosting table: it demarshals the incoming
+// envelope, locates the addressed instance, invokes the native operation,
+// and marshals the result (or a SOAP Fault) back — the server half of the
+// architecture-adapter pattern. The client half is the Stub type in
+// stub.go.
+//
+// A Container may be configured with a fixed worker pool. A pool of size
+// one models the single-CPU Sun Ultra hosts of the paper's testbed:
+// concurrent queries against instances on the same host serialize, which
+// is precisely the contention that makes the Manager's two-host
+// distribution in Figure 12 pay off.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/soap"
+)
+
+// Interceptor inspects an incoming request before dispatch; a non-nil
+// error rejects the call with a client Fault. The gsi package supplies a
+// signature-verifying interceptor.
+type Interceptor func(req *soap.Request, handle gsh.Handle) error
+
+// Options configures a Container.
+type Options struct {
+	// Workers bounds concurrent service invocations; 0 means unbounded.
+	// One worker per simulated CPU reproduces the paper's per-host
+	// serialization.
+	Workers int
+	// Interceptors run in order on every request before dispatch.
+	Interceptors []Interceptor
+	// ReadLimit bounds request body size in bytes; 0 uses a 16 MiB default.
+	ReadLimit int64
+	// Logf, when set, receives one line per dispatched request.
+	Logf func(format string, args ...any)
+}
+
+// Container hosts grid services over HTTP.
+type Container struct {
+	hosting *ogsi.Hosting
+	opts    Options
+
+	server   *http.Server
+	listener net.Listener
+	workers  chan struct{}
+
+	requests atomic.Int64
+	faults   atomic.Int64
+}
+
+// New creates a container over a hosting table. Call Start before
+// deploying services so instances advertise the bound address.
+func New(hosting *ogsi.Hosting, opts Options) *Container {
+	c := &Container{hosting: hosting, opts: opts}
+	if opts.Workers > 0 {
+		c.workers = make(chan struct{}, opts.Workers)
+	}
+	if c.opts.ReadLimit == 0 {
+		c.opts.ReadLimit = 16 << 20
+	}
+	return c
+}
+
+// Hosting returns the container's instance table.
+func (c *Container) Hosting() *ogsi.Hosting { return c.hosting }
+
+// Start binds addr (e.g. "127.0.0.1:0") and begins serving. The hosting
+// table's advertised host is set to the bound address, so it must not yet
+// hold instances.
+func (c *Container) Start(addr string) error {
+	if c.listener != nil {
+		return errors.New("container: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("container: listen %s: %w", addr, err)
+	}
+	if err := c.hosting.SetHost(ln.Addr().String()); err != nil {
+		ln.Close()
+		return err
+	}
+	c.listener = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc(gsh.PathPrefix, c.handle)
+	c.server = &http.Server{
+		Handler: mux,
+		// Bound header read time so a stalled peer cannot pin a
+		// connection (service invocations themselves may be long-running,
+		// so no overall write timeout is imposed).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := c.server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("container %s: serve: %v", c.Host(), err)
+		}
+	}()
+	return nil
+}
+
+// Host returns the bound host:port.
+func (c *Container) Host() string { return c.hosting.Host() }
+
+// Requests returns the number of SOAP requests dispatched so far.
+func (c *Container) Requests() int64 { return c.requests.Load() }
+
+// Faults returns the number of requests that ended in a SOAP Fault.
+func (c *Container) Faults() int64 { return c.faults.Load() }
+
+// Close shuts the listener down and destroys all hosted instances.
+func (c *Container) Close() error {
+	var err error
+	if c.server != nil {
+		err = c.server.Close()
+	}
+	c.hosting.DestroyAll()
+	return err
+}
+
+func (c *Container) handle(w http.ResponseWriter, r *http.Request) {
+	handle, err := c.parsePath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		c.handleGet(w, handle)
+	case http.MethodPost:
+		c.handlePost(w, r, handle)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (c *Container) parsePath(path string) (gsh.Handle, error) {
+	rest := strings.TrimPrefix(path, gsh.PathPrefix)
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return gsh.Handle{}, fmt.Errorf("container: bad service path %q", path)
+	}
+	return gsh.New(c.Host(), parts[0], parts[1]), nil
+}
+
+// handleGet serves the instance's WSDL definition, the introspection
+// convention ("?WSDL") of Web services containers.
+func (c *Container) handleGet(w http.ResponseWriter, handle gsh.Handle) {
+	in, ok := c.hosting.LookupHandle(handle)
+	if !ok {
+		http.Error(w, "no such service instance", http.StatusNotFound)
+		return
+	}
+	data, err := in.Definition().Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gsh.Handle) {
+	c.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.opts.ReadLimit+1))
+	if err != nil {
+		c.writeFault(w, soap.ClientFault("read request: "+err.Error()))
+		return
+	}
+	if int64(len(body)) > c.opts.ReadLimit {
+		c.writeFault(w, soap.ClientFault("request exceeds size limit"))
+		return
+	}
+	req, err := soap.DecodeRequest(body)
+	if err != nil {
+		c.writeFault(w, soap.ClientFault("decode request: "+err.Error()))
+		return
+	}
+	for _, ic := range c.opts.Interceptors {
+		if err := ic(req, handle); err != nil {
+			c.writeFault(w, soap.ClientFault(err.Error()))
+			return
+		}
+	}
+	in, ok := c.hosting.LookupHandle(handle)
+	if !ok {
+		c.writeFault(w, &soap.Fault{Code: soap.FaultClient, String: "no such service instance", Detail: handle.String()})
+		return
+	}
+
+	// Acquire a simulated-CPU worker slot for the invocation itself.
+	if c.workers != nil {
+		c.workers <- struct{}{}
+	}
+	start := time.Now()
+	returns, err := in.Invoke(req.Operation, req.Params)
+	elapsed := time.Since(start)
+	if c.workers != nil {
+		<-c.workers
+	}
+	if c.opts.Logf != nil {
+		c.opts.Logf("container %s: %s %s(%d params) -> %d values, err=%v, %s",
+			c.Host(), handle.ServiceType+"/"+handle.InstanceID, req.Operation,
+			len(req.Params), len(returns), err, elapsed)
+	}
+	if err != nil {
+		c.writeFault(w, soap.ServerFault(err))
+		return
+	}
+	resp, err := soap.EncodeResponse(req.Operation, nil, returns)
+	if err != nil {
+		c.writeFault(w, soap.ServerFault(err))
+		return
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	_, _ = w.Write(resp)
+}
+
+func (c *Container) writeFault(w http.ResponseWriter, f *soap.Fault) {
+	c.faults.Add(1)
+	data, err := soap.EncodeFault(f)
+	if err != nil {
+		http.Error(w, f.String, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	// SOAP 1.1 carries faults with HTTP 500.
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,420 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/wsdl"
+)
+
+func echoDef() *wsdl.Definition {
+	return wsdl.New("Echo", wsdl.PortType{Name: "Echo", Operations: []wsdl.Operation{
+		wsdl.Op("ping", "Echo back.", wsdl.PRep("arg")),
+		wsdl.Op("boom", "Always fails."),
+		wsdl.Op("slow", "Sleeps briefly then echoes.", wsdl.PRep("arg")),
+	}})
+}
+
+type echoService struct{}
+
+func (echoService) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case "ping":
+		return append([]string{"pong"}, params...), nil
+	case "boom":
+		return nil, errors.New("exploded as requested")
+	case "slow":
+		time.Sleep(20 * time.Millisecond)
+		return params, nil
+	}
+	return nil, fmt.Errorf("echo: unknown op %q", op)
+}
+
+// startContainer spins up a container on a loopback port and registers
+// cleanup.
+func startContainer(t *testing.T, opts Options) *Container {
+	t.Helper()
+	c := New(ogsi.NewHosting("placeholder:0"), opts)
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestEndToEndCall(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, err := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := Dial(in.Handle())
+	out, err := stub.Call("ping", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []string{"pong", "a", "b"}) {
+		t.Errorf("got %v", out)
+	}
+	if c.Requests() != 1 {
+		t.Errorf("requests = %d", c.Requests())
+	}
+}
+
+func TestRemoteFaultPropagates(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	_, err := stub.Call("boom")
+	var fault *soap.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("want *soap.Fault, got %v", err)
+	}
+	if !strings.Contains(fault.String, "exploded") {
+		t.Errorf("fault = %+v", fault)
+	}
+	if fault.Code != soap.FaultServer {
+		t.Errorf("fault code = %q", fault.Code)
+	}
+	if c.Faults() != 1 {
+		t.Errorf("faults = %d", c.Faults())
+	}
+}
+
+func TestUnknownInstanceFault(t *testing.T) {
+	c := startContainer(t, Options{})
+	stub := Dial(gsh.New(c.Host(), "Echo", "12345"))
+	_, err := stub.Call("ping")
+	var fault *soap.Fault
+	if !errors.As(err, &fault) || fault.Code != soap.FaultClient {
+		t.Errorf("want client fault, got %v", err)
+	}
+}
+
+func TestUnknownOperationFault(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	if _, err := stub.Call("nosuchop"); err == nil {
+		t.Error("want error for unknown operation")
+	}
+}
+
+func TestGridServiceOpsOverWire(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+
+	out, err := stub.Call(ogsi.OpFindServiceData, "handle")
+	if err != nil || out[0] != in.Handle().String() {
+		t.Errorf("FindServiceData(handle) = %v, %v", out, err)
+	}
+	if _, err := stub.Call(ogsi.OpSetTerminationTime, "+60"); err != nil {
+		t.Errorf("SetTerminationTime: %v", err)
+	}
+	if err := stub.Destroy(); err != nil {
+		t.Errorf("Destroy: %v", err)
+	}
+	if c.Hosting().NumInstances() != 0 {
+		t.Error("instance survived remote Destroy")
+	}
+	// Calls after destroy fault.
+	if _, err := stub.Call("ping"); err == nil {
+		t.Error("call on destroyed instance: want fault")
+	}
+}
+
+func TestFactoryOverWire(t *testing.T) {
+	c := startContainer(t, Options{})
+	f := ogsi.NewFactory(c.Hosting(), "Widget", echoDef(), func(params []string) (ogsi.Service, *wsdl.Definition, error) {
+		return echoService{}, nil, nil
+	})
+	fin, err := f.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := Dial(fin.Handle())
+	child, err := factory.CreateService("arg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Handle().ServiceType != "Widget" {
+		t.Errorf("child type = %s", child.Handle().ServiceType)
+	}
+	out, err := child.Call("ping", "x")
+	if err != nil || !reflect.DeepEqual(out, []string{"pong", "x"}) {
+		t.Errorf("child call: %v %v", out, err)
+	}
+}
+
+func TestStubDefinitionFetch(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	def, err := stub.Definition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Lookup("ping"); err != nil {
+		t.Error("fetched definition missing ping")
+	}
+	if _, err := def.Lookup(ogsi.OpDestroy); err != nil {
+		t.Error("fetched definition missing GridService ops")
+	}
+	// Second fetch is cached (same pointer).
+	def2, _ := stub.Definition()
+	if def != def2 {
+		t.Error("definition not cached")
+	}
+	// Missing instance: HTTP 404.
+	bad := Dial(gsh.New(c.Host(), "Echo", "999"))
+	if _, err := bad.Definition(); err == nil {
+		t.Error("want error for missing instance definition")
+	}
+}
+
+func TestInterceptorRejects(t *testing.T) {
+	denied := errors.New("credentials required")
+	c := startContainer(t, Options{
+		Interceptors: []Interceptor{
+			func(req *soap.Request, handle gsh.Handle) error {
+				if _, ok := req.Header("token"); !ok {
+					return denied
+				}
+				return nil
+			},
+		},
+	})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	_, err := stub.Call("ping")
+	var fault *soap.Fault
+	if !errors.As(err, &fault) || !strings.Contains(fault.String, "credentials") {
+		t.Fatalf("want credentials fault, got %v", err)
+	}
+	stub.SetHeaderProvider(func(op string, params []string) []soap.HeaderEntry {
+		return []soap.HeaderEntry{{Name: "token", Value: "ok"}}
+	})
+	if _, err := stub.Call("ping"); err != nil {
+		t.Errorf("with token: %v", err)
+	}
+}
+
+func TestWorkerPoolSerializes(t *testing.T) {
+	// With one worker, two concurrent slow calls take ~2x one call; with
+	// unbounded workers they overlap. Compare wall times coarsely.
+	elapsed := func(workers int) time.Duration {
+		c := startContainer(t, Options{Workers: workers})
+		in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+		stub := Dial(in.Handle())
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := stub.Call("slow", "x"); err != nil {
+					t.Errorf("slow: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	serial := elapsed(1)
+	parallel := elapsed(0)
+	// 4 x 20ms serialized ≈ 80ms; overlapped ≈ 20ms. Require a clear gap.
+	if serial < 70*time.Millisecond {
+		t.Errorf("1-worker wall time %v, want >= ~80ms", serial)
+	}
+	if parallel > serial*3/4 {
+		t.Errorf("unbounded wall time %v not clearly below serialized %v", parallel, serial)
+	}
+}
+
+func TestNotificationsOverWire(t *testing.T) {
+	// Server side: a service with a notification hub.
+	server := startContainer(t, Options{})
+	hub := ogsi.NewNotificationHub(SOAPSinkDialer())
+	svc := ogsi.ServiceFunc(func(op string, params []string) ([]string, error) {
+		switch op {
+		case ogsi.OpSubscribe:
+			return hub.HandleSubscribe(params)
+		case "update":
+			hub.Notify("updates", params[0])
+			return []string{"ok"}, nil
+		}
+		return nil, fmt.Errorf("unknown op %q", op)
+	})
+	def := wsdl.New("Source",
+		ogsi.NotificationSourcePortType(),
+		wsdl.PortType{Name: "Source", Operations: []wsdl.Operation{
+			wsdl.Op("update", "Trigger a notification.", wsdl.P("message")),
+		}})
+	sin, err := server.Hosting().DeployPersistent("Source", svc, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client side: host a sink in the client's own container.
+	client := startContainer(t, Options{})
+	got := make(chan string, 1)
+	sinkIn, err := DeploySink(client.Hosting(), ogsi.SinkFunc(func(topic, msg string) error {
+		got <- topic + ":" + msg
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stub := Dial(sin.Handle())
+	if _, err := stub.Call(ogsi.OpSubscribe, "updates", sinkIn.Handle().String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stub.Call("update", "new data arrived"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg != "updates:new data arrived" {
+			t.Errorf("got %q", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification never delivered")
+	}
+}
+
+func TestSinkServiceValidation(t *testing.T) {
+	s := &SinkService{Sink: ogsi.SinkFunc(func(string, string) error { return nil })}
+	if _, err := s.Invoke("other", nil); err == nil {
+		t.Error("unknown op: want error")
+	}
+	if _, err := s.Invoke(ogsi.OpDeliverNotification, []string{"only-topic"}); err == nil {
+		t.Error("short params: want error")
+	}
+	failing := &SinkService{Sink: ogsi.SinkFunc(func(string, string) error { return errors.New("no") })}
+	if _, err := failing.Invoke(ogsi.OpDeliverNotification, []string{"t", "m"}); err == nil {
+		t.Error("sink error not propagated")
+	}
+}
+
+func TestDialString(t *testing.T) {
+	if _, err := DialString("junk"); err == nil {
+		t.Error("bad handle: want error")
+	}
+	s, err := DialString("http://h:1/ogsa/services/T/1")
+	if err != nil || s.Handle().ServiceType != "T" {
+		t.Errorf("got %v, %v", s, err)
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	c := startContainer(t, Options{})
+	if err := c.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start: want error")
+	}
+}
+
+func TestConcurrentCallsManyClients(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stub := Dial(in.Handle())
+			for i := 0; i < 20; i++ {
+				arg := fmt.Sprintf("w%d-%d", w, i)
+				out, err := stub.Call("ping", arg)
+				if err != nil || len(out) != 2 || out[1] != arg {
+					t.Errorf("call: %v %v", out, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Requests() != 16*20 {
+		t.Errorf("requests = %d", c.Requests())
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	c := startContainer(t, Options{Logf: func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	if _, err := stub.Call("ping", "x"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], "ping") || !strings.Contains(lines[0], "Echo/0") {
+		t.Errorf("log lines = %v", lines)
+	}
+}
+
+func TestReadLimitEnforced(t *testing.T) {
+	c := startContainer(t, Options{ReadLimit: 2048})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	big := strings.Repeat("x", 10_000)
+	_, err := stub.Call("ping", big)
+	var fault *soap.Fault
+	if !errors.As(err, &fault) || !strings.Contains(fault.String, "size limit") {
+		t.Errorf("oversized request: %v", err)
+	}
+	// Small requests still pass.
+	if _, err := stub.Call("ping", "ok"); err != nil {
+		t.Errorf("small request after limit fault: %v", err)
+	}
+}
+
+func TestGETOnWrongPath(t *testing.T) {
+	c := startContainer(t, Options{})
+	resp, err := http.Get("http://" + c.Host() + "/ogsa/services/onlyonesegment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + c.Host() + "/ogsa/services/Echo/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing instance GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestUnsupportedMethod(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	req, _ := http.NewRequest(http.MethodPut, in.Handle().URL(), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

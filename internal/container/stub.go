@@ -1,0 +1,184 @@
+package container
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/wsdl"
+)
+
+// HeaderProvider supplies SOAP header entries for an outgoing call — the
+// hook the gsi package uses to attach request signatures.
+type HeaderProvider func(op string, params []string) []soap.HeaderEntry
+
+// Stub is the client-side architecture adapter: it presents a grid service
+// instance as a local object whose Call method marshals the invocation to
+// SOAP, posts it to the instance's endpoint, and demarshals the response.
+// A Stub is safe for concurrent use.
+type Stub struct {
+	handle  gsh.Handle
+	client  *http.Client
+	headers HeaderProvider
+
+	mu  sync.Mutex
+	def *wsdl.Definition // fetched lazily by Definition()
+}
+
+// sharedClient reuses connections across stubs, like the per-JVM HTTP
+// connection pools of the paper's client.
+var sharedClient = &http.Client{Timeout: 60 * time.Second}
+
+// Dial creates a stub bound to the instance named by handle. No network
+// traffic occurs until the first call.
+func Dial(handle gsh.Handle) *Stub {
+	return &Stub{handle: handle, client: sharedClient}
+}
+
+// DialString parses a GSH string and dials it.
+func DialString(handleStr string) (*Stub, error) {
+	h, err := gsh.Parse(handleStr)
+	if err != nil {
+		return nil, err
+	}
+	return Dial(h), nil
+}
+
+// SetHeaderProvider installs a provider of per-call SOAP headers.
+func (s *Stub) SetHeaderProvider(p HeaderProvider) { s.headers = p }
+
+// SetHTTPClient replaces the HTTP client (e.g. to set timeouts in tests).
+func (s *Stub) SetHTTPClient(c *http.Client) { s.client = c }
+
+// Handle returns the stub's target handle.
+func (s *Stub) Handle() gsh.Handle { return s.handle }
+
+// Call invokes an operation on the remote instance and returns its string
+// array result. Remote failures surface as *soap.Fault errors.
+func (s *Stub) Call(op string, params ...string) ([]string, error) {
+	var hdrs []soap.HeaderEntry
+	if s.headers != nil {
+		hdrs = s.headers(op, params)
+	}
+	reqBody, err := soap.EncodeRequest(op, hdrs, params)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := s.client.Post(s.handle.URL(), soap.ContentType, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("container: call %s on %s: %w", op, s.handle, err)
+	}
+	defer httpResp.Body.Close()
+	respBody, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("container: read response for %s: %w", op, err)
+	}
+	resp, err := soap.DecodeResponse(respBody)
+	if err != nil {
+		return nil, err // includes *soap.Fault for remote failures
+	}
+	if resp.Operation != op {
+		return nil, fmt.Errorf("container: response for %q to a %q call", resp.Operation, op)
+	}
+	return resp.Returns, nil
+}
+
+// Definition fetches (once) and returns the remote instance's WSDL
+// definition.
+func (s *Stub) Definition() (*wsdl.Definition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.def != nil {
+		return s.def, nil
+	}
+	httpResp, err := s.client.Get(s.handle.URL())
+	if err != nil {
+		return nil, fmt.Errorf("container: fetch definition of %s: %w", s.handle, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("container: fetch definition of %s: HTTP %d", s.handle, httpResp.StatusCode)
+	}
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	def, err := wsdl.Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	s.def = def
+	return def, nil
+}
+
+// Destroy invokes the GridService Destroy operation on the remote
+// instance.
+func (s *Stub) Destroy() error {
+	_, err := s.Call(ogsi.OpDestroy)
+	return err
+}
+
+// CreateService calls the Factory PortType's CreateService on the remote
+// factory and returns a stub bound to the new instance.
+func (s *Stub) CreateService(params ...string) (*Stub, error) {
+	out, err := s.Call(ogsi.OpCreateService, params...)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != 1 {
+		return nil, fmt.Errorf("container: CreateService returned %d values, want 1", len(out))
+	}
+	child, err := DialString(out[0])
+	if err != nil {
+		return nil, err
+	}
+	child.headers = s.headers
+	child.client = s.client
+	return child, nil
+}
+
+// SOAPSinkDialer returns an ogsi.SinkDialer that delivers notifications to
+// remote sinks with DeliverNotification calls over SOAP.
+func SOAPSinkDialer() ogsi.SinkDialer {
+	return func(handle gsh.Handle) ogsi.Sink {
+		stub := Dial(handle)
+		return ogsi.SinkFunc(func(topic, message string) error {
+			_, err := stub.Call(ogsi.OpDeliverNotification, topic, message)
+			return err
+		})
+	}
+}
+
+// SinkService adapts a local ogsi.Sink into a deployable grid service
+// implementing the NotificationSink PortType, so a client can receive
+// push notifications by hosting one in its own container.
+type SinkService struct {
+	Sink ogsi.Sink
+}
+
+// Invoke implements DeliverNotification.
+func (s *SinkService) Invoke(op string, params []string) ([]string, error) {
+	if op != ogsi.OpDeliverNotification {
+		return nil, fmt.Errorf("%w: %q on notification sink", ogsi.ErrUnknownOperation, op)
+	}
+	if len(params) != 2 {
+		return nil, fmt.Errorf("container: %s requires [topic, message]", ogsi.OpDeliverNotification)
+	}
+	if err := s.Sink.Deliver(params[0], params[1]); err != nil {
+		return nil, err
+	}
+	return []string{"delivered"}, nil
+}
+
+// DeploySink hosts a sink in the given hosting table and returns its
+// instance (whose handle is passed to SubscribeToNotificationTopic).
+func DeploySink(h *ogsi.Hosting, sink ogsi.Sink) (*ogsi.Instance, error) {
+	def := wsdl.New("NotificationSink", ogsi.NotificationSinkPortType())
+	return h.CreateInstance("NotificationSink", &SinkService{Sink: sink}, def)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+)
+
+// ManagerRef abstracts how an Application service reaches the Manager —
+// in-process for the usual co-located deployment, or over SOAP (the
+// Manager is itself a grid service).
+type ManagerRef interface {
+	ExecutionHandles(ids []string) ([]string, error)
+}
+
+// RemoteManagerRef reaches a Manager over its stub.
+type RemoteManagerRef struct {
+	Call func(op string, params ...string) ([]string, error)
+}
+
+// ExecutionHandles implements ManagerRef.
+func (r *RemoteManagerRef) ExecutionHandles(ids []string) ([]string, error) {
+	return r.Call(OpGetExecutions, ids...)
+}
+
+// ApplicationService is the implementation behind one Application grid
+// service instance (Table 1). It answers metadata and attribute-discovery
+// queries from the Mapping Layer and turns execution-record queries into
+// Execution service instances through the Manager, per Figure 3's
+// 3a–3i flow.
+type ApplicationService struct {
+	wrapper mapping.ApplicationWrapper
+	manager ManagerRef
+}
+
+// NewApplicationService builds an Application service.
+func NewApplicationService(w mapping.ApplicationWrapper, m ManagerRef) *ApplicationService {
+	return &ApplicationService{wrapper: w, manager: m}
+}
+
+// Invoke implements the Application PortType wire protocol.
+func (a *ApplicationService) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpGetAppInfo:
+		info, err := a.wrapper.AppInfo()
+		if err != nil {
+			return nil, err
+		}
+		return perfdata.EncodeKVs(info), nil
+	case OpGetNumExecs:
+		n, err := a.wrapper.NumExecs()
+		if err != nil {
+			return nil, err
+		}
+		return []string{strconv.Itoa(n)}, nil
+	case OpGetExecQueryParams:
+		attrs, err := a.wrapper.ExecQueryParams()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(attrs))
+		for i, at := range attrs {
+			out[i] = at.Encode()
+		}
+		return out, nil
+	case OpGetAllExecs:
+		ids, err := a.wrapper.AllExecIDs()
+		if err != nil {
+			return nil, err
+		}
+		return a.handles(ids)
+	case OpGetExecs:
+		ids, err := a.wrapper.ExecIDs(params[0], params[1])
+		if err != nil {
+			return nil, err
+		}
+		return a.handles(ids)
+	}
+	return nil, fmt.Errorf("%w: %q on Application", ogsi.ErrUnknownOperation, op)
+}
+
+// handles forwards unique execution IDs to the Manager, which creates or
+// returns cached Execution service instances.
+func (a *ApplicationService) handles(ids []string) ([]string, error) {
+	if len(ids) == 0 {
+		return []string{}, nil
+	}
+	return a.manager.ExecutionHandles(ids)
+}
+
+// ServiceData publishes application metadata as service data elements.
+func (a *ApplicationService) ServiceData() map[string][]string {
+	out := map[string][]string{}
+	if info, err := a.wrapper.AppInfo(); err == nil {
+		for _, kv := range info {
+			out["app:"+kv.Name] = []string{kv.Value}
+		}
+	}
+	if n, err := a.wrapper.NumExecs(); err == nil {
+		out["numExecs"] = []string{strconv.Itoa(n)}
+	}
+	return out
+}

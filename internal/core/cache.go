@@ -1,0 +1,269 @@
+// Package core implements PPerfGrid's Semantic Layer — the paper's primary
+// contribution. It provides the Application and Execution semantic objects
+// as grid services (the PortTypes of Tables 1 and 2), the PPerfGrid
+// Manager that caches Execution service instances and distributes them
+// across replica hosts (section 5.3.1.4), and the Performance Results
+// cache inside each Execution instance (section 5.3.2.3).
+//
+// The Site type at the bottom of the package assembles one complete
+// PPerfGrid site: hosting containers, factories, Manager, and wrappers.
+package core
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// CacheStats counts cache outcomes.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is the Performance Results cache: query-key to result-list, with
+// a pluggable replacement policy. Implementations are safe for concurrent
+// use. The stored cost is the mapping-layer time the entry saves on a hit,
+// which the cost-aware policy uses to pick eviction victims.
+type Cache interface {
+	Get(key string) ([]perfdata.Result, bool)
+	Put(key string, results []perfdata.Result, cost time.Duration)
+	Len() int
+	Stats() CacheStats
+	// Policy names the replacement policy, for service data and reports.
+	Policy() string
+}
+
+// entry is one cached query result.
+type entry struct {
+	key     string
+	results []perfdata.Result
+	cost    time.Duration
+	uses    int64
+	elem    *list.Element // LRU position, when used
+}
+
+// baseCache carries the shared bookkeeping of all policies.
+type baseCache struct {
+	mu       sync.Mutex
+	capacity int // <= 0 means unbounded
+	entries  map[string]*entry
+	stats    CacheStats
+}
+
+func newBase(capacity int) baseCache {
+	return baseCache{capacity: capacity, entries: make(map[string]*entry)}
+}
+
+func (c *baseCache) lenLocked() int { return len(c.entries) }
+
+// lruCache evicts the least recently used entry.
+type lruCache struct {
+	baseCache
+	order *list.List // front = most recent
+}
+
+// NewLRU creates an LRU cache. capacity <= 0 means unbounded — the
+// behaviour of the paper's prototype, which never evicted.
+func NewLRU(capacity int) Cache {
+	return &lruCache{baseCache: newBase(capacity), order: list.New()}
+}
+
+func (c *lruCache) Policy() string { return "lru" }
+
+func (c *lruCache) Get(key string) ([]perfdata.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	e.uses++
+	c.order.MoveToFront(e.elem)
+	return e.results, true
+}
+
+func (c *lruCache) Put(key string, results []perfdata.Result, cost time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.results = results
+		e.cost = cost
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	if c.capacity > 0 && len(c.entries) >= c.capacity {
+		victim := c.order.Back()
+		if victim != nil {
+			v := victim.Value.(*entry)
+			c.order.Remove(victim)
+			delete(c.entries, v.key)
+			c.stats.Evictions++
+		}
+	}
+	e := &entry{key: key, results: results, cost: cost}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+}
+
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lenLocked()
+}
+
+func (c *lruCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// lfuCache evicts the least frequently used entry (ties broken by
+// insertion order scan).
+type lfuCache struct {
+	baseCache
+}
+
+// NewLFU creates an LFU cache.
+func NewLFU(capacity int) Cache {
+	return &lfuCache{baseCache: newBase(capacity)}
+}
+
+func (c *lfuCache) Policy() string { return "lfu" }
+
+func (c *lfuCache) Get(key string) ([]perfdata.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	e.uses++
+	return e.results, true
+}
+
+func (c *lfuCache) Put(key string, results []perfdata.Result, cost time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.results = results
+		e.cost = cost
+		return
+	}
+	if c.capacity > 0 && len(c.entries) >= c.capacity {
+		c.evictLocked(func(a, b *entry) bool { return a.uses < b.uses })
+	}
+	c.entries[key] = &entry{key: key, results: results, cost: cost}
+}
+
+// evictLocked removes the minimum entry under less.
+func (c *baseCache) evictLocked(less func(a, b *entry) bool) {
+	var victim *entry
+	for _, e := range c.entries {
+		if victim == nil || less(e, victim) {
+			victim = e
+		}
+	}
+	if victim != nil {
+		delete(c.entries, victim.key)
+		c.stats.Evictions++
+	}
+}
+
+func (c *lfuCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lenLocked()
+}
+
+func (c *lfuCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// costAwareCache evicts the entry that is cheapest to recompute,
+// weighting the mapping-layer cost by use count: victims minimize
+// cost × (1 + uses). This is the paper's future-work "cache replacement
+// policy [that] could adjust dynamically" — keeping the SMG98-style
+// minute-long queries cached even when short HPL queries are hotter.
+type costAwareCache struct {
+	baseCache
+}
+
+// NewCostAware creates a recomputation-cost-aware cache.
+func NewCostAware(capacity int) Cache {
+	return &costAwareCache{baseCache: newBase(capacity)}
+}
+
+func (c *costAwareCache) Policy() string { return "cost" }
+
+func (c *costAwareCache) Get(key string) ([]perfdata.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	e.uses++
+	return e.results, true
+}
+
+func (c *costAwareCache) Put(key string, results []perfdata.Result, cost time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.results = results
+		e.cost = cost
+		return
+	}
+	if c.capacity > 0 && len(c.entries) >= c.capacity {
+		c.evictLocked(func(a, b *entry) bool {
+			return a.cost*time.Duration(1+a.uses) < b.cost*time.Duration(1+b.uses)
+		})
+	}
+	c.entries[key] = &entry{key: key, results: results, cost: cost}
+}
+
+func (c *costAwareCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lenLocked()
+}
+
+func (c *costAwareCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// NewCache builds a cache by policy name: "lru", "lfu", or "cost".
+// Unknown names default to LRU.
+func NewCache(policy string, capacity int) Cache {
+	switch policy {
+	case "lfu":
+		return NewLFU(capacity)
+	case "cost":
+		return NewCostAware(capacity)
+	default:
+		return NewLRU(capacity)
+	}
+}

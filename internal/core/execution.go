@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+)
+
+// ExecutionService is the implementation behind one Execution grid service
+// instance (Table 2). It is stateful, as OGSI instances are: discovery
+// results are memoized and Performance Result queries go through the
+// instance's cache (section 5.3.2.3) when one is configured.
+type ExecutionService struct {
+	id      string
+	wrapper mapping.ExecutionWrapper
+	cache   Cache // nil disables caching
+
+	hub  *ogsi.NotificationHub // nil disables notifications
+	dial ogsi.SinkDialer       // nil disables getPRAsync callbacks
+
+	async sync.WaitGroup // in-flight getPRAsync deliveries
+
+	mu        sync.Mutex
+	foci      []string
+	metrics   []string
+	types     []string
+	timeRange *perfdata.TimeRange
+	info      []perfdata.KV
+}
+
+// UpdatesTopic is the notification topic on which an Execution service
+// announces data-store updates (the paper's future-work streaming case).
+const UpdatesTopic = "executionUpdates"
+
+// AsyncPRTopic is the notification topic on which asynchronous getPR
+// results are delivered to the requester's callback sink.
+const AsyncPRTopic = "prResults"
+
+// OpGetPRAsync is the callback-model variant of getPR (the paper's
+// future-work "registry-callback model" replacing one blocked thread per
+// service call): the call returns immediately and the results are
+// delivered to the caller-supplied NotificationSink.
+const OpGetPRAsync = "getPRAsync"
+
+// NewExecutionService builds an Execution service over a mapping-layer
+// wrapper. cache may be nil to disable Performance Result caching; hub may
+// be nil to disable update notifications.
+func NewExecutionService(id string, w mapping.ExecutionWrapper, cache Cache, hub *ogsi.NotificationHub) *ExecutionService {
+	return &ExecutionService{id: id, wrapper: w, cache: cache, hub: hub}
+}
+
+// SetSinkDialer enables the getPRAsync callback model by providing the
+// dialer used to reach requester sinks (container.SOAPSinkDialer in
+// production; fakes in tests).
+func (e *ExecutionService) SetSinkDialer(d ogsi.SinkDialer) { e.dial = d }
+
+// ID returns the execution's unique ID.
+func (e *ExecutionService) ID() string { return e.id }
+
+// CacheStats reports the instance's cache statistics; the zero value is
+// returned when caching is off.
+func (e *ExecutionService) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Invoke implements the Execution PortType wire protocol.
+func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpGetInfo:
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		return perfdata.EncodeKVs(info), nil
+	case OpGetFoci:
+		return e.Foci()
+	case OpGetMetrics:
+		return e.Metrics()
+	case OpGetTypes:
+		return e.Types()
+	case OpGetTimeStartEnd:
+		tr, err := e.TimeStartEnd()
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			strconv.FormatFloat(tr.Start, 'g', -1, 64),
+			strconv.FormatFloat(tr.End, 'g', -1, 64),
+		}, nil
+	case OpGetPR:
+		q, err := perfdata.ParseQueryParams(params)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.PerformanceResults(q)
+		if err != nil {
+			return nil, err
+		}
+		return perfdata.EncodeResults(rs), nil
+	case OpGetPRAsync:
+		return e.getPRAsync(params)
+	case ogsi.OpSubscribe:
+		if e.hub == nil {
+			return nil, fmt.Errorf("core: execution %s has no notification hub", e.id)
+		}
+		return e.hub.HandleSubscribe(params)
+	}
+	return nil, fmt.Errorf("%w: %q on Execution", ogsi.ErrUnknownOperation, op)
+}
+
+// getPRAsync implements the callback query model. Parameters are
+// [requestID, sinkHandle, metric, start, end, type, foci...]. The call is
+// acknowledged immediately; the query runs in the background and one
+// DeliverNotification lands on the sink with the encoded outcome.
+func (e *ExecutionService) getPRAsync(params []string) ([]string, error) {
+	if e.dial == nil {
+		return nil, fmt.Errorf("core: execution %s has no callback dialer", e.id)
+	}
+	if len(params) < 6 {
+		return nil, fmt.Errorf("core: %s requires [requestID, sinkHandle, metric, start, end, type, foci...]", OpGetPRAsync)
+	}
+	requestID, sinkStr := params[0], params[1]
+	if requestID == "" || strings.ContainsRune(requestID, '\n') {
+		return nil, fmt.Errorf("core: bad request ID %q", requestID)
+	}
+	sinkHandle, err := gsh.Parse(sinkStr)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad sink handle: %w", err)
+	}
+	q, err := perfdata.ParseQueryParams(params[2:])
+	if err != nil {
+		return nil, err
+	}
+	sink := e.dial(sinkHandle)
+	e.async.Add(1)
+	go func() {
+		defer e.async.Done()
+		rs, err := e.PerformanceResults(q)
+		// Delivery failures have no requester to report to; the sink side
+		// times out and retries, matching the at-most-once semantics of
+		// the paper's notification model.
+		_ = sink.Deliver(AsyncPRTopic, EncodeAsyncOutcome(requestID, rs, err))
+	}()
+	return []string{"accepted"}, nil
+}
+
+// FlushAsync blocks until in-flight asynchronous deliveries complete, for
+// deterministic tests and orderly shutdown.
+func (e *ExecutionService) FlushAsync() { e.async.Wait() }
+
+// EncodeAsyncOutcome renders an asynchronous getPR outcome as the one-
+// string notification message: the request ID, a status line ("ok" or
+// "error: ..."), then one encoded result per line.
+func EncodeAsyncOutcome(requestID string, rs []perfdata.Result, err error) string {
+	var b strings.Builder
+	b.WriteString(requestID)
+	b.WriteByte('\n')
+	if err != nil {
+		b.WriteString("error: " + strings.ReplaceAll(err.Error(), "\n", " "))
+		return b.String()
+	}
+	b.WriteString("ok")
+	for _, s := range perfdata.EncodeResults(rs) {
+		b.WriteByte('\n')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// DecodeAsyncOutcome parses an asynchronous outcome message.
+func DecodeAsyncOutcome(msg string) (requestID string, rs []perfdata.Result, err error) {
+	lines := strings.Split(msg, "\n")
+	if len(lines) < 2 {
+		return "", nil, fmt.Errorf("core: malformed async outcome %q", msg)
+	}
+	requestID = lines[0]
+	status := lines[1]
+	if status != "ok" {
+		if rest, found := strings.CutPrefix(status, "error: "); found {
+			return requestID, nil, fmt.Errorf("core: remote getPR failed: %s", rest)
+		}
+		return "", nil, fmt.Errorf("core: malformed async status %q", status)
+	}
+	rs, perr := perfdata.ParseResults(lines[2:])
+	if perr != nil {
+		return requestID, nil, perr
+	}
+	return requestID, rs, nil
+}
+
+// Info returns the execution's metadata, memoized after the first call.
+func (e *ExecutionService) Info() ([]perfdata.KV, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.info == nil {
+		info, err := e.wrapper.Info()
+		if err != nil {
+			return nil, err
+		}
+		e.info = info
+	}
+	return e.info, nil
+}
+
+// Foci returns the unique focus values, memoized.
+func (e *ExecutionService) Foci() ([]string, error) {
+	return e.discover(&e.foci, e.wrapper.Foci)
+}
+
+// Metrics returns the unique metric names, memoized.
+func (e *ExecutionService) Metrics() ([]string, error) {
+	return e.discover(&e.metrics, e.wrapper.Metrics)
+}
+
+// Types returns the unique collector types, memoized.
+func (e *ExecutionService) Types() ([]string, error) {
+	return e.discover(&e.types, e.wrapper.Types)
+}
+
+func (e *ExecutionService) discover(slot *[]string, fetch func() ([]string, error)) ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if *slot == nil {
+		vals, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		if vals == nil {
+			vals = []string{}
+		}
+		*slot = vals
+	}
+	return *slot, nil
+}
+
+// TimeStartEnd returns the execution's time range, memoized.
+func (e *ExecutionService) TimeStartEnd() (perfdata.TimeRange, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.timeRange == nil {
+		tr, err := e.wrapper.TimeStartEnd()
+		if err != nil {
+			return perfdata.TimeRange{}, err
+		}
+		e.timeRange = &tr
+	}
+	return *e.timeRange, nil
+}
+
+// PerformanceResults answers a getPR query, consulting the cache first and
+// only reaching the Mapping Layer (and data store) on a miss — exactly the
+// flow of section 5.3.2.3.
+func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	if e.cache == nil {
+		return e.wrapper.PerformanceResults(q)
+	}
+	key := q.Key()
+	if rs, ok := e.cache.Get(key); ok {
+		return rs, nil
+	}
+	start := time.Now()
+	rs, err := e.wrapper.PerformanceResults(q)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(key, rs, time.Since(start))
+	return rs, nil
+}
+
+// NotifyUpdate announces a data-store update: memoized discovery state is
+// dropped, the Performance Result cache is replaced (stale entries must
+// not survive new data), and subscribers are notified.
+func (e *ExecutionService) NotifyUpdate(message string) {
+	e.mu.Lock()
+	e.foci, e.metrics, e.types, e.info, e.timeRange = nil, nil, nil, nil, nil
+	if e.cache != nil {
+		e.cache = NewCache(e.cache.Policy(), cacheCapacity(e.cache))
+	}
+	e.mu.Unlock()
+	if e.hub != nil {
+		e.hub.Notify(UpdatesTopic, message)
+	}
+}
+
+// cacheCapacity recovers a cache's capacity for rebuild-on-invalidate.
+func cacheCapacity(c Cache) int {
+	switch v := c.(type) {
+	case *lruCache:
+		return v.capacity
+	case *lfuCache:
+		return v.capacity
+	case *costAwareCache:
+		return v.capacity
+	}
+	return 0
+}
+
+// ServiceData publishes the execution's discovery sets as service data
+// elements, so clients can use FindServiceData path queries (the paper's
+// future-work XPath mechanism) instead of discovery calls:
+//
+//	FindServiceData("/metrics")               — all metric names
+//	FindServiceData("/foci[value=/Process/0]") — focus existence check
+func (e *ExecutionService) ServiceData() map[string][]string {
+	out := map[string][]string{
+		"executionID": {e.id},
+		"caching":     {strconv.FormatBool(e.cache != nil)},
+	}
+	if e.cache != nil {
+		s := e.cache.Stats()
+		out["cachePolicy"] = []string{e.cache.Policy()}
+		out["cacheHits"] = []string{strconv.FormatInt(s.Hits, 10)}
+		out["cacheMisses"] = []string{strconv.FormatInt(s.Misses, 10)}
+	}
+	if ms, err := e.Metrics(); err == nil {
+		out["metrics"] = ms
+	}
+	if fs, err := e.Foci(); err == nil {
+		out["foci"] = fs
+	}
+	if ts, err := e.Types(); err == nil {
+		out["types"] = ts
+	}
+	if tr, err := e.TimeStartEnd(); err == nil {
+		out["timeRange"] = []string{tr.Encode()}
+	}
+	return out
+}

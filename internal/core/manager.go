@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+)
+
+// ExecutionFactoryRef abstracts one replica host's Execution factory: the
+// Manager uses it to create Execution service instances for unique IDs.
+// Local (same-process) and remote (SOAP) adapters are provided.
+type ExecutionFactoryRef interface {
+	// CreateExecution instantiates an Execution service for the ID and
+	// returns its GSH string.
+	CreateExecution(execID string) (string, error)
+	// Host names the replica, for fairness accounting and reports.
+	Host() string
+}
+
+// LocalFactoryRef adapts an in-process ogsi.Factory.
+type LocalFactoryRef struct {
+	Factory *ogsi.Factory
+	HostID  string
+}
+
+// CreateExecution implements ExecutionFactoryRef.
+func (l *LocalFactoryRef) CreateExecution(execID string) (string, error) {
+	in, err := l.Factory.Create([]string{execID})
+	if err != nil {
+		return "", err
+	}
+	return in.Handle().String(), nil
+}
+
+// Host implements ExecutionFactoryRef.
+func (l *LocalFactoryRef) Host() string { return l.HostID }
+
+// RemoteFactoryRef adapts an Execution factory on another host, reached
+// through its SOAP stub — the Manager "accessing the Execution Grid
+// service factory as a client" (section 5.3.1.4).
+type RemoteFactoryRef struct {
+	Stub *container.Stub
+}
+
+// NewRemoteFactoryRef dials the ExecutionFactory on a host.
+func NewRemoteFactoryRef(host string) *RemoteFactoryRef {
+	return &RemoteFactoryRef{Stub: container.Dial(gsh.Persistent(host, ExecutionType+"Factory"))}
+}
+
+// CreateExecution implements ExecutionFactoryRef.
+func (r *RemoteFactoryRef) CreateExecution(execID string) (string, error) {
+	out, err := r.Stub.Call(ogsi.OpCreateService, execID)
+	if err != nil {
+		return "", err
+	}
+	if len(out) != 1 {
+		return "", fmt.Errorf("core: CreateService returned %d values", len(out))
+	}
+	return out[0], nil
+}
+
+// Host implements ExecutionFactoryRef.
+func (r *RemoteFactoryRef) Host() string { return r.Stub.Handle().Host }
+
+// ReplicaPolicy decides which replica host instantiates each uncached
+// execution in a batch. ids are the uncached execution IDs in request
+// order; the result assigns each a replica index in [0, replicas).
+type ReplicaPolicy interface {
+	Name() string
+	Assign(ids []string, replicas int) []int
+}
+
+// InterleavePolicy is the paper's policy: round-robin interleaving (ID 1
+// on host A, ID 2 on host B, ...) "to ensure as much fairness as possible
+// for future requests".
+type InterleavePolicy struct{}
+
+// Name implements ReplicaPolicy.
+func (InterleavePolicy) Name() string { return "interleave" }
+
+// Assign implements ReplicaPolicy.
+func (InterleavePolicy) Assign(ids []string, replicas int) []int {
+	out := make([]int, len(ids))
+	for i := range ids {
+		out[i] = i % replicas
+	}
+	return out
+}
+
+// BlockPolicy assigns contiguous blocks of the batch to each replica —
+// the natural alternative the ablation benchmarks compare against.
+type BlockPolicy struct{}
+
+// Name implements ReplicaPolicy.
+func (BlockPolicy) Name() string { return "block" }
+
+// Assign implements ReplicaPolicy.
+func (BlockPolicy) Assign(ids []string, replicas int) []int {
+	out := make([]int, len(ids))
+	for i := range ids {
+		out[i] = i * replicas / len(ids)
+	}
+	return out
+}
+
+// HashPolicy assigns each ID by hash, giving a stable placement that is
+// independent of batch composition.
+type HashPolicy struct{}
+
+// Name implements ReplicaPolicy.
+func (HashPolicy) Name() string { return "hash" }
+
+// Assign implements ReplicaPolicy.
+func (HashPolicy) Assign(ids []string, replicas int) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		out[i] = int(h.Sum32() % uint32(replicas))
+	}
+	return out
+}
+
+// Manager is the PPerfGrid Manager (section 5.3.1.4): a non-transient,
+// internal grid service that caches Execution service instances. Creation
+// of a grid service instance is relatively expensive, so instances are
+// created only on first reference; the GSH of a previously created
+// instance is returned from the hash table thereafter. When the data
+// source is replicated on multiple hosts, the Manager distributes
+// instantiations across them under its ReplicaPolicy.
+type Manager struct {
+	policy ReplicaPolicy
+
+	mu        sync.Mutex
+	factories []ExecutionFactoryRef
+	cache     map[string]string // execution ID -> GSH
+	perHost   map[string]int    // replica host -> instances created
+}
+
+// NewManager builds a Manager over the given replica factories. A nil
+// policy defaults to the paper's interleaving.
+func NewManager(policy ReplicaPolicy, factories ...ExecutionFactoryRef) (*Manager, error) {
+	if len(factories) == 0 {
+		return nil, fmt.Errorf("core: manager needs at least one execution factory")
+	}
+	if policy == nil {
+		policy = InterleavePolicy{}
+	}
+	return &Manager{
+		policy:    policy,
+		factories: factories,
+		cache:     make(map[string]string),
+		perHost:   make(map[string]int),
+	}, nil
+}
+
+// ExecutionHandles returns one GSH per execution ID, creating instances
+// for IDs seen for the first time and serving the rest from the cache.
+func (m *Manager) ExecutionHandles(ids []string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	out := make([]string, len(ids))
+	var missing []string
+	var missingAt []int
+	for i, id := range ids {
+		if h, ok := m.cache[id]; ok {
+			out[i] = h
+		} else {
+			missing = append(missing, id)
+			missingAt = append(missingAt, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	assign := m.policy.Assign(missing, len(m.factories))
+	for j, id := range missing {
+		f := m.factories[assign[j]]
+		h, err := f.CreateExecution(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: create execution %q on %s: %w", id, f.Host(), err)
+		}
+		m.cache[id] = h
+		m.perHost[f.Host()]++
+		out[missingAt[j]] = h
+	}
+	return out, nil
+}
+
+// CachedCount returns the number of cached Execution instances.
+func (m *Manager) CachedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}
+
+// PerHostCounts returns a copy of the per-replica creation counts.
+func (m *Manager) PerHostCounts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.perHost))
+	for k, v := range m.perHost {
+		out[k] = v
+	}
+	return out
+}
+
+// Forget drops one cached instance handle, e.g. after its instance is
+// destroyed by lifetime management.
+func (m *Manager) Forget(execID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cache, execID)
+}
+
+// Invoke implements the Manager PortType wire protocol.
+func (m *Manager) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpGetExecutions:
+		return m.ExecutionHandles(params)
+	}
+	return nil, fmt.Errorf("%w: %q on Manager", ogsi.ErrUnknownOperation, op)
+}
+
+// ServiceData publishes Manager statistics.
+func (m *Manager) ServiceData() map[string][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hosts := make([]string, 0, len(m.factories))
+	for _, f := range m.factories {
+		hosts = append(hosts, f.Host())
+	}
+	return map[string][]string{
+		"policy":       {m.policy.Name()},
+		"replicaHosts": hosts,
+		"cachedCount":  {strconv.Itoa(len(m.cache))},
+		"replicaCount": {strconv.Itoa(len(m.factories))},
+	}
+}

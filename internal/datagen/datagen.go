@@ -1,0 +1,451 @@
+// Package datagen generates deterministic synthetic datasets shaped like
+// the three test data stores of the paper's evaluation (section 6.1):
+//
+//   - HPL — High-Performance Linpack runs: 124 executions with a handful
+//     of whole-run metrics each, stored in a single-table relational
+//     database (and, per the paper's future work, as native XML).
+//   - PRESTA RMA — MPI bandwidth/latency benchmark runs: few executions,
+//     each with hundreds of per-message-size results, stored as flat ASCII
+//     text files. One getPR answer is several kilobytes, which is what
+//     drives the paper's 71% Table-4 overhead for this store.
+//   - SMG98 — Vampir traces of the semicoarsening multigrid solver: a
+//     five-table relational schema whose fact table holds tens of
+//     thousands of rows per execution, which is what makes the paper's
+//     SMG98 queries long-running.
+//
+// The real datasets are not redistributable; these generators reproduce
+// their *shapes* — execution counts, attribute vocabularies, result
+// cardinalities and payload sizes — which are the only properties the
+// paper's experiments depend on. All output is deterministic for a given
+// seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pperfgrid/internal/flatfile"
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/xmlstore"
+)
+
+// Execution is one generated run.
+type Execution struct {
+	ID      string
+	Attrs   map[string]string
+	Time    perfdata.TimeRange
+	Results []perfdata.Result
+}
+
+// Dataset is a generated application dataset, convertible to any of the
+// three store formats.
+type Dataset struct {
+	Name  string
+	Meta  []perfdata.KV
+	Execs []Execution
+}
+
+// ToFlatfile converts the dataset to the flat-text store representation.
+func (d *Dataset) ToFlatfile() *flatfile.Dataset {
+	out := &flatfile.Dataset{Name: d.Name, Meta: d.Meta}
+	for _, e := range d.Execs {
+		out.Execs = append(out.Execs, flatfile.Execution{
+			ID: e.ID, Attrs: e.Attrs, Time: e.Time, Results: e.Results,
+		})
+	}
+	return out
+}
+
+// ToXML converts the dataset to the XML store representation.
+func (d *Dataset) ToXML() *xmlstore.Dataset {
+	out := &xmlstore.Dataset{Name: d.Name, Meta: d.Meta}
+	for _, e := range d.Execs {
+		out.Execs = append(out.Execs, xmlstore.Execution{
+			ID: e.ID, Attrs: e.Attrs, Time: e.Time, Results: e.Results,
+		})
+	}
+	return out
+}
+
+// AttrNames returns the sorted union of attribute names across executions.
+func (d *Dataset) AttrNames() []string {
+	set := map[string]bool{}
+	for _, e := range d.Execs {
+		for n := range e.Attrs {
+			set[n] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HPLConfig parameterizes the HPL generator.
+type HPLConfig struct {
+	// Executions is the number of runs; the paper's HPL store had 124.
+	Executions int
+	Seed       int64
+}
+
+// DefaultHPL matches the paper's dataset size.
+var DefaultHPL = HPLConfig{Executions: 124, Seed: 1}
+
+// HPL generates an HPL-shaped dataset: run IDs starting at 100 (as in the
+// paper's Figure 9 screenshot, which queries runid 100-109), power-of-two
+// process counts, and whole-run gflops/runtimesec/residual metrics.
+func HPL(cfg HPLConfig) *Dataset {
+	if cfg.Executions <= 0 {
+		cfg.Executions = DefaultHPL.Executions
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Name: "HPL",
+		Meta: []perfdata.KV{
+			{Name: "name", Value: "HPL"},
+			{Name: "version", Value: "1.0"},
+			{Name: "description", Value: "HPL - A Portable Implementation of the High-Performance Linpack Benchmark for Distributed-Memory Computers"},
+		},
+	}
+	procs := []int{2, 4, 8, 16, 32, 64}
+	blockSizes := []int{32, 64, 128}
+	for i := 0; i < cfg.Executions; i++ {
+		np := procs[i%len(procs)]
+		nb := blockSizes[(i/len(procs))%len(blockSizes)]
+		n := 5000 + 1000*(i%8)
+		day := 10 + i%20
+		// Linpack scales sublinearly with process count; add mild noise.
+		gflops := 0.9*float64(np)*(1-0.04*float64(i%6)) + rng.Float64()*0.3
+		runtime := 2.0 * float64(n) * float64(n) / (gflops * 1e6)
+		residual := 1e-12 * (1 + rng.Float64())
+		e := Execution{
+			ID: fmt.Sprintf("%d", 100+i),
+			Attrs: map[string]string{
+				"numprocesses": fmt.Sprintf("%d", np),
+				"problemsize":  fmt.Sprintf("%d", n),
+				"blocksize":    fmt.Sprintf("%d", nb),
+				"rundate":      fmt.Sprintf("2004-03-%02d", day),
+				"machine":      "mcnary.cs.pdx.edu",
+			},
+			Time: perfdata.TimeRange{Start: 0, End: runtime},
+		}
+		whole := e.Time
+		e.Results = []perfdata.Result{
+			{Metric: "gflops", Focus: "/", Type: "hpl", Time: whole, Value: round3(gflops)},
+			{Metric: "runtimesec", Focus: "/", Type: "hpl", Time: whole, Value: round3(runtime)},
+			{Metric: "residual", Focus: "/", Type: "hpl", Time: whole, Value: residual},
+		}
+		d.Execs = append(d.Execs, e)
+	}
+	return d
+}
+
+// RMAConfig parameterizes the PRESTA RMA generator.
+type RMAConfig struct {
+	// Executions is the number of benchmark runs.
+	Executions int
+	// MessageSizes is the number of power-of-two message sizes per
+	// operation; the result payload grows linearly with it.
+	MessageSizes int
+	Seed         int64
+}
+
+// DefaultRMA produces ~5.7 KB bandwidth-query payloads like the paper's.
+var DefaultRMA = RMAConfig{Executions: 12, MessageSizes: 20, Seed: 2}
+
+// RMAOps are the Presta communication operations used as focus subtrees.
+var RMAOps = []string{"unidir", "bidir", "put", "get"}
+
+// PrestaRMA generates a Presta-shaped dataset: bandwidth and latency for
+// every (operation, message size) pair, foci of the form
+// /Comm/<op>/msgsize/<bytes>.
+func PrestaRMA(cfg RMAConfig) *Dataset {
+	if cfg.Executions <= 0 {
+		cfg.Executions = DefaultRMA.Executions
+	}
+	if cfg.MessageSizes <= 0 {
+		cfg.MessageSizes = DefaultRMA.MessageSizes
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Name: "PRESTA-RMA",
+		Meta: []perfdata.KV{
+			{Name: "name", Value: "PRESTA-RMA"},
+			{Name: "description", Value: "PRESTA MPI Bandwidth and Latency Benchmark, RMA/one-sided operations"},
+		},
+	}
+	for i := 0; i < cfg.Executions; i++ {
+		np := 2 << (i % 4)
+		e := Execution{
+			ID: fmt.Sprintf("%d", i+1),
+			Attrs: map[string]string{
+				"numprocesses": fmt.Sprintf("%d", np),
+				"rundate":      fmt.Sprintf("2004-04-%02d", 1+i%28),
+				"interconnect": "myrinet",
+			},
+			Time: perfdata.TimeRange{Start: 0, End: 300},
+		}
+		t := 0.0
+		step := 300.0 / float64(len(RMAOps)*cfg.MessageSizes)
+		for _, op := range RMAOps {
+			for s := 0; s < cfg.MessageSizes; s++ {
+				size := 8 << s
+				focus := fmt.Sprintf("/Comm/%s/msgsize/%d", op, size)
+				tr := perfdata.TimeRange{Start: t, End: t + step}
+				t += step
+				// Bandwidth saturates with message size; latency grows.
+				bw := 240.0 * float64(size) / (float64(size) + 8192.0) * (1 + 0.05*rng.Float64())
+				lat := 8.0 + float64(size)/180.0*(1+0.05*rng.Float64())
+				e.Results = append(e.Results,
+					perfdata.Result{Metric: "bandwidth", Focus: focus, Type: "presta", Time: tr, Value: round3(bw)},
+					perfdata.Result{Metric: "latency", Focus: focus, Type: "presta", Time: tr, Value: round3(lat)},
+				)
+			}
+		}
+		d.Execs = append(d.Execs, e)
+	}
+	return d
+}
+
+// SMG98Config parameterizes the SMG98 Vampir-trace generator.
+type SMG98Config struct {
+	Executions int
+	// Processes is the per-execution MPI process count.
+	Processes int
+	// TimeBins is the number of trace intervals per (process, function).
+	TimeBins int
+	Seed     int64
+}
+
+// DefaultSMG98 keeps unit tests fast; benchmarks scale it up to make the
+// fact-table scans dominate query time the way the paper's 250 MB SMG98
+// store did.
+var DefaultSMG98 = SMG98Config{Executions: 6, Processes: 4, TimeBins: 12, Seed: 3}
+
+// SMG98Functions are the traced MPI entry points, used as /Code/MPI foci.
+var SMG98Functions = []string{
+	"MPI_Allgather", "MPI_Allreduce", "MPI_Barrier", "MPI_Bcast",
+	"MPI_Comm_rank", "MPI_Comm_size", "MPI_Irecv", "MPI_Isend",
+	"MPI_Recv", "MPI_Reduce", "MPI_Send", "MPI_Wait", "MPI_Waitall",
+	"MPI_Test", "MPI_Sendrecv", "MPI_Gather",
+}
+
+// SMG98Metrics are the per-interval trace metrics.
+var SMG98Metrics = []string{"func_calls", "excl_time", "incl_time", "msg_bytes"}
+
+// SMG98 generates a Vampir-trace-shaped dataset: per-process, per-MPI-
+// function, per-time-bin interval records. Result cardinality per
+// execution is Processes × len(SMG98Functions) × TimeBins × len(SMG98Metrics).
+func SMG98(cfg SMG98Config) *Dataset {
+	if cfg.Executions <= 0 {
+		cfg.Executions = DefaultSMG98.Executions
+	}
+	if cfg.Processes <= 0 {
+		cfg.Processes = DefaultSMG98.Processes
+	}
+	if cfg.TimeBins <= 0 {
+		cfg.TimeBins = DefaultSMG98.TimeBins
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Name: "SMG98",
+		Meta: []perfdata.KV{
+			{Name: "name", Value: "SMG98"},
+			{Name: "description", Value: "Semicoarsening multigrid solver traced with Vampir"},
+			{Name: "collector", Value: "vampir"},
+		},
+	}
+	for i := 0; i < cfg.Executions; i++ {
+		duration := 60.0 + 10.0*float64(i)
+		e := Execution{
+			ID: fmt.Sprintf("%d", i+1),
+			Attrs: map[string]string{
+				"numprocesses": fmt.Sprintf("%d", cfg.Processes),
+				"rundate":      fmt.Sprintf("2004-05-%02d", 1+i%28),
+				"gridsize":     fmt.Sprintf("%d", 64*(1+i%4)),
+			},
+			Time: perfdata.TimeRange{Start: 0, End: duration},
+		}
+		binW := duration / float64(cfg.TimeBins)
+		for p := 0; p < cfg.Processes; p++ {
+			for _, fn := range SMG98Functions {
+				focus := "/Code/MPI/" + fn
+				for b := 0; b < cfg.TimeBins; b++ {
+					tr := perfdata.TimeRange{Start: float64(b) * binW, End: float64(b+1) * binW}
+					calls := float64(1 + rng.Intn(40))
+					excl := binW * rng.Float64() * 0.3
+					procFocus := fmt.Sprintf("/Process/%d%s", p, focus)
+					for _, metric := range SMG98Metrics {
+						var v float64
+						switch metric {
+						case "func_calls":
+							v = calls
+						case "excl_time":
+							v = round3(excl)
+						case "incl_time":
+							v = round3(excl * (1.2 + 0.4*rng.Float64()))
+						case "msg_bytes":
+							v = float64(64 * (1 + rng.Intn(512)))
+						}
+						e.Results = append(e.Results, perfdata.Result{
+							Metric: metric, Focus: procFocus, Type: "vampir", Time: tr, Value: v,
+						})
+					}
+				}
+			}
+		}
+		d.Execs = append(d.Execs, e)
+	}
+	return d
+}
+
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
+}
+
+// LoadWideTable loads a dataset into a single-table relational schema —
+// the paper's HPL store layout. The table has one row per execution with
+// columns: execid, starttime, endtime, one column per attribute, and one
+// column per metric. It requires every execution to carry at most one
+// result per metric (whole-run metrics), which holds for HPL-shaped data.
+func LoadWideTable(db *minidb.Database, table string, d *Dataset) error {
+	attrs := d.AttrNames()
+	metrics := map[string]bool{}
+	types := map[string]bool{}
+	for _, e := range d.Execs {
+		seen := map[string]bool{}
+		for _, r := range e.Results {
+			if seen[r.Metric] {
+				return fmt.Errorf("datagen: execution %s has multiple %q results; wide table needs whole-run metrics", e.ID, r.Metric)
+			}
+			seen[r.Metric] = true
+			metrics[r.Metric] = true
+			types[r.Type] = true
+		}
+	}
+	if len(types) > 1 {
+		return fmt.Errorf("datagen: wide table requires a single collector type, got %d", len(types))
+	}
+	metricCols := make([]string, 0, len(metrics))
+	for m := range metrics {
+		metricCols = append(metricCols, m)
+	}
+	sort.Strings(metricCols)
+
+	ddl := "CREATE TABLE " + table + " (execid TEXT, starttime FLOAT, endtime FLOAT, collector TEXT"
+	for _, a := range attrs {
+		ddl += ", " + a + " TEXT"
+	}
+	for _, m := range metricCols {
+		ddl += ", " + m + " FLOAT"
+	}
+	ddl += ")"
+	if _, err := db.Exec(ddl); err != nil {
+		return err
+	}
+	for _, e := range d.Execs {
+		vals := make([]minidb.Value, 0, 4+len(attrs)+len(metricCols))
+		collector := ""
+		byMetric := map[string]float64{}
+		for _, r := range e.Results {
+			byMetric[r.Metric] = r.Value
+			collector = r.Type
+		}
+		vals = append(vals, minidb.Text(e.ID), minidb.Float(e.Time.Start), minidb.Float(e.Time.End), minidb.Text(collector))
+		for _, a := range attrs {
+			if v, ok := e.Attrs[a]; ok {
+				vals = append(vals, minidb.Text(v))
+			} else {
+				vals = append(vals, minidb.Null())
+			}
+		}
+		for _, m := range metricCols {
+			if v, ok := byMetric[m]; ok {
+				vals = append(vals, minidb.Float(v))
+			} else {
+				vals = append(vals, minidb.Null())
+			}
+		}
+		if err := db.InsertRow(table, vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StarTables are the five tables of the star schema, the paper's SMG98
+// store layout ("a relational database with 5 tables").
+var StarTables = []string{"executions", "foci", "metrics", "collectors", "results"}
+
+// LoadStarSchema loads a dataset into the five-table star schema:
+//
+//	executions(execid, starttime, endtime, attrname, attrvalue) — one row
+//	  per execution attribute (an EAV layout, so arbitrary attribute sets
+//	  fit one schema)
+//	foci(fociid, path)
+//	metrics(metricid, name)
+//	collectors(typeid, name)
+//	results(execid, fociid, metricid, typeid, starttime, endtime, value)
+func LoadStarSchema(db *minidb.Database, d *Dataset) error {
+	stmts := []string{
+		`CREATE TABLE executions (execid TEXT, starttime FLOAT, endtime FLOAT, attrname TEXT, attrvalue TEXT)`,
+		`CREATE TABLE foci (fociid INT, path TEXT)`,
+		`CREATE TABLE metrics (metricid INT, name TEXT)`,
+		`CREATE TABLE collectors (typeid INT, name TEXT)`,
+		`CREATE TABLE results (execid TEXT, fociid INT, metricid INT, typeid INT, starttime FLOAT, endtime FLOAT, value FLOAT)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	fociIDs := map[string]int64{}
+	metricIDs := map[string]int64{}
+	typeIDs := map[string]int64{}
+	intern := func(table string, ids map[string]int64, key string) (int64, error) {
+		if id, ok := ids[key]; ok {
+			return id, nil
+		}
+		id := int64(len(ids) + 1)
+		ids[key] = id
+		return id, db.InsertRow(table, minidb.Int(id), minidb.Text(key))
+	}
+	for _, e := range d.Execs {
+		names := make([]string, 0, len(e.Attrs))
+		for n := range e.Attrs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := db.InsertRow("executions",
+				minidb.Text(e.ID), minidb.Float(e.Time.Start), minidb.Float(e.Time.End),
+				minidb.Text(n), minidb.Text(e.Attrs[n])); err != nil {
+				return err
+			}
+		}
+		for _, r := range e.Results {
+			fid, err := intern("foci", fociIDs, r.Focus)
+			if err != nil {
+				return err
+			}
+			mid, err := intern("metrics", metricIDs, r.Metric)
+			if err != nil {
+				return err
+			}
+			tid, err := intern("collectors", typeIDs, r.Type)
+			if err != nil {
+				return err
+			}
+			if err := db.InsertRow("results",
+				minidb.Text(e.ID), minidb.Int(fid), minidb.Int(mid), minidb.Int(tid),
+				minidb.Float(r.Time.Start), minidb.Float(r.Time.End), minidb.Float(r.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package datagen
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/perfdata"
+)
+
+func TestHPLShape(t *testing.T) {
+	d := HPL(DefaultHPL)
+	if d.Name != "HPL" {
+		t.Errorf("Name = %q", d.Name)
+	}
+	if len(d.Execs) != 124 {
+		t.Fatalf("executions = %d, want 124 (paper's HPL store size)", len(d.Execs))
+	}
+	if d.Execs[0].ID != "100" || d.Execs[123].ID != "223" {
+		t.Errorf("IDs run %s..%s, want 100..223", d.Execs[0].ID, d.Execs[123].ID)
+	}
+	for _, e := range d.Execs {
+		if len(e.Results) != 3 {
+			t.Fatalf("execution %s has %d results, want 3", e.ID, len(e.Results))
+		}
+		for _, r := range e.Results {
+			if r.Type != "hpl" || r.Focus != "/" {
+				t.Fatalf("result %+v not whole-run hpl", r)
+			}
+		}
+		for _, attr := range []string{"numprocesses", "problemsize", "blocksize", "rundate", "machine"} {
+			if _, ok := e.Attrs[attr]; !ok {
+				t.Fatalf("execution %s missing attr %s", e.ID, attr)
+			}
+		}
+	}
+}
+
+func TestHPLDeterministic(t *testing.T) {
+	a := HPL(HPLConfig{Executions: 10, Seed: 42})
+	b := HPL(HPLConfig{Executions: 10, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different datasets")
+	}
+	c := HPL(HPLConfig{Executions: 10, Seed: 43})
+	if reflect.DeepEqual(a.Execs[0].Results, c.Execs[0].Results) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestRMAShapeAndPayload(t *testing.T) {
+	d := PrestaRMA(DefaultRMA)
+	if len(d.Execs) != 12 {
+		t.Fatalf("executions = %d", len(d.Execs))
+	}
+	e := d.Execs[0]
+	wantResults := len(RMAOps) * DefaultRMA.MessageSizes * 2
+	if len(e.Results) != wantResults {
+		t.Fatalf("results per exec = %d, want %d", len(e.Results), wantResults)
+	}
+	// A bandwidth query should return len(RMAOps)*MessageSizes results
+	// whose encoded size lands in the multi-kilobyte range, matching the
+	// paper's ~5.7 KB RMA payloads.
+	q := perfdata.Query{Metric: "bandwidth", Time: e.Time, Type: "presta"}
+	var matched []perfdata.Result
+	for _, r := range e.Results {
+		if q.Matches(r) {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) != len(RMAOps)*DefaultRMA.MessageSizes {
+		t.Fatalf("bandwidth results = %d", len(matched))
+	}
+	bytes := 0
+	for _, s := range perfdata.EncodeResults(matched) {
+		bytes += len(s)
+	}
+	if bytes < 3000 || bytes > 12000 {
+		t.Errorf("bandwidth payload = %d bytes, want a few KB", bytes)
+	}
+}
+
+func TestRMABandwidthMonotoneInMessageSize(t *testing.T) {
+	d := PrestaRMA(RMAConfig{Executions: 1, MessageSizes: 10, Seed: 7})
+	var prev float64 = -1
+	for _, r := range d.Execs[0].Results {
+		if r.Metric != "bandwidth" || !strings.HasPrefix(r.Focus, "/Comm/unidir/") {
+			continue
+		}
+		// Saturating curve: allow noise but require overall growth.
+		if prev > 0 && r.Value < prev*0.8 {
+			t.Errorf("bandwidth dropped sharply: %v after %v at %s", r.Value, prev, r.Focus)
+		}
+		prev = r.Value
+	}
+}
+
+func TestSMG98Shape(t *testing.T) {
+	cfg := SMG98Config{Executions: 2, Processes: 3, TimeBins: 4, Seed: 9}
+	d := SMG98(cfg)
+	if len(d.Execs) != 2 {
+		t.Fatalf("executions = %d", len(d.Execs))
+	}
+	want := cfg.Processes * len(SMG98Functions) * cfg.TimeBins * len(SMG98Metrics)
+	for _, e := range d.Execs {
+		if len(e.Results) != want {
+			t.Fatalf("results = %d, want %d", len(e.Results), want)
+		}
+	}
+	// Foci are hierarchical /Process/<p>/Code/MPI/<fn>.
+	r := d.Execs[0].Results[0]
+	if !strings.HasPrefix(r.Focus, "/Process/0/Code/MPI/") {
+		t.Errorf("focus = %q", r.Focus)
+	}
+}
+
+func TestAttrNames(t *testing.T) {
+	d := &Dataset{Execs: []Execution{
+		{Attrs: map[string]string{"b": "1", "a": "2"}},
+		{Attrs: map[string]string{"c": "3", "a": "4"}},
+	}}
+	if got := d.AttrNames(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("AttrNames = %v", got)
+	}
+}
+
+func TestToFlatfileAndXML(t *testing.T) {
+	d := PrestaRMA(RMAConfig{Executions: 2, MessageSizes: 3, Seed: 1})
+	ff := d.ToFlatfile()
+	if ff.Name != d.Name || len(ff.Execs) != 2 || len(ff.Execs[0].Results) != len(d.Execs[0].Results) {
+		t.Error("flatfile conversion lost data")
+	}
+	x := d.ToXML()
+	if x.Name != d.Name || len(x.Execs) != 2 || len(x.Execs[1].Results) != len(d.Execs[1].Results) {
+		t.Error("xml conversion lost data")
+	}
+}
+
+func TestLoadWideTable(t *testing.T) {
+	d := HPL(HPLConfig{Executions: 5, Seed: 1})
+	db := minidb.NewDatabase()
+	if err := LoadWideTable(db, "hpl", d); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.NumRows("hpl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("rows = %d", n)
+	}
+	rs, err := db.Query(`SELECT gflops FROM hpl WHERE execid = '100'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("got %v", rs.Strings())
+	}
+	want := d.Execs[0].Results[0].Value // gflops is first
+	got, _ := rs.Rows[0][0].AsFloat()
+	if got != want {
+		t.Errorf("gflops = %v, want %v", got, want)
+	}
+	// Attribute query path used by getExecs.
+	rs, err = db.Query(`SELECT execid FROM hpl WHERE numprocesses = '4'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text != "101" {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestLoadWideTableRejectsRepeatedMetrics(t *testing.T) {
+	d := SMG98(SMG98Config{Executions: 1, Processes: 1, TimeBins: 2, Seed: 1})
+	db := minidb.NewDatabase()
+	if err := LoadWideTable(db, "t", d); err == nil {
+		t.Error("SMG98-shaped data must not fit a wide table")
+	}
+}
+
+func TestLoadStarSchema(t *testing.T) {
+	cfg := SMG98Config{Executions: 2, Processes: 2, TimeBins: 3, Seed: 5}
+	d := SMG98(cfg)
+	db := minidb.NewDatabase()
+	if err := LoadStarSchema(db, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range StarTables {
+		if _, err := db.NumRows(table); err != nil {
+			t.Errorf("missing table %s: %v", table, err)
+		}
+	}
+	wantFacts := 0
+	for _, e := range d.Execs {
+		wantFacts += len(e.Results)
+	}
+	if n, _ := db.NumRows("results"); n != wantFacts {
+		t.Errorf("fact rows = %d, want %d", n, wantFacts)
+	}
+	// Metric dimension interned once per metric.
+	if n, _ := db.NumRows("metrics"); n != len(SMG98Metrics) {
+		t.Errorf("metrics rows = %d, want %d", n, len(SMG98Metrics))
+	}
+	// Round-trip one fact through the dimensions, the way the star
+	// wrapper queries it.
+	rs, err := db.Query(`SELECT metricid FROM metrics WHERE name = 'func_calls'`)
+	if err != nil || len(rs.Rows) != 1 {
+		t.Fatalf("metric lookup: %v %v", rs, err)
+	}
+	mid := rs.Rows[0][0].Int
+	rs, err = db.Query(fmt.Sprintf(
+		`SELECT COUNT(*) FROM results WHERE execid = '1' AND metricid = %d`, mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Processes * len(SMG98Functions) * cfg.TimeBins)
+	if rs.Rows[0][0].Int != want {
+		t.Errorf("func_calls facts for exec 1 = %d, want %d", rs.Rows[0][0].Int, want)
+	}
+}
+
+func TestStarSchemaEAVAttributes(t *testing.T) {
+	d := HPL(HPLConfig{Executions: 2, Seed: 1})
+	db := minidb.NewDatabase()
+	if err := LoadStarSchema(db, d); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Query(`SELECT attrvalue FROM executions WHERE execid = '100' AND attrname = 'numprocesses'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text != d.Execs[0].Attrs["numprocesses"] {
+		t.Errorf("EAV lookup: %v", rs.Strings())
+	}
+}
+
+func TestGeneratorsHaveValidTimeRanges(t *testing.T) {
+	for name, d := range map[string]*Dataset{
+		"hpl": HPL(HPLConfig{Executions: 6, Seed: 1}),
+		"rma": PrestaRMA(RMAConfig{Executions: 2, MessageSizes: 4, Seed: 1}),
+		"smg": SMG98(SMG98Config{Executions: 1, Processes: 2, TimeBins: 2, Seed: 1}),
+	} {
+		for _, e := range d.Execs {
+			if e.Time.End <= e.Time.Start {
+				t.Errorf("%s exec %s: bad time range %+v", name, e.ID, e.Time)
+			}
+			for _, r := range e.Results {
+				if r.Time.End < r.Time.Start {
+					t.Errorf("%s exec %s: result range %+v inverted", name, e.ID, r.Time)
+				}
+				if r.Time.Start < e.Time.Start-1e-9 || r.Time.End > e.Time.End+1e-9 {
+					t.Errorf("%s exec %s: result range %+v outside execution %+v", name, e.ID, r.Time, e.Time)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroConfigsUseDefaults(t *testing.T) {
+	if got := len(HPL(HPLConfig{}).Execs); got != DefaultHPL.Executions {
+		t.Errorf("HPL zero config: %d execs", got)
+	}
+	if got := len(PrestaRMA(RMAConfig{}).Execs); got != DefaultRMA.Executions {
+		t.Errorf("RMA zero config: %d execs", got)
+	}
+	if got := len(SMG98(SMG98Config{}).Execs); got != DefaultSMG98.Executions {
+		t.Errorf("SMG98 zero config: %d execs", got)
+	}
+}

@@ -1,0 +1,418 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/viz"
+)
+
+// This file holds ablation studies beyond the paper's evaluation,
+// isolating the design choices DESIGN.md calls out:
+//
+//   - SOAP marshalling cost vs payload size (where Table 4's overhead
+//     comes from).
+//   - Manager replica policies (interleave vs block vs hash).
+//   - Cache replacement policies under a skewed query mix.
+//   - Local bypass vs Services-Layer access (future-work optimization).
+
+// SOAPOverheadPoint is one payload size's marshalling cost.
+type SOAPOverheadPoint struct {
+	Items        int
+	PayloadBytes int
+	EncodeDecode time.Duration // round-trip encode request + decode request + encode response + decode response
+}
+
+// RunSOAPOverheadSweep measures pure marshalling/demarshalling cost as the
+// result array grows, isolating the payload-proportional component of the
+// Table 4 overhead (no sockets involved).
+func RunSOAPOverheadSweep(itemCounts []int, itemBytes, rounds int) ([]SOAPOverheadPoint, error) {
+	if itemBytes <= 0 {
+		itemBytes = 64
+	}
+	if rounds <= 0 {
+		rounds = 50
+	}
+	var out []SOAPOverheadPoint
+	for _, n := range itemCounts {
+		items := make([]string, n)
+		for i := range items {
+			items[i] = fmt.Sprintf("%0*d", itemBytes, i)
+		}
+		payload := 0
+		for _, s := range items {
+			payload += len(s)
+		}
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			req, err := soap.EncodeRequest("getPR", nil, items)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := soap.DecodeRequest(req); err != nil {
+				return nil, err
+			}
+			resp, err := soap.EncodeResponse("getPR", nil, items)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := soap.DecodeResponse(resp); err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+		}
+		out = append(out, SOAPOverheadPoint{
+			Items:        n,
+			PayloadBytes: payload,
+			EncodeDecode: total / time.Duration(rounds),
+		})
+	}
+	return out, nil
+}
+
+// RenderSOAPOverhead formats the sweep as a table.
+func RenderSOAPOverhead(points []SOAPOverheadPoint) string {
+	header := []string{"Items", "Payload (B)", "Marshal+demarshal (µs)"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Items), fmt.Sprint(p.PayloadBytes),
+			Fmt(float64(p.EncodeDecode) / float64(time.Microsecond)),
+		})
+	}
+	return viz.Table("Ablation — SOAP marshalling cost vs payload", header, rows)
+}
+
+// PolicyAblationRow is one replica policy's outcome.
+type PolicyAblationRow struct {
+	Policy     string
+	WallMs     float64
+	HostSpread int // |instances(host A) - instances(host B)|
+}
+
+// RunPolicyAblation compares Manager replica policies on a two-host HPL
+// site: same threaded query batch, different placement. Interleaving and
+// hashing balance instances; block placement balances too on a full batch
+// but skews under prefix batches — the spread column shows placement, the
+// wall-time column its effect under single-CPU hosts.
+func RunPolicyAblation(cfg Config, executions, repeats int) ([]PolicyAblationRow, error) {
+	cfg = cfg.withDefaults()
+	if executions <= 0 {
+		executions = 32
+	}
+	if repeats <= 0 {
+		repeats = 5
+	}
+	var out []PolicyAblationRow
+	for _, policy := range []core.ReplicaPolicy{core.InterleavePolicy{}, core.BlockPolicy{}, core.HashPolicy{}} {
+		d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: cfg.Seed})
+		wrappers := make([]mapping.ApplicationWrapper, 2)
+		for i := range wrappers {
+			w, err := mapping.NewWideTable(d)
+			if err != nil {
+				return nil, err
+			}
+			delay := time.Duration(paperMappingMs("HPL") * cfg.Scale * float64(time.Millisecond))
+			wrappers[i] = mapping.WithLatency(w, delay, 0)
+		}
+		site, err := core.StartSite(core.SiteConfig{
+			AppName:    "HPL",
+			Wrappers:   wrappers,
+			Workers:    1,
+			CachingOff: true,
+			Policy:     policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := runPolicyBatch(site, executions, repeats)
+		site.Close()
+		if err != nil {
+			return nil, err
+		}
+		row.Policy = policy.Name()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runPolicyBatch(site *core.Site, executions, repeats int) (PolicyAblationRow, error) {
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		return PolicyAblationRow{}, err
+	}
+	// Query the full set (placing every instance under the policy), then
+	// run the batch against a prefix subset, like the paper's Figure 9
+	// batch (runid 100-109). Under block placement the prefix lands on
+	// one host; under interleaving it splits evenly.
+	refs, err := b.QueryExecutions(nil)
+	if err != nil {
+		return PolicyAblationRow{}, err
+	}
+	refs = refs[:executions]
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+	start := time.Now()
+	results := client.QueryPerformanceResults(refs, q, client.ParallelOptions{Repeats: repeats})
+	wall := time.Since(start)
+	for _, r := range results {
+		if r.Err != nil {
+			return PolicyAblationRow{}, r.Err
+		}
+	}
+	counts := site.Manager().PerHostCounts()
+	spread := 0
+	vals := make([]int, 0, len(counts))
+	for _, v := range counts {
+		vals = append(vals, v)
+	}
+	if len(vals) == 2 {
+		spread = vals[0] - vals[1]
+		if spread < 0 {
+			spread = -spread
+		}
+	}
+	return PolicyAblationRow{
+		WallMs:     float64(wall) / float64(time.Millisecond),
+		HostSpread: spread,
+	}, nil
+}
+
+// RenderPolicyAblation formats the comparison.
+func RenderPolicyAblation(rows []PolicyAblationRow) string {
+	header := []string{"Policy", "Batch wall (ms)", "Host spread"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Policy, Fmt(r.WallMs), fmt.Sprint(r.HostSpread)})
+	}
+	return viz.Table("Ablation — Manager replica policies (2 hosts, 1 CPU each)", header, cells)
+}
+
+// CachePolicyRow is one replacement policy's outcome under a skewed mix.
+type CachePolicyRow struct {
+	Policy    string
+	HitRate   float64
+	MeanMs    float64
+	Evictions int64
+}
+
+// RunCachePolicyAblation drives a capacity-limited Performance Results
+// cache with a Zipf-like query mix over an SMG98-shaped execution: a few
+// hot queries, a long tail, and one expensive whole-trace query that
+// recurs periodically. Cost-aware replacement should protect the
+// expensive entry that LRU/LFU evict under tail pressure.
+func RunCachePolicyAblation(cfg Config, capacity, queries int) ([]CachePolicyRow, error) {
+	cfg = cfg.withDefaults()
+	if capacity <= 0 {
+		capacity = 8
+	}
+	if queries <= 0 {
+		queries = 300
+	}
+	d := datagen.SMG98(cfg.SMG98)
+	var out []CachePolicyRow
+	for _, policy := range []string{"lru", "lfu", "cost"} {
+		star, err := mapping.NewStar(d)
+		if err != nil {
+			return nil, err
+		}
+		delay := time.Duration(paperMappingMs("SMG98") * cfg.Scale / 50 * float64(time.Millisecond))
+		slowed := mapping.WithLatency(star, delay, 0)
+		ew, err := slowed.ExecutionWrapper(d.Execs[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		cache := core.NewCache(policy, capacity)
+		svc := core.NewExecutionService(d.Execs[0].ID, ew, cache, nil)
+
+		tr := d.Execs[0].Time
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var sample Sample
+		for i := 0; i < queries; i++ {
+			var q perfdata.Query
+			switch {
+			case i%10 == 0:
+				// The recurring expensive query: whole trace, all foci.
+				q = perfdata.Query{Metric: "func_calls", Time: tr, Type: "vampir"}
+			case rng.Float64() < 0.5:
+				// Hot set: per-process func_calls.
+				p := rng.Intn(2)
+				q = perfdata.Query{Metric: "func_calls", Foci: []string{fmt.Sprintf("/Process/%d", p)}, Time: tr, Type: "vampir"}
+			default:
+				// Long tail: per-function windows.
+				fn := datagen.SMG98Functions[rng.Intn(len(datagen.SMG98Functions))]
+				q = perfdata.Query{
+					Metric: "excl_time",
+					Foci:   []string{fmt.Sprintf("/Process/%d/Code/MPI/%s", rng.Intn(2), fn)},
+					Time:   perfdata.TimeRange{Start: tr.End * rng.Float64() / 2, End: tr.End},
+					Type:   "vampir",
+				}
+			}
+			start := time.Now()
+			if _, err := svc.PerformanceResults(q); err != nil {
+				return nil, err
+			}
+			sample.Add(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+		stats := cache.Stats()
+		out = append(out, CachePolicyRow{
+			Policy:    policy,
+			HitRate:   stats.HitRate(),
+			MeanMs:    sample.Mean(),
+			Evictions: stats.Evictions,
+		})
+	}
+	return out, nil
+}
+
+// RenderCachePolicyAblation formats the comparison.
+func RenderCachePolicyAblation(rows []CachePolicyRow) string {
+	header := []string{"Policy", "Hit rate", "Mean query (ms)", "Evictions"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Policy, Fmt(r.HitRate), Fmt(r.MeanMs), fmt.Sprint(r.Evictions)})
+	}
+	return viz.Table("Ablation — cache replacement under a skewed SMG98 mix", header, cells)
+}
+
+// LocalBypassRow compares Services-Layer and direct-wrapper access.
+type LocalBypassRow struct {
+	Path   string
+	MeanMs float64
+}
+
+// RunLocalBypass measures the future-work local-bypass optimization: the
+// same getPR query through the full SOAP stack versus in-process through
+// the co-located site. The difference is the per-query Services-Layer
+// cost a co-located client can avoid.
+func RunLocalBypass(cfg Config, queries int) ([]LocalBypassRow, error) {
+	cfg = cfg.withDefaults()
+	cfg.CachingOff = true
+	cfg.Replicas = 1
+	if queries <= 0 {
+		queries = 50
+	}
+	src, err := NewRMASource(cfg) // payload-heavy source shows the gap best
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	remoteClient := client.NewWithoutRegistry()
+	rb, err := remoteClient.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+	if err != nil {
+		return nil, err
+	}
+	localClient := client.NewWithoutRegistry()
+	lb, err := localClient.BindLocal(src.Name, src.Site)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(b *client.Binding) (float64, error) {
+		refs, err := b.QueryExecutions(nil)
+		if err != nil {
+			return 0, err
+		}
+		_, q := src.QueryFor(0)
+		var sample Sample
+		for i := 0; i < queries; i++ {
+			ref := refs[i%len(refs)]
+			start := time.Now()
+			if _, err := ref.PerformanceResults(q); err != nil {
+				return 0, err
+			}
+			sample.Add(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+		return sample.Mean(), nil
+	}
+
+	remoteMs, err := measure(rb)
+	if err != nil {
+		return nil, err
+	}
+	localMs, err := measure(lb)
+	if err != nil {
+		return nil, err
+	}
+	return []LocalBypassRow{
+		{Path: "services layer (SOAP)", MeanMs: remoteMs},
+		{Path: "local bypass (in-process)", MeanMs: localMs},
+	}, nil
+}
+
+// RenderLocalBypass formats the comparison.
+func RenderLocalBypass(rows []LocalBypassRow) string {
+	header := []string{"Access path", "Mean getPR (ms)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Path, Fmt(r.MeanMs)})
+	}
+	out := viz.Table("Ablation — local bypass vs Services Layer (RMA source)", header, cells)
+	if len(rows) == 2 && rows[1].MeanMs > 0 {
+		out += fmt.Sprintf("Bypass speedup: %s\n", Fmt(rows[0].MeanMs/rows[1].MeanMs))
+	}
+	return out
+}
+
+// NotificationFanoutPoint is one fan-out size's delivery latency.
+type NotificationFanoutPoint struct {
+	Sinks        int
+	AllDelivered time.Duration
+}
+
+// RunNotificationFanout measures push-notification delivery: one Execution
+// update fanned out to N SOAP sinks hosted in a client container.
+func RunNotificationFanout(sinkCounts []int) ([]NotificationFanoutPoint, error) {
+	clientCont := container.New(ogsi.NewHosting("x:0"), container.Options{})
+	if err := clientCont.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer clientCont.Close()
+
+	var out []NotificationFanoutPoint
+	for _, n := range sinkCounts {
+		hub := ogsi.NewNotificationHub(container.SOAPSinkDialer())
+		done := make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			in, err := container.DeploySink(clientCont.Hosting(), ogsi.SinkFunc(func(string, string) error {
+				done <- struct{}{}
+				return nil
+			}))
+			if err != nil {
+				return nil, err
+			}
+			if err := hub.SubscribeHandle("updates", in.Handle()); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		hub.Notify("updates", "data changed")
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		out = append(out, NotificationFanoutPoint{Sinks: n, AllDelivered: time.Since(start)})
+		hub.Flush()
+	}
+	return out, nil
+}
+
+// RenderNotificationFanout formats the sweep.
+func RenderNotificationFanout(points []NotificationFanoutPoint) string {
+	header := []string{"Sinks", "All delivered (ms)"}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{fmt.Sprint(p.Sinks), Fmt(float64(p.AllDelivered) / float64(time.Millisecond))})
+	}
+	return viz.Table("Ablation — notification fan-out latency", header, cells)
+}

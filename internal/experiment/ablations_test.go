@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/datagen"
+)
+
+func TestRunSOAPOverheadSweep(t *testing.T) {
+	points, err := RunSOAPOverheadSweep([]int{1, 10, 100}, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Cost grows with payload.
+	if points[2].EncodeDecode <= points[0].EncodeDecode {
+		t.Errorf("marshalling cost flat: %v vs %v", points[0].EncodeDecode, points[2].EncodeDecode)
+	}
+	if points[1].PayloadBytes != 10*64 {
+		t.Errorf("payload = %d", points[1].PayloadBytes)
+	}
+	if out := RenderSOAPOverhead(points); !strings.Contains(out, "SOAP marshalling") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunPolicyAblation(t *testing.T) {
+	rows, err := RunPolicyAblation(Config{Scale: 0.001, Seed: 9}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]PolicyAblationRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+		if r.WallMs <= 0 {
+			t.Errorf("%s: wall = %v", r.Policy, r.WallMs)
+		}
+	}
+	// Interleave balances the full 124-instance placement exactly.
+	if byName["interleave"].HostSpread > 1 {
+		t.Errorf("interleave spread = %d", byName["interleave"].HostSpread)
+	}
+	if out := RenderPolicyAblation(rows); !strings.Contains(out, "interleave") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunCachePolicyAblation(t *testing.T) {
+	cfg := Config{Scale: 0.001, Seed: 9, SMG98: datagen.SMG98Config{Executions: 1, Processes: 2, TimeBins: 4}}
+	rows, err := RunCachePolicyAblation(cfg, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.HitRate < 0 || r.HitRate > 1 {
+			t.Errorf("%s: hit rate %v", r.Policy, r.HitRate)
+		}
+		if r.MeanMs <= 0 {
+			t.Errorf("%s: mean %v", r.Policy, r.MeanMs)
+		}
+	}
+	if out := RenderCachePolicyAblation(rows); !strings.Contains(out, "cache replacement") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunLocalBypass(t *testing.T) {
+	rows, err := RunLocalBypass(Config{Scale: 0.0005, Seed: 9}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	remote, local := rows[0], rows[1]
+	if remote.MeanMs <= 0 || local.MeanMs <= 0 {
+		t.Fatalf("nonpositive means: %+v", rows)
+	}
+	// The bypass must not be slower: it does strictly less work.
+	if local.MeanMs > remote.MeanMs {
+		t.Errorf("bypass slower than SOAP path: %v vs %v", local.MeanMs, remote.MeanMs)
+	}
+	if out := RenderLocalBypass(rows); !strings.Contains(out, "Bypass speedup") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunNotificationFanout(t *testing.T) {
+	points, err := RunNotificationFanout([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.AllDelivered <= 0 {
+			t.Errorf("fanout %d: zero latency", p.Sinks)
+		}
+	}
+	if out := RenderNotificationFanout(points); !strings.Contains(out, "fan-out") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunStoreFormatComparison(t *testing.T) {
+	rows, err := RunStoreFormatComparison(Config{Seed: 9}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanTotalMs <= 0 || r.MeanMappingMs <= 0 {
+			t.Errorf("%s: nonpositive means %+v", r.Format, r)
+		}
+		if r.MeanTotalMs < r.MeanMappingMs {
+			t.Errorf("%s: total below mapping: %+v", r.Format, r)
+		}
+	}
+	if out := RenderStoreFormats(rows); !strings.Contains(out, "three store formats") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunQueryModels(t *testing.T) {
+	rows, err := RunQueryModels(Config{Scale: 0.001, Seed: 9}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WallMs <= 0 {
+			t.Errorf("%s: wall = %v", r.Model, r.WallMs)
+		}
+	}
+	if out := RenderQueryModels(rows, 8); !strings.Contains(out, "registry-callback") {
+		t.Error("render incomplete")
+	}
+}

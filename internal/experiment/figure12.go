@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// Figure12Config tunes the scalability experiment (section 6.5).
+type Figure12Config struct {
+	Config
+	// ExecutionCounts are the query sizes; nil uses the paper's
+	// {2, 4, 8, 16, 32, 64, 124}.
+	ExecutionCounts []int
+	// Repeats re-runs each execution's query within its thread; the paper
+	// used 10 "to create a greater load on each host". 0 means 10.
+	Repeats int
+	// BatchRuns repeats the whole query set; the paper used 10. 0 means 3
+	// (enough for a stable mean at modern timer resolution).
+	BatchRuns int
+}
+
+// Figure12Point is one x-position of the reproduced Figure 12.
+type Figure12Point struct {
+	Executions     int
+	OneHostMs      float64
+	TwoHostMs      float64
+	Speedup        float64
+	RelativeChange float64
+}
+
+// Figure12Report is the reproduced Figure 12.
+type Figure12Report struct {
+	Points      []Figure12Point
+	MeanSpeedup float64
+	// HostCounts records how many Execution instances each replica host
+	// received in the two-host run at the largest size.
+	HostCounts map[string]int
+}
+
+// RunFigure12 measures scalability: Performance Result queries against
+// 2..124 HPL Execution service instances, each query in its own thread
+// and repeated to increase host load, comparing one single-CPU host
+// ("non-optimized") against the Manager's interleaved distribution over
+// two single-CPU replica hosts ("optimized") — the paper's section 6.5.
+func RunFigure12(cfg Figure12Config) (*Figure12Report, error) {
+	counts := cfg.ExecutionCounts
+	if counts == nil {
+		counts = PaperFigure12.ExecutionCounts
+	}
+	sort.Ints(counts)
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 10
+	}
+	batchRuns := cfg.BatchRuns
+	if batchRuns <= 0 {
+		batchRuns = 3
+	}
+	maxCount := counts[len(counts)-1]
+
+	report := &Figure12Report{}
+	oneHost, err := runScalability(cfg.Config, 1, counts, maxCount, repeats, batchRuns, nil)
+	if err != nil {
+		return nil, err
+	}
+	hostCounts := map[string]int{}
+	twoHost, err := runScalability(cfg.Config, 2, counts, maxCount, repeats, batchRuns, hostCounts)
+	if err != nil {
+		return nil, err
+	}
+	var speedups Sample
+	for _, n := range counts {
+		p := Figure12Point{
+			Executions:     n,
+			OneHostMs:      oneHost[n],
+			TwoHostMs:      twoHost[n],
+			Speedup:        Speedup(oneHost[n], twoHost[n]),
+			RelativeChange: RelativeChange(oneHost[n], twoHost[n]),
+		}
+		speedups.Add(p.Speedup)
+		report.Points = append(report.Points, p)
+	}
+	report.MeanSpeedup = speedups.Mean()
+	report.HostCounts = hostCounts
+	return report, nil
+}
+
+// runScalability measures mean batch wall time per execution count on a
+// site with the given replica count. Hosts are single-worker (one
+// simulated CPU) unless the config overrides Workers.
+func runScalability(base Config, replicas int, counts []int, maxCount, repeats, batchRuns int, hostCounts map[string]int) (map[int]float64, error) {
+	cfg := base
+	cfg.Replicas = replicas
+	cfg.CachingOff = true // repeats must generate real load, as in the paper
+	if cfg.Workers == 0 {
+		cfg.Workers = 1 // the paper's hosts had one 440 MHz CPU each
+	}
+	src, err := NewHPLSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+	if err != nil {
+		return nil, err
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) < maxCount {
+		return nil, fmt.Errorf("experiment: only %d executions for max count %d", len(refs), maxCount)
+	}
+	q := perfdata.Query{Metric: src.Metric, Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: src.Type}
+
+	out := make(map[int]float64, len(counts))
+	for _, n := range counts {
+		var wall Sample
+		for run := 0; run < batchRuns; run++ {
+			start := time.Now()
+			results := client.QueryPerformanceResults(refs[:n], q, client.ParallelOptions{Repeats: repeats})
+			elapsed := time.Since(start)
+			for _, r := range results {
+				if r.Err != nil {
+					return nil, fmt.Errorf("experiment: scalability query: %w", r.Err)
+				}
+			}
+			wall.Add(float64(elapsed) / float64(time.Millisecond))
+		}
+		out[n] = wall.Mean()
+	}
+	if hostCounts != nil {
+		for h, c := range src.Site.Manager().PerHostCounts() {
+			hostCounts[h] = c
+		}
+	}
+	return out, nil
+}
+
+// Render prints the measured figure (table + ASCII chart) with the
+// paper's reference speedups.
+func (r *Figure12Report) Render() string {
+	header := []string{"Executions", "1 host (ms)", "2 hosts (ms)", "Relative change", "Speedup", "Paper speedup"}
+	var rows [][]string
+	for _, p := range r.Points {
+		paper := "N/A"
+		if v, ok := PaperFigure12.Speedups[p.Executions]; ok {
+			paper = Fmt(v)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p.Executions), Fmt(p.OneHostMs), Fmt(p.TwoHostMs),
+			Fmt(p.RelativeChange) + "%", Fmt(p.Speedup), paper,
+		})
+	}
+	out := viz.Table("Figure 12 — PPerfGrid Scalability (measured)", header, rows)
+	out += fmt.Sprintf("\nMean speedup: %s (paper: %s over its measured points)\n",
+		Fmt(r.MeanSpeedup), Fmt(PaperFigure12.MeanSpeedup))
+
+	one := viz.Series{Name: "Non-Optimized (1 host)", Points: map[float64]float64{}}
+	two := viz.Series{Name: "Optimized (2 hosts)", Points: map[float64]float64{}}
+	for _, p := range r.Points {
+		one.Points[float64(p.Executions)] = p.OneHostMs
+		two.Points[float64(p.Executions)] = p.TwoHostMs
+	}
+	out += "\n" + viz.LineChart("Batch wall time (ms) vs # of Execution GSs in query", []viz.Series{one, two}, 14, 60)
+	out += "\nShape checks:\n"
+	for _, c := range r.CheckShape() {
+		out += "  " + c + "\n"
+	}
+	return out
+}
+
+// CheckShape evaluates the paper's qualitative scalability findings.
+func (r *Figure12Report) CheckShape() []string {
+	var out []string
+	check := func(name string, ok bool) {
+		status := "ok      "
+		if !ok {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s", status, name))
+	}
+	check("two-host mean speedup is significant (> 1.5x; paper 2.14x)", r.MeanSpeedup > 1.5)
+	check("two-host mean speedup bounded by 2 replicas (< 2.6x)", r.MeanSpeedup < 2.6)
+	allFaster := true
+	for _, p := range r.Points {
+		if p.Speedup <= 1 {
+			allFaster = false
+		}
+	}
+	check("distribution helps at every query size", allFaster)
+	if len(r.Points) >= 2 {
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		check("wall time grows with query size on one host", last.OneHostMs > first.OneHostMs)
+		check("wall time grows with query size on two hosts", last.TwoHostMs > first.TwoHostMs)
+	}
+	if len(r.HostCounts) == 2 {
+		counts := make([]int, 0, 2)
+		for _, c := range r.HostCounts {
+			counts = append(counts, c)
+		}
+		diff := counts[0] - counts[1]
+		if diff < 0 {
+			diff = -diff
+		}
+		check("Manager interleaving balances instances across hosts (±1)", diff <= 1)
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *Figure12Report) ShapeOK() bool {
+	for _, line := range r.CheckShape() {
+		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// StoreFormatRow is one storage format's measured query cost over the same
+// dataset content.
+type StoreFormatRow struct {
+	Format        string
+	MeanTotalMs   float64
+	MeanMappingMs float64
+	MeanOverhead  float64
+}
+
+// RunStoreFormatComparison implements the paper's first future-work test:
+// "an XML version of the HPL data store should be used to compare
+// performance and overhead between data stores of the same content but
+// different formats." The same HPL dataset is served from the single-table
+// relational store, the native-XML store, and flat text files; the same
+// getPR queries are timed at both layers against each.
+//
+// No latency calibration is applied here — the comparison is between the
+// real mapping costs of the three formats on this stack.
+func RunStoreFormatComparison(cfg Config, queries int) ([]StoreFormatRow, error) {
+	cfg = cfg.withDefaults()
+	if queries <= 0 {
+		queries = 50
+	}
+	d := datagen.HPL(datagen.HPLConfig{Executions: 24, Seed: cfg.Seed})
+
+	builders := []struct {
+		name  string
+		build func() (mapping.ApplicationWrapper, error)
+	}{
+		{"RDBMS (single table)", func() (mapping.ApplicationWrapper, error) { return mapping.NewWideTable(d) }},
+		{"native XML", func() (mapping.ApplicationWrapper, error) { return mapping.NewXML(d) }},
+		{"flat text files", func() (mapping.ApplicationWrapper, error) { return mapping.NewFlatFile(d) }},
+	}
+	var out []StoreFormatRow
+	for _, bld := range builders {
+		w, err := bld.build()
+		if err != nil {
+			return nil, err
+		}
+		timed := NewTimedWrapper(w)
+		site, err := core.StartSite(core.SiteConfig{
+			AppName:    "HPL",
+			Wrappers:   []mapping.ApplicationWrapper{timed},
+			CachingOff: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := measureFormat(site, timed, d, queries)
+		site.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: format %s: %w", bld.name, err)
+		}
+		row.Format = bld.name
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func measureFormat(site *core.Site, timed *TimedWrapper, d *datagen.Dataset, queries int) (StoreFormatRow, error) {
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		return StoreFormatRow{}, err
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil {
+		return StoreFormatRow{}, err
+	}
+	var total, mappingS Sample
+	for i := 0; i < queries; i++ {
+		e := d.Execs[i%len(d.Execs)]
+		q := perfdata.Query{Metric: "gflops", Time: e.Time, Type: "hpl"}
+		ref := refs[i%len(refs)]
+		timed.Rec.Reset()
+		start := time.Now()
+		if _, err := ref.PerformanceResults(q); err != nil {
+			return StoreFormatRow{}, err
+		}
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		durs := timed.Rec.Durations()
+		if len(durs) != 1 {
+			return StoreFormatRow{}, fmt.Errorf("recorder saw %d calls", len(durs))
+		}
+		total.Add(elapsed)
+		mappingS.Add(float64(durs[0]) / float64(time.Millisecond))
+	}
+	return StoreFormatRow{
+		MeanTotalMs:   total.Mean(),
+		MeanMappingMs: mappingS.Mean(),
+		MeanOverhead:  total.Mean() - mappingS.Mean(),
+	}, nil
+}
+
+// RenderStoreFormats formats the comparison.
+func RenderStoreFormats(rows []StoreFormatRow) string {
+	header := []string{"Store format", "Total (ms)", "Mapping (ms)", "Overhead (ms)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Format, Fmt(r.MeanTotalMs), Fmt(r.MeanMappingMs), Fmt(r.MeanOverhead)})
+	}
+	return viz.Table("Future work — same HPL content, three store formats (uncalibrated)", header, cells)
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// QueryModelRow is one query-dispatch model's measured batch cost.
+type QueryModelRow struct {
+	Model  string
+	WallMs float64
+}
+
+// RunQueryModels compares the paper's two client dispatch models over the
+// same batch: the thesis prototype's blocking model (one thread per
+// Execution Grid service call) against the future-work registry-callback
+// model (fire-and-collect through one NotificationSink). The paper hoped
+// the callback model "could eliminate some of the inefficiencies involved
+// in using a separate thread for each service call in a large query"; this
+// ablation quantifies the difference on this stack.
+func RunQueryModels(cfg Config, executions, rounds int) ([]QueryModelRow, error) {
+	cfg = cfg.withDefaults()
+	cfg.CachingOff = true
+	cfg.Replicas = 1
+	if executions <= 0 {
+		executions = 64
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	src, err := NewHPLSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	c := client.NewWithoutRegistry()
+	defer c.Close()
+	if err := c.EnableCallbacks(); err != nil {
+		return nil, err
+	}
+	b, err := c.BindFactory(src.Name, src.Site.ApplicationFactoryHandle())
+	if err != nil {
+		return nil, err
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil {
+		return nil, err
+	}
+	if executions > len(refs) {
+		executions = len(refs)
+	}
+	refs = refs[:executions]
+	q := perfdata.Query{Metric: src.Metric, Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: src.Type}
+
+	var blocking, callback Sample
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		results := client.QueryPerformanceResults(refs, q, client.ParallelOptions{})
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+		}
+		blocking.Add(float64(time.Since(start)) / float64(time.Millisecond))
+
+		start = time.Now()
+		cbResults, err := c.QueryPerformanceResultsCallback(refs, q, 30*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range cbResults {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+		}
+		callback.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	return []QueryModelRow{
+		{Model: "blocking (thread per call)", WallMs: blocking.Mean()},
+		{Model: "registry-callback", WallMs: callback.Mean()},
+	}, nil
+}
+
+// RenderQueryModels formats the comparison.
+func RenderQueryModels(rows []QueryModelRow, executions int) string {
+	header := []string{"Dispatch model", "Batch wall (ms)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Model, Fmt(r.WallMs)})
+	}
+	return viz.Table("Future work — blocking vs registry-callback dispatch", header, cells)
+}

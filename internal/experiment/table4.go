@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/viz"
+)
+
+// Table4Config tunes the overhead experiment (section 6.4).
+type Table4Config struct {
+	Config
+	// QueriesPerSource overrides the paper's counts (100 for HPL and RMA,
+	// 30 for SMG98) when > 0 — used by quick test runs.
+	QueriesPerSource int
+	// Sources restricts the experiment; nil runs all three.
+	Sources []string
+}
+
+// Table4Row is one measured row of the reproduced Table 4.
+type Table4Row struct {
+	Source        string
+	Queries       int
+	MeanTotalMs   float64
+	MeanMappingMs float64
+	MeanOverhead  float64
+	OverheadPct   float64
+	COV           float64
+	BytesPerQuery float64
+}
+
+// Table4Report is the reproduced Table 4 with the paper's reference rows.
+type Table4Report struct {
+	Rows  []Table4Row
+	Paper []PaperTable4Row
+}
+
+// paperQueryCount reproduces section 6.4's sample sizes.
+func paperQueryCount(source string) int {
+	if source == "SMG98" {
+		return 30
+	}
+	return 100
+}
+
+// bindRefs binds a client to the source and resolves every execution to
+// its ExecutionRef, keyed by execution ID (setup work, not timed).
+func bindRefs(s *Source) (map[string]*client.ExecutionRef, error) {
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory(s.Name, s.Site.ApplicationFactoryHandle())
+	if err != nil {
+		return nil, err
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*client.ExecutionRef, len(refs))
+	for _, ref := range refs {
+		info, err := ref.Info()
+		if err != nil {
+			return nil, err
+		}
+		if len(info) == 0 || info[0].Name != "id" {
+			return nil, fmt.Errorf("experiment: getInfo of %s lacks id", ref.Handle)
+		}
+		out[info[0].Value] = ref
+	}
+	return out, nil
+}
+
+// RunTable4 measures grid-services overhead per data source: each getPR is
+// timed at the Virtualization Layer (the client stub call) and at the
+// Mapping Layer (the wrapper), overhead being the difference. Caching is
+// off so every query pays the full mapping cost, and client and services
+// share one machine to eliminate network variability, per the paper.
+func RunTable4(cfg Table4Config) (*Table4Report, error) {
+	names := cfg.Sources
+	if names == nil {
+		names = AllSourceNames
+	}
+	base := cfg.Config
+	base.CachingOff = true
+	base.Replicas = 1
+
+	report := &Table4Report{Paper: PaperTable4}
+	for _, name := range names {
+		src, err := NewSource(name, base)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runTable4Source(src, cfg)
+		src.Close()
+		if err != nil {
+			return nil, err
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+func runTable4Source(src *Source, cfg Table4Config) (Table4Row, error) {
+	refs, err := bindRefs(src)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	n := cfg.QueriesPerSource
+	if n <= 0 {
+		n = paperQueryCount(src.Name)
+	}
+	var total, mappingS, overhead Sample
+	var bytes Sample
+	for i := 0; i < n; i++ {
+		execID, q := src.QueryFor(i)
+		ref, ok := refs[execID]
+		if !ok {
+			return Table4Row{}, fmt.Errorf("experiment: no ref for execution %s", execID)
+		}
+		src.Rec.Reset()
+		start := time.Now()
+		rs, err := ref.PerformanceResults(q)
+		if err != nil {
+			return Table4Row{}, fmt.Errorf("experiment: %s query %d: %w", src.Name, i, err)
+		}
+		elapsed := time.Since(start)
+		durs := src.Rec.Durations()
+		if len(durs) != 1 {
+			return Table4Row{}, fmt.Errorf("experiment: recorder saw %d mapping calls for one query", len(durs))
+		}
+		totalMs := float64(elapsed) / float64(time.Millisecond)
+		mapMs := float64(durs[0]) / float64(time.Millisecond)
+		total.Add(totalMs)
+		mappingS.Add(mapMs)
+		overhead.Add(totalMs - mapMs)
+		bytes.Add(float64(payloadBytes(rs)))
+	}
+	row := Table4Row{
+		Source:        src.Name,
+		Queries:       n,
+		MeanTotalMs:   total.Mean(),
+		MeanMappingMs: mappingS.Mean(),
+		MeanOverhead:  overhead.Mean(),
+		COV:           total.COV(),
+		BytesPerQuery: bytes.Mean(),
+	}
+	if row.MeanTotalMs > 0 {
+		row.OverheadPct = row.MeanOverhead / row.MeanTotalMs * 100
+	}
+	return row, nil
+}
+
+// Render prints the measured table next to the paper's values.
+func (r *Table4Report) Render() string {
+	header := []string{"Source", "Queries", "Total (ms)", "Mapping (ms)", "Overhead (ms)", "Overhead %", "COV", "Bytes/query"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Source, fmt.Sprint(row.Queries), Fmt(row.MeanTotalMs), Fmt(row.MeanMappingMs),
+			Fmt(row.MeanOverhead), Fmt(row.OverheadPct) + "%", Fmt(row.COV), Fmt(row.BytesPerQuery),
+		})
+	}
+	out := viz.Table("Table 4 — PPerfGrid Overhead (measured)", header, rows)
+	var paperRows [][]string
+	for _, row := range r.Paper {
+		paperRows = append(paperRows, []string{
+			row.Source, "-", Fmt(row.MeanTotalMs), Fmt(row.MeanMappingMs),
+			Fmt(row.MeanOverhead), Fmt(row.OverheadPct) + "%", Fmt(row.COV), Fmt(row.BytesPerQuery),
+		})
+	}
+	out += "\n" + viz.Table("Table 4 — paper reference values", header, paperRows)
+	checks := r.CheckShape()
+	out += "\nShape checks:\n"
+	for _, c := range checks {
+		out += "  " + c + "\n"
+	}
+	return out
+}
+
+// CheckShape evaluates the paper's qualitative findings against the
+// measured rows, returning one "ok"/"MISMATCH" line per relationship.
+func (r *Table4Report) CheckShape() []string {
+	row := map[string]Table4Row{}
+	for _, x := range r.Rows {
+		row[x.Source] = x
+	}
+	var out []string
+	check := func(name string, ok bool) {
+		status := "ok      "
+		if !ok {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s", status, name))
+	}
+	hpl, hasHPL := row["HPL"]
+	rma, hasRMA := row["RMA"]
+	smg, hasSMG := row["SMG98"]
+	if hasHPL && hasRMA {
+		check("RMA overhead % exceeds HPL's (payload-driven overhead)", rma.OverheadPct > hpl.OverheadPct)
+		check("RMA transfers more bytes per query than HPL", rma.BytesPerQuery > hpl.BytesPerQuery)
+		check("absolute overhead grows with payload (RMA > HPL)", rma.MeanOverhead > hpl.MeanOverhead)
+	}
+	if hasHPL && hasSMG {
+		check("SMG98 overhead % is the smallest (mapping-dominated)", smg.OverheadPct < hpl.OverheadPct)
+		check("SMG98 total time dwarfs HPL's", smg.MeanTotalMs > 10*hpl.MeanTotalMs)
+	}
+	if hasRMA && hasSMG {
+		check("SMG98 overhead % below RMA's", smg.OverheadPct < rma.OverheadPct)
+		check("SMG98 transfers the most bytes", smg.BytesPerQuery > rma.BytesPerQuery)
+	}
+	if hasHPL && hasRMA && hasSMG {
+		order := []string{}
+		for _, x := range []Table4Row{rma, hpl, smg} {
+			order = append(order, x.Source)
+		}
+		check("overhead % ordering RMA > HPL > SMG98 (paper's 71/28/11)",
+			rma.OverheadPct > hpl.OverheadPct && hpl.OverheadPct > smg.OverheadPct)
+		_ = order
+	}
+	if len(out) == 0 {
+		out = append(out, "no checks ran (need at least two sources)")
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *Table4Report) ShapeOK() bool {
+	for _, line := range r.CheckShape() {
+		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,369 @@
+// Package flatfile implements the flat ASCII text data store used by the
+// paper's Presta-RMA dataset, together with the custom parser the Mapping
+// Layer uses to query it.
+//
+// A dataset is a directory of plain text files: one index file (app.txt)
+// naming the application, its metadata, and the per-execution data files;
+// and one data file per execution holding its attributes, time range, and
+// whitespace-separated performance-result records.
+//
+// The store deliberately re-reads and re-parses the execution file on every
+// Results call — exactly what a custom text-file parser does per query —
+// so the Mapping-Layer cost that Tables 4 and 5 of the paper attribute to
+// "ASCII text files" is actually paid.
+package flatfile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// IndexFile is the name of the dataset index file.
+const IndexFile = "app.txt"
+
+// Execution is one run's data in a flat-file dataset.
+type Execution struct {
+	ID      string
+	Attrs   map[string]string
+	Time    perfdata.TimeRange
+	Results []perfdata.Result
+}
+
+// Dataset is a fully materialized flat-file dataset, used by writers and
+// generators. Stores read lazily via Store instead.
+type Dataset struct {
+	Name  string
+	Meta  []perfdata.KV
+	Execs []Execution
+}
+
+// Encode renders the dataset as its file set: file name to content.
+func Encode(ds *Dataset) (map[string][]byte, error) {
+	if ds.Name == "" {
+		return nil, fmt.Errorf("flatfile: dataset has no application name")
+	}
+	files := make(map[string][]byte, len(ds.Execs)+1)
+	var idx strings.Builder
+	fmt.Fprintf(&idx, "application %s\n", ds.Name)
+	for _, kv := range ds.Meta {
+		fmt.Fprintf(&idx, "meta %s %s\n", kv.Name, kv.Value)
+	}
+	for _, e := range ds.Execs {
+		if e.ID == "" || strings.ContainsAny(e.ID, " \t\n") {
+			return nil, fmt.Errorf("flatfile: bad execution ID %q", e.ID)
+		}
+		fname := "exec_" + e.ID + ".txt"
+		fmt.Fprintf(&idx, "execution %s %s\n", e.ID, fname)
+		files[fname] = encodeExec(&e)
+	}
+	files[IndexFile] = []byte(idx.String())
+	return files, nil
+}
+
+func encodeExec(e *Execution) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution %s\n", e.ID)
+	names := make([]string, 0, len(e.Attrs))
+	for n := range e.Attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "attr %s %s\n", n, e.Attrs[n])
+	}
+	fmt.Fprintf(&b, "timerange %s %s\n", ftoa(e.Time.Start), ftoa(e.Time.End))
+	b.WriteString("columns metric focus type start end value\n")
+	for _, r := range e.Results {
+		fmt.Fprintf(&b, "data %s %s %s %s %s %s\n",
+			r.Metric, r.Focus, r.Type, ftoa(r.Time.Start), ftoa(r.Time.End),
+			strconv.FormatFloat(r.Value, 'g', -1, 64))
+	}
+	b.WriteString("end\n")
+	return []byte(b.String())
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteDir writes the dataset's files into a directory, creating it if
+// necessary.
+func WriteDir(ds *Dataset, dir string) error {
+	files, err := Encode(ds)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store provides lazy, per-query access to a flat-file dataset rooted in
+// an fs.FS (a real directory via os.DirFS, or an in-memory fstest.MapFS).
+type Store struct {
+	fsys  fs.FS
+	name  string
+	meta  []perfdata.KV
+	order []string          // execution IDs in index order
+	files map[string]string // execution ID -> file name
+}
+
+// Open reads and validates the dataset index. Execution data files are
+// parsed only when queried.
+func Open(fsys fs.FS) (*Store, error) {
+	f, err := fsys.Open(IndexFile)
+	if err != nil {
+		return nil, fmt.Errorf("flatfile: open index: %w", err)
+	}
+	defer f.Close()
+	s := &Store{fsys: fsys, files: make(map[string]string)}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "application":
+			if len(fields) < 2 {
+				return nil, indexErr(line, "application needs a name")
+			}
+			s.name = strings.Join(fields[1:], " ")
+		case "meta":
+			if len(fields) < 2 {
+				return nil, indexErr(line, "meta needs a key")
+			}
+			s.meta = append(s.meta, perfdata.KV{Name: fields[1], Value: strings.Join(fields[2:], " ")})
+		case "execution":
+			if len(fields) != 3 {
+				return nil, indexErr(line, "execution needs <id> <file>")
+			}
+			id, fname := fields[1], fields[2]
+			if _, dup := s.files[id]; dup {
+				return nil, indexErr(line, "duplicate execution ID "+id)
+			}
+			s.files[id] = fname
+			s.order = append(s.order, id)
+		default:
+			return nil, indexErr(line, "unknown directive "+fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flatfile: read index: %w", err)
+	}
+	if s.name == "" {
+		return nil, fmt.Errorf("flatfile: index missing application name")
+	}
+	return s, nil
+}
+
+// OpenDir opens a dataset stored in a filesystem directory.
+func OpenDir(dir string) (*Store, error) { return Open(os.DirFS(dir)) }
+
+// OpenFiles opens a dataset held in memory as a file-name-to-content map,
+// e.g. the output of Encode. The parse-per-query cost model is identical
+// to the on-disk path minus the OS read.
+func OpenFiles(files map[string][]byte) (*Store, error) { return Open(memFS(files)) }
+
+// memFS is a minimal read-only fs.FS over a map.
+type memFS map[string][]byte
+
+func (m memFS) Open(name string) (fs.File, error) {
+	content, ok := m[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &memFile{name: name, Reader: *bytes.NewReader(content)}, nil
+}
+
+type memFile struct {
+	name string
+	bytes.Reader
+}
+
+func (f *memFile) Stat() (fs.FileInfo, error) {
+	return memFileInfo{name: f.name, size: f.Reader.Size()}, nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+type memFileInfo struct {
+	name string
+	size int64
+}
+
+func (i memFileInfo) Name() string       { return path.Base(i.name) }
+func (i memFileInfo) Size() int64        { return i.size }
+func (i memFileInfo) Mode() fs.FileMode  { return 0o444 }
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return false }
+func (i memFileInfo) Sys() any           { return nil }
+
+func indexErr(line int, msg string) error {
+	return fmt.Errorf("flatfile: %s:%d: %s", IndexFile, line, msg)
+}
+
+// Name returns the application name.
+func (s *Store) Name() string { return s.name }
+
+// Meta returns the application metadata pairs.
+func (s *Store) Meta() []perfdata.KV {
+	out := make([]perfdata.KV, len(s.meta))
+	copy(out, s.meta)
+	return out
+}
+
+// ExecIDs returns the execution IDs in index order.
+func (s *Store) ExecIDs() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// NumExecs returns the number of executions in the dataset.
+func (s *Store) NumExecs() int { return len(s.order) }
+
+// Execution parses and returns one execution's full data, including all
+// performance results. Each call re-reads the underlying file.
+func (s *Store) Execution(id string) (*Execution, error) {
+	return s.parseExec(id, true)
+}
+
+// ExecutionHeader parses only an execution's attributes and time range,
+// stopping before the data records.
+func (s *Store) ExecutionHeader(id string) (*Execution, error) {
+	return s.parseExec(id, false)
+}
+
+func (s *Store) parseExec(id string, withData bool) (*Execution, error) {
+	fname, ok := s.files[id]
+	if !ok {
+		return nil, fmt.Errorf("flatfile: no execution %q", id)
+	}
+	f, err := s.fsys.Open(fname)
+	if err != nil {
+		return nil, fmt.Errorf("flatfile: open %s: %w", fname, err)
+	}
+	defer f.Close()
+	return parseExecFile(f, fname, id, withData)
+}
+
+func parseExecFile(r io.Reader, fname, wantID string, withData bool) (*Execution, error) {
+	e := &Execution{Attrs: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	line, sawEnd := 0, false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "execution":
+			if len(fields) != 2 {
+				return nil, execErr(fname, line, "execution needs an ID")
+			}
+			e.ID = fields[1]
+		case "attr":
+			if len(fields) < 2 {
+				return nil, execErr(fname, line, "attr needs a name")
+			}
+			e.Attrs[fields[1]] = strings.Join(fields[2:], " ")
+		case "timerange":
+			if len(fields) != 3 {
+				return nil, execErr(fname, line, "timerange needs <start> <end>")
+			}
+			start, err1 := strconv.ParseFloat(fields[1], 64)
+			end, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || end < start {
+				return nil, execErr(fname, line, "bad timerange")
+			}
+			e.Time = perfdata.TimeRange{Start: start, End: end}
+		case "columns":
+			// Documentation line; the layout is fixed.
+		case "data":
+			if !withData {
+				return finishExec(e, fname, wantID)
+			}
+			if len(fields) != 7 {
+				return nil, execErr(fname, line, fmt.Sprintf("data record has %d fields, want 7", len(fields)))
+			}
+			start, err1 := strconv.ParseFloat(fields[4], 64)
+			end, err2 := strconv.ParseFloat(fields[5], 64)
+			val, err3 := strconv.ParseFloat(fields[6], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, execErr(fname, line, "bad numeric field in data record")
+			}
+			e.Results = append(e.Results, perfdata.Result{
+				Metric: fields[1], Focus: fields[2], Type: fields[3],
+				Time:  perfdata.TimeRange{Start: start, End: end},
+				Value: val,
+			})
+		case "end":
+			sawEnd = true
+		default:
+			return nil, execErr(fname, line, "unknown directive "+fields[0])
+		}
+		if sawEnd {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flatfile: read %s: %w", fname, err)
+	}
+	if withData && !sawEnd {
+		return nil, fmt.Errorf("flatfile: %s: missing end directive", fname)
+	}
+	return finishExec(e, fname, wantID)
+}
+
+func finishExec(e *Execution, fname, wantID string) (*Execution, error) {
+	if e.ID == "" {
+		return nil, fmt.Errorf("flatfile: %s: missing execution directive", fname)
+	}
+	if e.ID != wantID {
+		return nil, fmt.Errorf("flatfile: %s: file declares execution %q, index says %q", fname, e.ID, wantID)
+	}
+	return e, nil
+}
+
+func execErr(fname string, line int, msg string) error {
+	return fmt.Errorf("flatfile: %s:%d: %s", fname, line, msg)
+}
+
+// Query scans one execution's results for those matching q, re-parsing the
+// backing file. This is the per-query path the Mapping Layer uses.
+func (s *Store) Query(id string, q perfdata.Query) ([]perfdata.Result, error) {
+	e, err := s.Execution(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []perfdata.Result
+	for _, r := range e.Results {
+		if q.Matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

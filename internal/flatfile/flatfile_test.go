@@ -1,0 +1,312 @@
+package flatfile
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"pperfgrid/internal/perfdata"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Name: "PRESTA-RMA",
+		Meta: []perfdata.KV{
+			{Name: "description", Value: "PRESTA MPI Bandwidth and Latency Benchmark"},
+			{Name: "version", Value: "1.2"},
+		},
+		Execs: []Execution{
+			{
+				ID:    "1",
+				Attrs: map[string]string{"numprocesses": "2", "rundate": "2004-03-15"},
+				Time:  perfdata.TimeRange{Start: 0, End: 120},
+				Results: []perfdata.Result{
+					{Metric: "bandwidth", Focus: "/Comm/unidir/1024", Type: "presta", Time: perfdata.TimeRange{Start: 0, End: 10}, Value: 88.5},
+					{Metric: "latency", Focus: "/Comm/bidir/8", Type: "presta", Time: perfdata.TimeRange{Start: 10, End: 20}, Value: 12.25},
+				},
+			},
+			{
+				ID:    "2",
+				Attrs: map[string]string{"numprocesses": "4", "rundate": "2004-03-16"},
+				Time:  perfdata.TimeRange{Start: 0, End: 60},
+				Results: []perfdata.Result{
+					{Metric: "bandwidth", Focus: "/Comm/unidir/1024", Type: "presta", Time: perfdata.TimeRange{Start: 0, End: 30}, Value: 91},
+				},
+			},
+		},
+	}
+}
+
+func openSample(t *testing.T) *Store {
+	t.Helper()
+	files, err := Encode(sampleDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := fstest.MapFS{}
+	for name, content := range files {
+		fsys[name] = &fstest.MapFile{Data: content}
+	}
+	s, err := Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeOpenRoundTrip(t *testing.T) {
+	s := openSample(t)
+	if s.Name() != "PRESTA-RMA" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	wantMeta := sampleDataset().Meta
+	if !reflect.DeepEqual(s.Meta(), wantMeta) {
+		t.Errorf("Meta = %+v", s.Meta())
+	}
+	if !reflect.DeepEqual(s.ExecIDs(), []string{"1", "2"}) {
+		t.Errorf("ExecIDs = %v", s.ExecIDs())
+	}
+	if s.NumExecs() != 2 {
+		t.Errorf("NumExecs = %d", s.NumExecs())
+	}
+}
+
+func TestExecutionFullParse(t *testing.T) {
+	s := openSample(t)
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleDataset().Execs[0]
+	if e.ID != want.ID || !reflect.DeepEqual(e.Attrs, want.Attrs) || e.Time != want.Time {
+		t.Errorf("header mismatch: %+v", e)
+	}
+	if !reflect.DeepEqual(e.Results, want.Results) {
+		t.Errorf("results = %+v, want %+v", e.Results, want.Results)
+	}
+}
+
+func TestExecutionHeaderSkipsData(t *testing.T) {
+	s := openSample(t)
+	e, err := s.ExecutionHeader("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Results) != 0 {
+		t.Errorf("header parse returned %d results", len(e.Results))
+	}
+	if e.Attrs["numprocesses"] != "2" {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+}
+
+func TestExecutionMissing(t *testing.T) {
+	s := openSample(t)
+	if _, err := s.Execution("99"); err == nil {
+		t.Error("want error for missing execution")
+	}
+}
+
+func TestQueryFiltering(t *testing.T) {
+	s := openSample(t)
+	rs, err := s.Query("1", perfdata.Query{
+		Metric: "bandwidth",
+		Time:   perfdata.TimeRange{Start: 0, End: 120},
+		Type:   "presta",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 88.5 {
+		t.Errorf("got %+v", rs)
+	}
+	// Focus subtree match.
+	rs, err = s.Query("1", perfdata.Query{
+		Metric: "latency",
+		Foci:   []string{"/Comm/bidir"},
+		Time:   perfdata.TimeRange{Start: 0, End: 120},
+		Type:   perfdata.UndefinedType,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 12.25 {
+		t.Errorf("got %+v", rs)
+	}
+	// No match.
+	rs, err = s.Query("1", perfdata.Query{Metric: "nope", Time: perfdata.TimeRange{Start: 0, End: 120}, Type: perfdata.UndefinedType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("got %+v", rs)
+	}
+}
+
+func TestWriteDirAndOpenDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rma")
+	if err := WriteDir(sampleDataset(), dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Execution("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Results) != 1 || e.Results[0].Value != 91 {
+		t.Errorf("got %+v", e.Results)
+	}
+	// Files are really on disk.
+	if _, err := os.Stat(filepath.Join(dir, IndexFile)); err != nil {
+		t.Errorf("index file: %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(&Dataset{}); err == nil {
+		t.Error("empty dataset name: want error")
+	}
+	if _, err := Encode(&Dataset{Name: "X", Execs: []Execution{{ID: "has space"}}}); err == nil {
+		t.Error("bad execution ID: want error")
+	}
+}
+
+func TestOpenIndexErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing application": "meta a b\n",
+		"bad directive":       "application X\nbogus\n",
+		"short execution":     "application X\nexecution 1\n",
+		"duplicate execution": "application X\nexecution 1 a.txt\nexecution 1 b.txt\n",
+		"meta no key":         "application X\nmeta\n",
+	}
+	for name, content := range cases {
+		fsys := fstest.MapFS{IndexFile: &fstest.MapFile{Data: []byte(content)}}
+		if _, err := Open(fsys); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := Open(fstest.MapFS{}); err == nil {
+		t.Error("missing index file: want error")
+	}
+}
+
+func TestExecFileErrors(t *testing.T) {
+	mk := func(content string) *Store {
+		fsys := fstest.MapFS{
+			IndexFile: &fstest.MapFile{Data: []byte("application X\nexecution 1 e.txt\n")},
+			"e.txt":   &fstest.MapFile{Data: []byte(content)},
+		}
+		s, err := Open(fsys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := map[string]string{
+		"missing execution line": "attr a b\nend\n",
+		"wrong ID":               "execution 2\nend\n",
+		"bad timerange":          "execution 1\ntimerange 5 1\nend\n",
+		"short data":             "execution 1\ndata a b\nend\n",
+		"bad data number":        "execution 1\ndata m /f t x 1 2\nend\n",
+		"unknown directive":      "execution 1\nwhatever\nend\n",
+		"missing end":            "execution 1\ndata m /f t 0 1 2\n",
+	}
+	for name, content := range cases {
+		s := mk(content)
+		if _, err := s.Execution("1"); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	fsys := fstest.MapFS{
+		IndexFile: &fstest.MapFile{Data: []byte("# comment\n\napplication X\nexecution 1 e.txt\n")},
+		"e.txt": &fstest.MapFile{Data: []byte(
+			"# header comment\nexecution 1\n\nattr a b\ntimerange 0 1\ncolumns metric focus type start end value\ndata m /f t 0 1 2\nend\n")},
+	}
+	s, err := Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Results) != 1 || e.Attrs["a"] != "b" {
+		t.Errorf("got %+v", e)
+	}
+}
+
+func TestAttrValuesWithSpaces(t *testing.T) {
+	ds := &Dataset{
+		Name: "X",
+		Execs: []Execution{{
+			ID:    "1",
+			Attrs: map[string]string{"description": "a longer value with spaces"},
+			Time:  perfdata.TimeRange{Start: 0, End: 1},
+		}},
+	}
+	files, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := fstest.MapFS{}
+	for n, c := range files {
+		fsys[n] = &fstest.MapFile{Data: c}
+	}
+	s, err := Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Attrs["description"] != "a longer value with spaces" {
+		t.Errorf("attr = %q", e.Attrs["description"])
+	}
+}
+
+func TestLargeDatasetRoundTrip(t *testing.T) {
+	ds := &Dataset{Name: "big"}
+	var results []perfdata.Result
+	for i := 0; i < 2000; i++ {
+		results = append(results, perfdata.Result{
+			Metric: "bandwidth",
+			Focus:  "/Comm/unidir/" + strings.Repeat("x", i%5),
+			Type:   "presta",
+			Time:   perfdata.TimeRange{Start: float64(i), End: float64(i + 1)},
+			Value:  float64(i) * 1.5,
+		})
+	}
+	ds.Execs = []Execution{{ID: "1", Attrs: map[string]string{}, Time: perfdata.TimeRange{Start: 0, End: 2000}, Results: results}}
+	files, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := fstest.MapFS{}
+	for n, c := range files {
+		fsys[n] = &fstest.MapFile{Data: c}
+	}
+	s, err := Open(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Results) != 2000 {
+		t.Fatalf("results = %d", len(e.Results))
+	}
+	if !reflect.DeepEqual(e.Results, results) {
+		t.Error("large dataset mangled in round trip")
+	}
+}

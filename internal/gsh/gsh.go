@@ -1,0 +1,131 @@
+// Package gsh implements Grid Service Handles (GSHs), the globally unique
+// names that identify grid services and grid service instances in PPerfGrid.
+//
+// A GSH has the canonical form
+//
+//	http://host:port/ogsa/services/<serviceType>/<instanceID>
+//
+// where serviceType names the static service concept (for example
+// "ApplicationFactory" or "Execution") and instanceID names one transient,
+// stateful instantiation of that concept. Persistent (non-transient)
+// services such as factories and the registry use the instance ID "0".
+//
+// The OGSI specification requires that no two grid services or grid service
+// instances share a GSH; the Allocator type provides process-wide unique IDs
+// and the container enforces uniqueness at deployment time.
+package gsh
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// PathPrefix is the URL path under which all grid services are hosted,
+// mirroring the Globus Toolkit's /ogsa/services/ convention.
+const PathPrefix = "/ogsa/services/"
+
+// PersistentID is the instance ID used by persistent (non-transient)
+// services such as factories, the Manager, and the registry.
+const PersistentID = "0"
+
+// Handle is a parsed Grid Service Handle.
+type Handle struct {
+	// Scheme is the transport scheme, always "http" in this implementation.
+	Scheme string
+	// Host is the host:port authority of the hosting container.
+	Host string
+	// ServiceType is the static service concept name, e.g. "Application".
+	ServiceType string
+	// InstanceID identifies one transient instance of the service type.
+	InstanceID string
+}
+
+// ErrInvalid reports a malformed Grid Service Handle.
+var ErrInvalid = errors.New("gsh: invalid grid service handle")
+
+// New constructs a Handle from its parts.
+func New(host, serviceType, instanceID string) Handle {
+	return Handle{Scheme: "http", Host: host, ServiceType: serviceType, InstanceID: instanceID}
+}
+
+// Persistent constructs the Handle of a persistent service (instance ID "0").
+func Persistent(host, serviceType string) Handle {
+	return New(host, serviceType, PersistentID)
+}
+
+// Parse parses a GSH string into a Handle. It returns ErrInvalid (wrapped
+// with detail) if the string is not a well-formed GSH.
+func Parse(s string) (Handle, error) {
+	u, err := url.Parse(s)
+	if err != nil {
+		return Handle{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return Handle{}, fmt.Errorf("%w: scheme %q", ErrInvalid, u.Scheme)
+	}
+	if u.Host == "" {
+		return Handle{}, fmt.Errorf("%w: missing host", ErrInvalid)
+	}
+	if !strings.HasPrefix(u.Path, PathPrefix) {
+		return Handle{}, fmt.Errorf("%w: path %q lacks prefix %q", ErrInvalid, u.Path, PathPrefix)
+	}
+	rest := strings.TrimPrefix(u.Path, PathPrefix)
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return Handle{}, fmt.Errorf("%w: path %q must be %sTYPE/ID", ErrInvalid, u.Path, PathPrefix)
+	}
+	return Handle{Scheme: u.Scheme, Host: u.Host, ServiceType: parts[0], InstanceID: parts[1]}, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for tests and
+// for handles produced by this process, which are well-formed by construction.
+func MustParse(s string) Handle {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// String renders the Handle in canonical GSH form.
+func (h Handle) String() string {
+	scheme := h.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	return scheme + "://" + h.Host + PathPrefix + h.ServiceType + "/" + h.InstanceID
+}
+
+// URL returns the HTTP endpoint at which the instance accepts SOAP messages.
+// In this implementation the Grid Service Reference (GSR) and the GSH share
+// an address, so URL is simply the canonical string form.
+func (h Handle) URL() string { return h.String() }
+
+// IsPersistent reports whether the handle names a persistent service.
+func (h Handle) IsPersistent() bool { return h.InstanceID == PersistentID }
+
+// IsZero reports whether the handle is the zero Handle.
+func (h Handle) IsZero() bool { return h == Handle{} }
+
+// WithInstance returns a copy of h addressing a different instance of the
+// same service type on the same host.
+func (h Handle) WithInstance(id string) Handle {
+	h.InstanceID = id
+	return h
+}
+
+// Allocator issues process-wide unique instance IDs. The zero value is ready
+// to use. IDs are small decimal strings, unique per Allocator.
+type Allocator struct {
+	next atomic.Uint64
+}
+
+// Next returns the next unique instance ID. The first ID returned is "1";
+// "0" is reserved for persistent services.
+func (a *Allocator) Next() string {
+	return strconv.FormatUint(a.next.Add(1), 10)
+}

@@ -1,0 +1,172 @@
+package gsh
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []Handle{
+		New("localhost:8080", "Application", "17"),
+		New("siteA.example.org:9090", "ExecutionFactory", "0"),
+		Persistent("10.0.0.1:1234", "Registry"),
+	}
+	for _, want := range cases {
+		got, err := Parse(want.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"ftp://host:1/ogsa/services/App/1",
+		"http:///ogsa/services/App/1",
+		"http://host:1/wrong/prefix/App/1",
+		"http://host:1/ogsa/services/App",
+		"http://host:1/ogsa/services//1",
+		"http://host:1/ogsa/services/App/",
+		"http://host:1/ogsa/services/App/1/extra",
+		"not a url at all ://",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Parse(%q): want ErrInvalid, got %v", s, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on malformed handle did not panic")
+		}
+	}()
+	MustParse("bogus")
+}
+
+func TestPersistent(t *testing.T) {
+	h := Persistent("host:1", "ApplicationFactory")
+	if !h.IsPersistent() {
+		t.Error("Persistent handle not reported persistent")
+	}
+	if h.InstanceID != PersistentID {
+		t.Errorf("InstanceID = %q, want %q", h.InstanceID, PersistentID)
+	}
+	if New("host:1", "Application", "3").IsPersistent() {
+		t.Error("transient handle reported persistent")
+	}
+}
+
+func TestWithInstance(t *testing.T) {
+	h := Persistent("host:1", "Execution")
+	h2 := h.WithInstance("42")
+	if h2.InstanceID != "42" || h2.Host != h.Host || h2.ServiceType != h.ServiceType {
+		t.Errorf("WithInstance: got %+v", h2)
+	}
+	if h.InstanceID != PersistentID {
+		t.Error("WithInstance mutated receiver")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var h Handle
+	if !h.IsZero() {
+		t.Error("zero Handle not reported zero")
+	}
+	if New("h:1", "T", "1").IsZero() {
+		t.Error("nonzero Handle reported zero")
+	}
+}
+
+func TestURLEqualsString(t *testing.T) {
+	h := New("host:8080", "Application", "5")
+	if h.URL() != h.String() {
+		t.Errorf("URL %q != String %q", h.URL(), h.String())
+	}
+}
+
+func TestStringDefaultsScheme(t *testing.T) {
+	h := Handle{Host: "h:1", ServiceType: "T", InstanceID: "1"}
+	if !strings.HasPrefix(h.String(), "http://") {
+		t.Errorf("String() = %q, want http:// prefix", h.String())
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	var a Allocator
+	const n = 1000
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		id := a.Next()
+		if id == PersistentID {
+			t.Fatalf("Allocator issued reserved ID %q", PersistentID)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	var a Allocator
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]string, 0, per)
+			for i := 0; i < per; i++ {
+				ids = append(ids, a.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate ID %q across goroutines", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Errorf("got %d unique IDs, want %d", len(seen), workers*per)
+	}
+}
+
+// Property: any handle built from sane parts survives a String/Parse round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	clean := func(s string, fallback string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return fallback
+		}
+		return b.String()
+	}
+	f := func(host, typ, id string) bool {
+		h := New(clean(host, "host")+":80", clean(typ, "T"), clean(id, "1"))
+		got, err := Parse(h.String())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

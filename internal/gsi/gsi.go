@@ -1,0 +1,291 @@
+// Package gsi implements a Grid Security Infrastructure-inspired security
+// layer for PPerfGrid — the paper's future-work item "incorporate GT3.2's
+// Grid Security Infrastructure (GSI) to secure communications between
+// components", including its "single sign-on" credential delegation.
+//
+// The design is symmetric-key (the module is offline and stdlib-only, so
+// no X.509 PKI): a virtual organization shares an Authority whose master
+// key plays the role of the Grid CA trust root. The authority derives one
+// long-term Credential per identity; credentials sign every SOAP request
+// with an HMAC-SHA256 over the operation, parameters, timestamp, and a
+// random nonce. Verifiers re-derive the credential from the master key, so
+// no per-identity state is stored server side. A replay cache rejects
+// reused nonces inside the freshness window.
+//
+// Delegation mirrors GSI proxy certificates: a credential mints a
+// time-limited ProxyToken whose key is derived from the long-term secret
+// and the expiry; intermediary services can sign requests with the proxy
+// on the user's behalf until it expires, without ever holding the
+// long-term secret.
+package gsi
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/soap"
+)
+
+// Header names used in signed requests.
+const (
+	HeaderIdentity  = "gsi-identity"
+	HeaderTimestamp = "gsi-timestamp"
+	HeaderNonce     = "gsi-nonce"
+	HeaderSignature = "gsi-signature"
+	HeaderProxy     = "gsi-proxy" // present when signing with a delegated proxy
+)
+
+// Verification errors.
+var (
+	ErrUnsigned     = errors.New("gsi: request is not signed")
+	ErrBadSignature = errors.New("gsi: signature verification failed")
+	ErrStale        = errors.New("gsi: request timestamp outside freshness window")
+	ErrReplay       = errors.New("gsi: nonce replayed")
+	ErrProxyExpired = errors.New("gsi: proxy token expired")
+)
+
+// Authority is the virtual organization's trust root.
+type Authority struct {
+	master []byte
+}
+
+// NewAuthority creates an authority from a master key. The key must be
+// non-empty; production deployments would provision it out of band.
+func NewAuthority(master []byte) (*Authority, error) {
+	if len(master) == 0 {
+		return nil, errors.New("gsi: empty master key")
+	}
+	key := make([]byte, len(master))
+	copy(key, master)
+	return &Authority{master: key}, nil
+}
+
+// Issue derives the long-term credential for an identity.
+func (a *Authority) Issue(identity string) (Credential, error) {
+	if identity == "" || strings.ContainsAny(identity, "|\n") {
+		return Credential{}, fmt.Errorf("gsi: bad identity %q", identity)
+	}
+	return Credential{Identity: identity, secret: derive(a.master, "cred", identity)}, nil
+}
+
+func derive(key []byte, parts ...string) []byte {
+	mac := hmac.New(sha256.New, key)
+	for _, p := range parts {
+		mac.Write([]byte(p))
+		mac.Write([]byte{0})
+	}
+	return mac.Sum(nil)
+}
+
+// Credential is one identity's long-term signing key.
+type Credential struct {
+	Identity string
+	secret   []byte
+}
+
+// signingString canonicalizes the signed content of a request.
+func signingString(identity, proxy, op string, params []string, ts, nonce string) string {
+	var b strings.Builder
+	for _, s := range []string{identity, proxy, op, ts, nonce} {
+		b.WriteString(s)
+		b.WriteByte(0)
+	}
+	for _, p := range params {
+		b.WriteString(p)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func sign(secret []byte, content string) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(content))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+func newNonce() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failure is unrecoverable for security purposes.
+		panic("gsi: crypto/rand: " + err.Error())
+	}
+	return base64.RawURLEncoding.EncodeToString(buf[:])
+}
+
+// HeaderProvider returns a per-call SOAP header provider that signs every
+// outgoing request with this credential. It matches the signature of
+// container.Stub.SetHeaderProvider.
+func (c Credential) HeaderProvider() func(op string, params []string) []soap.HeaderEntry {
+	return c.headerProvider("", c.secret, time.Now)
+}
+
+func (c Credential) headerProvider(proxy string, secret []byte, now func() time.Time) func(op string, params []string) []soap.HeaderEntry {
+	return func(op string, params []string) []soap.HeaderEntry {
+		ts := strconv.FormatInt(now().UnixNano(), 10)
+		nonce := newNonce()
+		sig := sign(secret, signingString(c.Identity, proxy, op, params, ts, nonce))
+		hdrs := []soap.HeaderEntry{
+			{Name: HeaderIdentity, Value: c.Identity},
+			{Name: HeaderTimestamp, Value: ts},
+			{Name: HeaderNonce, Value: nonce},
+			{Name: HeaderSignature, Value: sig},
+		}
+		if proxy != "" {
+			hdrs = append(hdrs, soap.HeaderEntry{Name: HeaderProxy, Value: proxy})
+		}
+		return hdrs
+	}
+}
+
+// ProxyToken is a delegated, time-limited signing capability — the
+// single-sign-on analogue of a GSI proxy certificate.
+type ProxyToken struct {
+	Identity string
+	Expires  time.Time
+	secret   []byte
+}
+
+// proxyClaim is the wire form of the delegation claim: "expiresUnixNano".
+func proxyClaim(expires time.Time) string {
+	return strconv.FormatInt(expires.UnixNano(), 10)
+}
+
+// Delegate mints a proxy valid for ttl. The proxy secret is derived from
+// the long-term secret and the expiry, so the verifier can re-derive it
+// and the long-term secret never travels.
+func (c Credential) Delegate(ttl time.Duration) ProxyToken {
+	expires := time.Now().Add(ttl)
+	return ProxyToken{
+		Identity: c.Identity,
+		Expires:  expires,
+		secret:   derive(c.secret, "proxy", proxyClaim(expires)),
+	}
+}
+
+// HeaderProvider signs outgoing requests with the proxy token.
+func (p ProxyToken) HeaderProvider() func(op string, params []string) []soap.HeaderEntry {
+	c := Credential{Identity: p.Identity}
+	return c.headerProvider(proxyClaim(p.Expires), p.secret, time.Now)
+}
+
+// Verifier checks request signatures against an authority.
+type Verifier struct {
+	authority *Authority
+	// MaxSkew is the freshness window around the verifier's clock.
+	MaxSkew time.Duration
+	nowFn   func() time.Time
+
+	mu        sync.Mutex
+	nonces    map[string]time.Time // nonce -> expiry of its freshness window
+	purgeSize int                  // cache size that triggers the next purge sweep
+}
+
+// NewVerifier creates a verifier with a default 5-minute freshness window.
+func NewVerifier(a *Authority) *Verifier {
+	return &Verifier{authority: a, MaxSkew: 5 * time.Minute, nowFn: time.Now, nonces: make(map[string]time.Time)}
+}
+
+// SetClock replaces the verifier's time source, for tests.
+func (v *Verifier) SetClock(now func() time.Time) { v.nowFn = now }
+
+// Verify checks a request's signature headers and returns the
+// authenticated identity.
+func (v *Verifier) Verify(req *soap.Request) (string, error) {
+	identity, ok := req.Header(HeaderIdentity)
+	if !ok {
+		return "", ErrUnsigned
+	}
+	ts, ok1 := req.Header(HeaderTimestamp)
+	nonce, ok2 := req.Header(HeaderNonce)
+	sig, ok3 := req.Header(HeaderSignature)
+	if !ok1 || !ok2 || !ok3 {
+		return "", ErrUnsigned
+	}
+	tsNano, err := strconv.ParseInt(ts, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("%w: bad timestamp", ErrBadSignature)
+	}
+	now := v.nowFn()
+	reqTime := time.Unix(0, tsNano)
+	if reqTime.Before(now.Add(-v.MaxSkew)) || reqTime.After(now.Add(v.MaxSkew)) {
+		return "", ErrStale
+	}
+
+	cred, err := v.authority.Issue(identity)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	secret := cred.secret
+	proxy, isProxy := req.Header(HeaderProxy)
+	if isProxy {
+		expNano, err := strconv.ParseInt(proxy, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("%w: bad proxy claim", ErrBadSignature)
+		}
+		if time.Unix(0, expNano).Before(now) {
+			return "", ErrProxyExpired
+		}
+		secret = derive(secret, "proxy", proxy)
+	}
+
+	want := sign(secret, signingString(identity, proxy, req.Operation, req.Params, ts, nonce))
+	if !hmac.Equal([]byte(want), []byte(sig)) {
+		return "", ErrBadSignature
+	}
+	if err := v.recordNonce(nonce, now); err != nil {
+		return "", err
+	}
+	return identity, nil
+}
+
+func (v *Verifier) recordNonce(nonce string, now time.Time) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if exp, seen := v.nonces[nonce]; seen && now.Before(exp) {
+		return ErrReplay
+	}
+	// Opportunistic purge keeps the cache bounded by the traffic of one
+	// freshness window. The trigger size doubles when a sweep frees
+	// nothing (a burst of still-fresh nonces), so the sweep cost stays
+	// amortized O(1) per request instead of O(n) under sustained load.
+	if v.purgeSize == 0 {
+		v.purgeSize = 10000
+	}
+	if len(v.nonces) >= v.purgeSize {
+		for n, exp := range v.nonces {
+			if !now.Before(exp) {
+				delete(v.nonces, n)
+			}
+		}
+		v.purgeSize = max(10000, 2*len(v.nonces))
+	}
+	v.nonces[nonce] = now.Add(2 * v.MaxSkew)
+	return nil
+}
+
+// Policy decides whether an authenticated identity may invoke an operation
+// on a service type. A nil Policy admits every verified identity.
+type Policy func(identity, serviceType, op string) error
+
+// AllowIdentities builds a policy admitting exactly the given identities.
+func AllowIdentities(ids ...string) Policy {
+	set := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(identity, serviceType, op string) error {
+		if !set[identity] {
+			return fmt.Errorf("gsi: identity %q not authorized for %s.%s", identity, serviceType, op)
+		}
+		return nil
+	}
+}

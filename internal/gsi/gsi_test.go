@@ -1,0 +1,292 @@
+package gsi
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/wsdl"
+)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority([]byte("test-master-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// signedRequest builds a request with headers produced by the provider.
+func signedRequest(provider func(op string, params []string) []soap.HeaderEntry, op string, params ...string) *soap.Request {
+	return &soap.Request{Operation: op, Params: params, Headers: provider(op, params)}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	a := newAuthority(t)
+	cred, err := a.Issue("karavanic@pdx.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(a)
+	req := signedRequest(cred.HeaderProvider(), "getExecs", "runid", "100")
+	id, err := v.Verify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "karavanic@pdx.edu" {
+		t.Errorf("identity = %q", id)
+	}
+}
+
+func TestVerifyRejectsUnsigned(t *testing.T) {
+	v := NewVerifier(newAuthority(t))
+	if _, err := v.Verify(&soap.Request{Operation: "op"}); !errors.Is(err, ErrUnsigned) {
+		t.Errorf("got %v", err)
+	}
+	// Partial headers also count as unsigned.
+	req := &soap.Request{Operation: "op", Headers: []soap.HeaderEntry{{Name: HeaderIdentity, Value: "x"}}}
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnsigned) {
+		t.Errorf("partial: got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedParams(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	req := signedRequest(cred.HeaderProvider(), "getExecs", "runid", "100")
+	req.Params = []string{"runid", "999"} // tampered after signing
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedOperation(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	req := signedRequest(cred.HeaderProvider(), "getAppInfo")
+	req.Operation = "Destroy"
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongAuthority(t *testing.T) {
+	other, _ := NewAuthority([]byte("different-master"))
+	cred, _ := other.Issue("user")
+	v := NewVerifier(newAuthority(t))
+	req := signedRequest(cred.HeaderProvider(), "op")
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVerifyRejectsStale(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	var mu sync.Mutex
+	now := time.Now()
+	v.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	req := signedRequest(cred.HeaderProvider(), "op")
+	mu.Lock()
+	now = now.Add(10 * time.Minute)
+	mu.Unlock()
+	if _, err := v.Verify(req); !errors.Is(err, ErrStale) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVerifyRejectsReplay(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	req := signedRequest(cred.HeaderProvider(), "op")
+	if _, err := v.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay: got %v", err)
+	}
+}
+
+func TestProxyDelegation(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	proxy := cred.Delegate(time.Minute)
+	v := NewVerifier(a)
+	req := signedRequest(proxy.HeaderProvider(), "getPR", "gflops", "0", "1", "hpl")
+	id, err := v.Verify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "user" {
+		t.Errorf("identity through proxy = %q", id)
+	}
+}
+
+func TestProxyExpires(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	proxy := cred.Delegate(-time.Second) // already expired
+	v := NewVerifier(a)
+	req := signedRequest(proxy.HeaderProvider(), "op")
+	if _, err := v.Verify(req); !errors.Is(err, ErrProxyExpired) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestProxyClaimTamperRejected(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	proxy := cred.Delegate(time.Millisecond)
+	v := NewVerifier(a)
+	req := signedRequest(proxy.HeaderProvider(), "op")
+	// Extend the claimed expiry without re-deriving the key.
+	for i, h := range req.Headers {
+		if h.Name == HeaderProxy {
+			req.Headers[i].Value = proxyClaim(time.Now().Add(time.Hour))
+		}
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	a := newAuthority(t)
+	for _, bad := range []string{"", "a|b", "line\nbreak"} {
+		if _, err := a.Issue(bad); err == nil {
+			t.Errorf("Issue(%q): want error", bad)
+		}
+	}
+	if _, err := NewAuthority(nil); err == nil {
+		t.Error("empty master: want error")
+	}
+}
+
+func TestAllowIdentitiesPolicy(t *testing.T) {
+	p := AllowIdentities("alice", "bob")
+	if err := p("alice", "Application", "getExecs"); err != nil {
+		t.Errorf("alice: %v", err)
+	}
+	if err := p("mallory", "Application", "getExecs"); err == nil {
+		t.Error("mallory admitted")
+	}
+}
+
+func TestNoncesIndependentAcrossRequests(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	for i := 0; i < 50; i++ {
+		req := signedRequest(cred.HeaderProvider(), "op")
+		if _, err := v.Verify(req); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestSecuredContainerEndToEnd wires the verifier into a real container:
+// unsigned calls fault, signed calls succeed, policy rejects outsiders.
+func TestSecuredContainerEndToEnd(t *testing.T) {
+	a := newAuthority(t)
+	v := NewVerifier(a)
+	c := container.New(ogsi.NewHosting("x:0"), container.Options{
+		Interceptors: []container.Interceptor{Interceptor(v, AllowIdentities("alice"))},
+	})
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	def := wsdl.New("Echo", wsdl.PortType{Name: "Echo", Operations: []wsdl.Operation{
+		wsdl.Op("ping", "Echo.", wsdl.PRep("arg")),
+	}})
+	in, err := c.Hosting().DeployPersistent("Echo", ogsi.ServiceFunc(func(op string, params []string) ([]string, error) {
+		return params, nil
+	}), def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsigned call faults.
+	anon := container.Dial(in.Handle())
+	if _, err := anon.Call("ping", "x"); err == nil || !strings.Contains(err.Error(), "not signed") {
+		t.Errorf("unsigned: %v", err)
+	}
+
+	// Signed call from an authorized identity succeeds.
+	alice, _ := a.Issue("alice")
+	stub := container.Dial(in.Handle())
+	stub.SetHeaderProvider(alice.HeaderProvider())
+	out, err := stub.Call("ping", "x")
+	if err != nil || len(out) != 1 || out[0] != "x" {
+		t.Errorf("alice: %v %v", out, err)
+	}
+
+	// Signed call from an unauthorized identity is rejected by policy.
+	mallory, _ := a.Issue("mallory")
+	stub2 := container.Dial(in.Handle())
+	stub2.SetHeaderProvider(mallory.HeaderProvider())
+	if _, err := stub2.Call("ping", "x"); err == nil || !strings.Contains(err.Error(), "not authorized") {
+		t.Errorf("mallory: %v", err)
+	}
+
+	// Delegated proxy of an authorized identity succeeds.
+	proxy := alice.Delegate(time.Minute)
+	stub3 := container.Dial(in.Handle())
+	stub3.SetHeaderProvider(proxy.HeaderProvider())
+	if _, err := stub3.Call("ping", "y"); err != nil {
+		t.Errorf("proxy: %v", err)
+	}
+}
+
+// TestNoncePurge drives the verifier past its purge threshold with a fake
+// clock and checks that expired nonces are actually swept rather than
+// accumulating forever (and that fresh bursts don't trigger quadratic
+// rescans — the purge threshold adapts upward).
+func TestNoncePurge(t *testing.T) {
+	a := newAuthority(t)
+	cred, _ := a.Issue("user")
+	v := NewVerifier(a)
+	var mu sync.Mutex
+	now := time.Now()
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	v.SetClock(clock)
+
+	verifyN := func(n int) {
+		for i := 0; i < n; i++ {
+			provider := cred.headerProvider("", cred.secret, clock)
+			req := &soap.Request{Operation: "op", Headers: provider("op", nil)}
+			if _, err := v.Verify(req); err != nil {
+				t.Fatalf("verify %d: %v", i, err)
+			}
+		}
+	}
+	verifyN(12000)
+	v.mu.Lock()
+	grown := len(v.nonces)
+	v.mu.Unlock()
+	if grown < 12000 {
+		t.Fatalf("fresh nonces were purged early: %d", grown)
+	}
+	// Advance past the freshness window: the old nonces expire and the
+	// next purge-triggering burst sweeps them.
+	mu.Lock()
+	now = now.Add(time.Hour)
+	mu.Unlock()
+	verifyN(13000)
+	v.mu.Lock()
+	after := len(v.nonces)
+	v.mu.Unlock()
+	if after >= grown+13000 {
+		t.Errorf("expired nonces never purged: %d entries", after)
+	}
+}

@@ -1,0 +1,23 @@
+package gsi
+
+import (
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/soap"
+)
+
+// Interceptor adapts a Verifier (and optional Policy) into a container
+// request interceptor, so a container rejects unsigned, stale, replayed,
+// or unauthorized requests with a SOAP Fault before dispatch.
+func Interceptor(v *Verifier, p Policy) container.Interceptor {
+	return func(req *soap.Request, handle gsh.Handle) error {
+		identity, err := v.Verify(req)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			return p(identity, handle.ServiceType, req.Operation)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/flatfile"
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/xmlstore"
+)
+
+// This file provides one-call builders that stand up each wrapper family
+// over a generated dataset — the Data Layer + Mapping Layer of one
+// PPerfGrid site, in the store format the paper used for that dataset.
+
+// NewMemory builds the in-memory reference wrapper from a dataset.
+func NewMemory(d *datagen.Dataset) *Memory {
+	m := &Memory{Name: d.Name, Meta: d.Meta}
+	for _, e := range d.Execs {
+		m.Execs = append(m.Execs, MemoryExecution{
+			ID: e.ID, Attrs: e.Attrs, Time: e.Time, Results: e.Results,
+		})
+	}
+	return m
+}
+
+// NewWideTable loads the dataset into a fresh single-table database and
+// returns the wrapper over it — the paper's HPL store.
+func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
+	db := minidb.NewDatabase()
+	const table = "executions"
+	if err := datagen.LoadWideTable(db, table, d); err != nil {
+		return nil, fmt.Errorf("mapping: load wide table: %w", err)
+	}
+	metrics := map[string]bool{}
+	for _, e := range d.Execs {
+		for _, r := range e.Results {
+			metrics[r.Metric] = true
+		}
+	}
+	metricCols := make([]string, 0, len(metrics))
+	for m := range metrics {
+		metricCols = append(metricCols, m)
+	}
+	sort.Strings(metricCols)
+	return &WideTableWrapper{
+		DB:      db,
+		Table:   table,
+		Meta:    d.Meta,
+		Attrs:   d.AttrNames(),
+		Metrics: metricCols,
+	}, nil
+}
+
+// NewStar loads the dataset into a fresh five-table star schema and
+// returns the wrapper over it — the paper's SMG98 store.
+func NewStar(d *datagen.Dataset) (*StarWrapper, error) {
+	db := minidb.NewDatabase()
+	if err := datagen.LoadStarSchema(db, d); err != nil {
+		return nil, fmt.Errorf("mapping: load star schema: %w", err)
+	}
+	return &StarWrapper{DB: db, Meta: d.Meta}, nil
+}
+
+// NewFlatFile encodes the dataset as flat text files held in memory and
+// returns the wrapper over them — the paper's Presta RMA store.
+func NewFlatFile(d *datagen.Dataset) (*FlatFileWrapper, error) {
+	files, err := flatfile.Encode(d.ToFlatfile())
+	if err != nil {
+		return nil, fmt.Errorf("mapping: encode flat files: %w", err)
+	}
+	store, err := flatfile.OpenFiles(files)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: open flat files: %w", err)
+	}
+	return &FlatFileWrapper{Store: store}, nil
+}
+
+// NewXML encodes the dataset as one XML document and returns the wrapper
+// over it — the paper's future-work XML variant of the HPL store.
+func NewXML(d *datagen.Dataset) (*XMLWrapper, error) {
+	raw, err := xmlstore.Encode(d.ToXML())
+	if err != nil {
+		return nil, fmt.Errorf("mapping: encode xml: %w", err)
+	}
+	store, err := xmlstore.Open(raw)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: open xml: %w", err)
+	}
+	return &XMLWrapper{Store: store}, nil
+}

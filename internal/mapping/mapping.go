@@ -1,0 +1,301 @@
+// Package mapping implements PPerfGrid's Mapping Layer: wrapper modules
+// that translate the semantic-layer operations of Tables 1 and 2 into each
+// data store's native query mechanism, and translate the results back into
+// the PPerfGrid formats (Figure 4 of the paper).
+//
+// Four wrapper families are provided, covering the paper's data sources:
+//
+//   - WideTableWrapper — single-table relational store (the HPL layout),
+//     queried with SQL text against a minidb database.
+//   - StarWrapper — five-table relational star schema (the SMG98 layout),
+//     queried with dimension lookups plus a fact-table join per getPR.
+//   - FlatFileWrapper — flat ASCII text files (the Presta RMA layout),
+//     re-parsed per query by the custom parser in package flatfile.
+//   - XMLWrapper — a native-XML store, re-decoded per query.
+//
+// The Latency decorator adds a configurable per-query delay to any
+// wrapper, calibrating the mapping-layer cost to the paper's 2004-era
+// testbed (440 MHz UltraSPARC hosts and PostgreSQL 7.4.1) so the Table 4
+// overhead ratios are reproducible on modern hardware; DESIGN.md documents
+// this substitution.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// ApplicationWrapper is the mapping-layer contract behind an Application
+// semantic object. Its operations correspond one-to-one with the
+// Application PortType (Table 1); the semantic layer adds Grid service
+// instance management on top.
+type ApplicationWrapper interface {
+	// AppInfo returns general application metadata (name, version, ...).
+	AppInfo() ([]perfdata.KV, error)
+	// NumExecs returns the number of unique executions available.
+	NumExecs() (int, error)
+	// ExecQueryParams returns the attributes that describe executions,
+	// each with its set of unique values.
+	ExecQueryParams() ([]perfdata.Attribute, error)
+	// AllExecIDs returns every unique execution ID.
+	AllExecIDs() ([]string, error)
+	// ExecIDs returns the IDs of executions whose attribute equals value.
+	ExecIDs(attr, value string) ([]string, error)
+	// ExecutionWrapper opens the execution-level wrapper for one ID.
+	ExecutionWrapper(id string) (ExecutionWrapper, error)
+}
+
+// ExecutionWrapper is the mapping-layer contract behind an Execution
+// semantic object, mirroring the Execution PortType (Table 2).
+type ExecutionWrapper interface {
+	// Info returns general execution metadata.
+	Info() ([]perfdata.KV, error)
+	// Foci returns the unique focus values, sorted, no duplicates.
+	Foci() ([]string, error)
+	// Metrics returns the unique metric names, sorted, no duplicates.
+	Metrics() ([]string, error)
+	// Types returns the unique collector types, sorted, no duplicates.
+	Types() ([]string, error)
+	// TimeStartEnd returns the execution's start and end times.
+	TimeStartEnd() (perfdata.TimeRange, error)
+	// PerformanceResults returns the results matching the query.
+	PerformanceResults(q perfdata.Query) ([]perfdata.Result, error)
+}
+
+// ErrNoSuchExecution reports a query for an execution ID the store does
+// not contain.
+var ErrNoSuchExecution = errors.New("mapping: no such execution")
+
+// Latency decorates an ApplicationWrapper with a fixed per-operation
+// delay, modelling the paper's slower testbed. Execution wrappers opened
+// through it inherit the delay.
+type Latency struct {
+	Wrapped ApplicationWrapper
+	// PerQuery is added to every wrapper operation.
+	PerQuery time.Duration
+	// PerResult is added per returned performance result, modelling
+	// row-fetch cost.
+	PerResult time.Duration
+}
+
+// WithLatency wraps w with per-query and per-result delays.
+func WithLatency(w ApplicationWrapper, perQuery, perResult time.Duration) *Latency {
+	return &Latency{Wrapped: w, PerQuery: perQuery, PerResult: perResult}
+}
+
+func (l *Latency) pause() {
+	if l.PerQuery > 0 {
+		time.Sleep(l.PerQuery)
+	}
+}
+
+// AppInfo implements ApplicationWrapper.
+func (l *Latency) AppInfo() ([]perfdata.KV, error) { l.pause(); return l.Wrapped.AppInfo() }
+
+// NumExecs implements ApplicationWrapper.
+func (l *Latency) NumExecs() (int, error) { l.pause(); return l.Wrapped.NumExecs() }
+
+// ExecQueryParams implements ApplicationWrapper.
+func (l *Latency) ExecQueryParams() ([]perfdata.Attribute, error) {
+	l.pause()
+	return l.Wrapped.ExecQueryParams()
+}
+
+// AllExecIDs implements ApplicationWrapper.
+func (l *Latency) AllExecIDs() ([]string, error) { l.pause(); return l.Wrapped.AllExecIDs() }
+
+// ExecIDs implements ApplicationWrapper.
+func (l *Latency) ExecIDs(attr, value string) ([]string, error) {
+	l.pause()
+	return l.Wrapped.ExecIDs(attr, value)
+}
+
+// ExecutionWrapper implements ApplicationWrapper.
+func (l *Latency) ExecutionWrapper(id string) (ExecutionWrapper, error) {
+	ew, err := l.Wrapped.ExecutionWrapper(id)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyExec{wrapped: ew, l: l}, nil
+}
+
+type latencyExec struct {
+	wrapped ExecutionWrapper
+	l       *Latency
+}
+
+func (e *latencyExec) Info() ([]perfdata.KV, error) { e.l.pause(); return e.wrapped.Info() }
+func (e *latencyExec) Foci() ([]string, error)      { e.l.pause(); return e.wrapped.Foci() }
+func (e *latencyExec) Metrics() ([]string, error)   { e.l.pause(); return e.wrapped.Metrics() }
+func (e *latencyExec) Types() ([]string, error)     { e.l.pause(); return e.wrapped.Types() }
+func (e *latencyExec) TimeStartEnd() (perfdata.TimeRange, error) {
+	e.l.pause()
+	return e.wrapped.TimeStartEnd()
+}
+
+func (e *latencyExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	e.l.pause()
+	rs, err := e.wrapped.PerformanceResults(q)
+	if err != nil {
+		return nil, err
+	}
+	if e.l.PerResult > 0 && len(rs) > 0 {
+		time.Sleep(time.Duration(len(rs)) * e.l.PerResult)
+	}
+	return rs, nil
+}
+
+// memoryExec is the generic in-memory execution representation shared by
+// the file-backed wrappers and the Memory reference wrapper.
+type memoryExec struct {
+	id      string
+	attrs   map[string]string
+	time    perfdata.TimeRange
+	results []perfdata.Result
+}
+
+func (e *memoryExec) Info() ([]perfdata.KV, error) {
+	ex := perfdata.Execution{ID: e.id, Attrs: e.attrs}
+	return ex.Info(), nil
+}
+
+func (e *memoryExec) Foci() ([]string, error) {
+	vals := make([]string, len(e.results))
+	for i, r := range e.results {
+		vals[i] = r.Focus
+	}
+	return perfdata.UniqueSorted(vals), nil
+}
+
+func (e *memoryExec) Metrics() ([]string, error) {
+	vals := make([]string, len(e.results))
+	for i, r := range e.results {
+		vals[i] = r.Metric
+	}
+	return perfdata.UniqueSorted(vals), nil
+}
+
+func (e *memoryExec) Types() ([]string, error) {
+	vals := make([]string, len(e.results))
+	for i, r := range e.results {
+		vals[i] = r.Type
+	}
+	return perfdata.UniqueSorted(vals), nil
+}
+
+func (e *memoryExec) TimeStartEnd() (perfdata.TimeRange, error) { return e.time, nil }
+
+func (e *memoryExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	var out []perfdata.Result
+	for _, r := range e.results {
+		if q.Matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Memory is the in-memory reference wrapper: the simplest correct
+// implementation of the mapping contract, used as a behavioural oracle in
+// cross-wrapper tests and for small ad-hoc datasets.
+type Memory struct {
+	Name  string
+	Meta  []perfdata.KV
+	Execs []MemoryExecution
+}
+
+// MemoryExecution is one execution of a Memory wrapper.
+type MemoryExecution struct {
+	ID      string
+	Attrs   map[string]string
+	Time    perfdata.TimeRange
+	Results []perfdata.Result
+}
+
+// AppInfo implements ApplicationWrapper.
+func (m *Memory) AppInfo() ([]perfdata.KV, error) {
+	out := make([]perfdata.KV, len(m.Meta))
+	copy(out, m.Meta)
+	return out, nil
+}
+
+// NumExecs implements ApplicationWrapper.
+func (m *Memory) NumExecs() (int, error) { return len(m.Execs), nil }
+
+// ExecQueryParams implements ApplicationWrapper.
+func (m *Memory) ExecQueryParams() ([]perfdata.Attribute, error) {
+	byName := map[string][]string{}
+	for _, e := range m.Execs {
+		for n, v := range e.Attrs {
+			byName[n] = append(byName[n], v)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]perfdata.Attribute, len(names))
+	for i, n := range names {
+		out[i] = perfdata.Attribute{Name: n, Values: perfdata.UniqueSorted(byName[n])}
+	}
+	return out, nil
+}
+
+// AllExecIDs implements ApplicationWrapper.
+func (m *Memory) AllExecIDs() ([]string, error) {
+	out := make([]string, len(m.Execs))
+	for i, e := range m.Execs {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// ExecIDs implements ApplicationWrapper.
+func (m *Memory) ExecIDs(attr, value string) ([]string, error) {
+	var out []string
+	for _, e := range m.Execs {
+		if v, ok := e.Attrs[attr]; ok && v == value {
+			out = append(out, e.ID)
+		}
+	}
+	return out, nil
+}
+
+// ExecutionWrapper implements ApplicationWrapper. The returned wrapper
+// reads through to the live MemoryExecution on every call, so stores that
+// are appended to while being served (the paper's streamed-from-a-running-
+// application case) expose fresh data after each update notification.
+func (m *Memory) ExecutionWrapper(id string) (ExecutionWrapper, error) {
+	for i := range m.Execs {
+		if m.Execs[i].ID == id {
+			return &liveMemoryExec{e: &m.Execs[i]}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q in %s", ErrNoSuchExecution, id, m.Name)
+}
+
+// liveMemoryExec views a MemoryExecution through a pointer, building a
+// fresh snapshot per call.
+type liveMemoryExec struct {
+	e *MemoryExecution
+}
+
+func (l *liveMemoryExec) view() *memoryExec {
+	return &memoryExec{id: l.e.ID, attrs: l.e.Attrs, time: l.e.Time, results: l.e.Results}
+}
+
+func (l *liveMemoryExec) Info() ([]perfdata.KV, error) { return l.view().Info() }
+func (l *liveMemoryExec) Foci() ([]string, error)      { return l.view().Foci() }
+func (l *liveMemoryExec) Metrics() ([]string, error)   { return l.view().Metrics() }
+func (l *liveMemoryExec) Types() ([]string, error)     { return l.view().Types() }
+func (l *liveMemoryExec) TimeStartEnd() (perfdata.TimeRange, error) {
+	return l.view().TimeStartEnd()
+}
+func (l *liveMemoryExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	return l.view().PerformanceResults(q)
+}

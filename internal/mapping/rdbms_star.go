@@ -1,0 +1,264 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/perfdata"
+)
+
+// StarWrapper maps the five-table relational star schema — the paper's
+// SMG98 layout, produced by datagen.LoadStarSchema — onto the PPerfGrid
+// interfaces.
+//
+// A getPR call performs the realistic multi-query dance of a star-schema
+// client: resolve the metric (and type) in the dimension tables, resolve
+// the queried foci with LIKE prefix scans, then run a fact-table join
+// filtered by execution, metric, type, time overlap, and focus set. On a
+// large fact table this is by far the slowest wrapper, which is exactly
+// the SMG98 behaviour Table 4 and Table 5 of the paper report.
+type StarWrapper struct {
+	DB   *minidb.Database
+	Meta []perfdata.KV
+}
+
+// AppInfo implements ApplicationWrapper.
+func (w *StarWrapper) AppInfo() ([]perfdata.KV, error) {
+	out := make([]perfdata.KV, len(w.Meta))
+	copy(out, w.Meta)
+	return out, nil
+}
+
+// NumExecs implements ApplicationWrapper.
+func (w *StarWrapper) NumExecs() (int, error) {
+	rs, err := w.DB.Query("SELECT COUNT(DISTINCT execid) FROM executions")
+	if err != nil {
+		return 0, err
+	}
+	return int(rs.Rows[0][0].Int), nil
+}
+
+// ExecQueryParams implements ApplicationWrapper over the EAV executions
+// table.
+func (w *StarWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
+	names, err := w.DB.Query("SELECT DISTINCT attrname FROM executions ORDER BY attrname")
+	if err != nil {
+		return nil, err
+	}
+	var out []perfdata.Attribute
+	for _, row := range names.Rows {
+		name := row[0].String()
+		vals, err := w.DB.Query(fmt.Sprintf(
+			"SELECT DISTINCT attrvalue FROM executions WHERE attrname = %s ORDER BY attrvalue",
+			sqlQuote(name)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, perfdata.Attribute{Name: name, Values: column0(vals)})
+	}
+	return out, nil
+}
+
+// AllExecIDs implements ApplicationWrapper.
+func (w *StarWrapper) AllExecIDs() ([]string, error) {
+	rs, err := w.DB.Query("SELECT DISTINCT execid FROM executions ORDER BY execid")
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+// ExecIDs implements ApplicationWrapper.
+func (w *StarWrapper) ExecIDs(attr, value string) ([]string, error) {
+	rs, err := w.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT execid FROM executions WHERE attrname = %s AND attrvalue = %s ORDER BY execid",
+		sqlQuote(attr), sqlQuote(value)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+// ExecutionWrapper implements ApplicationWrapper.
+func (w *StarWrapper) ExecutionWrapper(id string) (ExecutionWrapper, error) {
+	rs, err := w.DB.Query(fmt.Sprintf(
+		"SELECT COUNT(*) FROM executions WHERE execid = %s", sqlQuote(id)))
+	if err != nil {
+		return nil, err
+	}
+	if rs.Rows[0][0].Int == 0 {
+		return nil, fmt.Errorf("%w: %q in star schema", ErrNoSuchExecution, id)
+	}
+	return &starExec{w: w, id: id}, nil
+}
+
+type starExec struct {
+	w  *StarWrapper
+	id string
+}
+
+func (e *starExec) Info() ([]perfdata.KV, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT attrname, attrvalue FROM executions WHERE execid = %s ORDER BY attrname",
+		sqlQuote(e.id)))
+	if err != nil {
+		return nil, err
+	}
+	out := []perfdata.KV{{Name: "id", Value: e.id}}
+	for _, row := range rs.Rows {
+		out = append(out, perfdata.KV{Name: row[0].String(), Value: row[1].String()})
+	}
+	return out, nil
+}
+
+func (e *starExec) Foci() ([]string, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT f.path FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = %s ORDER BY f.path",
+		sqlQuote(e.id)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+func (e *starExec) Metrics() ([]string, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT m.name FROM results r JOIN metrics m ON r.metricid = m.metricid WHERE r.execid = %s ORDER BY m.name",
+		sqlQuote(e.id)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+func (e *starExec) Types() ([]string, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT c.name FROM results r JOIN collectors c ON r.typeid = c.typeid WHERE r.execid = %s ORDER BY c.name",
+		sqlQuote(e.id)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+func (e *starExec) TimeStartEnd() (perfdata.TimeRange, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT MIN(starttime), MAX(endtime) FROM executions WHERE execid = %s", sqlQuote(e.id)))
+	if err != nil {
+		return perfdata.TimeRange{}, err
+	}
+	if len(rs.Rows) == 0 || rs.Rows[0][0].IsNull() {
+		return perfdata.TimeRange{}, fmt.Errorf("%w: %q", ErrNoSuchExecution, e.id)
+	}
+	start, _ := rs.Rows[0][0].AsFloat()
+	end, _ := rs.Rows[0][1].AsFloat()
+	return perfdata.TimeRange{Start: start, End: end}, nil
+}
+
+// PerformanceResults implements the star-schema getPR path.
+func (e *starExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	// 1. Resolve the metric dimension.
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT metricid FROM metrics WHERE name = %s", sqlQuote(q.Metric)))
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, nil
+	}
+	metricID := rs.Rows[0][0].Int
+
+	// 2. Resolve the collector type, unless UNDEFINED matches all.
+	typeFilter := ""
+	if q.Type != perfdata.UndefinedType {
+		rs, err = e.w.DB.Query(fmt.Sprintf(
+			"SELECT typeid FROM collectors WHERE name = %s", sqlQuote(q.Type)))
+		if err != nil {
+			return nil, err
+		}
+		if len(rs.Rows) == 0 {
+			return nil, nil
+		}
+		typeFilter = fmt.Sprintf(" AND r.typeid = %d", rs.Rows[0][0].Int)
+	}
+
+	// 3. Resolve the queried foci to dimension IDs with prefix scans.
+	fociFilter := ""
+	if len(q.Foci) > 0 {
+		var conds []string
+		for _, f := range q.Foci {
+			base := strings.TrimSuffix(f, "/")
+			if base == "" {
+				conds = nil // root focus matches everything
+				break
+			}
+			conds = append(conds, fmt.Sprintf("path = %s OR path LIKE %s",
+				sqlQuote(base), sqlQuote(likeEscape(base)+"/%")))
+		}
+		if conds != nil {
+			rs, err = e.w.DB.Query("SELECT fociid FROM foci WHERE " + strings.Join(conds, " OR "))
+			if err != nil {
+				return nil, err
+			}
+			if len(rs.Rows) == 0 {
+				return nil, nil
+			}
+			ids := make([]string, len(rs.Rows))
+			for i, row := range rs.Rows {
+				ids[i] = row[0].String()
+			}
+			fociFilter = " AND r.fociid IN (" + strings.Join(ids, ", ") + ")"
+		}
+	}
+
+	// 4. Fact-table join filtered by execution, metric, type, time, foci.
+	sql := fmt.Sprintf(
+		"SELECT f.path, r.starttime, r.endtime, r.value, r.typeid FROM results r JOIN foci f ON r.fociid = f.fociid "+
+			"WHERE r.execid = %s AND r.metricid = %d AND r.endtime > %g AND r.starttime < %g%s%s",
+		sqlQuote(e.id), metricID, q.Time.Start, q.Time.End, typeFilter, fociFilter)
+	rs, err = e.w.DB.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Decode rows, resolving collector names from the small dimension.
+	typeNames, err := e.typeNames()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]perfdata.Result, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		start, _ := row[1].AsFloat()
+		end, _ := row[2].AsFloat()
+		val, _ := row[3].AsFloat()
+		out = append(out, perfdata.Result{
+			Metric: q.Metric,
+			Focus:  row[0].String(),
+			Type:   typeNames[row[4].Int],
+			Time:   perfdata.TimeRange{Start: start, End: end},
+			Value:  val,
+		})
+	}
+	return out, nil
+}
+
+func (e *starExec) typeNames() (map[int64]string, error) {
+	rs, err := e.w.DB.Query("SELECT typeid, name FROM collectors")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]string, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out[row[0].Int] = row[1].String()
+	}
+	return out, nil
+}
+
+// likeEscape escapes LIKE wildcards in a literal prefix. minidb's LIKE has
+// no ESCAPE clause, so occurrences of % and _ in focus paths are treated
+// as single-character wildcards by substituting _ (which matches them-
+// selves too); focus paths in practice contain neither.
+func likeEscape(s string) string {
+	return strings.NewReplacer("%", "_", "_", "_").Replace(s)
+}

@@ -1,0 +1,260 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/perfdata"
+)
+
+// WideTableWrapper maps a single-table relational store — the paper's HPL
+// layout — onto the PPerfGrid interfaces. The table has one row per
+// execution with the fixed columns (execid, starttime, endtime, collector)
+// followed by one TEXT column per attribute and one FLOAT column per
+// whole-run metric, the schema produced by datagen.LoadWideTable.
+//
+// Every operation is answered by composing and executing SQL text, exactly
+// like the paper's JDBC wrapper of Figure 4, so the parse/plan/scan cost
+// is paid per query.
+type WideTableWrapper struct {
+	DB    *minidb.Database
+	Table string
+	// Meta is the application metadata returned by AppInfo.
+	Meta []perfdata.KV
+	// Attrs and Metrics partition the table's non-fixed columns.
+	Attrs   []string
+	Metrics []string
+}
+
+// sqlQuote renders a string as a single-quoted SQL literal.
+func sqlQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// identOK reports whether a string is usable as a column name, the guard
+// that keeps attribute names from smuggling SQL into composed queries.
+func identOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AppInfo implements ApplicationWrapper.
+func (w *WideTableWrapper) AppInfo() ([]perfdata.KV, error) {
+	out := make([]perfdata.KV, len(w.Meta))
+	copy(out, w.Meta)
+	return out, nil
+}
+
+// NumExecs implements ApplicationWrapper.
+func (w *WideTableWrapper) NumExecs() (int, error) {
+	rs, err := w.DB.Query("SELECT COUNT(DISTINCT execid) FROM " + w.Table)
+	if err != nil {
+		return 0, err
+	}
+	return int(rs.Rows[0][0].Int), nil
+}
+
+// ExecQueryParams implements ApplicationWrapper: one DISTINCT projection
+// per attribute column.
+func (w *WideTableWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
+	out := make([]perfdata.Attribute, 0, len(w.Attrs))
+	for _, attr := range w.Attrs {
+		if !identOK(attr) {
+			return nil, fmt.Errorf("mapping: bad attribute column %q", attr)
+		}
+		rs, err := w.DB.Query(fmt.Sprintf(
+			"SELECT DISTINCT %s FROM %s WHERE %s IS NOT NULL ORDER BY %s", attr, w.Table, attr, attr))
+		if err != nil {
+			return nil, err
+		}
+		a := perfdata.Attribute{Name: attr}
+		for _, row := range rs.Rows {
+			a.Values = append(a.Values, row[0].String())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AllExecIDs implements ApplicationWrapper.
+func (w *WideTableWrapper) AllExecIDs() ([]string, error) {
+	rs, err := w.DB.Query("SELECT execid FROM " + w.Table + " ORDER BY execid")
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+// ExecIDs implements ApplicationWrapper.
+func (w *WideTableWrapper) ExecIDs(attr, value string) ([]string, error) {
+	if !identOK(attr) {
+		return nil, fmt.Errorf("mapping: bad attribute %q", attr)
+	}
+	rs, err := w.DB.Query(fmt.Sprintf(
+		"SELECT execid FROM %s WHERE %s = %s ORDER BY execid", w.Table, attr, sqlQuote(value)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+func column0(rs *minidb.ResultSet) []string {
+	out := make([]string, len(rs.Rows))
+	for i, row := range rs.Rows {
+		out[i] = row[0].String()
+	}
+	return out
+}
+
+// ExecutionWrapper implements ApplicationWrapper.
+func (w *WideTableWrapper) ExecutionWrapper(id string) (ExecutionWrapper, error) {
+	rs, err := w.DB.Query(fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE execid = %s", w.Table, sqlQuote(id)))
+	if err != nil {
+		return nil, err
+	}
+	if rs.Rows[0][0].Int == 0 {
+		return nil, fmt.Errorf("%w: %q in table %s", ErrNoSuchExecution, id, w.Table)
+	}
+	return &wideExec{w: w, id: id}, nil
+}
+
+type wideExec struct {
+	w  *WideTableWrapper
+	id string
+}
+
+func (e *wideExec) row() (*minidb.ResultSet, error) {
+	return e.w.DB.Query(fmt.Sprintf(
+		"SELECT * FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+}
+
+// Info returns the execution's attributes as metadata pairs.
+func (e *wideExec) Info() ([]perfdata.KV, error) {
+	rs, err := e.row()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchExecution, e.id)
+	}
+	out := []perfdata.KV{{Name: "id", Value: e.id}}
+	for i, col := range rs.Columns {
+		for _, attr := range e.w.Attrs {
+			if col == attr && !rs.Rows[0][i].IsNull() {
+				out = append(out, perfdata.KV{Name: col, Value: rs.Rows[0][i].String()})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Foci: a wide table stores whole-run metrics, so the only focus is the
+// root of the resource hierarchy.
+func (e *wideExec) Foci() ([]string, error) { return []string{"/"}, nil }
+
+// Metrics returns the metric columns that are non-NULL for this execution.
+func (e *wideExec) Metrics() ([]string, error) {
+	rs, err := e.row()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchExecution, e.id)
+	}
+	var out []string
+	for i, col := range rs.Columns {
+		for _, m := range e.w.Metrics {
+			if col == m && !rs.Rows[0][i].IsNull() {
+				out = append(out, col)
+			}
+		}
+	}
+	return perfdata.UniqueSorted(out), nil
+}
+
+func (e *wideExec) Types() ([]string, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT collector FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+	if err != nil {
+		return nil, err
+	}
+	return column0(rs), nil
+}
+
+func (e *wideExec) TimeStartEnd() (perfdata.TimeRange, error) {
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT starttime, endtime FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+	if err != nil {
+		return perfdata.TimeRange{}, err
+	}
+	if len(rs.Rows) == 0 {
+		return perfdata.TimeRange{}, fmt.Errorf("%w: %q", ErrNoSuchExecution, e.id)
+	}
+	start, _ := rs.Rows[0][0].AsFloat()
+	end, _ := rs.Rows[0][1].AsFloat()
+	return perfdata.TimeRange{Start: start, End: end}, nil
+}
+
+// PerformanceResults answers a getPR query with a projection of the
+// requested metric column.
+func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	metricOK := false
+	for _, m := range e.w.Metrics {
+		if m == q.Metric {
+			metricOK = true
+			break
+		}
+	}
+	if !metricOK || !identOK(q.Metric) {
+		return nil, nil // unknown metric: no results, not an error
+	}
+	// Whole-run results live at focus "/"; honor focus filters.
+	if len(q.Foci) > 0 {
+		rootOK := false
+		for _, f := range q.Foci {
+			if perfdata.FocusMatches(f, "/") {
+				rootOK = true
+				break
+			}
+		}
+		if !rootOK {
+			return nil, nil
+		}
+	}
+	rs, err := e.w.DB.Query(fmt.Sprintf(
+		"SELECT %s, starttime, endtime, collector FROM %s WHERE execid = %s AND %s IS NOT NULL",
+		q.Metric, e.w.Table, sqlQuote(e.id), q.Metric))
+	if err != nil {
+		return nil, err
+	}
+	var out []perfdata.Result
+	for _, row := range rs.Rows {
+		val, _ := row[0].AsFloat()
+		start, _ := row[1].AsFloat()
+		end, _ := row[2].AsFloat()
+		r := perfdata.Result{
+			Metric: q.Metric, Focus: "/", Type: row[3].String(),
+			Time:  perfdata.TimeRange{Start: start, End: end},
+			Value: val,
+		}
+		if q.Matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

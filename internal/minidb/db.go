@@ -1,0 +1,307 @@
+package minidb
+
+import (
+	"sort"
+	"sync"
+)
+
+// Table is one in-memory relation.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+
+	colIndex map[string]int
+}
+
+func newTable(name string, cols []Column) *Table {
+	t := &Table{Name: name, Columns: cols, colIndex: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		t.colIndex[c.Name] = i
+	}
+	return t
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Database is a collection of tables, safe for concurrent use.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// table looks up a table; the caller must hold at least a read lock.
+func (db *Database) table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, errf("exec", "no such table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumRows returns the row count of a table, or an error if it is missing.
+func (db *Database) NumRows(table string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.Rows), nil
+}
+
+// Exec parses and runs a DDL/DML statement (CREATE, DROP, INSERT, DELETE),
+// returning the number of rows affected.
+func (db *Database) Exec(sql string) (int, error) {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		return 0, errf("exec", "use Query for SELECT statements")
+	case *CreateTableStmt:
+		return 0, db.createTable(s)
+	case *DropTableStmt:
+		return 0, db.dropTable(s)
+	case *InsertStmt:
+		return db.insert(s)
+	case *DeleteStmt:
+		return db.delete(s)
+	case *UpdateStmt:
+		return db.update(s)
+	}
+	return 0, errf("exec", "unsupported statement")
+}
+
+// MustExec is Exec that panics on error, for dataset construction code.
+func (db *Database) MustExec(sql string) int {
+	n, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Query parses and runs a SELECT statement.
+func (db *Database) Query(sql string) (*ResultSet, error) {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, errf("exec", "use Exec for non-SELECT statements")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelect(sel)
+}
+
+// QueryStrings runs a SELECT and renders every cell as a string.
+func (db *Database) QueryStrings(sql string) ([][]string, error) {
+	rs, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Strings(), nil
+}
+
+func (db *Database) createTable(s *CreateTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Name]; exists {
+		return errf("exec", "table %q already exists", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return errf("exec", "duplicate column %q in table %q", c.Name, s.Name)
+		}
+		seen[c.Name] = true
+	}
+	db.tables[s.Name] = newTable(s.Name, s.Columns)
+	return nil
+}
+
+func (db *Database) dropTable(s *DropTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Name]; !exists {
+		return errf("exec", "no such table %q", s.Name)
+	}
+	delete(db.tables, s.Name)
+	return nil
+}
+
+func (db *Database) insert(s *InsertStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Map insert columns to table positions.
+	positions := make([]int, 0, len(t.Columns))
+	if s.Columns == nil {
+		for i := range t.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := t.ColumnIndex(name)
+			if i < 0 {
+				return 0, errf("exec", "table %q has no column %q", s.Table, name)
+			}
+			positions = append(positions, i)
+		}
+	}
+	inserted := 0
+	for _, exprs := range s.Rows {
+		if len(exprs) != len(positions) {
+			return inserted, errf("exec", "INSERT row has %d values, want %d", len(exprs), len(positions))
+		}
+		row := make(Row, len(t.Columns))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, e := range exprs {
+			v, err := eval(e, nil)
+			if err != nil {
+				return inserted, err
+			}
+			col := positions[i]
+			row[col] = t.Columns[col].Type.Coerce(v)
+		}
+		t.Rows = append(t.Rows, row)
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *Database) delete(s *DeleteStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	if s.Where == nil {
+		n := len(t.Rows)
+		t.Rows = nil
+		return n, nil
+	}
+	e := &env{cols: make([]qcol, len(t.Columns))}
+	for i, c := range t.Columns {
+		e.cols[i] = qcol{qualifier: t.Name, name: c.Name}
+	}
+	kept := t.Rows[:0]
+	deleted := 0
+	for _, r := range t.Rows {
+		e.row = r
+		v, err := eval(s.Where, e)
+		if err != nil {
+			return deleted, err
+		}
+		if v.Truthy() {
+			deleted++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.Rows = kept
+	return deleted, nil
+}
+
+func (db *Database) update(s *UpdateStmt) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Resolve SET targets once.
+	targets := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		col := t.ColumnIndex(a.Column)
+		if col < 0 {
+			return 0, errf("exec", "table %q has no column %q", s.Table, a.Column)
+		}
+		targets[i] = col
+	}
+	e := &env{cols: make([]qcol, len(t.Columns))}
+	for i, c := range t.Columns {
+		e.cols[i] = qcol{qualifier: t.Name, name: c.Name}
+	}
+	updated := 0
+	for _, r := range t.Rows {
+		e.row = r
+		if s.Where != nil {
+			v, err := eval(s.Where, e)
+			if err != nil {
+				return updated, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		// Evaluate all assignments against the pre-update row, then apply
+		// (standard SQL semantics: SET a = b, b = a swaps).
+		newVals := make([]Value, len(s.Set))
+		for i, a := range s.Set {
+			v, err := eval(a.Value, e)
+			if err != nil {
+				return updated, err
+			}
+			newVals[i] = t.Columns[targets[i]].Type.Coerce(v)
+		}
+		for i, col := range targets {
+			r[col] = newVals[i]
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+// InsertRow appends a row directly (bypassing SQL parsing) for bulk dataset
+// loading. Values are coerced to the declared column types.
+func (db *Database) InsertRow(table string, vals ...Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(t.Columns) {
+		return errf("exec", "InsertRow: %d values for %d columns", len(vals), len(t.Columns))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		row[i] = t.Columns[i].Type.Coerce(v)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}

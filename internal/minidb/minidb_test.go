@@ -1,0 +1,677 @@
+package minidb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// execDB builds a database pre-loaded with a small executions table shaped
+// like the paper's HPL store.
+func execDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE executions (runid INT, numprocesses INT, rundate TEXT, gflops FLOAT)`)
+	rows := []string{
+		`(100, 2, '2004-03-15', 1.5)`,
+		`(101, 4, '2004-03-15', 2.8)`,
+		`(102, 8, '2004-03-16', 5.1)`,
+		`(103, 16, '2004-03-16', 9.9)`,
+		`(104, 2, '2004-03-17', 1.6)`,
+	}
+	db.MustExec(`INSERT INTO executions VALUES ` + strings.Join(rows, ", "))
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT runid FROM executions WHERE numprocesses = 2 ORDER BY runid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"100"}, {"104"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v want %v", rs.Strings(), want)
+	}
+	if !reflect.DeepEqual(rs.Columns, []string{"runid"}) {
+		t.Errorf("columns = %v", rs.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT * FROM executions WHERE runid = 102`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || len(rs.Rows[0]) != 4 {
+		t.Fatalf("got %v", rs.Strings())
+	}
+	if rs.Rows[0][3].Kind != KindFloat || rs.Rows[0][3].Float != 5.1 {
+		t.Errorf("gflops cell = %+v", rs.Rows[0][3])
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := execDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{`numprocesses = 4`, 1},
+		{`numprocesses != 2`, 3},
+		{`numprocesses < 8`, 3},
+		{`numprocesses <= 8`, 4},
+		{`numprocesses > 8`, 1},
+		{`numprocesses >= 8`, 2},
+		{`numprocesses = 2 AND rundate = '2004-03-17'`, 1},
+		{`numprocesses = 2 OR numprocesses = 4`, 3},
+		{`NOT numprocesses = 2`, 3},
+		{`(numprocesses = 2 OR numprocesses = 4) AND rundate = '2004-03-15'`, 2},
+		{`rundate LIKE '2004-03-1%'`, 5},
+		{`rundate LIKE '%-16'`, 2},
+		{`rundate LIKE '2004-03-1_'`, 5},
+		{`rundate NOT LIKE '%-16'`, 3},
+		{`runid IN (100, 103)`, 2},
+		{`runid NOT IN (100, 103)`, 3},
+		{`runid BETWEEN 101 AND 103`, 3},
+		{`runid NOT BETWEEN 101 AND 103`, 2},
+		{`gflops > 2.0`, 3},
+		{`gflops IS NULL`, 0},
+		{`gflops IS NOT NULL`, 5},
+	}
+	for _, c := range cases {
+		rs, err := db.Query(`SELECT runid FROM executions WHERE ` + c.where)
+		if err != nil {
+			t.Errorf("WHERE %s: %v", c.where, err)
+			continue
+		}
+		if len(rs.Rows) != c.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", c.where, len(rs.Rows), c.want)
+		}
+	}
+}
+
+func TestTextNumberEquality(t *testing.T) {
+	// The paper's wrappers pass all values as strings; '2' must match
+	// integer column values.
+	db := execDB(t)
+	rs, err := db.Query(`SELECT runid FROM executions WHERE numprocesses = '2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Errorf("text/number equality: got %d rows, want 2", len(rs.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT DISTINCT rundate FROM executions ORDER BY rundate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"2004-03-15"}, {"2004-03-16"}, {"2004-03-17"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT runid FROM executions ORDER BY gflops DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"103"}, {"102"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT runid FROM executions ORDER BY rundate ASC, numprocesses DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"101"}, {"100"}, {"103"}, {"102"}, {"104"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT runid AS r FROM executions ORDER BY r DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Strings()[0][0] != "104" {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := execDB(t)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT COUNT(*) FROM executions`, "5"},
+		{`SELECT COUNT(runid) FROM executions WHERE numprocesses = 2`, "2"},
+		{`SELECT COUNT(DISTINCT rundate) FROM executions`, "3"},
+		{`SELECT MIN(gflops) FROM executions`, "1.5"},
+		{`SELECT MAX(gflops) FROM executions`, "9.9"},
+		{`SELECT SUM(numprocesses) FROM executions`, "32"},
+		{`SELECT AVG(numprocesses) FROM executions WHERE numprocesses <= 4`, "2.6666666666666665"},
+	}
+	for _, c := range cases {
+		rs, err := db.Query(c.sql)
+		if err != nil {
+			t.Errorf("%s: %v", c.sql, err)
+			continue
+		}
+		if len(rs.Rows) != 1 || rs.Rows[0][0].String() != c.want {
+			t.Errorf("%s: got %v, want %s", c.sql, rs.Strings(), c.want)
+		}
+	}
+}
+
+func TestMultipleAggregatesOneRow(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT MIN(runid), MAX(runid), COUNT(*) FROM executions`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"100", "104", "5"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestAggregateOverEmptySet(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query(`SELECT COUNT(*), MIN(gflops), SUM(gflops) FROM executions WHERE runid = 999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Rows[0]
+	if row[0].String() != "0" || !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("empty aggregates: %v", rs.Strings())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := execDB(t)
+	db.MustExec(`CREATE TABLE results (runid INT, metric TEXT, value FLOAT)`)
+	db.MustExec(`INSERT INTO results VALUES (100, 'gflops', 1.5), (100, 'runtimesec', 320.0), (102, 'gflops', 5.1)`)
+	rs, err := db.Query(`
+		SELECT e.runid, r.metric, r.value
+		FROM executions e
+		JOIN results r ON e.runid = r.runid
+		WHERE e.numprocesses = 2
+		ORDER BY r.metric`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"100", "gflops", "1.5"}, {"100", "runtimesec", "320"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestJoinStarQualifiesDuplicates(t *testing.T) {
+	db := execDB(t)
+	db.MustExec(`CREATE TABLE results (runid INT, value FLOAT)`)
+	db.MustExec(`INSERT INTO results VALUES (100, 1.0)`)
+	rs, err := db.Query(`SELECT * FROM executions e JOIN results r ON e.runid = r.runid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, c := range rs.Columns {
+		if c == "e.runid" || c == "r.runid" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("duplicate columns not qualified: %v", rs.Columns)
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := execDB(t)
+	db.MustExec(`CREATE TABLE results (runid INT, value FLOAT)`)
+	db.MustExec(`INSERT INTO results VALUES (100, 1.0)`)
+	_, err := db.Query(`SELECT runid FROM executions e JOIN results r ON e.runid = r.runid`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguous-column error, got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := execDB(t)
+	n, err := db.Exec(`DELETE FROM executions WHERE numprocesses = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deleted %d, want 2", n)
+	}
+	if rows, _ := db.NumRows("executions"); rows != 3 {
+		t.Errorf("remaining rows %d, want 3", rows)
+	}
+	n, err = db.Exec(`DELETE FROM executions`)
+	if err != nil || n != 3 {
+		t.Errorf("delete all: n=%d err=%v", n, err)
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT, b TEXT, c FLOAT)`)
+	db.MustExec(`INSERT INTO t (c, a) VALUES (2.5, 7)`)
+	rs, err := db.Query(`SELECT a, b, c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Rows[0]
+	if row[0].String() != "7" || !row[1].IsNull() || row[2].String() != "2.5" {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestTypeCoercionOnInsert(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT, b FLOAT, c TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES ('42', '3.5', 99)`)
+	rs, err := db.Query(`SELECT * FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Rows[0]
+	if row[0].Kind != KindInt || row[0].Int != 42 {
+		t.Errorf("a = %+v", row[0])
+	}
+	if row[1].Kind != KindFloat || row[1].Float != 3.5 {
+		t.Errorf("b = %+v", row[1])
+	}
+	if row[2].Kind != KindText || row[2].Text != "99" {
+		t.Errorf("c = %+v", row[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := execDB(t)
+	cases := []string{
+		`SELECT nope FROM executions`,
+		`SELECT runid FROM missing`,
+		`SELECT runid FROM executions WHERE`,
+		`SELECT FROM executions`,
+		`INSERT INTO missing VALUES (1)`,
+		`INSERT INTO executions VALUES (1)`,
+		`CREATE TABLE executions (x INT)`,
+		`DROP TABLE missing`,
+		`DELETE FROM missing`,
+		`SELECT runid, COUNT(*) FROM executions`,
+		`SELECT SUM(rundate) FROM executions`,
+		`SELECT MAX(*) FROM executions`,
+		`SELECT runid FROM executions LIMIT x`,
+		`SELECT runid FROM executions trailing junk here`,
+		`BOGUS STATEMENT`,
+		`SELECT runid FROM executions WHERE rundate = 'unterminated`,
+	}
+	for _, sql := range cases {
+		if _, err := db.Query(sql); err == nil {
+			if _, err2 := db.Exec(sql); err2 == nil {
+				t.Errorf("%s: want error", sql)
+			}
+		}
+	}
+}
+
+func TestExecQueryMisuse(t *testing.T) {
+	db := execDB(t)
+	if _, err := db.Exec(`SELECT * FROM executions`); err == nil {
+		t.Error("Exec(SELECT): want error")
+	}
+	if _, err := db.Query(`DELETE FROM executions`); err == nil {
+		t.Error("Query(DELETE): want error")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (s TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES ('it''s a test')`)
+	rs, err := db.Query(`SELECT s FROM t WHERE s = 'it''s a test'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text != "it's a test" {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := execDB(t)
+	rs, err := db.Query("SELECT runid -- trailing comment\nFROM executions -- another\nWHERE runid = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestKeywordAsColumnName(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (count INT, min TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (3, 'x')`)
+	rs, err := db.Query(`SELECT count, min FROM t WHERE count = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].String() != "3" {
+		t.Errorf("got %v", rs.Strings())
+	}
+}
+
+func TestInsertRowBulk(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT, b TEXT)`)
+	for i := 0; i < 100; i++ {
+		if err := db.InsertRow("t", Int(int64(i)), Text(fmt.Sprintf("row%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := db.NumRows("t"); n != 100 {
+		t.Errorf("rows = %d", n)
+	}
+	if err := db.InsertRow("t", Int(1)); err == nil {
+		t.Error("arity mismatch: want error")
+	}
+	if err := db.InsertRow("missing", Int(1)); err == nil {
+		t.Error("missing table: want error")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE zebra (a INT)`)
+	db.MustExec(`CREATE TABLE alpha (a INT)`)
+	if got := db.TableNames(); !reflect.DeepEqual(got, []string{"alpha", "zebra"}) {
+		t.Errorf("TableNames = %v", got)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, w*100+i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Query(`SELECT COUNT(*) FROM t`); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := db.NumRows("t"); n != 200 {
+		t.Errorf("rows = %d, want 200", n)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"a%", "bac", false},
+		{"%c", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"a%c%e", "abcde", true},
+		{"", "", true},
+		{"", "x", false},
+		{"abc", "abc", true},
+		{"%%%", "x", true},
+		{"/Code/MPI/%", "/Code/MPI/MPI_Send", true},
+		{"/Code/MPI/%", "/Code/POSIX/read", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(1), 1},
+		{Int(1), Float(1.0), 0},
+		{Text("a"), Text("b"), -1},
+		{Null(), Int(0), -1},
+		{Null(), Null(), 0},
+		{Int(5), Text("a"), -1}, // numbers before text
+		{Text("a"), Int(5), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: inserted text values are returned verbatim by SELECT.
+func TestQuickInsertSelectRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE rt (id INT, s TEXT)`)
+	id := int64(0)
+	f := func(s string) bool {
+		s = strings.ToValidUTF8(s, "?")
+		id++
+		if err := db.InsertRow("rt", Int(id), Text(s)); err != nil {
+			return false
+		}
+		rs, err := db.Query(fmt.Sprintf(`SELECT s FROM rt WHERE id = %d`, id))
+		if err != nil || len(rs.Rows) != 1 {
+			return false
+		}
+		return rs.Rows[0][0].Text == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the number of inserted rows for any row count.
+func TestQuickCountMatchesInserts(t *testing.T) {
+	f := func(n uint8) bool {
+		db := NewDatabase()
+		db.MustExec(`CREATE TABLE t (a INT)`)
+		for i := 0; i < int(n); i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+		}
+		rs, err := db.Query(`SELECT COUNT(*) FROM t`)
+		if err != nil {
+			return false
+		}
+		return rs.Rows[0][0].Int == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := execDB(t)
+	n, err := db.Exec(`UPDATE executions SET gflops = 99.9 WHERE runid = 100`)
+	if err != nil || n != 1 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	rs, _ := db.Query(`SELECT gflops FROM executions WHERE runid = 100`)
+	if rs.Rows[0][0].Float != 99.9 {
+		t.Errorf("gflops = %v", rs.Rows[0][0])
+	}
+	// Multi-column update with column references evaluated pre-update.
+	db.MustExec(`UPDATE executions SET numprocesses = runid, rundate = 'moved' WHERE runid = 101`)
+	rs, _ = db.Query(`SELECT numprocesses, rundate FROM executions WHERE runid = 101`)
+	if rs.Rows[0][0].Int != 101 || rs.Rows[0][1].Text != "moved" {
+		t.Errorf("multi-set: %v", rs.Strings())
+	}
+	// Update without WHERE touches every row.
+	n, err = db.Exec(`UPDATE executions SET rundate = 'x'`)
+	if err != nil || n != 5 {
+		t.Errorf("update all: n=%d err=%v", n, err)
+	}
+	// Errors.
+	if _, err := db.Exec(`UPDATE executions SET nope = 1`); err == nil {
+		t.Error("unknown column: want error")
+	}
+	if _, err := db.Exec(`UPDATE missing SET a = 1`); err == nil {
+		t.Error("unknown table: want error")
+	}
+	if _, err := db.Exec(`UPDATE executions SET`); err == nil {
+		t.Error("missing assignments: want error")
+	}
+	// Coercion respects column types.
+	db.MustExec(`UPDATE executions SET numprocesses = '7' WHERE runid = 102`)
+	rs, _ = db.Query(`SELECT numprocesses FROM executions WHERE runid = 102`)
+	if rs.Rows[0][0].Kind != KindInt || rs.Rows[0][0].Int != 7 {
+		t.Errorf("coercion: %+v", rs.Rows[0][0])
+	}
+}
+
+func TestUpdateSwapSemantics(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT, b INT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 2)`)
+	db.MustExec(`UPDATE t SET a = b, b = a`)
+	rs, _ := db.Query(`SELECT a, b FROM t`)
+	if rs.Rows[0][0].Int != 2 || rs.Rows[0][1].Int != 1 {
+		t.Errorf("swap failed: %v", rs.Strings())
+	}
+}
+
+// TestQuickWhereOracle generates random predicate trees, renders them both
+// as SQL and as a Go closure, and requires the engine's row count to match
+// the oracle's on random data.
+func TestQuickWhereOracle(t *testing.T) {
+	type row struct{ a, b int64 }
+	gen := rand.New(rand.NewSource(99))
+
+	// predicate builds a random tree of depth <= 2 and returns (sql, eval).
+	var predicate func(depth int) (string, func(row) bool)
+	predicate = func(depth int) (string, func(row) bool) {
+		if depth <= 0 || gen.Intn(3) == 0 {
+			col := "a"
+			get := func(r row) int64 { return r.a }
+			if gen.Intn(2) == 0 {
+				col = "b"
+				get = func(r row) int64 { return r.b }
+			}
+			k := int64(gen.Intn(21) - 10)
+			switch gen.Intn(6) {
+			case 0:
+				return fmt.Sprintf("%s = %d", col, k), func(r row) bool { return get(r) == k }
+			case 1:
+				return fmt.Sprintf("%s != %d", col, k), func(r row) bool { return get(r) != k }
+			case 2:
+				return fmt.Sprintf("%s < %d", col, k), func(r row) bool { return get(r) < k }
+			case 3:
+				return fmt.Sprintf("%s <= %d", col, k), func(r row) bool { return get(r) <= k }
+			case 4:
+				return fmt.Sprintf("%s > %d", col, k), func(r row) bool { return get(r) > k }
+			default:
+				return fmt.Sprintf("%s >= %d", col, k), func(r row) bool { return get(r) >= k }
+			}
+		}
+		ls, lf := predicate(depth - 1)
+		rs, rf := predicate(depth - 1)
+		switch gen.Intn(3) {
+		case 0:
+			return fmt.Sprintf("(%s AND %s)", ls, rs), func(r row) bool { return lf(r) && rf(r) }
+		case 1:
+			return fmt.Sprintf("(%s OR %s)", ls, rs), func(r row) bool { return lf(r) || rf(r) }
+		default:
+			return fmt.Sprintf("NOT (%s)", ls), func(r row) bool { return !lf(r) }
+		}
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		db := NewDatabase()
+		db.MustExec(`CREATE TABLE t (a INT, b INT)`)
+		rows := make([]row, 30)
+		for i := range rows {
+			rows[i] = row{a: int64(gen.Intn(21) - 10), b: int64(gen.Intn(21) - 10)}
+			if err := db.InsertRow("t", Int(rows[i].a), Int(rows[i].b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sql, eval := predicate(2)
+		rs, err := db.Query("SELECT COUNT(*) FROM t WHERE " + sql)
+		if err != nil {
+			t.Fatalf("trial %d: %s: %v", trial, sql, err)
+		}
+		want := int64(0)
+		for _, r := range rows {
+			if eval(r) {
+				want++
+			}
+		}
+		if got := rs.Rows[0][0].Int; got != want {
+			t.Errorf("trial %d: WHERE %s: engine %d, oracle %d", trial, sql, got, want)
+		}
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (a INT, f FLOAT)`)
+	db.MustExec(`INSERT INTO t VALUES (-5, -2.5), (+3, +1.5)`)
+	rs, err := db.Query(`SELECT a FROM t WHERE a < -1 OR f >= +1.5 ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"-5"}, {"3"}}
+	if !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v", rs.Strings())
+	}
+	if _, err := db.Query(`SELECT a FROM t WHERE a = -'x'`); err == nil {
+		t.Error("unary minus on string: want error")
+	}
+	// A spaced double negative nests legally and evaluates to +5
+	// (adjacent "--" would instead start a comment).
+	rs, err = db.Query(`SELECT a FROM t WHERE a = - -5`)
+	if err != nil || len(rs.Rows) != 0 {
+		t.Errorf("double unary: %v, %v", rs, err)
+	}
+}

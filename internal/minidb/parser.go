@@ -1,0 +1,807 @@
+package minidb
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []Column
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct{ Name string }
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // nil means positional
+	Rows    [][]Expr
+}
+
+// DeleteStmt is DELETE FROM name [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE name SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr pair.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     string
+	Alias    string
+	Join     *JoinClause
+	Where    Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 means no limit
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// JoinClause is INNER JOIN table [alias] ON expr.
+type JoinClause struct {
+	Table string
+	Alias string
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// Expr is a parsed expression.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct{ Table, Name string }
+
+// Binary is a binary operation: comparison, LIKE, AND, OR.
+type Binary struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "LIKE", "AND", "OR"
+	L, R Expr
+}
+
+// Unary is NOT x.
+type Unary struct {
+	Op string // "NOT"
+	X  Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// InList is x [NOT] IN (a, b, ...).
+type InList struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// Aggregate is COUNT/SUM/AVG/MIN/MAX.
+type Aggregate struct {
+	Func     string // upper-case
+	Distinct bool
+	Star     bool // COUNT(*)
+	Arg      Expr
+}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*IsNull) expr()    {}
+func (*InList) expr()    {}
+func (*Between) expr()   {}
+func (*Aggregate) expr() {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseStatement parses one SQL statement.
+func ParseStatement(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.pos++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, errf("parse", "unexpected trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf("parse", "expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return errf("parse", "expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	// Keywords are usable as identifiers where unambiguous (e.g. a column
+	// named "count"), mirroring lenient SQL dialects.
+	if t.kind == tokIdent || t.kind == tokKeyword {
+		p.pos++
+		return t.text, nil
+	}
+	return "", errf("parse", "expected identifier, got %q", t.text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		return p.parseSelect()
+	case p.acceptKeyword("CREATE"):
+		return p.parseCreate()
+	case p.acceptKeyword("DROP"):
+		return p.parseDrop()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("DELETE"):
+		return p.parseDelete()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	}
+	return nil, errf("parse", "expected statement, got %q", p.cur().text)
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ctype, err := p.parseColumnType()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, Column{Name: cname, Type: ctype})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Name: name, Columns: cols}, nil
+}
+
+func (p *parser) parseColumnType() (ColumnType, error) {
+	t := p.cur()
+	if t.kind != tokKeyword && t.kind != tokIdent {
+		return 0, errf("parse", "expected column type, got %q", t.text)
+	}
+	p.pos++
+	switch strings.ToUpper(t.text) {
+	case "INT", "INTEGER", "BIGINT":
+		return TypeInt, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		p.acceptKeyword("PRECISION") // DOUBLE PRECISION
+		return TypeFloat, nil
+	case "TEXT":
+		return TypeText, nil
+	case "VARCHAR", "CHAR":
+		// Optional (n).
+		if p.acceptSymbol("(") {
+			if p.cur().kind != tokNumber {
+				return 0, errf("parse", "expected length in %s(n)", t.text)
+			}
+			p.pos++
+			if err := p.expectSymbol(")"); err != nil {
+				return 0, err
+			}
+		}
+		return TypeText, nil
+	}
+	return 0, errf("parse", "unknown column type %q", t.text)
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.acceptSymbol("(") {
+		for {
+			cname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, cname)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assignment{Column: col, Value: val})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = where
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.acceptKeyword("DISTINCT")
+
+	if p.acceptSymbol("*") {
+		st.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.cur().kind == tokIdent {
+				item.Alias = p.next().text
+			}
+			st.Items = append(st.Items, item)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	st.From, st.Alias, err = p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("INNER") {
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		if st.Join, err = p.parseJoin(); err != nil {
+			return nil, err
+		}
+	} else if p.acceptKeyword("JOIN") {
+		if st.Join, err = p.parseJoin(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, k)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, errf("parse", "expected number after LIMIT, got %q", t.text)
+		}
+		p.pos++
+		n, convErr := strconv.Atoi(t.text)
+		if convErr != nil || n < 0 {
+			return nil, errf("parse", "bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) parseTableRef() (name, alias string, err error) {
+	name, err = p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if p.acceptKeyword("AS") {
+		alias, err = p.expectIdent()
+		return name, alias, err
+	}
+	if p.cur().kind == tokIdent {
+		alias = p.next().text
+	}
+	return name, alias, nil
+}
+
+func (p *parser) parseJoin() (*JoinClause, error) {
+	name, alias, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &JoinClause{Table: name, Alias: alias, On: on}, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := primary [ (= | != | < | <= | > | >= | LIKE | NOT LIKE |
+//	                      IS [NOT] NULL | [NOT] IN (...) | [NOT] BETWEEN x AND y ) primary ]
+//	primary := literal | aggregate | columnref | ( expr )
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: neg}, nil
+	}
+	// [NOT] IN / [NOT] BETWEEN / NOT LIKE
+	if p.cur().kind == tokKeyword && p.cur().text == "NOT" {
+		save := p.pos
+		p.pos++
+		switch {
+		case p.acceptKeyword("IN"):
+			in, err := p.parseInTail(l)
+			if err != nil {
+				return nil, err
+			}
+			in.Negate = true
+			return in, nil
+		case p.acceptKeyword("BETWEEN"):
+			bt, err := p.parseBetweenTail(l)
+			if err != nil {
+				return nil, err
+			}
+			bt.Negate = true
+			return bt, nil
+		case p.acceptKeyword("LIKE"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "NOT", X: &Binary{Op: "LIKE", L: l, R: r}}, nil
+		}
+		p.pos = save
+		return l, nil
+	}
+	if p.acceptKeyword("IN") {
+		return p.parseInTail(l)
+	}
+	if p.acceptKeyword("BETWEEN") {
+		return p.parseBetweenTail(l)
+	}
+	if p.acceptKeyword("LIKE") {
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "LIKE", L: l, R: r}, nil
+	}
+	t := p.cur()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Expr) (*InList, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	in := &InList{X: l}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *parser) parseBetweenTail(l Expr) (*Between, error) {
+	lo, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return &Between{X: l, Lo: lo, Hi: hi}, nil
+}
+
+var aggregateFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	// Unary sign on numeric literals.
+	if t.kind == tokSymbol && (t.text == "-" || t.text == "+") {
+		neg := t.text == "-"
+		p.pos++
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := inner.(*Literal)
+		if !ok || (lit.Val.Kind != KindInt && lit.Val.Kind != KindFloat) {
+			return nil, errf("parse", "unary %s requires a numeric literal", t.text)
+		}
+		if neg {
+			v := lit.Val
+			if v.Kind == KindInt {
+				v.Int = -v.Int
+			} else {
+				v.Float = -v.Float
+			}
+			return &Literal{Val: v}, nil
+		}
+		return lit, nil
+	}
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errf("parse", "bad number %q", t.text)
+			}
+			return &Literal{Val: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf("parse", "bad number %q", t.text)
+		}
+		return &Literal{Val: Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &Literal{Val: Text(t.text)}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.pos++
+			return &Literal{Val: Null()}, nil
+		}
+		if aggregateFuncs[t.text] {
+			// Only an aggregate if followed by '('; otherwise treat the
+			// keyword as a column name (e.g. a column named "count").
+			if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+				return p.parseAggregate()
+			}
+		}
+		return p.parseColumnRef()
+	case tokIdent:
+		return p.parseColumnRef()
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errf("parse", "unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseAggregate() (Expr, error) {
+	fn := p.next().text // keyword, upper-cased
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Func: fn}
+	if p.acceptSymbol("*") {
+		if fn != "COUNT" {
+			return nil, errf("parse", "%s(*) is not valid", fn)
+		}
+		agg.Star = true
+	} else {
+		agg.Distinct = p.acceptKeyword("DISTINCT")
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) parseColumnRef() (Expr, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Name: col}, nil
+	}
+	return &ColumnRef{Name: name}, nil
+}

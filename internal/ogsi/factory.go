@@ -1,0 +1,101 @@
+package ogsi
+
+import (
+	"fmt"
+
+	"pperfgrid/internal/wsdl"
+)
+
+// Constructor builds a new transient service implementation from the
+// CreateService parameters. It returns the implementation and (optionally)
+// a definition for the instance's service-specific PortTypes.
+type Constructor func(params []string) (Service, *wsdl.Definition, error)
+
+// Factory is the Factory PortType (Table 3): a persistent grid service
+// whose CreateService operation instantiates transient instances of a
+// fixed product service type and returns their GSHs.
+type Factory struct {
+	hosting     *Hosting
+	productType string
+	construct   Constructor
+	productDef  *wsdl.Definition
+}
+
+// NewFactory builds a factory producing instances of productType. If
+// productDef is non-nil it is cloned into every instance (constructors may
+// still override it by returning their own definition).
+func NewFactory(h *Hosting, productType string, productDef *wsdl.Definition, construct Constructor) *Factory {
+	return &Factory{hosting: h, productType: productType, construct: construct, productDef: productDef}
+}
+
+// Deploy registers the factory as a persistent service named
+// <productType>Factory and returns its instance.
+func (f *Factory) Deploy() (*Instance, error) {
+	return f.hosting.DeployPersistent(f.productType+"Factory", f, FactoryDefinition(f.productType))
+}
+
+// Create instantiates one product instance directly (same-process path).
+func (f *Factory) Create(params []string) (*Instance, error) {
+	impl, def, err := f.construct(params)
+	if err != nil {
+		return nil, fmt.Errorf("ogsi: CreateService(%s): %w", f.productType, err)
+	}
+	if def == nil && f.productDef != nil {
+		def = f.productDef.Clone()
+	}
+	return f.hosting.CreateInstance(f.productType, impl, def)
+}
+
+// Invoke implements the Factory PortType over the wire: CreateService
+// returns the new instance's GSH as a single-element string array.
+func (f *Factory) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpCreateService:
+		in, err := f.Create(params)
+		if err != nil {
+			return nil, err
+		}
+		return []string{in.Handle().String()}, nil
+	}
+	return nil, fmt.Errorf("%w: %q on factory", ErrUnknownOperation, op)
+}
+
+// ServiceData publishes the factory's product type.
+func (f *Factory) ServiceData() map[string][]string {
+	return map[string][]string{
+		"productType": {f.productType},
+	}
+}
+
+// HandleMap is the HandleMap PortType: it resolves a GSH to a Grid Service
+// Reference. In this implementation the GSR is the same URL plus a
+// liveness flag, so FindByHandle returns [url, "alive"|"unknown"].
+type HandleMap struct {
+	hosting *Hosting
+}
+
+// NewHandleMap builds a handle map over a hosting environment.
+func NewHandleMap(h *Hosting) *HandleMap { return &HandleMap{hosting: h} }
+
+// Deploy registers the handle map as the persistent "HandleMap" service.
+func (m *HandleMap) Deploy() (*Instance, error) {
+	return m.hosting.DeployPersistent("HandleMap", m, HandleMapDefinition())
+}
+
+// Invoke implements FindByHandle.
+func (m *HandleMap) Invoke(op string, params []string) ([]string, error) {
+	if op != OpFindByHandle {
+		return nil, fmt.Errorf("%w: %q on handle map", ErrUnknownOperation, op)
+	}
+	if len(params) != 1 {
+		return nil, fmt.Errorf("ogsi: %s requires 1 parameter", OpFindByHandle)
+	}
+	h, err := parseHandle(params[0])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.hosting.LookupHandle(h); ok {
+		return []string{h.URL(), "alive"}, nil
+	}
+	return []string{h.URL(), "unknown"}, nil
+}

@@ -1,0 +1,144 @@
+package ogsi
+
+import (
+	"fmt"
+	"sync"
+
+	"pperfgrid/internal/gsh"
+)
+
+// Sink receives notification messages — the NotificationSink PortType.
+// Local subscribers implement it directly; remote sinks are reached
+// through a SinkDialer that delivers over SOAP.
+type Sink interface {
+	Deliver(topic, message string) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(topic, message string) error
+
+// Deliver calls f.
+func (f SinkFunc) Deliver(topic, message string) error { return f(topic, message) }
+
+// SinkDialer resolves a sink GSH into a deliverable Sink. The container
+// package provides the SOAP implementation; tests can supply fakes.
+type SinkDialer func(handle gsh.Handle) Sink
+
+// NotificationHub implements the NotificationSource PortType: clients
+// subscribe a sink to a topic; Notify fans messages out to every
+// subscriber. Delivery runs asynchronously — the notifying service never
+// blocks on slow sinks — and failed sinks are dropped after delivery
+// errors exceed maxFailures.
+type NotificationHub struct {
+	dial SinkDialer
+
+	mu   sync.Mutex
+	subs map[string][]*subscriber
+	wg   sync.WaitGroup
+}
+
+type subscriber struct {
+	sink     Sink
+	failures int
+	dead     bool
+}
+
+// maxFailures is the consecutive-delivery-failure limit before a
+// subscriber is dropped (soft-state cleanup of dead sinks).
+const maxFailures = 3
+
+// NewNotificationHub creates a hub. dial may be nil if only local sinks
+// are used.
+func NewNotificationHub(dial SinkDialer) *NotificationHub {
+	return &NotificationHub{dial: dial, subs: make(map[string][]*subscriber)}
+}
+
+// Subscribe adds a local sink to a topic.
+func (n *NotificationHub) Subscribe(topic string, s Sink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subs[topic] = append(n.subs[topic], &subscriber{sink: s})
+}
+
+// SubscribeHandle subscribes a remote sink identified by its GSH.
+func (n *NotificationHub) SubscribeHandle(topic string, handle gsh.Handle) error {
+	if n.dial == nil {
+		return fmt.Errorf("ogsi: no sink dialer configured for remote sink %s", handle)
+	}
+	n.Subscribe(topic, n.dial(handle))
+	return nil
+}
+
+// Subscribers returns the live subscriber count for a topic.
+func (n *NotificationHub) Subscribers(topic string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, s := range n.subs[topic] {
+		if !s.dead {
+			count++
+		}
+	}
+	return count
+}
+
+// Notify delivers a message to every subscriber of the topic,
+// asynchronously. It returns the number of sinks targeted.
+func (n *NotificationHub) Notify(topic, message string) int {
+	n.mu.Lock()
+	targets := make([]*subscriber, 0, len(n.subs[topic]))
+	for _, s := range n.subs[topic] {
+		if !s.dead {
+			targets = append(targets, s)
+		}
+	}
+	n.mu.Unlock()
+
+	for _, s := range targets {
+		s := s
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			err := s.sink.Deliver(topic, message)
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if err != nil {
+				s.failures++
+				if s.failures >= maxFailures {
+					s.dead = true
+				}
+			} else {
+				s.failures = 0
+			}
+		}()
+	}
+	return len(targets)
+}
+
+// Flush blocks until all in-flight deliveries complete, for deterministic
+// tests and orderly shutdown.
+func (n *NotificationHub) Flush() { n.wg.Wait() }
+
+// HandleSubscribe implements the wire form of the NotificationSource
+// PortType for a service embedding the hub: params are [topic, sinkGSH].
+func (n *NotificationHub) HandleSubscribe(params []string) ([]string, error) {
+	if len(params) != 2 {
+		return nil, fmt.Errorf("ogsi: %s requires [topic, sinkHandle]", OpSubscribe)
+	}
+	h, err := parseHandle(params[1])
+	if err != nil {
+		return nil, err
+	}
+	if err := n.SubscribeHandle(params[0], h); err != nil {
+		return nil, err
+	}
+	return []string{"subscribed"}, nil
+}
+
+func parseHandle(s string) (gsh.Handle, error) {
+	h, err := gsh.Parse(s)
+	if err != nil {
+		return gsh.Handle{}, fmt.Errorf("ogsi: bad handle %q: %w", s, err)
+	}
+	return h, nil
+}

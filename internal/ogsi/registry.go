@@ -1,0 +1,129 @@
+package ogsi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SoftStateRegistry implements the Registry PortType (Table 3): soft-state
+// registration of grid service handles. Each registration carries a
+// lifetime; entries that are not refreshed before their lease expires are
+// purged, so the registry converges on the set of services that are
+// actually alive — the OGSI soft-state model.
+type SoftStateRegistry struct {
+	nowFn func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]registryEntry // handle string -> entry
+}
+
+type registryEntry struct {
+	topic   string
+	expires time.Time
+}
+
+// NewSoftStateRegistry creates an empty registry.
+func NewSoftStateRegistry() *SoftStateRegistry {
+	return &SoftStateRegistry{nowFn: time.Now, entries: make(map[string]registryEntry)}
+}
+
+// SetClock replaces the time source for lease evaluation.
+func (r *SoftStateRegistry) SetClock(now func() time.Time) { r.nowFn = now }
+
+// Register records a handle under a topic with the given lease. Re-
+// registering refreshes the lease.
+func (r *SoftStateRegistry) Register(handle, topic string, lease time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[handle] = registryEntry{topic: topic, expires: r.nowFn().Add(lease)}
+}
+
+// Unregister removes a handle; unknown handles are ignored (idempotent,
+// per the deregistration semantics of Table 3).
+func (r *SoftStateRegistry) Unregister(handle string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, handle)
+}
+
+// Lookup returns the live handles registered under a topic, sorted.
+func (r *SoftStateRegistry) Lookup(topic string) []string {
+	now := r.nowFn()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for h, e := range r.entries {
+		if e.topic == topic && now.Before(e.expires) {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Purge removes expired entries and returns how many were dropped.
+func (r *SoftStateRegistry) Purge() int {
+	now := r.nowFn()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := 0
+	for h, e := range r.entries {
+		if !now.Before(e.expires) {
+			delete(r.entries, h)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of live entries.
+func (r *SoftStateRegistry) Len() int {
+	now := r.nowFn()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if now.Before(e.expires) {
+			n++
+		}
+	}
+	return n
+}
+
+// Invoke implements the wire form of the Registry PortType:
+//
+//	RegisterService(handle, topic, leaseSeconds) -> ["registered"]
+//	UnregisterService(handle)                    -> ["unregistered"]
+//	FindRegistered(topic)                        -> handles...
+func (r *SoftStateRegistry) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpRegisterService:
+		if len(params) != 3 {
+			return nil, fmt.Errorf("ogsi: %s requires [handle, topic, leaseSeconds]", OpRegisterService)
+		}
+		if _, err := parseHandle(params[0]); err != nil {
+			return nil, err
+		}
+		secs, err := strconv.ParseFloat(params[2], 64)
+		if err != nil || secs <= 0 {
+			return nil, fmt.Errorf("ogsi: bad lease %q", params[2])
+		}
+		r.Register(params[0], params[1], time.Duration(secs*float64(time.Second)))
+		return []string{"registered"}, nil
+	case OpUnregisterService:
+		if len(params) != 1 {
+			return nil, fmt.Errorf("ogsi: %s requires [handle]", OpUnregisterService)
+		}
+		r.Unregister(params[0])
+		return []string{"unregistered"}, nil
+	case "FindRegistered":
+		if len(params) != 1 {
+			return nil, fmt.Errorf("ogsi: FindRegistered requires [topic]")
+		}
+		return r.Lookup(params[0]), nil
+	}
+	return nil, fmt.Errorf("%w: %q on registry", ErrUnknownOperation, op)
+}

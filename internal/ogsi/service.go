@@ -1,0 +1,354 @@
+// Package ogsi implements the Open Grid Services Infrastructure core that
+// PPerfGrid builds on: stateful transient service instances with unique
+// Grid Service Handles, the GridService / Factory / HandleMap /
+// NotificationSource / NotificationSink / Registry PortTypes of the
+// paper's Table 3, soft-state lifetime management, and service data
+// elements.
+//
+// The paper used the Globus Toolkit 3.2 for this layer; this package is
+// the from-scratch substitute, providing the same semantics over the SOAP
+// transport of package container.
+package ogsi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/wsdl"
+)
+
+// Service is the invocation interface every grid service implementation
+// provides. All PPerfGrid operations exchange string arrays (see the
+// paper's PortType tables), so one dynamic entry point suffices; the
+// hosting Instance validates operation names and arity against the
+// service's WSDL definition before delegating.
+type Service interface {
+	Invoke(op string, params []string) ([]string, error)
+}
+
+// ServiceFunc adapts a function to the Service interface.
+type ServiceFunc func(op string, params []string) ([]string, error)
+
+// Invoke calls f.
+func (f ServiceFunc) Invoke(op string, params []string) ([]string, error) {
+	return f(op, params)
+}
+
+// ServiceDataProvider is optionally implemented by services that publish
+// dynamic service data elements (SDEs) beyond the standard ones.
+type ServiceDataProvider interface {
+	ServiceData() map[string][]string
+}
+
+// Destroyer is optionally implemented by services that must release
+// resources when their hosting instance is destroyed.
+type Destroyer interface {
+	OnDestroy()
+}
+
+// Errors returned by instance operations.
+var (
+	ErrDestroyed        = errors.New("ogsi: service instance destroyed")
+	ErrUnknownOperation = errors.New("ogsi: unknown operation")
+	ErrNoSuchData       = errors.New("ogsi: no such service data element")
+)
+
+// Standard GridService PortType operation names (Table 3).
+const (
+	OpFindServiceData      = "FindServiceData"
+	OpSetTerminationTime   = "SetTerminationTime"
+	OpDestroy              = "Destroy"
+	OpCreateService        = "CreateService"
+	OpFindByHandle         = "FindByHandle"
+	OpRegisterService      = "RegisterService"
+	OpUnregisterService    = "UnregisterService"
+	OpSubscribe            = "SubscribeToNotificationTopic"
+	OpDeliverNotification  = "DeliverNotification"
+	OpGetServiceDefinition = "GetServiceDefinition"
+)
+
+// TerminationNone is the SetTerminationTime argument meaning "no expiry".
+const TerminationNone = "none"
+
+// Instance is one stateful grid service instance: an implementation plus
+// its OGSI state (handle, service data, termination time).
+type Instance struct {
+	handle gsh.Handle
+	def    *wsdl.Definition
+	impl   Service
+
+	hosting *Hosting // back-pointer for Destroy; nil in unit tests
+
+	mu          sync.Mutex
+	created     time.Time
+	termination time.Time // zero means no scheduled termination
+	destroyed   bool
+	serviceData map[string][]string
+}
+
+// newInstance builds an instance. The caller supplies the fully formed
+// handle and a definition that already includes the GridService PortType.
+func newInstance(h gsh.Handle, impl Service, def *wsdl.Definition, hosting *Hosting, now time.Time) *Instance {
+	return &Instance{
+		handle:      h,
+		def:         def,
+		impl:        impl,
+		hosting:     hosting,
+		created:     now,
+		serviceData: make(map[string][]string),
+	}
+}
+
+// Handle returns the instance's GSH.
+func (in *Instance) Handle() gsh.Handle { return in.handle }
+
+// Definition returns the instance's service description.
+func (in *Instance) Definition() *wsdl.Definition { return in.def }
+
+// Impl returns the underlying implementation, for co-located (local
+// bypass) access.
+func (in *Instance) Impl() Service { return in.impl }
+
+// Destroyed reports whether the instance has been destroyed.
+func (in *Instance) Destroyed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.destroyed
+}
+
+// SetServiceData sets one service data element.
+func (in *Instance) SetServiceData(name string, values ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.serviceData[name] = values
+}
+
+// Invoke dispatches an operation: standard GridService PortType operations
+// are handled by the instance itself; everything else is validated against
+// the WSDL definition and delegated to the implementation.
+func (in *Instance) Invoke(op string, params []string) ([]string, error) {
+	in.mu.Lock()
+	if in.destroyed {
+		in.mu.Unlock()
+		return nil, ErrDestroyed
+	}
+	in.mu.Unlock()
+
+	switch op {
+	case OpFindServiceData:
+		if len(params) != 1 {
+			return nil, fmt.Errorf("ogsi: %s requires 1 parameter", OpFindServiceData)
+		}
+		return in.findServiceData(params[0])
+	case OpSetTerminationTime:
+		if len(params) != 1 {
+			return nil, fmt.Errorf("ogsi: %s requires 1 parameter", OpSetTerminationTime)
+		}
+		return in.setTerminationTime(params[0])
+	case OpDestroy:
+		if len(params) != 0 {
+			return nil, fmt.Errorf("ogsi: %s takes no parameters", OpDestroy)
+		}
+		return nil, in.Destroy()
+	case OpGetServiceDefinition:
+		data, err := in.def.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return []string{string(data)}, nil
+	}
+
+	if in.def != nil {
+		if err := in.def.Validate(op, params); err != nil {
+			if errors.Is(err, wsdl.ErrUnknownOperation) {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownOperation, op)
+			}
+			return nil, err
+		}
+	}
+	return in.impl.Invoke(op, params)
+}
+
+// findServiceData answers a FindServiceData query. A plain name returns
+// that element's values; the reserved queries below expose standard
+// introspection data; a query starting with "/" is evaluated by the
+// service-data query language in sdePath.
+func (in *Instance) findServiceData(query string) ([]string, error) {
+	all := in.allServiceData()
+	if strings.HasPrefix(query, "/") {
+		return sdePath(all, query)
+	}
+	vals, ok := all[query]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchData, query)
+	}
+	return vals, nil
+}
+
+// allServiceData merges standard, stored, and provider-supplied SDEs.
+func (in *Instance) allServiceData() map[string][]string {
+	in.mu.Lock()
+	term := TerminationNone
+	if !in.termination.IsZero() {
+		term = in.termination.UTC().Format(time.RFC3339Nano)
+	}
+	out := map[string][]string{
+		"handle":          {in.handle.String()},
+		"serviceType":     {in.handle.ServiceType},
+		"instanceID":      {in.handle.InstanceID},
+		"createdAt":       {in.created.UTC().Format(time.RFC3339Nano)},
+		"terminationTime": {term},
+	}
+	for k, v := range in.serviceData {
+		out[k] = append([]string(nil), v...)
+	}
+	in.mu.Unlock()
+
+	if p, ok := in.impl.(ServiceDataProvider); ok {
+		for k, v := range p.ServiceData() {
+			out[k] = append([]string(nil), v...)
+		}
+	}
+	return out
+}
+
+// ServiceDataNames returns the sorted names of all SDEs.
+func (in *Instance) ServiceDataNames() []string {
+	all := in.allServiceData()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// setTerminationTime implements SetTerminationTime. The argument is an
+// RFC3339 timestamp, or TerminationNone to cancel scheduled termination.
+// Per OGSI, the operation returns the (new) current termination time.
+func (in *Instance) setTerminationTime(arg string) ([]string, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if arg == TerminationNone || arg == "" {
+		in.termination = time.Time{}
+		return []string{TerminationNone}, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, arg)
+	if err != nil {
+		// Also accept a relative "+<seconds>" form, convenient for soft-
+		// state keepalive without synchronized clocks.
+		if strings.HasPrefix(arg, "+") {
+			d, derr := time.ParseDuration(strings.TrimPrefix(arg, "+") + "s")
+			if derr != nil {
+				return nil, fmt.Errorf("ogsi: bad termination time %q", arg)
+			}
+			t = in.now().Add(d)
+		} else {
+			return nil, fmt.Errorf("ogsi: bad termination time %q: %v", arg, err)
+		}
+	}
+	in.termination = t
+	return []string{t.UTC().Format(time.RFC3339Nano)}, nil
+}
+
+func (in *Instance) now() time.Time {
+	if in.hosting != nil {
+		return in.hosting.now()
+	}
+	return time.Now()
+}
+
+// TerminationTime returns the scheduled termination time; the zero time
+// means none is scheduled.
+func (in *Instance) TerminationTime() time.Time {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.termination
+}
+
+// Destroy terminates the instance: it is removed from its hosting table,
+// the implementation's OnDestroy hook runs, and all further invocations
+// fail with ErrDestroyed. Destroy is idempotent.
+func (in *Instance) Destroy() error {
+	in.mu.Lock()
+	if in.destroyed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.destroyed = true
+	in.mu.Unlock()
+
+	if in.hosting != nil {
+		in.hosting.remove(in.handle)
+	}
+	if d, ok := in.impl.(Destroyer); ok {
+		d.OnDestroy()
+	}
+	return nil
+}
+
+// expired reports whether the instance's termination time has passed.
+func (in *Instance) expired(now time.Time) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.termination.IsZero() && now.After(in.termination)
+}
+
+// sdePath evaluates the service-data query language used by
+// FindServiceData for queries beginning with "/" — the paper's future-work
+// XPath mechanism. Supported forms:
+//
+//	/name            — all values of the element
+//	/name[i]         — the i-th value (1-based, per XPath)
+//	/name[value=x]   — values equal to x
+//	/*               — all element names
+//	/name/count()    — the number of values, as a decimal string
+func sdePath(all map[string][]string, query string) ([]string, error) {
+	q := strings.TrimPrefix(query, "/")
+	if q == "*" {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	if name, ok := strings.CutSuffix(q, "/count()"); ok {
+		vals, exists := all[name]
+		if !exists {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchData, name)
+		}
+		return []string{fmt.Sprintf("%d", len(vals))}, nil
+	}
+	name, pred, hasPred := strings.Cut(q, "[")
+	vals, exists := all[name]
+	if !exists {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchData, name)
+	}
+	if !hasPred {
+		return vals, nil
+	}
+	pred, ok := strings.CutSuffix(pred, "]")
+	if !ok {
+		return nil, fmt.Errorf("ogsi: malformed service data query %q", query)
+	}
+	if want, isValue := strings.CutPrefix(pred, "value="); isValue {
+		var out []string
+		for _, v := range vals {
+			if v == want {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	var idx int
+	if _, err := fmt.Sscanf(pred, "%d", &idx); err != nil || idx < 1 || idx > len(vals) {
+		return nil, fmt.Errorf("ogsi: bad index %q in service data query (have %d values)", pred, len(vals))
+	}
+	return []string{vals[idx-1]}, nil
+}

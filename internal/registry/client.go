@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"pperfgrid/internal/container"
+	"pperfgrid/internal/gsh"
+)
+
+// Client is the typed proxy PPerfGrid clients and publishers use against a
+// remote registry — the analogue of the paper's Organization and Service
+// proxy classes over UDDI4J.
+type Client struct {
+	stub *container.Stub
+}
+
+// Connect binds a client to the registry hosted at the given host:port.
+func Connect(host string) *Client {
+	return &Client{stub: container.Dial(gsh.Persistent(host, ServiceType))}
+}
+
+// ConnectHandle binds a client to a registry named by a full GSH.
+func ConnectHandle(h gsh.Handle) *Client {
+	return &Client{stub: container.Dial(h)}
+}
+
+// Stub exposes the underlying stub, e.g. to install security headers.
+func (c *Client) Stub() *container.Stub { return c.stub }
+
+// PublishOrganization creates or updates an organization entry.
+func (c *Client) PublishOrganization(o Organization) error {
+	_, err := c.stub.Call(OpPublishOrganization, o.Name, o.Contact, o.Description)
+	return err
+}
+
+// PublishService publishes a service entry.
+func (c *Client) PublishService(e ServiceEntry) error {
+	_, err := c.stub.Call(OpPublishService, e.Organization, e.Name, e.Description, e.FactoryHandle)
+	return err
+}
+
+// RemoveService removes one published service.
+func (c *Client) RemoveService(org, name string) error {
+	_, err := c.stub.Call(OpRemoveService, org, name)
+	return err
+}
+
+// RemoveOrganization removes an organization and its services.
+func (c *Client) RemoveOrganization(name string) error {
+	_, err := c.stub.Call(OpRemoveOrganization, name)
+	return err
+}
+
+// FindOrganizations queries organizations by name substring; empty query
+// returns all.
+func (c *Client) FindOrganizations(query string) ([]Organization, error) {
+	rows, err := c.stub.Call(OpFindOrganizations, query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Organization, len(rows))
+	for i, row := range rows {
+		parts := strings.SplitN(row, "|", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("registry: malformed organization row %q", row)
+		}
+		out[i] = Organization{Name: parts[0], Contact: parts[1], Description: parts[2]}
+	}
+	return out, nil
+}
+
+// Services lists the services published by one organization.
+func (c *Client) Services(org string) ([]ServiceEntry, error) {
+	rows, err := c.stub.Call(OpGetServices, org)
+	if err != nil {
+		return nil, err
+	}
+	return parseEntries(rows)
+}
+
+// AllServices lists every published service.
+func (c *Client) AllServices() ([]ServiceEntry, error) {
+	rows, err := c.stub.Call(OpGetAllServices)
+	if err != nil {
+		return nil, err
+	}
+	return parseEntries(rows)
+}
+
+func parseEntries(rows []string) ([]ServiceEntry, error) {
+	out := make([]ServiceEntry, len(rows))
+	for i, row := range rows {
+		e, err := ParseServiceEntry(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}

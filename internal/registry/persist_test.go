@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := New()
+	if err := r.PublishOrganization(Organization{Name: "PSU", Contact: "a@pdx.edu", Description: "Portland State"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishOrganization(Organization{Name: "LLNL", Contact: "b@llnl.gov"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []ServiceEntry{
+		{Organization: "PSU", Name: "HPL", Description: "linpack", FactoryHandle: factoryHandle("A")},
+		{Organization: "PSU", Name: "SMG98", Description: "traces", FactoryHandle: factoryHandle("B")},
+		{Organization: "LLNL", Name: "RMA", FactoryHandle: factoryHandle("C")},
+	} {
+		if err := r.PublishService(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := populated(t)
+	data, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.FindOrganizations(""), r.FindOrganizations("")) {
+		t.Error("organizations differ after restore")
+	}
+	if !reflect.DeepEqual(got.AllServices(), r.AllServices()) {
+		t.Error("services differ after restore")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := Restore([]byte("not json")); err == nil {
+		t.Error("bad json: want error")
+	}
+	if _, err := Restore([]byte(`{"version": 99}`)); err == nil {
+		t.Error("bad version: want error")
+	}
+	// A snapshot with a service referencing a missing organization is
+	// rejected rather than silently dropped.
+	bad := `{"version":1,"services":[{"Organization":"ghost","Name":"X","FactoryHandle":"` + factoryHandle("A") + `"}]}`
+	if _, err := Restore([]byte(bad)); err == nil {
+		t.Error("orphan service: want error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	r := populated(t)
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic write leaves no temp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.AllServices(), r.AllServices()) {
+		t.Error("services differ after file round trip")
+	}
+}
+
+func TestLoadFileMissingYieldsEmpty(t *testing.T) {
+	r, err := LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FindOrganizations("")) != 0 {
+		t.Error("missing file did not yield empty registry")
+	}
+}
+
+func TestLoadFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := os.WriteFile(path, []byte("{{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("corrupt file: want error")
+	}
+}

@@ -1,0 +1,296 @@
+// Package registry implements the UDDI-compliant registry server of the
+// paper's Virtualization Layer (section 5.5.1) as a grid service, plus the
+// Organization/Service client proxies the PPerfGrid client uses in place
+// of the raw UDDI4J API.
+//
+// Publishers create an Organization entry (contact information) and one
+// Service entry per Application dataset they expose; the Service entry
+// carries the Application factory's GSH so consumers can bind to it and
+// call CreateService. Consumers browse all organizations or query them by
+// name, then bind to the services they select.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/wsdl"
+)
+
+// ServiceType is the registry's grid service type name.
+const ServiceType = "UDDIRegistry"
+
+// Organization is one publisher: a research group or site.
+type Organization struct {
+	Name        string
+	Contact     string
+	Description string
+}
+
+// ServiceEntry is one published Application dataset.
+type ServiceEntry struct {
+	Organization  string
+	Name          string
+	Description   string
+	FactoryHandle string
+}
+
+// Encode renders the entry in wire form.
+func (s ServiceEntry) Encode() string {
+	return strings.Join([]string{s.Organization, s.Name, s.Description, s.FactoryHandle}, "|")
+}
+
+// ParseServiceEntry decodes the wire form.
+func ParseServiceEntry(s string) (ServiceEntry, error) {
+	parts := strings.SplitN(s, "|", 4)
+	if len(parts) != 4 {
+		return ServiceEntry{}, fmt.Errorf("registry: malformed service entry %q", s)
+	}
+	return ServiceEntry{Organization: parts[0], Name: parts[1], Description: parts[2], FactoryHandle: parts[3]}, nil
+}
+
+// Errors returned by registry operations.
+var (
+	ErrNoSuchOrganization = errors.New("registry: no such organization")
+	ErrNoSuchService      = errors.New("registry: no such service")
+	ErrDuplicate          = errors.New("registry: duplicate entry")
+)
+
+// Registry is the registry state and grid service implementation.
+type Registry struct {
+	mu       sync.RWMutex
+	orgs     map[string]Organization
+	services map[string]map[string]ServiceEntry // org -> service name -> entry
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		orgs:     make(map[string]Organization),
+		services: make(map[string]map[string]ServiceEntry),
+	}
+}
+
+// PublishOrganization records a new organization. Re-publishing an
+// existing name updates its contact information.
+func (r *Registry) PublishOrganization(o Organization) error {
+	if o.Name == "" || strings.Contains(o.Name, "|") {
+		return fmt.Errorf("registry: bad organization name %q", o.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[o.Name]; !ok {
+		r.services[o.Name] = make(map[string]ServiceEntry)
+	}
+	r.orgs[o.Name] = o
+	return nil
+}
+
+// PublishService records a service under an existing organization. The
+// factory handle must be a well-formed GSH. Duplicate service names within
+// an organization are rejected.
+func (r *Registry) PublishService(e ServiceEntry) error {
+	if e.Name == "" || strings.Contains(e.Name, "|") {
+		return fmt.Errorf("registry: bad service name %q", e.Name)
+	}
+	if _, err := gsh.Parse(e.FactoryHandle); err != nil {
+		return fmt.Errorf("registry: service %q: %w", e.Name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svcs, ok := r.services[e.Organization]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchOrganization, e.Organization)
+	}
+	if _, dup := svcs[e.Name]; dup {
+		return fmt.Errorf("%w: service %q in %q", ErrDuplicate, e.Name, e.Organization)
+	}
+	svcs[e.Name] = e
+	return nil
+}
+
+// RemoveService deletes a published service.
+func (r *Registry) RemoveService(org, name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svcs, ok := r.services[org]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchOrganization, org)
+	}
+	if _, ok := svcs[name]; !ok {
+		return fmt.Errorf("%w: %q in %q", ErrNoSuchService, name, org)
+	}
+	delete(svcs, name)
+	return nil
+}
+
+// RemoveOrganization deletes an organization and all of its services.
+func (r *Registry) RemoveOrganization(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.orgs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchOrganization, name)
+	}
+	delete(r.orgs, name)
+	delete(r.services, name)
+	return nil
+}
+
+// FindOrganizations returns organizations whose names contain the query
+// substring (case-insensitive); the empty query returns all. Results are
+// sorted by name.
+func (r *Registry) FindOrganizations(query string) []Organization {
+	q := strings.ToLower(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Organization
+	for name, o := range r.orgs {
+		if q == "" || strings.Contains(strings.ToLower(name), q) {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Services returns the services of one organization, sorted by name.
+func (r *Registry) Services(org string) ([]ServiceEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svcs, ok := r.services[org]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchOrganization, org)
+	}
+	out := make([]ServiceEntry, 0, len(svcs))
+	for _, e := range svcs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// AllServices returns every published service across organizations.
+func (r *Registry) AllServices() []ServiceEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ServiceEntry
+	for _, svcs := range r.services {
+		for _, e := range svcs {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Organization != out[j].Organization {
+			return out[i].Organization < out[j].Organization
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Registry PortType operation names.
+const (
+	OpPublishOrganization = "publishOrganization"
+	OpPublishService      = "publishService"
+	OpRemoveService       = "removeService"
+	OpRemoveOrganization  = "removeOrganization"
+	OpFindOrganizations   = "findOrganizations"
+	OpGetServices         = "getServices"
+	OpGetAllServices      = "getAllServices"
+)
+
+// Definition describes the registry's PortType.
+func Definition() *wsdl.Definition {
+	return wsdl.New(ServiceType, wsdl.PortType{Name: ServiceType, Operations: []wsdl.Operation{
+		wsdl.Op(OpPublishOrganization, "Create or update an Organization entry with contact information.",
+			wsdl.P("name"), wsdl.P("contact"), wsdl.P("description")),
+		wsdl.Op(OpPublishService, "Publish a Service entry carrying an Application factory GSH under an Organization.",
+			wsdl.P("organization"), wsdl.P("name"), wsdl.P("description"), wsdl.P("factoryHandle")),
+		wsdl.Op(OpRemoveService, "Remove a published Service entry.",
+			wsdl.P("organization"), wsdl.P("name")),
+		wsdl.Op(OpRemoveOrganization, "Remove an Organization and all of its Services.",
+			wsdl.P("name")),
+		wsdl.Op(OpFindOrganizations, "Find Organizations by name substring; empty query returns all. Each result is name|contact|description.",
+			wsdl.P("query")),
+		wsdl.Op(OpGetServices, "List the Services of one Organization. Each result is organization|name|description|factoryHandle.",
+			wsdl.P("organization")),
+		wsdl.Op(OpGetAllServices, "List every published Service."),
+	}})
+}
+
+// Invoke implements the grid service wire protocol.
+func (r *Registry) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case OpPublishOrganization:
+		if err := r.PublishOrganization(Organization{Name: params[0], Contact: params[1], Description: params[2]}); err != nil {
+			return nil, err
+		}
+		return []string{"ok"}, nil
+	case OpPublishService:
+		err := r.PublishService(ServiceEntry{
+			Organization: params[0], Name: params[1], Description: params[2], FactoryHandle: params[3],
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []string{"ok"}, nil
+	case OpRemoveService:
+		if err := r.RemoveService(params[0], params[1]); err != nil {
+			return nil, err
+		}
+		return []string{"ok"}, nil
+	case OpRemoveOrganization:
+		if err := r.RemoveOrganization(params[0]); err != nil {
+			return nil, err
+		}
+		return []string{"ok"}, nil
+	case OpFindOrganizations:
+		orgs := r.FindOrganizations(params[0])
+		out := make([]string, len(orgs))
+		for i, o := range orgs {
+			out[i] = strings.Join([]string{o.Name, o.Contact, o.Description}, "|")
+		}
+		return out, nil
+	case OpGetServices:
+		svcs, err := r.Services(params[0])
+		if err != nil {
+			return nil, err
+		}
+		return encodeEntries(svcs), nil
+	case OpGetAllServices:
+		return encodeEntries(r.AllServices()), nil
+	}
+	return nil, fmt.Errorf("%w: %q on registry", ogsi.ErrUnknownOperation, op)
+}
+
+func encodeEntries(svcs []ServiceEntry) []string {
+	out := make([]string, len(svcs))
+	for i, e := range svcs {
+		out[i] = e.Encode()
+	}
+	return out
+}
+
+// ServiceData publishes registry statistics.
+func (r *Registry) ServiceData() map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, svcs := range r.services {
+		total += len(svcs)
+	}
+	return map[string][]string{
+		"organizationCount": {fmt.Sprintf("%d", len(r.orgs))},
+		"serviceCount":      {fmt.Sprintf("%d", total)},
+	}
+}
+
+// Deploy hosts the registry as a persistent grid service.
+func Deploy(h *ogsi.Hosting, r *Registry) (*ogsi.Instance, error) {
+	return h.DeployPersistent(ServiceType, r, Definition())
+}

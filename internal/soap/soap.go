@@ -1,0 +1,456 @@
+// Package soap implements the SOAP-style XML messaging layer used by all
+// PPerfGrid grid services.
+//
+// Messages follow the SOAP 1.1 envelope structure: an Envelope element
+// containing an optional Header (carrying metadata entries such as security
+// tokens and message IDs) and a Body. Requests use RPC style — the body
+// holds one element named after the invoked operation, whose <param>
+// children carry the positional string arguments. Responses hold an
+// <operation>Response element whose <return> children carry the result
+// array. Failures are carried as SOAP Fault elements.
+//
+// All PPerfGrid PortType operations exchange arrays of strings (see Tables
+// 1 and 2 of the paper), so the wire format needs exactly these shapes.
+// The encode/decode work done here is the "marshalling/encoding" half of
+// the architecture-adapter pattern described in the paper's Services Layer,
+// and it is the principal source of the grid-services overhead measured in
+// Table 4.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Namespace URIs used in PPerfGrid SOAP messages.
+const (
+	EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	ServiceNS  = "http://pperfgrid.pdx.edu/ns/2004/service"
+)
+
+// ContentType is the MIME type of SOAP 1.1 messages.
+const ContentType = "text/xml; charset=utf-8"
+
+// HeaderEntry is one metadata entry in the SOAP header block.
+type HeaderEntry struct {
+	Name  string
+	Value string
+}
+
+// Request is a decoded RPC-style SOAP request.
+type Request struct {
+	Operation string
+	Params    []string
+	Headers   []HeaderEntry
+}
+
+// Header returns the value of the named header entry and whether it exists.
+func (r *Request) Header(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if h.Name == name {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Response is a decoded RPC-style SOAP response.
+type Response struct {
+	Operation string // operation name without the "Response" suffix
+	Returns   []string
+	Headers   []HeaderEntry
+}
+
+// Fault is a SOAP Fault. It satisfies error so transport code can return
+// remote failures directly.
+type Fault struct {
+	Code   string // e.g. "Server", "Client"
+	String string // human-readable fault string
+	Detail string // optional machine-readable detail
+}
+
+// Standard fault codes.
+const (
+	FaultServer = "Server"
+	FaultClient = "Client"
+)
+
+func (f *Fault) Error() string {
+	if f.Detail != "" {
+		return fmt.Sprintf("soap fault (%s): %s [%s]", f.Code, f.String, f.Detail)
+	}
+	return fmt.Sprintf("soap fault (%s): %s", f.Code, f.String)
+}
+
+// ServerFault builds a Server-side Fault from an error.
+func ServerFault(err error) *Fault {
+	return &Fault{Code: FaultServer, String: err.Error()}
+}
+
+// ClientFault builds a Client-side (bad request) Fault.
+func ClientFault(msg string) *Fault {
+	return &Fault{Code: FaultClient, String: msg}
+}
+
+// ErrMalformed reports an XML document that is not a well-formed SOAP
+// envelope of the expected shape.
+var ErrMalformed = errors.New("soap: malformed envelope")
+
+// operationNameOK reports whether s is usable as an XML element local name.
+func operationNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9' || r == '-' || r == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeRequest serializes an RPC request envelope.
+func EncodeRequest(op string, headers []HeaderEntry, params []string) ([]byte, error) {
+	if !operationNameOK(op) {
+		return nil, fmt.Errorf("soap: invalid operation name %q", op)
+	}
+	return encodeEnvelope(headers, op, "param", params, nil)
+}
+
+// EncodeResponse serializes an RPC response envelope for the given
+// operation. The wire element is named <op>Response per SOAP convention.
+func EncodeResponse(op string, headers []HeaderEntry, returns []string) ([]byte, error) {
+	if !operationNameOK(op) {
+		return nil, fmt.Errorf("soap: invalid operation name %q", op)
+	}
+	return encodeEnvelope(headers, op+"Response", "return", returns, nil)
+}
+
+// EncodeFault serializes a Fault envelope.
+func EncodeFault(f *Fault) ([]byte, error) {
+	return encodeEnvelope(nil, "", "", nil, f)
+}
+
+func encodeEnvelope(headers []HeaderEntry, bodyElem, itemElem string, items []string, fault *Fault) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+
+	env := xml.StartElement{
+		Name: xml.Name{Local: "soapenv:Envelope"},
+		Attr: []xml.Attr{
+			{Name: xml.Name{Local: "xmlns:soapenv"}, Value: EnvelopeNS},
+			{Name: xml.Name{Local: "xmlns:ppg"}, Value: ServiceNS},
+		},
+	}
+	if err := enc.EncodeToken(env); err != nil {
+		return nil, err
+	}
+	if len(headers) > 0 {
+		hdr := xml.StartElement{Name: xml.Name{Local: "soapenv:Header"}}
+		if err := enc.EncodeToken(hdr); err != nil {
+			return nil, err
+		}
+		for _, h := range headers {
+			e := xml.StartElement{
+				Name: xml.Name{Local: "ppg:entry"},
+				Attr: []xml.Attr{{Name: xml.Name{Local: "name"}, Value: h.Name}},
+			}
+			if err := encodeTextElement(enc, e, h.Value); err != nil {
+				return nil, err
+			}
+		}
+		if err := enc.EncodeToken(hdr.End()); err != nil {
+			return nil, err
+		}
+	}
+	body := xml.StartElement{Name: xml.Name{Local: "soapenv:Body"}}
+	if err := enc.EncodeToken(body); err != nil {
+		return nil, err
+	}
+	if fault != nil {
+		fe := xml.StartElement{Name: xml.Name{Local: "soapenv:Fault"}}
+		if err := enc.EncodeToken(fe); err != nil {
+			return nil, err
+		}
+		for _, kv := range [][2]string{
+			{"faultcode", "soapenv:" + fault.Code},
+			{"faultstring", fault.String},
+			{"detail", fault.Detail},
+		} {
+			if kv[0] == "detail" && kv[1] == "" {
+				continue
+			}
+			e := xml.StartElement{Name: xml.Name{Local: kv[0]}}
+			if err := encodeTextElement(enc, e, kv[1]); err != nil {
+				return nil, err
+			}
+		}
+		if err := enc.EncodeToken(fe.End()); err != nil {
+			return nil, err
+		}
+	} else {
+		be := xml.StartElement{Name: xml.Name{Local: "ppg:" + bodyElem}}
+		if err := enc.EncodeToken(be); err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			e := xml.StartElement{Name: xml.Name{Local: "ppg:" + itemElem}}
+			if err := encodeTextElement(enc, e, it); err != nil {
+				return nil, err
+			}
+		}
+		if err := enc.EncodeToken(be.End()); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.EncodeToken(body.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.EncodeToken(env.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeTextElement(enc *xml.Encoder, start xml.StartElement, text string) error {
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(xml.CharData(text)); err != nil {
+		return err
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// decoded is the intermediate result of parsing any envelope.
+type decoded struct {
+	headers  []HeaderEntry
+	bodyName string   // local name of the single body child
+	items    []string // text of each item child, in order
+	fault    *Fault
+}
+
+// DecodeRequest parses a request envelope.
+func DecodeRequest(data []byte) (*Request, error) {
+	d, err := decodeEnvelope(data, "param")
+	if err != nil {
+		return nil, err
+	}
+	if d.fault != nil {
+		return nil, fmt.Errorf("%w: fault in request body", ErrMalformed)
+	}
+	return &Request{Operation: d.bodyName, Params: d.items, Headers: d.headers}, nil
+}
+
+// DecodeResponse parses a response envelope. If the body carries a SOAP
+// Fault, it is returned as the error.
+func DecodeResponse(data []byte) (*Response, error) {
+	d, err := decodeEnvelope(data, "return")
+	if err != nil {
+		return nil, err
+	}
+	if d.fault != nil {
+		return nil, d.fault
+	}
+	op := strings.TrimSuffix(d.bodyName, "Response")
+	if op == d.bodyName {
+		return nil, fmt.Errorf("%w: body element %q lacks Response suffix", ErrMalformed, d.bodyName)
+	}
+	return &Response{Operation: op, Returns: d.items, Headers: d.headers}, nil
+}
+
+// decodeEnvelope walks the token stream of a SOAP envelope, collecting
+// header entries and the single body element with its item children.
+func decodeEnvelope(data []byte, itemName string) (*decoded, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	out := &decoded{}
+
+	if err := expectStart(dec, EnvelopeNS, "Envelope"); err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: missing Body", ErrMalformed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch {
+		case se.Name.Space == EnvelopeNS && se.Name.Local == "Header":
+			if err := decodeHeader(dec, se, out); err != nil {
+				return nil, err
+			}
+		case se.Name.Space == EnvelopeNS && se.Name.Local == "Body":
+			return out, decodeBody(dec, se, itemName, out)
+		default:
+			if err := dec.Skip(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+			}
+		}
+	}
+}
+
+func expectStart(dec *xml.Decoder, space, local string) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if se.Name.Space == space && se.Name.Local == local {
+				return nil
+			}
+			return fmt.Errorf("%w: expected <%s>, got <%s>", ErrMalformed, local, se.Name.Local)
+		}
+	}
+}
+
+func decodeHeader(dec *xml.Decoder, start xml.StartElement, out *decoded) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var name string
+			for _, a := range t.Attr {
+				if a.Name.Local == "name" {
+					name = a.Value
+				}
+			}
+			text, err := collectText(dec, t)
+			if err != nil {
+				return err
+			}
+			out.headers = append(out.headers, HeaderEntry{Name: name, Value: text})
+		case xml.EndElement:
+			if t.Name == start.Name {
+				return nil
+			}
+		}
+	}
+}
+
+func decodeBody(dec *xml.Decoder, body xml.StartElement, itemName string, out *decoded) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Space == EnvelopeNS && t.Name.Local == "Fault" {
+				return decodeFault(dec, t, out)
+			}
+			out.bodyName = t.Name.Local
+			return decodeItems(dec, t, itemName, out)
+		case xml.EndElement:
+			if t.Name == body.Name {
+				return fmt.Errorf("%w: empty Body", ErrMalformed)
+			}
+		}
+	}
+}
+
+func decodeItems(dec *xml.Decoder, parent xml.StartElement, itemName string, out *decoded) error {
+	// items stays nil until the first item so that "no results" and
+	// "empty result list" both decode to a nil slice, matching the
+	// paper's convention that operations return arrays of strings.
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != itemName {
+				return fmt.Errorf("%w: unexpected element <%s> in %s", ErrMalformed, t.Name.Local, parent.Name.Local)
+			}
+			text, err := collectText(dec, t)
+			if err != nil {
+				return err
+			}
+			out.items = append(out.items, text)
+		case xml.EndElement:
+			if t.Name == parent.Name {
+				return nil
+			}
+		}
+	}
+}
+
+func decodeFault(dec *xml.Decoder, start xml.StartElement, out *decoded) error {
+	f := &Fault{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			text, err := collectText(dec, t)
+			if err != nil {
+				return err
+			}
+			switch t.Name.Local {
+			case "faultcode":
+				// Strip the namespace prefix, e.g. "soapenv:Server".
+				if i := strings.LastIndexByte(text, ':'); i >= 0 {
+					text = text[i+1:]
+				}
+				f.Code = text
+			case "faultstring":
+				f.String = text
+			case "detail":
+				f.Detail = text
+			}
+		case xml.EndElement:
+			if t.Name == start.Name {
+				out.fault = f
+				return nil
+			}
+		}
+	}
+}
+
+// collectText reads the character data of an element that contains only
+// text, consuming through its end element.
+func collectText(dec *xml.Decoder, start xml.StartElement) (string, error) {
+	var b strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			b.Write(t)
+		case xml.EndElement:
+			if t.Name == start.Name {
+				return b.String(), nil
+			}
+		case xml.StartElement:
+			return "", fmt.Errorf("%w: unexpected child <%s> in text element <%s>", ErrMalformed, t.Name.Local, start.Name.Local)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package soap
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	headers := []HeaderEntry{{Name: "messageID", Value: "42"}, {Name: "token", Value: "abc|def"}}
+	params := []string{"numprocesses", "16", "<&>\"'"}
+	data, err := EncodeRequest("getExecs", headers, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Operation != "getExecs" {
+		t.Errorf("Operation = %q", req.Operation)
+	}
+	if !reflect.DeepEqual(req.Params, params) {
+		t.Errorf("Params = %#v, want %#v", req.Params, params)
+	}
+	if !reflect.DeepEqual(req.Headers, headers) {
+		t.Errorf("Headers = %#v, want %#v", req.Headers, headers)
+	}
+}
+
+func TestRequestNoParamsNoHeaders(t *testing.T) {
+	data, err := EncodeRequest("getAppInfo", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Operation != "getAppInfo" || len(req.Params) != 0 || len(req.Headers) != 0 {
+		t.Errorf("got %+v", req)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	returns := []string{
+		"http://host:1/ogsa/services/Execution/7",
+		"name|HPL",
+		"", // empty strings must survive
+	}
+	data, err := EncodeResponse("getAllExecs", nil, returns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Operation != "getAllExecs" {
+		t.Errorf("Operation = %q", resp.Operation)
+	}
+	if !reflect.DeepEqual(resp.Returns, returns) {
+		t.Errorf("Returns = %#v, want %#v", resp.Returns, returns)
+	}
+}
+
+func TestEmptyReturnList(t *testing.T) {
+	data, err := EncodeResponse("getExecs", nil, []string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Returns) != 0 {
+		t.Errorf("Returns = %#v, want empty", resp.Returns)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := &Fault{Code: FaultServer, String: "no such execution", Detail: "id=99"}
+	data, err := EncodeFault(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeResponse(data)
+	var got *Fault
+	if !errors.As(err, &got) {
+		t.Fatalf("DecodeResponse: want Fault error, got %v", err)
+	}
+	if got.Code != f.Code || got.String != f.String || got.Detail != f.Detail {
+		t.Errorf("fault = %+v, want %+v", got, f)
+	}
+}
+
+func TestFaultWithoutDetail(t *testing.T) {
+	data, err := EncodeFault(ClientFault("bad parameter count"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeResponse(data)
+	var got *Fault
+	if !errors.As(err, &got) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if got.Code != FaultClient || got.String != "bad parameter count" || got.Detail != "" {
+		t.Errorf("fault = %+v", got)
+	}
+}
+
+func TestFaultErrorString(t *testing.T) {
+	f := &Fault{Code: FaultServer, String: "boom"}
+	if !strings.Contains(f.Error(), "boom") || !strings.Contains(f.Error(), "Server") {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	f.Detail = "ctx"
+	if !strings.Contains(f.Error(), "ctx") {
+		t.Errorf("Error() with detail = %q", f.Error())
+	}
+}
+
+func TestServerFaultFromError(t *testing.T) {
+	f := ServerFault(errors.New("database offline"))
+	if f.Code != FaultServer || f.String != "database offline" {
+		t.Errorf("ServerFault = %+v", f)
+	}
+}
+
+func TestInvalidOperationNames(t *testing.T) {
+	for _, op := range []string{"", "9lives", "get Execs", "a<b", "-x", "op\n"} {
+		if _, err := EncodeRequest(op, nil, nil); err == nil {
+			t.Errorf("EncodeRequest(%q): want error", op)
+		}
+		if _, err := EncodeResponse(op, nil, nil); err == nil {
+			t.Errorf("EncodeResponse(%q): want error", op)
+		}
+	}
+	// Valid edge cases.
+	for _, op := range []string{"x", "_private", "get-PR", "op.v2", "a9"} {
+		if _, err := EncodeRequest(op, nil, nil); err != nil {
+			t.Errorf("EncodeRequest(%q): %v", op, err)
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"not xml",
+		"<foo/>",
+		`<soapenv:Envelope xmlns:soapenv="` + EnvelopeNS + `"></soapenv:Envelope>`,
+		`<soapenv:Envelope xmlns:soapenv="` + EnvelopeNS + `"><soapenv:Body></soapenv:Body></soapenv:Envelope>`,
+	}
+	for _, s := range cases {
+		if _, err := DecodeRequest([]byte(s)); err == nil {
+			t.Errorf("DecodeRequest(%q): want error", s)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsFaultBody(t *testing.T) {
+	data, err := EncodeFault(ClientFault("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(data); !errors.Is(err, ErrMalformed) {
+		t.Errorf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestDecodeResponseRejectsMissingSuffix(t *testing.T) {
+	data, err := EncodeRequest("getExecs", nil, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request body element has no Response suffix; decoding it as a
+	// response must fail rather than silently misinterpret.
+	if _, err := DecodeResponse(data); !errors.Is(err, ErrMalformed) {
+		t.Errorf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestRequestHeaderLookup(t *testing.T) {
+	req := &Request{Headers: []HeaderEntry{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}}}
+	if v, ok := req.Header("b"); !ok || v != "2" {
+		t.Errorf("Header(b) = %q, %v", v, ok)
+	}
+	if _, ok := req.Header("missing"); ok {
+		t.Error("Header(missing) reported present")
+	}
+}
+
+func TestXMLSpecialCharacters(t *testing.T) {
+	params := []string{"<tag>", "a&b", `"quoted"`, "new\nline", "tab\there", "日本語"}
+	data, err := EncodeRequest("op", nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req.Params, params) {
+		t.Errorf("special chars mangled: %#v", req.Params)
+	}
+}
+
+// Property: any slice of printable strings survives request and response
+// round trips byte-for-byte.
+func TestQuickRoundTrip(t *testing.T) {
+	sanitize := func(ss []string) []string {
+		out := make([]string, len(ss))
+		for i, s := range ss {
+			// XML cannot carry most control characters; replace them.
+			out[i] = strings.Map(func(r rune) rune {
+				if r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
+					return ' '
+				}
+				if r == 0xFFFD || !validXMLRune(r) {
+					return ' '
+				}
+				return r
+			}, strings.ToValidUTF8(s, " "))
+		}
+		return out
+	}
+	f := func(ss []string) bool {
+		ss = sanitize(ss)
+		data, err := EncodeResponse("op", nil, ss)
+		if err != nil {
+			return false
+		}
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return false
+		}
+		if len(ss) == 0 {
+			return len(resp.Returns) == 0
+		}
+		return reflect.DeepEqual(resp.Returns, ss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validXMLRune(r rune) bool {
+	return r == '\t' || r == '\n' || r == '\r' ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+// TestDecodeNeverPanics mutates valid envelopes randomly and requires the
+// decoders to either parse or return an error — never panic, never hang.
+func TestDecodeNeverPanics(t *testing.T) {
+	valid, err := EncodeRequest("getPR", []HeaderEntry{{Name: "h", Value: "v"}},
+		[]string{"gflops", "0", "1", "hpl", "/Process/0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 500; trial++ {
+		data := append([]byte(nil), valid...)
+		for n := rng.Intn(8); n >= 0 && len(data) > 0; n-- {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			case 1: // truncate
+				if len(data) > 1 {
+					data = data[:rng.Intn(len(data))]
+				}
+			case 2: // duplicate a slice
+				if len(data) > 2 {
+					i := rng.Intn(len(data) - 1)
+					j := i + 1 + rng.Intn(len(data)-i-1)
+					data = append(data[:j:j], data[i:]...)
+				}
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\ninput: %q", trial, r, data)
+				}
+			}()
+			_, _ = DecodeRequest(data)
+			_, _ = DecodeResponse(data)
+		}()
+	}
+}

@@ -1,0 +1,29 @@
+package viz_test
+
+import (
+	"fmt"
+
+	"pperfgrid/internal/viz"
+)
+
+func ExampleBarChart() {
+	fmt.Print(viz.BarChart("gflops per execution",
+		[]string{"100", "101"},
+		[]float64{2.0, 4.0}, 20))
+	// Output:
+	// gflops per execution
+	// 100 | ########## 2
+	// 101 | #################### 4
+}
+
+func ExampleTable() {
+	fmt.Print(viz.Table("PPerfGrid Caching",
+		[]string{"Source", "Speedup"},
+		[][]string{{"HPL", "1.96"}, {"SMG98", "137.54"}}))
+	// Output:
+	// PPerfGrid Caching
+	// Source  Speedup
+	// ---------------
+	// HPL     1.96
+	// SMG98   137.54
+}

@@ -1,0 +1,182 @@
+// Package viz renders performance data as terminal charts — the ASCII
+// stand-in for the JFreeChart visualization panel of the paper's client
+// (Figure 11).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BarChart renders one bar per labeled value, scaled to width characters.
+// It is the shape of Figure 11: one metric value per Execution in a query.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	if len(labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 && v > 0 {
+			bar = int(math.Round(v / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.4g\n", labelW, labels[i], strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for a multi-series chart.
+type Series struct {
+	Name   string
+	Points map[float64]float64
+}
+
+// LineChart renders multiple series over a shared x axis as a rows×width
+// character grid — the shape of the paper's Figure 12 scalability plot.
+// Each series is drawn with its own glyph; overlapping points show the
+// later series' glyph.
+func LineChart(title string, series []Series, rows, width int) string {
+	if rows <= 0 {
+		rows = 16
+	}
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	// Collect axis ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range series {
+		for x, y := range s.Points {
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '@', '%'}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		xs := make([]float64, 0, len(s.Points))
+		for x := range s.Points {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, x := range xs {
+			y := s.Points[x]
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := rows - 1 - int(y/maxY*float64(rows-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= rows {
+				row = rows - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	yLabelW := len(fmt.Sprintf("%.4g", maxY))
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", maxY)
+		case rows - 1:
+			label = "0"
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(line))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*.4g%*.4g\n", yLabelW, "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns, a header rule, and a title —
+// the renderer every experiment report uses for the paper's tables.
+func Table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	if len(header) == 0 {
+		return b.String()
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(widths)-1 {
+				// No padding on the final column: keep lines free of
+				// trailing whitespace.
+				b.WriteString(cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", w, cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("gflops per execution", []string{"100", "101"}, []float64{2.0, 4.0}, 20)
+	if !strings.Contains(out, "gflops per execution") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The max value fills the width; the half value is about half.
+	full := strings.Count(lines[2], "#")
+	half := strings.Count(lines[1], "#")
+	if full != 20 {
+		t.Errorf("max bar = %d chars, want 20", full)
+	}
+	if half < 8 || half > 12 {
+		t.Errorf("half bar = %d chars", half)
+	}
+	if !strings.Contains(lines[1], "100") || !strings.Contains(lines[1], "2") {
+		t.Errorf("label/value missing: %q", lines[1])
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := BarChart("t", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	out := BarChart("", []string{"a"}, []float64{0}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Errorf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	series := []Series{
+		{Name: "Non-Optimized", Points: map[float64]float64{2: 1000, 64: 40000, 124: 75000}},
+		{Name: "Optimized", Points: map[float64]float64{2: 700, 64: 20000, 124: 36000}},
+	}
+	out := LineChart("Scalability", series, 10, 40)
+	if !strings.Contains(out, "Scalability") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* = Non-Optimized") || !strings.Contains(out, "o = Optimized") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing data glyphs")
+	}
+	// Axis labels.
+	if !strings.Contains(out, "124") {
+		t.Errorf("missing x max:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	if out := LineChart("t", nil, 5, 20); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	out := LineChart("", []Series{{Name: "s", Points: map[float64]float64{5: 10}}}, 5, 20)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Table 4: Overhead",
+		[]string{"Source", "Mean (ms)", "Overhead %"},
+		[][]string{
+			{"HPL", "112.85", "28%"},
+			{"RMA", "358.49", "71%"},
+		})
+	if !strings.Contains(out, "Table 4: Overhead") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and rule.
+	if !strings.HasPrefix(lines[1], "Source") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule: %q", lines[2])
+	}
+	// Columns align: "Mean (ms)" starts at the same offset in all rows.
+	off := strings.Index(lines[1], "Mean")
+	if strings.Index(lines[3], "112.85") != off {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	out := Table("", []string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row dropped: %q", out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	if out := Table("t", nil, nil); out != "t\n" {
+		t.Errorf("got %q", out)
+	}
+}

@@ -1,0 +1,161 @@
+package wsdl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleDef() *Definition {
+	return New("Application",
+		PortType{Name: "Application", Operations: []Operation{
+			Op("getAppInfo", "Returns general information about the application."),
+			Op("getNumExecs", "Returns the number of unique executions."),
+			Op("getExecs", "Returns Execution GSHs matching attribute/value.", P("attribute"), P("value")),
+			Op("getPR", "Returns performance results.", P("metric"), P("startTime"), P("endTime"), P("type"), PRep("focus")),
+		}},
+		PortType{Name: "GridService", Operations: []Operation{
+			Op("Destroy", "Terminate the instance."),
+		}},
+	)
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	d := sampleDef()
+	d.Endpoint = "http://host:1/ogsa/services/Application/0"
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != d.Service || got.Endpoint != d.Endpoint {
+		t.Errorf("service/endpoint: got %q/%q", got.Service, got.Endpoint)
+	}
+	if !reflect.DeepEqual(got.PortTypeNames(), d.PortTypeNames()) {
+		t.Errorf("port types: got %v want %v", got.PortTypeNames(), d.PortTypeNames())
+	}
+	if !reflect.DeepEqual(got.OperationNames(), d.OperationNames()) {
+		t.Errorf("operations: got %v want %v", got.OperationNames(), d.OperationNames())
+	}
+	op, err := got.Lookup("getPR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.Params) != 5 || !op.Params[4].Repeated {
+		t.Errorf("getPR params after round trip: %+v", op.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not xml")); err == nil {
+		t.Error("Parse(not xml): want error")
+	}
+	if _, err := Parse([]byte("<definitions/>")); err == nil {
+		t.Error("Parse(no service attr): want error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := sampleDef()
+	if _, err := d.Lookup("getAppInfo"); err != nil {
+		t.Errorf("Lookup(getAppInfo): %v", err)
+	}
+	if _, err := d.Lookup("Destroy"); err != nil {
+		t.Errorf("Lookup across port types: %v", err)
+	}
+	if _, err := d.Lookup("nope"); !errors.Is(err, ErrUnknownOperation) {
+		t.Errorf("Lookup(nope): want ErrUnknownOperation, got %v", err)
+	}
+}
+
+func TestValidateFixedArity(t *testing.T) {
+	d := sampleDef()
+	if err := d.Validate("getAppInfo", nil); err != nil {
+		t.Errorf("zero-arg op with no args: %v", err)
+	}
+	if err := d.Validate("getAppInfo", []string{"x"}); !errors.Is(err, ErrBadArity) {
+		t.Errorf("zero-arg op with arg: want ErrBadArity, got %v", err)
+	}
+	if err := d.Validate("getExecs", []string{"runid", "5"}); err != nil {
+		t.Errorf("getExecs 2 args: %v", err)
+	}
+	if err := d.Validate("getExecs", []string{"runid"}); !errors.Is(err, ErrBadArity) {
+		t.Errorf("getExecs 1 arg: want ErrBadArity, got %v", err)
+	}
+	if err := d.Validate("missing", nil); !errors.Is(err, ErrUnknownOperation) {
+		t.Errorf("unknown op: got %v", err)
+	}
+}
+
+func TestValidateVariadic(t *testing.T) {
+	d := sampleDef()
+	// getPR: 4 fixed params + repeated focus; at least 4 args.
+	if err := d.Validate("getPR", []string{"m", "0", "1", "t"}); err != nil {
+		t.Errorf("getPR with zero foci: %v", err)
+	}
+	if err := d.Validate("getPR", []string{"m", "0", "1", "t", "/Process/1", "/Process/2"}); err != nil {
+		t.Errorf("getPR with 2 foci: %v", err)
+	}
+	if err := d.Validate("getPR", []string{"m", "0", "1"}); !errors.Is(err, ErrBadArity) {
+		t.Errorf("getPR too few: want ErrBadArity, got %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleDef()
+	c := d.Clone()
+	c.PortTypes[0].Operations[0].Name = "mutated"
+	c.PortTypes[0].Operations[2].Params[0].Name = "mutated"
+	if d.PortTypes[0].Operations[0].Name == "mutated" {
+		t.Error("Clone shares Operations slice")
+	}
+	if d.PortTypes[0].Operations[2].Params[0].Name == "mutated" {
+		t.Error("Clone shares Params slice")
+	}
+}
+
+func TestMergeAddsAndReplaces(t *testing.T) {
+	d := sampleDef()
+	merged := d.Merge(
+		PortType{Name: "Factory", Operations: []Operation{Op("CreateService", "Create instance.")}},
+		PortType{Name: "GridService", Operations: []Operation{
+			Op("Destroy", "Terminate."),
+			Op("FindServiceData", "Query service data.", P("query")),
+		}},
+	)
+	if _, err := merged.Lookup("CreateService"); err != nil {
+		t.Errorf("merged factory op: %v", err)
+	}
+	if _, err := merged.Lookup("FindServiceData"); err != nil {
+		t.Errorf("replaced GridService port type: %v", err)
+	}
+	// Original untouched.
+	if _, err := d.Lookup("CreateService"); err == nil {
+		t.Error("Merge mutated receiver")
+	}
+	if got := len(merged.PortTypes); got != 3 {
+		t.Errorf("merged has %d port types, want 3", got)
+	}
+}
+
+func TestOperationDocsSurvive(t *testing.T) {
+	d := sampleDef()
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := got.Lookup("getNumExecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Doc != "Returns the number of unique executions." {
+		t.Errorf("Doc = %q", op.Doc)
+	}
+}

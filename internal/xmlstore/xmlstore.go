@@ -1,0 +1,245 @@
+// Package xmlstore implements the native-XML performance data store format
+// — the paper's third storage option alongside relational databases and
+// flat text files (the HPL dataset was stored "in a text file as XML").
+//
+// A dataset is one XML document:
+//
+//	<performanceData application="HPL">
+//	  <meta name="version">1.2</meta>
+//	  <execution id="100">
+//	    <attr name="numprocesses">4</attr>
+//	    <time start="0" end="132.5"/>
+//	    <result metric="gflops" focus="/Process/0" type="hpl"
+//	            start="0" end="132.5" value="2.8"/>
+//	  </execution>
+//	</performanceData>
+//
+// Like package flatfile, queries re-decode the document so that the XML
+// parse cost is paid per Mapping-Layer call, which is what the paper's
+// future-work comparison between RDBMS-backed and XML-backed stores
+// measures.
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"sort"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// Document mirrors the XML dataset structure.
+type Document struct {
+	XMLName     xml.Name       `xml:"performanceData"`
+	Application string         `xml:"application,attr"`
+	Meta        []metaElem     `xml:"meta"`
+	Executions  []ExecutionDoc `xml:"execution"`
+}
+
+type metaElem struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ExecutionDoc is one execution element.
+type ExecutionDoc struct {
+	ID      string       `xml:"id,attr"`
+	Attrs   []metaElem   `xml:"attr"`
+	Time    timeElem     `xml:"time"`
+	Results []resultElem `xml:"result"`
+}
+
+type timeElem struct {
+	Start float64 `xml:"start,attr"`
+	End   float64 `xml:"end,attr"`
+}
+
+type resultElem struct {
+	Metric string  `xml:"metric,attr"`
+	Focus  string  `xml:"focus,attr"`
+	Type   string  `xml:"type,attr"`
+	Start  float64 `xml:"start,attr"`
+	End    float64 `xml:"end,attr"`
+	Value  float64 `xml:"value,attr"`
+}
+
+// Dataset is the logical content of an XML store, shared with generators.
+type Dataset struct {
+	Name  string
+	Meta  []perfdata.KV
+	Execs []Execution
+}
+
+// Execution is one run in a Dataset.
+type Execution struct {
+	ID      string
+	Attrs   map[string]string
+	Time    perfdata.TimeRange
+	Results []perfdata.Result
+}
+
+// Encode renders the dataset as one XML document.
+func Encode(ds *Dataset) ([]byte, error) {
+	if ds.Name == "" {
+		return nil, fmt.Errorf("xmlstore: dataset has no application name")
+	}
+	doc := Document{Application: ds.Name}
+	for _, kv := range ds.Meta {
+		doc.Meta = append(doc.Meta, metaElem{Name: kv.Name, Value: kv.Value})
+	}
+	for _, e := range ds.Execs {
+		if e.ID == "" {
+			return nil, fmt.Errorf("xmlstore: execution with empty ID")
+		}
+		ed := ExecutionDoc{ID: e.ID, Time: timeElem{Start: e.Time.Start, End: e.Time.End}}
+		names := make([]string, 0, len(e.Attrs))
+		for n := range e.Attrs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ed.Attrs = append(ed.Attrs, metaElem{Name: n, Value: e.Attrs[n]})
+		}
+		for _, r := range e.Results {
+			ed.Results = append(ed.Results, resultElem{
+				Metric: r.Metric, Focus: r.Focus, Type: r.Type,
+				Start: r.Time.Start, End: r.Time.End, Value: r.Value,
+			})
+		}
+		doc.Executions = append(doc.Executions, ed)
+	}
+	body, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlstore: encode: %w", err)
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// WriteFile writes the dataset to one XML file.
+func WriteFile(ds *Dataset, path string) error {
+	data, err := Encode(ds)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Store provides per-query access to an XML dataset. The raw document is
+// held in memory (it is one file) and re-decoded on each data access.
+type Store struct {
+	raw []byte
+	// The index below is decoded once at Open for cheap metadata calls;
+	// result queries re-decode the full document.
+	name  string
+	meta  []perfdata.KV
+	ids   []string
+	index map[string]int
+}
+
+// Open validates and indexes an XML dataset held in memory.
+func Open(raw []byte) (*Store, error) {
+	doc, err := decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{raw: raw, name: doc.Application, index: make(map[string]int)}
+	for _, m := range doc.Meta {
+		s.meta = append(s.meta, perfdata.KV{Name: m.Name, Value: m.Value})
+	}
+	for i, e := range doc.Executions {
+		if _, dup := s.index[e.ID]; dup {
+			return nil, fmt.Errorf("xmlstore: duplicate execution ID %q", e.ID)
+		}
+		s.index[e.ID] = i
+		s.ids = append(s.ids, e.ID)
+	}
+	return s, nil
+}
+
+// OpenFile opens an XML dataset from a file.
+func OpenFile(path string) (*Store, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmlstore: %w", err)
+	}
+	return Open(raw)
+}
+
+func decode(raw []byte) (*Document, error) {
+	var doc Document
+	if err := xml.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("xmlstore: decode: %w", err)
+	}
+	if doc.Application == "" {
+		return nil, fmt.Errorf("xmlstore: document missing application attribute")
+	}
+	return &doc, nil
+}
+
+// Name returns the application name.
+func (s *Store) Name() string { return s.name }
+
+// Meta returns the application metadata.
+func (s *Store) Meta() []perfdata.KV {
+	out := make([]perfdata.KV, len(s.meta))
+	copy(out, s.meta)
+	return out
+}
+
+// ExecIDs returns execution IDs in document order.
+func (s *Store) ExecIDs() []string {
+	out := make([]string, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// NumExecs returns the number of executions.
+func (s *Store) NumExecs() int { return len(s.ids) }
+
+// Execution re-decodes the document and returns one execution's data.
+func (s *Store) Execution(id string) (*Execution, error) {
+	i, ok := s.index[id]
+	if !ok {
+		return nil, fmt.Errorf("xmlstore: no execution %q", id)
+	}
+	doc, err := decode(s.raw)
+	if err != nil {
+		return nil, err
+	}
+	if i >= len(doc.Executions) {
+		return nil, fmt.Errorf("xmlstore: document changed underfoot")
+	}
+	ed := doc.Executions[i]
+	e := &Execution{
+		ID:    ed.ID,
+		Attrs: make(map[string]string, len(ed.Attrs)),
+		Time:  perfdata.TimeRange{Start: ed.Time.Start, End: ed.Time.End},
+	}
+	for _, a := range ed.Attrs {
+		e.Attrs[a.Name] = a.Value
+	}
+	for _, r := range ed.Results {
+		e.Results = append(e.Results, perfdata.Result{
+			Metric: r.Metric, Focus: r.Focus, Type: r.Type,
+			Time:  perfdata.TimeRange{Start: r.Start, End: r.End},
+			Value: r.Value,
+		})
+	}
+	return e, nil
+}
+
+// Query scans one execution's results for those matching q.
+func (s *Store) Query(id string, q perfdata.Query) ([]perfdata.Result, error) {
+	e, err := s.Execution(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []perfdata.Result
+	for _, r := range e.Results {
+		if q.Matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

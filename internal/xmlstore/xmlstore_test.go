@@ -1,0 +1,223 @@
+package xmlstore
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/perfdata"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Name: "HPL",
+		Meta: []perfdata.KV{{Name: "version", Value: "1.2"}},
+		Execs: []Execution{
+			{
+				ID:    "100",
+				Attrs: map[string]string{"numprocesses": "4", "rundate": "2004-03-15"},
+				Time:  perfdata.TimeRange{Start: 0, End: 132.5},
+				Results: []perfdata.Result{
+					{Metric: "gflops", Focus: "/Process/0", Type: "hpl", Time: perfdata.TimeRange{Start: 0, End: 132.5}, Value: 2.8},
+					{Metric: "runtimesec", Focus: "/", Type: "hpl", Time: perfdata.TimeRange{Start: 0, End: 132.5}, Value: 132.5},
+				},
+			},
+			{
+				ID:    "101",
+				Attrs: map[string]string{"numprocesses": "8"},
+				Time:  perfdata.TimeRange{Start: 0, End: 70},
+				Results: []perfdata.Result{
+					{Metric: "gflops", Focus: "/Process/0", Type: "hpl", Time: perfdata.TimeRange{Start: 0, End: 70}, Value: 5.1},
+				},
+			},
+		},
+	}
+}
+
+func openSample(t *testing.T) *Store {
+	t.Helper()
+	raw, err := Encode(sampleDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openSample(t)
+	if s.Name() != "HPL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if !reflect.DeepEqual(s.Meta(), sampleDataset().Meta) {
+		t.Errorf("Meta = %+v", s.Meta())
+	}
+	if !reflect.DeepEqual(s.ExecIDs(), []string{"100", "101"}) {
+		t.Errorf("ExecIDs = %v", s.ExecIDs())
+	}
+	if s.NumExecs() != 2 {
+		t.Errorf("NumExecs = %d", s.NumExecs())
+	}
+	e, err := s.Execution("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleDataset().Execs[0]
+	if e.ID != want.ID || !reflect.DeepEqual(e.Attrs, want.Attrs) || e.Time != want.Time {
+		t.Errorf("execution header: %+v", e)
+	}
+	if !reflect.DeepEqual(e.Results, want.Results) {
+		t.Errorf("results: %+v", e.Results)
+	}
+}
+
+func TestQuery(t *testing.T) {
+	s := openSample(t)
+	rs, err := s.Query("100", perfdata.Query{
+		Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 200}, Type: "hpl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Value != 2.8 {
+		t.Errorf("got %+v", rs)
+	}
+	rs, err = s.Query("100", perfdata.Query{
+		Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 200}, Type: "vampir",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("type filter failed: %+v", rs)
+	}
+}
+
+func TestExecutionMissing(t *testing.T) {
+	s := openSample(t)
+	if _, err := s.Execution("999"); err == nil {
+		t.Error("want error for missing execution")
+	}
+}
+
+func TestWriteAndOpenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hpl.xml")
+	if err := WriteFile(sampleDataset(), path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumExecs() != 2 {
+		t.Errorf("NumExecs = %d", s.NumExecs())
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(&Dataset{}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := Encode(&Dataset{Name: "X", Execs: []Execution{{}}}); err == nil {
+		t.Error("empty exec ID: want error")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open([]byte("not xml")); err == nil {
+		t.Error("not xml: want error")
+	}
+	if _, err := Open([]byte("<performanceData/>")); err == nil {
+		t.Error("missing application: want error")
+	}
+	dup := `<performanceData application="X"><execution id="1"/><execution id="1"/></performanceData>`
+	if _, err := Open([]byte(dup)); err == nil {
+		t.Error("duplicate IDs: want error")
+	}
+}
+
+func TestSpecialCharactersInAttrs(t *testing.T) {
+	ds := &Dataset{
+		Name: "X<&>",
+		Execs: []Execution{{
+			ID:    "1",
+			Attrs: map[string]string{"desc": `quotes " and <tags> & amps`},
+			Time:  perfdata.TimeRange{Start: 0, End: 1},
+		}},
+	}
+	raw, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "X<&>" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Attrs["desc"] != `quotes " and <tags> & amps` {
+		t.Errorf("attr = %q", e.Attrs["desc"])
+	}
+}
+
+func TestDocumentHasExpectedShape(t *testing.T) {
+	raw, err := Encode(sampleDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`<performanceData application="HPL">`,
+		`<meta name="version">1.2</meta>`,
+		`<execution id="100">`,
+		`<attr name="numprocesses">4</attr>`,
+		`metric="gflops"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("document missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLargeDataset(t *testing.T) {
+	ds := &Dataset{Name: "big"}
+	var results []perfdata.Result
+	for i := 0; i < 1000; i++ {
+		results = append(results, perfdata.Result{
+			Metric: "m", Focus: "/P", Type: "t",
+			Time:  perfdata.TimeRange{Start: float64(i), End: float64(i + 1)},
+			Value: float64(i),
+		})
+	}
+	ds.Execs = []Execution{{ID: "1", Attrs: map[string]string{}, Time: perfdata.TimeRange{Start: 0, End: 1000}, Results: results}}
+	raw, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Results, results) {
+		t.Error("large dataset mangled")
+	}
+}
