@@ -211,6 +211,94 @@ func BenchmarkMinidb(b *testing.B) {
 	})
 }
 
+// BenchmarkMinidbJoin pits the planned star fact-table join (hash join
+// plus secondary index probes, the production configuration built by
+// mapping.NewStar) against the retained naive nested-loop executor on the
+// same database — the speedup the query-engine overhaul buys before any
+// caching.
+func BenchmarkMinidbJoin(b *testing.B) {
+	db := minidb.NewDatabase()
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8, Seed: 1})
+	if err := datagen.LoadStarSchema(db, d); err != nil {
+		b.Fatal(err)
+	}
+	for _, ix := range mapping.StarIndexes {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const q = "SELECT f.path, r.value FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = '1' AND r.metricid = 1"
+	b.Run("PlannedIndexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveNestedLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryNaive(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMinidbPrepared measures what Prepare saves per query: the
+// parsed variant re-lexes and re-parses the SQL text on every call, the
+// prepared variant binds a parameter into a cached statement, and the
+// streamed variant additionally skips materializing the result set.
+func BenchmarkMinidbPrepared(b *testing.B) {
+	db := minidb.NewDatabase()
+	d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+	if err := datagen.LoadWideTable(db, "executions", d); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("executions", "execid"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Parsed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT gflops FROM executions WHERE execid = '150'"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Prepared", func(b *testing.B) {
+		st, err := db.Prepare("SELECT gflops FROM executions WHERE execid = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		arg := minidb.Text("150")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query(arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PreparedStream", func(b *testing.B) {
+		st, err := db.Prepare("SELECT gflops FROM executions WHERE execid = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		arg := minidb.Text("150")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := st.QueryStream(arg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
+}
+
 // BenchmarkFlatfileParse measures the custom ASCII parser's per-query
 // re-parse cost — the RMA Mapping-Layer path.
 func BenchmarkFlatfileParse(b *testing.B) {

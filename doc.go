@@ -11,6 +11,6 @@
 // regenerates the paper's Table 4, Table 5, and Figure 12 is in
 // bench_test.go next to this file.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour of the layout, the query engine, and the
+// calibrated experiment setup, and PAPER.md for the source citation.
 package pperfgrid

@@ -1,0 +1,3 @@
+module pperfgrid
+
+go 1.24

@@ -262,19 +262,31 @@ func (e *ExecutionService) TimeStartEnd() (perfdata.TimeRange, error) {
 // flow of section 5.3.2.3.
 func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
 	if e.cache == nil {
-		return e.wrapper.PerformanceResults(q)
+		return e.fetchResults(q)
 	}
 	key := q.Key()
 	if rs, ok := e.cache.Get(key); ok {
 		return rs, nil
 	}
 	start := time.Now()
-	rs, err := e.wrapper.PerformanceResults(q)
+	rs, err := e.fetchResults(q)
 	if err != nil {
 		return nil, err
 	}
 	e.cache.Put(key, rs, time.Since(start))
 	return rs, nil
+}
+
+// fetchResults reaches the Mapping Layer for a getPR query. When the
+// wrapper can stream (mapping.ResultStreamer — the relational wrappers
+// decode rows straight off minidb's streaming iterator), each decoded
+// value is appended directly to the slice the cache will store, with no
+// intermediate materialized copy of the store's result set.
+func (e *ExecutionService) fetchResults(q perfdata.Query) ([]perfdata.Result, error) {
+	if s, ok := e.wrapper.(mapping.ResultStreamer); ok {
+		return mapping.CollectResults(s, q)
+	}
+	return e.wrapper.PerformanceResults(q)
 }
 
 // NotifyUpdate announces a data-store update: memoized discovery state is

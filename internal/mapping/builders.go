@@ -26,12 +26,17 @@ func NewMemory(d *datagen.Dataset) *Memory {
 }
 
 // NewWideTable loads the dataset into a fresh single-table database and
-// returns the wrapper over it — the paper's HPL store.
+// returns the wrapper over it — the paper's HPL store. The execid point-
+// query column is indexed, so per-execution lookups probe instead of
+// scanning.
 func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
 	db := minidb.NewDatabase()
 	const table = "executions"
 	if err := datagen.LoadWideTable(db, table, d); err != nil {
 		return nil, fmt.Errorf("mapping: load wide table: %w", err)
+	}
+	if err := db.CreateIndex(table, "execid"); err != nil {
+		return nil, fmt.Errorf("mapping: index wide table: %w", err)
 	}
 	metrics := map[string]bool{}
 	for _, e := range d.Execs {
@@ -53,12 +58,36 @@ func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
 	}, nil
 }
 
+// StarIndexes are the star-schema index declarations: the fact table's
+// join/filter columns (execid, metricid, fociid), the dimension keys the
+// joins probe, and the EAV execution table's lookup columns. NewStar
+// declares them; tests and benchmarks reuse the list to reproduce the
+// production configuration.
+var StarIndexes = [][2]string{
+	{"results", "execid"},
+	{"results", "metricid"},
+	{"results", "fociid"},
+	{"foci", "fociid"},
+	{"metrics", "metricid"},
+	{"metrics", "name"},
+	{"collectors", "typeid"},
+	{"collectors", "name"},
+	{"executions", "execid"},
+	{"executions", "attrname"},
+}
+
 // NewStar loads the dataset into a fresh five-table star schema and
-// returns the wrapper over it — the paper's SMG98 store.
+// returns the wrapper over it — the paper's SMG98 store — with hash
+// indexes declared on the join and filter columns.
 func NewStar(d *datagen.Dataset) (*StarWrapper, error) {
 	db := minidb.NewDatabase()
 	if err := datagen.LoadStarSchema(db, d); err != nil {
 		return nil, fmt.Errorf("mapping: load star schema: %w", err)
+	}
+	for _, ix := range StarIndexes {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			return nil, fmt.Errorf("mapping: index star schema: %w", err)
+		}
 	}
 	return &StarWrapper{DB: db, Meta: d.Meta}, nil
 }

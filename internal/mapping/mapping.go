@@ -16,8 +16,8 @@
 // The Latency decorator adds a configurable per-query delay to any
 // wrapper, calibrating the mapping-layer cost to the paper's 2004-era
 // testbed (440 MHz UltraSPARC hosts and PostgreSQL 7.4.1) so the Table 4
-// overhead ratios are reproducible on modern hardware; DESIGN.md documents
-// this substitution.
+// overhead ratios are reproducible on modern hardware; README.md
+// documents this substitution.
 package mapping
 
 import (
@@ -69,6 +69,30 @@ type ExecutionWrapper interface {
 // ErrNoSuchExecution reports a query for an execution ID the store does
 // not contain.
 var ErrNoSuchExecution = errors.New("mapping: no such execution")
+
+// ResultStreamer is an optional extension of ExecutionWrapper. Wrappers
+// whose stores can produce results incrementally (the relational wrappers,
+// via minidb's streaming result iterator) implement it so the Semantic
+// Layer decodes each row straight into the slice it caches, instead of
+// materializing an intermediate result set. The yield callback must not
+// retain its argument's backing store or call back into the wrapper.
+type ResultStreamer interface {
+	StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error
+}
+
+// CollectResults drains a streamer into a slice — the adapter behind
+// every materializing PerformanceResults built on a streaming wrapper.
+func CollectResults(s ResultStreamer, q perfdata.Query) ([]perfdata.Result, error) {
+	var out []perfdata.Result
+	err := s.StreamPerformanceResults(q, func(r perfdata.Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Latency decorates an ApplicationWrapper with a fixed per-operation
 // delay, modelling the paper's slower testbed. Execution wrappers opened
@@ -147,6 +171,42 @@ func (e *latencyExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, e
 		time.Sleep(time.Duration(len(rs)) * e.l.PerResult)
 	}
 	return rs, nil
+}
+
+// StreamPerformanceResults implements ResultStreamer, forwarding to the
+// wrapped wrapper's stream when it has one. The per-result delay is
+// charged in aggregate after the underlying stream has finished (and
+// released the store's read lock), matching PerformanceResults — sleeping
+// inside the yield would hold minidb's read lock for the whole calibrated
+// latency and serialize every concurrent query on the store.
+func (e *latencyExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
+	e.l.pause()
+	n := 0
+	count := func(r perfdata.Result) error {
+		n++
+		return yield(r)
+	}
+	var err error
+	if s, ok := e.wrapped.(ResultStreamer); ok {
+		err = s.StreamPerformanceResults(q, count)
+	} else {
+		var rs []perfdata.Result
+		rs, err = e.wrapped.PerformanceResults(q)
+		if err == nil {
+			for _, r := range rs {
+				if err = count(r); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if e.l.PerResult > 0 && n > 0 {
+		time.Sleep(time.Duration(n) * e.l.PerResult)
+	}
+	return nil
 }
 
 // memoryExec is the generic in-memory execution representation shared by

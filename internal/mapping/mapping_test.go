@@ -363,20 +363,6 @@ func TestIdentOK(t *testing.T) {
 	}
 }
 
-func TestSQLQuote(t *testing.T) {
-	cases := map[string]string{
-		"plain": "'plain'",
-		"it's":  "'it''s'",
-		"''":    "''''''",
-		"":      "''",
-	}
-	for in, want := range cases {
-		if got := sqlQuote(in); got != want {
-			t.Errorf("sqlQuote(%q) = %s, want %s", in, got, want)
-		}
-	}
-}
-
 func TestMemoryWrapperBasics(t *testing.T) {
 	m := &Memory{
 		Name: "X",

@@ -18,9 +18,21 @@ import (
 // filtered by execution, metric, type, time overlap, and focus set. On a
 // large fact table this is by far the slowest wrapper, which is exactly
 // the SMG98 behaviour Table 4 and Table 5 of the paper report.
+//
+// All statements are prepared (parsed once, parameters bound per call —
+// see minidb.Database.Prepare) and the fact-table join streams its rows,
+// so the wrapper decodes each result straight into the output slice. The
+// builders declare hash indexes on the join and filter columns (execid,
+// metricid, fociid), which the prepared statements' plans probe.
 type StarWrapper struct {
 	DB   *minidb.Database
 	Meta []perfdata.KV
+}
+
+// query runs a prepared statement with bindings, materializing the rows
+// (the discovery queries are small; only the fact join streams).
+func (w *StarWrapper) query(sql string, args ...minidb.Value) (*minidb.ResultSet, error) {
+	return prepQuery(w.DB, sql, args...)
 }
 
 // AppInfo implements ApplicationWrapper.
@@ -32,7 +44,7 @@ func (w *StarWrapper) AppInfo() ([]perfdata.KV, error) {
 
 // NumExecs implements ApplicationWrapper.
 func (w *StarWrapper) NumExecs() (int, error) {
-	rs, err := w.DB.Query("SELECT COUNT(DISTINCT execid) FROM executions")
+	rs, err := w.query("SELECT COUNT(DISTINCT execid) FROM executions")
 	if err != nil {
 		return 0, err
 	}
@@ -42,16 +54,16 @@ func (w *StarWrapper) NumExecs() (int, error) {
 // ExecQueryParams implements ApplicationWrapper over the EAV executions
 // table.
 func (w *StarWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
-	names, err := w.DB.Query("SELECT DISTINCT attrname FROM executions ORDER BY attrname")
+	names, err := w.query("SELECT DISTINCT attrname FROM executions ORDER BY attrname")
 	if err != nil {
 		return nil, err
 	}
 	var out []perfdata.Attribute
 	for _, row := range names.Rows {
 		name := row[0].String()
-		vals, err := w.DB.Query(fmt.Sprintf(
-			"SELECT DISTINCT attrvalue FROM executions WHERE attrname = %s ORDER BY attrvalue",
-			sqlQuote(name)))
+		vals, err := w.query(
+			"SELECT DISTINCT attrvalue FROM executions WHERE attrname = ? ORDER BY attrvalue",
+			minidb.Text(name))
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +74,7 @@ func (w *StarWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
 
 // AllExecIDs implements ApplicationWrapper.
 func (w *StarWrapper) AllExecIDs() ([]string, error) {
-	rs, err := w.DB.Query("SELECT DISTINCT execid FROM executions ORDER BY execid")
+	rs, err := w.query("SELECT DISTINCT execid FROM executions ORDER BY execid")
 	if err != nil {
 		return nil, err
 	}
@@ -71,9 +83,9 @@ func (w *StarWrapper) AllExecIDs() ([]string, error) {
 
 // ExecIDs implements ApplicationWrapper.
 func (w *StarWrapper) ExecIDs(attr, value string) ([]string, error) {
-	rs, err := w.DB.Query(fmt.Sprintf(
-		"SELECT DISTINCT execid FROM executions WHERE attrname = %s AND attrvalue = %s ORDER BY execid",
-		sqlQuote(attr), sqlQuote(value)))
+	rs, err := w.query(
+		"SELECT DISTINCT execid FROM executions WHERE attrname = ? AND attrvalue = ? ORDER BY execid",
+		minidb.Text(attr), minidb.Text(value))
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +94,7 @@ func (w *StarWrapper) ExecIDs(attr, value string) ([]string, error) {
 
 // ExecutionWrapper implements ApplicationWrapper.
 func (w *StarWrapper) ExecutionWrapper(id string) (ExecutionWrapper, error) {
-	rs, err := w.DB.Query(fmt.Sprintf(
-		"SELECT COUNT(*) FROM executions WHERE execid = %s", sqlQuote(id)))
+	rs, err := w.query("SELECT COUNT(*) FROM executions WHERE execid = ?", minidb.Text(id))
 	if err != nil {
 		return nil, err
 	}
@@ -99,9 +110,9 @@ type starExec struct {
 }
 
 func (e *starExec) Info() ([]perfdata.KV, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT attrname, attrvalue FROM executions WHERE execid = %s ORDER BY attrname",
-		sqlQuote(e.id)))
+	rs, err := e.w.query(
+		"SELECT attrname, attrvalue FROM executions WHERE execid = ? ORDER BY attrname",
+		minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -113,9 +124,9 @@ func (e *starExec) Info() ([]perfdata.KV, error) {
 }
 
 func (e *starExec) Foci() ([]string, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT DISTINCT f.path FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = %s ORDER BY f.path",
-		sqlQuote(e.id)))
+	rs, err := e.w.query(
+		"SELECT DISTINCT f.path FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = ? ORDER BY f.path",
+		minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +134,9 @@ func (e *starExec) Foci() ([]string, error) {
 }
 
 func (e *starExec) Metrics() ([]string, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT DISTINCT m.name FROM results r JOIN metrics m ON r.metricid = m.metricid WHERE r.execid = %s ORDER BY m.name",
-		sqlQuote(e.id)))
+	rs, err := e.w.query(
+		"SELECT DISTINCT m.name FROM results r JOIN metrics m ON r.metricid = m.metricid WHERE r.execid = ? ORDER BY m.name",
+		minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -133,9 +144,9 @@ func (e *starExec) Metrics() ([]string, error) {
 }
 
 func (e *starExec) Types() ([]string, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT DISTINCT c.name FROM results r JOIN collectors c ON r.typeid = c.typeid WHERE r.execid = %s ORDER BY c.name",
-		sqlQuote(e.id)))
+	rs, err := e.w.query(
+		"SELECT DISTINCT c.name FROM results r JOIN collectors c ON r.typeid = c.typeid WHERE r.execid = ? ORDER BY c.name",
+		minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -143,8 +154,8 @@ func (e *starExec) Types() ([]string, error) {
 }
 
 func (e *starExec) TimeStartEnd() (perfdata.TimeRange, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT MIN(starttime), MAX(endtime) FROM executions WHERE execid = %s", sqlQuote(e.id)))
+	rs, err := e.w.query(
+		"SELECT MIN(starttime), MAX(endtime) FROM executions WHERE execid = ?", minidb.Text(e.id))
 	if err != nil {
 		return perfdata.TimeRange{}, err
 	}
@@ -156,95 +167,121 @@ func (e *starExec) TimeStartEnd() (perfdata.TimeRange, error) {
 	return perfdata.TimeRange{Start: start, End: end}, nil
 }
 
-// PerformanceResults implements the star-schema getPR path.
+// PerformanceResults implements the star-schema getPR path by collecting
+// the streamed rows.
 func (e *starExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	return CollectResults(e, q)
+}
+
+// StreamPerformanceResults implements ResultStreamer: the dimension
+// lookups resolve first (small materialized queries), then the fact-table
+// join streams through minidb's result iterator, decoding each row into a
+// perfdata.Result handed to yield — no intermediate materialized copy of
+// the (potentially huge) fact scan exists.
+func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
 	// 1. Resolve the metric dimension.
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT metricid FROM metrics WHERE name = %s", sqlQuote(q.Metric)))
+	rs, err := e.w.query("SELECT metricid FROM metrics WHERE name = ?", minidb.Text(q.Metric))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(rs.Rows) == 0 {
-		return nil, nil
+		return nil
 	}
 	metricID := rs.Rows[0][0].Int
 
 	// 2. Resolve the collector type, unless UNDEFINED matches all.
 	typeFilter := ""
+	var typeArg []minidb.Value
 	if q.Type != perfdata.UndefinedType {
-		rs, err = e.w.DB.Query(fmt.Sprintf(
-			"SELECT typeid FROM collectors WHERE name = %s", sqlQuote(q.Type)))
+		rs, err = e.w.query("SELECT typeid FROM collectors WHERE name = ?", minidb.Text(q.Type))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(rs.Rows) == 0 {
-			return nil, nil
+			return nil
 		}
-		typeFilter = fmt.Sprintf(" AND r.typeid = %d", rs.Rows[0][0].Int)
+		typeFilter = " AND r.typeid = ?"
+		typeArg = []minidb.Value{minidb.Int(rs.Rows[0][0].Int)}
 	}
 
 	// 3. Resolve the queried foci to dimension IDs with prefix scans.
 	fociFilter := ""
+	var fociArgs []minidb.Value
 	if len(q.Foci) > 0 {
 		var conds []string
+		var args []minidb.Value
 		for _, f := range q.Foci {
 			base := strings.TrimSuffix(f, "/")
 			if base == "" {
 				conds = nil // root focus matches everything
 				break
 			}
-			conds = append(conds, fmt.Sprintf("path = %s OR path LIKE %s",
-				sqlQuote(base), sqlQuote(likeEscape(base)+"/%")))
+			conds = append(conds, "path = ? OR path LIKE ?")
+			args = append(args, minidb.Text(base), minidb.Text(likeEscape(base)+"/%"))
 		}
 		if conds != nil {
-			rs, err = e.w.DB.Query("SELECT fociid FROM foci WHERE " + strings.Join(conds, " OR "))
+			rs, err = e.w.query("SELECT fociid FROM foci WHERE "+strings.Join(conds, " OR "), args...)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if len(rs.Rows) == 0 {
-				return nil, nil
+				return nil
 			}
-			ids := make([]string, len(rs.Rows))
+			ph := make([]string, len(rs.Rows))
 			for i, row := range rs.Rows {
-				ids[i] = row[0].String()
+				ph[i] = "?"
+				fociArgs = append(fociArgs, row[0])
 			}
-			fociFilter = " AND r.fociid IN (" + strings.Join(ids, ", ") + ")"
+			fociFilter = " AND r.fociid IN (" + strings.Join(ph, ", ") + ")"
 		}
 	}
 
-	// 4. Fact-table join filtered by execution, metric, type, time, foci.
-	sql := fmt.Sprintf(
-		"SELECT f.path, r.starttime, r.endtime, r.value, r.typeid FROM results r JOIN foci f ON r.fociid = f.fociid "+
-			"WHERE r.execid = %s AND r.metricid = %d AND r.endtime > %g AND r.starttime < %g%s%s",
-		sqlQuote(e.id), metricID, q.Time.Start, q.Time.End, typeFilter, fociFilter)
-	rs, err = e.w.DB.Query(sql)
-	if err != nil {
-		return nil, err
-	}
-
-	// 5. Decode rows, resolving collector names from the small dimension.
+	// 4. Resolve collector names before the streaming join opens: the
+	// stream holds the database's read lock, so no further queries may
+	// run until it closes.
 	typeNames, err := e.typeNames()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]perfdata.Result, 0, len(rs.Rows))
-	for _, row := range rs.Rows {
+
+	// 5. Fact-table join filtered by execution, metric, type, time, foci.
+	// The plan probes the results(execid) index, pushes the remaining
+	// filters into the scan, and hash-joins the foci dimension.
+	sql := "SELECT f.path, r.starttime, r.endtime, r.value, r.typeid FROM results r JOIN foci f ON r.fociid = f.fociid " +
+		"WHERE r.execid = ? AND r.metricid = ? AND r.endtime > ? AND r.starttime < ?" + typeFilter + fociFilter
+	st, err := e.w.DB.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	args := append([]minidb.Value{
+		minidb.Text(e.id), minidb.Int(metricID),
+		minidb.Float(q.Time.Start), minidb.Float(q.Time.End),
+	}, append(typeArg, fociArgs...)...)
+	rows, err := st.QueryStream(args...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		row := rows.Row()
 		start, _ := row[1].AsFloat()
 		end, _ := row[2].AsFloat()
 		val, _ := row[3].AsFloat()
-		out = append(out, perfdata.Result{
+		if err := yield(perfdata.Result{
 			Metric: q.Metric,
 			Focus:  row[0].String(),
 			Type:   typeNames[row[4].Int],
 			Time:   perfdata.TimeRange{Start: start, End: end},
 			Value:  val,
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return rows.Err()
 }
 
 func (e *starExec) typeNames() (map[int64]string, error) {
-	rs, err := e.w.DB.Query("SELECT typeid, name FROM collectors")
+	rs, err := e.w.query("SELECT typeid, name FROM collectors")
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,6 @@ package mapping
 
 import (
 	"fmt"
-	"strings"
 
 	"pperfgrid/internal/minidb"
 	"pperfgrid/internal/perfdata"
@@ -14,9 +13,12 @@ import (
 // followed by one TEXT column per attribute and one FLOAT column per
 // whole-run metric, the schema produced by datagen.LoadWideTable.
 //
-// Every operation is answered by composing and executing SQL text, exactly
-// like the paper's JDBC wrapper of Figure 4, so the parse/plan/scan cost
-// is paid per query.
+// Every operation is answered by a prepared statement, like the paper's
+// JDBC wrapper of Figure 4 upgraded to PreparedStatement: the SQL
+// template is parsed once (minidb.Database.Prepare caches by text) and
+// values are bound per call, so only the plan/scan cost is paid per
+// query. Identifiers (table, attribute, and metric column names) cannot
+// be parameters; they are interpolated under the identOK guard.
 type WideTableWrapper struct {
 	DB    *minidb.Database
 	Table string
@@ -27,9 +29,15 @@ type WideTableWrapper struct {
 	Metrics []string
 }
 
-// sqlQuote renders a string as a single-quoted SQL literal.
-func sqlQuote(s string) string {
-	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+// prepQuery runs a prepared statement with bindings, materializing the
+// result: the shared helper behind the relational wrappers' small
+// discovery queries (only the getPR paths stream).
+func prepQuery(db *minidb.Database, sql string, args ...minidb.Value) (*minidb.ResultSet, error) {
+	st, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st.Query(args...)
 }
 
 // identOK reports whether a string is usable as a column name, the guard
@@ -59,9 +67,14 @@ func (w *WideTableWrapper) AppInfo() ([]perfdata.KV, error) {
 	return out, nil
 }
 
+// query runs a prepared statement with bindings.
+func (w *WideTableWrapper) query(sql string, args ...minidb.Value) (*minidb.ResultSet, error) {
+	return prepQuery(w.DB, sql, args...)
+}
+
 // NumExecs implements ApplicationWrapper.
 func (w *WideTableWrapper) NumExecs() (int, error) {
-	rs, err := w.DB.Query("SELECT COUNT(DISTINCT execid) FROM " + w.Table)
+	rs, err := w.query("SELECT COUNT(DISTINCT execid) FROM " + w.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -76,7 +89,7 @@ func (w *WideTableWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
 		if !identOK(attr) {
 			return nil, fmt.Errorf("mapping: bad attribute column %q", attr)
 		}
-		rs, err := w.DB.Query(fmt.Sprintf(
+		rs, err := w.query(fmt.Sprintf(
 			"SELECT DISTINCT %s FROM %s WHERE %s IS NOT NULL ORDER BY %s", attr, w.Table, attr, attr))
 		if err != nil {
 			return nil, err
@@ -92,7 +105,7 @@ func (w *WideTableWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
 
 // AllExecIDs implements ApplicationWrapper.
 func (w *WideTableWrapper) AllExecIDs() ([]string, error) {
-	rs, err := w.DB.Query("SELECT execid FROM " + w.Table + " ORDER BY execid")
+	rs, err := w.query("SELECT execid FROM " + w.Table + " ORDER BY execid")
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +117,8 @@ func (w *WideTableWrapper) ExecIDs(attr, value string) ([]string, error) {
 	if !identOK(attr) {
 		return nil, fmt.Errorf("mapping: bad attribute %q", attr)
 	}
-	rs, err := w.DB.Query(fmt.Sprintf(
-		"SELECT execid FROM %s WHERE %s = %s ORDER BY execid", w.Table, attr, sqlQuote(value)))
+	rs, err := w.query(fmt.Sprintf(
+		"SELECT execid FROM %s WHERE %s = ? ORDER BY execid", w.Table, attr), minidb.Text(value))
 	if err != nil {
 		return nil, err
 	}
@@ -122,8 +135,8 @@ func column0(rs *minidb.ResultSet) []string {
 
 // ExecutionWrapper implements ApplicationWrapper.
 func (w *WideTableWrapper) ExecutionWrapper(id string) (ExecutionWrapper, error) {
-	rs, err := w.DB.Query(fmt.Sprintf(
-		"SELECT COUNT(*) FROM %s WHERE execid = %s", w.Table, sqlQuote(id)))
+	rs, err := w.query(fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE execid = ?", w.Table), minidb.Text(id))
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +152,8 @@ type wideExec struct {
 }
 
 func (e *wideExec) row() (*minidb.ResultSet, error) {
-	return e.w.DB.Query(fmt.Sprintf(
-		"SELECT * FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+	return e.w.query(fmt.Sprintf(
+		"SELECT * FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
 }
 
 // Info returns the execution's attributes as metadata pairs.
@@ -188,8 +201,8 @@ func (e *wideExec) Metrics() ([]string, error) {
 }
 
 func (e *wideExec) Types() ([]string, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT DISTINCT collector FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+	rs, err := e.w.query(fmt.Sprintf(
+		"SELECT DISTINCT collector FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -197,8 +210,8 @@ func (e *wideExec) Types() ([]string, error) {
 }
 
 func (e *wideExec) TimeStartEnd() (perfdata.TimeRange, error) {
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT starttime, endtime FROM %s WHERE execid = %s", e.w.Table, sqlQuote(e.id)))
+	rs, err := e.w.query(fmt.Sprintf(
+		"SELECT starttime, endtime FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
 	if err != nil {
 		return perfdata.TimeRange{}, err
 	}
@@ -210,9 +223,16 @@ func (e *wideExec) TimeStartEnd() (perfdata.TimeRange, error) {
 	return perfdata.TimeRange{Start: start, End: end}, nil
 }
 
-// PerformanceResults answers a getPR query with a projection of the
-// requested metric column.
+// PerformanceResults answers a getPR query by collecting the streamed
+// rows.
 func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	return CollectResults(e, q)
+}
+
+// StreamPerformanceResults implements ResultStreamer with a prepared
+// projection of the requested metric column, decoding rows as they
+// stream out of the point query.
+func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
 	metricOK := false
 	for _, m := range e.w.Metrics {
 		if m == q.Metric {
@@ -221,7 +241,7 @@ func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 		}
 	}
 	if !metricOK || !identOK(q.Metric) {
-		return nil, nil // unknown metric: no results, not an error
+		return nil // unknown metric: no results, not an error
 	}
 	// Whole-run results live at focus "/"; honor focus filters.
 	if len(q.Foci) > 0 {
@@ -233,17 +253,22 @@ func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 			}
 		}
 		if !rootOK {
-			return nil, nil
+			return nil
 		}
 	}
-	rs, err := e.w.DB.Query(fmt.Sprintf(
-		"SELECT %s, starttime, endtime, collector FROM %s WHERE execid = %s AND %s IS NOT NULL",
-		q.Metric, e.w.Table, sqlQuote(e.id), q.Metric))
+	st, err := e.w.DB.Prepare(fmt.Sprintf(
+		"SELECT %s, starttime, endtime, collector FROM %s WHERE execid = ? AND %s IS NOT NULL",
+		q.Metric, e.w.Table, q.Metric))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var out []perfdata.Result
-	for _, row := range rs.Rows {
+	rows, err := st.QueryStream(minidb.Text(e.id))
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		row := rows.Row()
 		val, _ := row[0].AsFloat()
 		start, _ := row[1].AsFloat()
 		end, _ := row[2].AsFloat()
@@ -252,9 +277,12 @@ func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 			Time:  perfdata.TimeRange{Start: start, End: end},
 			Value: val,
 		}
-		if q.Matches(r) {
-			out = append(out, r)
+		if !q.Matches(r) {
+			continue
+		}
+		if err := yield(r); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return rows.Err()
 }

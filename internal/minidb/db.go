@@ -12,6 +12,7 @@ type Table struct {
 	Rows    []Row
 
 	colIndex map[string]int
+	indexes  map[string]*hashIndex // secondary hash indexes, by column
 }
 
 func newTable(name string, cols []Column) *Table {
@@ -34,11 +35,18 @@ func (t *Table) ColumnIndex(name string) int {
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// schemaGen increments on CREATE/DROP TABLE, invalidating cached
+	// statement plans (which hold table pointers and column positions).
+	schemaGen uint64
+
+	stmtMu sync.Mutex
+	stmts  map[string]*Stmt // prepared-statement cache, by SQL text
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{tables: make(map[string]*Table)}
+	return &Database{tables: make(map[string]*Table), stmts: make(map[string]*Stmt)}
 }
 
 // table looks up a table; the caller must hold at least a read lock.
@@ -73,13 +81,22 @@ func (db *Database) NumRows(table string) (int, error) {
 	return len(t.Rows), nil
 }
 
-// Exec parses and runs a DDL/DML statement (CREATE, DROP, INSERT, DELETE),
-// returning the number of rows affected.
+// Exec parses and runs a DDL/DML statement (CREATE, DROP, INSERT, DELETE,
+// UPDATE), returning the number of rows affected. Statements with `?`
+// parameters must go through Prepare.
 func (db *Database) Exec(sql string) (int, error) {
-	st, err := ParseStatement(sql)
+	st, nParams, err := parseSQL(sql)
 	if err != nil {
 		return 0, err
 	}
+	if nParams > 0 {
+		return 0, errf("exec", "statement has %d parameters; use Prepare", nParams)
+	}
+	return db.execStatement(st, nil)
+}
+
+// execStatement runs a parsed non-SELECT statement with bound parameters.
+func (db *Database) execStatement(st Statement, args []Value) (int, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
 		return 0, errf("exec", "use Query for SELECT statements")
@@ -87,12 +104,14 @@ func (db *Database) Exec(sql string) (int, error) {
 		return 0, db.createTable(s)
 	case *DropTableStmt:
 		return 0, db.dropTable(s)
+	case *CreateIndexStmt:
+		return 0, db.CreateIndex(s.Table, s.Column)
 	case *InsertStmt:
-		return db.insert(s)
+		return db.insert(s, args)
 	case *DeleteStmt:
-		return db.delete(s)
+		return db.delete(s, args)
 	case *UpdateStmt:
-		return db.update(s)
+		return db.update(s, args)
 	}
 	return 0, errf("exec", "unsupported statement")
 }
@@ -106,9 +125,41 @@ func (db *Database) MustExec(sql string) int {
 	return n
 }
 
-// Query parses and runs a SELECT statement.
+// Query parses and runs a SELECT statement through the planned pipeline
+// (plan.go): predicate pushdown, hash join for equi-joins, and secondary
+// index probes where indexes exist. Statements with `?` parameters must
+// go through Prepare.
 func (db *Database) Query(sql string) (*ResultSet, error) {
-	st, err := ParseStatement(sql)
+	sel, err := parseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, err := db.runPlan(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rows.drain()
+}
+
+// QueryNaive runs a SELECT through the retained reference executor: full
+// materialization, nested-loop join, no index use. It exists so tests can
+// differentially check the planned pipeline against the straightforward
+// semantics; production callers should use Query or Prepare.
+func (db *Database) QueryNaive(sql string) (*ResultSet, error) {
+	sel, err := parseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelectNaive(sel, nil)
+}
+
+// parseSelect parses a parameter-free SELECT.
+func parseSelect(sql string) (*SelectStmt, error) {
+	st, nParams, err := parseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -116,9 +167,10 @@ func (db *Database) Query(sql string) (*ResultSet, error) {
 	if !ok {
 		return nil, errf("exec", "use Exec for non-SELECT statements")
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(sel)
+	if nParams > 0 {
+		return nil, errf("exec", "statement has %d parameters; use Prepare", nParams)
+	}
+	return sel, nil
 }
 
 // QueryStrings runs a SELECT and renders every cell as a string.
@@ -144,6 +196,7 @@ func (db *Database) createTable(s *CreateTableStmt) error {
 		seen[c.Name] = true
 	}
 	db.tables[s.Name] = newTable(s.Name, s.Columns)
+	db.schemaGen++
 	return nil
 }
 
@@ -154,10 +207,27 @@ func (db *Database) dropTable(s *DropTableStmt) error {
 		return errf("exec", "no such table %q", s.Name)
 	}
 	delete(db.tables, s.Name)
+	db.schemaGen++
+	db.dropCachedPlans()
 	return nil
 }
 
-func (db *Database) insert(s *InsertStmt) (int, error) {
+// dropCachedPlans clears every prepared statement's cached plan. Plans
+// hold *Table pointers (and through them full row storage), so after a
+// DROP TABLE the stale plans must be released eagerly — waiting for each
+// statement's next execution would pin the dropped table's rows
+// indefinitely for statements that never run again.
+func (db *Database) dropCachedPlans() {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	for _, s := range db.stmts {
+		s.planMu.Lock()
+		s.plan = nil
+		s.planMu.Unlock()
+	}
+}
+
+func (db *Database) insert(s *InsertStmt, args []Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(s.Table)
@@ -179,6 +249,7 @@ func (db *Database) insert(s *InsertStmt) (int, error) {
 			positions = append(positions, i)
 		}
 	}
+	valEnv := &env{args: args}
 	inserted := 0
 	for _, exprs := range s.Rows {
 		if len(exprs) != len(positions) {
@@ -189,7 +260,7 @@ func (db *Database) insert(s *InsertStmt) (int, error) {
 			row[i] = Null()
 		}
 		for i, e := range exprs {
-			v, err := eval(e, nil)
+			v, err := eval(e, valEnv)
 			if err != nil {
 				return inserted, err
 			}
@@ -197,12 +268,13 @@ func (db *Database) insert(s *InsertStmt) (int, error) {
 			row[col] = t.Columns[col].Type.Coerce(v)
 		}
 		t.Rows = append(t.Rows, row)
+		t.noteInsert()
 		inserted++
 	}
 	return inserted, nil
 }
 
-func (db *Database) delete(s *DeleteStmt) (int, error) {
+func (db *Database) delete(s *DeleteStmt, args []Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(s.Table)
@@ -212,18 +284,36 @@ func (db *Database) delete(s *DeleteStmt) (int, error) {
 	if s.Where == nil {
 		n := len(t.Rows)
 		t.Rows = nil
+		if n > 0 {
+			t.reindex()
+		}
 		return n, nil
 	}
-	e := &env{cols: make([]qcol, len(t.Columns))}
+	e := &env{cols: make([]qcol, len(t.Columns)), args: args}
 	for i, c := range t.Columns {
 		e.cols[i] = qcol{qualifier: t.Name, name: c.Name}
 	}
-	kept := t.Rows[:0]
+	rows := t.Rows
+	kept := rows[:0]
 	deleted := 0
-	for _, r := range t.Rows {
+	// The in-place compaction rewrites positions only once a row has
+	// been dropped, so indexes need rebuilding exactly when deleted > 0
+	// — including on an early error return.
+	defer func() {
+		if deleted > 0 {
+			t.reindex()
+		}
+	}()
+	for i, r := range rows {
 		e.row = r
 		v, err := eval(s.Where, e)
 		if err != nil {
+			// Rows already deleted stay deleted (matching INSERT's
+			// partial-progress semantics), but the compaction must be
+			// completed for the unprocessed suffix — leaving t.Rows as
+			// the original slice over the partially compacted array
+			// would duplicate rows.
+			t.Rows = append(kept, rows[i:]...)
 			return deleted, err
 		}
 		if v.Truthy() {
@@ -236,7 +326,7 @@ func (db *Database) delete(s *DeleteStmt) (int, error) {
 	return deleted, nil
 }
 
-func (db *Database) update(s *UpdateStmt) (int, error) {
+func (db *Database) update(s *UpdateStmt, args []Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(s.Table)
@@ -252,11 +342,26 @@ func (db *Database) update(s *UpdateStmt) (int, error) {
 		}
 		targets[i] = col
 	}
-	e := &env{cols: make([]qcol, len(t.Columns))}
+	updated := 0
+	// UPDATE mutates rows in place (positions never move), so only the
+	// indexes over assigned columns go stale — and only if a row changed.
+	defer func() {
+		if updated == 0 {
+			return
+		}
+		for _, ix := range t.indexes {
+			for _, col := range targets {
+				if ix.col == col {
+					ix.rebuild(t.Rows)
+					break
+				}
+			}
+		}
+	}()
+	e := &env{cols: make([]qcol, len(t.Columns)), args: args}
 	for i, c := range t.Columns {
 		e.cols[i] = qcol{qualifier: t.Name, name: c.Name}
 	}
-	updated := 0
 	for _, r := range t.Rows {
 		e.row = r
 		if s.Where != nil {
@@ -303,5 +408,6 @@ func (db *Database) InsertRow(table string, vals ...Value) error {
 		row[i] = t.Columns[i].Type.Coerce(v)
 	}
 	t.Rows = append(t.Rows, row)
+	t.noteInsert()
 	return nil
 }

@@ -1,0 +1,196 @@
+// Differential tests: randomized star-schema queries run through both the
+// planned pipeline (hash join, index probes, predicate pushdown — the
+// production path behind Database.Query) and the retained naive executor
+// (full-materialization nested loop — Database.QueryNaive), asserting
+// byte-identical result sets. This is the equivalence proof behind the
+// query-engine overhaul; any planner shortcut that changes semantics
+// shows up here as a diff.
+//
+// The file lives in package minidb_test so it can generate realistic data
+// through datagen (which itself imports minidb).
+package minidb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/minidb"
+)
+
+// starDB loads an SMG98-shaped star schema and declares exactly the
+// indexes the mapping layer declares (mapping.StarIndexes), so the
+// planned path exercises the production index configuration — including
+// the hash join's build-side index reuse on the dimension keys.
+func starDB(t *testing.T, seed int64) *minidb.Database {
+	t.Helper()
+	db := minidb.NewDatabase()
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 3, Processes: 2, TimeBins: 4, Seed: seed})
+	if err := datagen.LoadStarSchema(db, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range mapping.StarIndexes {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// randStarQuery composes one random query over the star schema from
+// building blocks that cover the planner's paths: indexed equality,
+// pushed-down single-side filters, hash equi-joins, nested-loop non-equi
+// joins, DISTINCT, ORDER BY, LIMIT, aggregates, IN, BETWEEN, LIKE, OR.
+func randStarQuery(rng *rand.Rand) string {
+	execid := fmt.Sprintf("'%d'", 1+rng.Intn(4)) // occasionally absent (4)
+	metricid := 1 + rng.Intn(5)
+	fociid := 1 + rng.Intn(20)
+	threshold := rng.Float64() * 50
+
+	conds := []string{
+		fmt.Sprintf("r.execid = %s", execid),
+		fmt.Sprintf("r.metricid = %d", metricid),
+		fmt.Sprintf("r.fociid = %d", fociid),
+		fmt.Sprintf("r.value > %g", threshold),
+		fmt.Sprintf("r.starttime BETWEEN %g AND %g", threshold, threshold+30),
+		fmt.Sprintf("r.metricid IN (%d, %d)", metricid, 1+rng.Intn(5)),
+		fmt.Sprintf("r.execid = %s OR r.fociid = %d", execid, fociid),
+		"f.path LIKE '/Process/0/%'",
+		"f.path NOT LIKE '%MPI%'",
+		fmt.Sprintf("f.fociid != %d", fociid),
+	}
+	where := ""
+	sep := " WHERE "
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		where += sep + conds[rng.Intn(len(conds))]
+		sep = " AND "
+	}
+
+	switch rng.Intn(6) {
+	case 0: // hash equi-join, projected columns
+		return "SELECT f.path, r.value FROM results r JOIN foci f ON r.fociid = f.fociid" + where
+	case 1: // equi-join with ORDER BY and LIMIT
+		return "SELECT f.path, r.value FROM results r JOIN foci f ON r.fociid = f.fociid" + where +
+			fmt.Sprintf(" ORDER BY r.value DESC, f.path LIMIT %d", 1+rng.Intn(50))
+	case 2: // non-equi join: nested-loop fallback
+		return "SELECT r.execid, f.fociid FROM results r JOIN foci f ON r.fociid < f.fociid" + where +
+			" ORDER BY r.execid, f.fociid LIMIT 40"
+	case 3: // aggregates over the join
+		return "SELECT COUNT(*), MIN(r.value), MAX(r.value), SUM(r.value) FROM results r JOIN foci f ON r.fociid = f.fociid" + where
+	case 4: // single-table indexed scan with DISTINCT
+		w := ""
+		if rng.Intn(2) == 0 {
+			w = fmt.Sprintf(" WHERE execid = %s", execid)
+		}
+		return "SELECT DISTINCT metricid FROM results" + w + " ORDER BY metricid"
+	default: // single-table projection with mixed filters
+		return fmt.Sprintf(
+			"SELECT execid, fociid, value FROM results WHERE execid = %s AND value > %g ORDER BY fociid, value LIMIT %d",
+			execid, threshold, 1+rng.Intn(30))
+	}
+}
+
+// assertSameResults runs one query through both executors and compares.
+func assertSameResults(t *testing.T, db *minidb.Database, q string) {
+	t.Helper()
+	planned, perr := db.Query(q)
+	naive, nerr := db.QueryNaive(q)
+	if (perr == nil) != (nerr == nil) {
+		t.Fatalf("error divergence for %q:\nplanned err: %v\nnaive err:   %v", q, perr, nerr)
+	}
+	if perr != nil {
+		return
+	}
+	if !reflect.DeepEqual(planned.Columns, naive.Columns) {
+		t.Fatalf("column divergence for %q:\nplanned %v\nnaive   %v", q, planned.Columns, naive.Columns)
+	}
+	if !reflect.DeepEqual(planned.Strings(), naive.Strings()) {
+		t.Fatalf("row divergence for %q:\nplanned %v\nnaive   %v", q, planned.Strings(), naive.Strings())
+	}
+}
+
+// TestDifferentialErrorShapes pins error parity for queries whose
+// predicates cannot be evaluated: unknown columns, ambiguous references,
+// and aggregates in WHERE must error (or not) identically in both
+// executors — index shortcuts must never mask a per-row evaluation error.
+func TestDifferentialErrorShapes(t *testing.T) {
+	db := starDB(t, 1)
+	for _, q := range []string{
+		// Unknown column beside an indexed equality that matches nothing.
+		"SELECT value FROM results WHERE nosuchcol = 1 AND execid = 'absent'",
+		"SELECT value FROM results WHERE execid = '1' AND nosuchcol = 1",
+		// Unknown column in a residual ON conjunct of a hash join.
+		"SELECT r.value FROM results r JOIN foci f ON r.fociid = f.fociid AND nosuch = 1 WHERE r.execid = 'absent'",
+		// Ambiguous unqualified reference (fociid lives in both tables).
+		"SELECT r.value FROM results r JOIN foci f ON r.fociid = f.fociid WHERE fociid = 1",
+		// Aggregate in a row context.
+		"SELECT value FROM results WHERE COUNT(value) > 1",
+		// Qualified reference to the wrong alias.
+		"SELECT r.value FROM results r JOIN foci f ON r.fociid = f.fociid WHERE q.execid = '1'",
+	} {
+		assertSameResults(t, db, q)
+	}
+}
+
+func TestDifferentialStarQueries(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			db := starDB(t, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			queries := make([]string, 150)
+			for i := range queries {
+				queries[i] = randStarQuery(rng)
+			}
+			for _, q := range queries {
+				assertSameResults(t, db, q)
+			}
+
+			// Mutate the store (exercising index maintenance), then replay.
+			if _, err := db.Exec("DELETE FROM results WHERE fociid = 2"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Exec("UPDATE results SET fociid = 3 WHERE metricid = 2 AND fociid = 4"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Exec("INSERT INTO results VALUES ('9', 1, 1, 1, 0, 60, 4.25)"); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries[:60] {
+				assertSameResults(t, db, q)
+			}
+		})
+	}
+}
+
+// TestDifferentialWideQueries runs the HPL wide-table shapes through both
+// executors: point queries, DISTINCT projections, and NULL handling.
+func TestDifferentialWideQueries(t *testing.T) {
+	db := minidb.NewDatabase()
+	d := datagen.HPL(datagen.HPLConfig{Executions: 60, Seed: 1})
+	if err := datagen.LoadWideTable(db, "executions", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("executions", "execid"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 80; i++ {
+		id := 100 + rng.Intn(70)
+		var q string
+		switch i % 4 {
+		case 0:
+			q = fmt.Sprintf("SELECT gflops FROM executions WHERE execid = '%d'", id)
+		case 1:
+			q = fmt.Sprintf("SELECT execid, gflops FROM executions WHERE gflops > %g ORDER BY execid", rng.Float64()*10)
+		case 2:
+			q = "SELECT DISTINCT numprocesses FROM executions WHERE numprocesses IS NOT NULL ORDER BY numprocesses"
+		default:
+			q = fmt.Sprintf("SELECT COUNT(*), AVG(gflops) FROM executions WHERE execid != '%d'", id)
+		}
+		assertSameResults(t, db, q)
+	}
+}

@@ -46,10 +46,12 @@ type qcol struct {
 	name      string
 }
 
-// env resolves column references against one concrete row.
+// env resolves column references against one concrete row, and binds
+// positional parameters for prepared statements.
 type env struct {
 	cols []qcol
 	row  Row
+	args []Value
 }
 
 func (e *env) resolve(ref *ColumnRef) (int, error) {
@@ -80,6 +82,11 @@ func eval(e Expr, env *env) (Value, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return x.Val, nil
+	case *Param:
+		if env == nil || x.Pos >= len(env.args) {
+			return Value{}, errf("exec", "parameter ?%d is not bound", x.Pos+1)
+		}
+		return env.args[x.Pos], nil
 	case *ColumnRef:
 		if env == nil {
 			return Value{}, errf("exec", "column reference %q outside a row context", x.Name)
@@ -236,8 +243,12 @@ func exprHasAggregate(e Expr) bool {
 	return false
 }
 
-// runSelect executes a SELECT against the (already locked) database.
-func (db *Database) runSelect(st *SelectStmt) (*ResultSet, error) {
+// runSelectNaive executes a SELECT against the (already locked) database
+// with the reference full-materialization nested-loop strategy. The
+// planned pipeline in plan.go is the production path; this executor is
+// retained as the semantics oracle the differential tests compare
+// against (see Database.QueryNaive).
+func (db *Database) runSelectNaive(st *SelectStmt, args []Value) (*ResultSet, error) {
 	base, err := db.table(st.From)
 	if err != nil {
 		return nil, err
@@ -253,7 +264,7 @@ func (db *Database) runSelect(st *SelectStmt) (*ResultSet, error) {
 
 	// Materialize the row stream (scan + optional nested-loop join + filter).
 	var rows []Row
-	e := &env{cols: cols}
+	e := &env{cols: cols, args: args}
 	if st.Join == nil {
 		for _, r := range base.Rows {
 			e.row = r

@@ -1,0 +1,138 @@
+package minidb
+
+import (
+	"sort"
+	"strconv"
+)
+
+// hashIndex is a secondary hash index over one column of a table. It maps
+// a normalized value key to the positions (in Table.Rows order) of the
+// rows holding that value, so equality probes and hash-join builds touch
+// only matching rows instead of scanning the whole table.
+//
+// Buckets may contain false positives — two values whose keys collide but
+// that are not Equal (e.g. the texts '5' and '5.0' share the numeric key)
+// — so every consumer re-evaluates its predicate on the candidate rows.
+// The key function guarantees there are no false negatives: any two
+// values for which Equal reports true map to the same key.
+type hashIndex struct {
+	column  string
+	col     int // column position in the table
+	buckets map[string][]int
+}
+
+// indexKey normalizes a value for hashing consistently with Equal: all
+// numerically equal values (ints, floats, and numeric text) share one key,
+// and non-numeric text keys on the exact string. NULL is not indexed —
+// SQL equality with NULL is never true, so NULL rows can never match an
+// equality probe or an equi-join key.
+func indexKey(v Value) (string, bool) {
+	if v.IsNull() {
+		return "", false
+	}
+	if f, ok := v.AsFloat(); ok {
+		if f == 0 {
+			f = 0 // fold -0 onto +0; they compare equal
+		}
+		return "n:" + strconv.FormatFloat(f, 'g', -1, 64), true
+	}
+	return "t:" + v.Text, true
+}
+
+// add records a newly appended row at position pos.
+func (ix *hashIndex) add(pos int, row Row) {
+	if k, ok := indexKey(row[ix.col]); ok {
+		ix.buckets[k] = append(ix.buckets[k], pos)
+	}
+}
+
+// lookup returns the candidate row positions for an equality probe, in
+// ascending (insertion) order. A nil probe key yields no candidates.
+func (ix *hashIndex) lookup(v Value) []int {
+	k, ok := indexKey(v)
+	if !ok {
+		return nil
+	}
+	return ix.buckets[k]
+}
+
+// rebuild recomputes the index from scratch, after deletes or updates
+// invalidate stored positions.
+func (ix *hashIndex) rebuild(rows []Row) {
+	ix.buckets = make(map[string][]int, len(ix.buckets))
+	for pos, r := range rows {
+		ix.add(pos, r)
+	}
+}
+
+// addIndex builds a hash index on the named column. Indexing the same
+// column twice is a no-op.
+func (t *Table) addIndex(column string) error {
+	col := t.ColumnIndex(column)
+	if col < 0 {
+		return errf("plan", "table %q has no column %q to index", t.Name, column)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]*hashIndex)
+	}
+	if _, ok := t.indexes[column]; ok {
+		return nil
+	}
+	ix := &hashIndex{column: column, col: col, buckets: make(map[string][]int)}
+	ix.rebuild(t.Rows)
+	t.indexes[column] = ix
+	return nil
+}
+
+// index returns the hash index on the named column, or nil.
+func (t *Table) index(column string) *hashIndex {
+	return t.indexes[column]
+}
+
+// noteInsert maintains all indexes after a row append.
+func (t *Table) noteInsert() {
+	pos := len(t.Rows) - 1
+	row := t.Rows[pos]
+	for _, ix := range t.indexes {
+		ix.add(pos, row)
+	}
+}
+
+// reindex rebuilds all indexes, after deletes or updates move or change
+// rows in place.
+func (t *Table) reindex() {
+	for _, ix := range t.indexes {
+		ix.rebuild(t.Rows)
+	}
+}
+
+// CreateIndex builds a secondary hash index on table.column. Subsequent
+// equality filters and equi-joins on that column probe the index instead
+// of scanning. The index is maintained automatically: inserts append to
+// it, deletes and updates rebuild it.
+func (db *Database) CreateIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	return t.addIndex(column)
+}
+
+// Indexes reports the indexed columns of a table, for introspection and
+// tests.
+func (db *Database) Indexes(table string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}

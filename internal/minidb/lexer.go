@@ -29,6 +29,7 @@ var keywords = map[string]bool{
 	"INT": true, "INTEGER": true, "BIGINT": true, "FLOAT": true, "REAL": true,
 	"DOUBLE": true, "PRECISION": true, "TEXT": true, "VARCHAR": true, "CHAR": true,
 	"IS": true, "IN": true, "BETWEEN": true, "UPDATE": true, "SET": true,
+	"INDEX": true,
 }
 
 type token struct {
@@ -168,7 +169,7 @@ func (l *lexer) lexSymbol() error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '*', '.', '=', '<', '>', ';', '-', '+':
+	case '(', ')', ',', '*', '.', '=', '<', '>', ';', '-', '+', '?':
 		l.pos++
 		l.emit(token{kind: tokSymbol, text: string(c), pos: start})
 		return nil

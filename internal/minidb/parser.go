@@ -17,6 +17,14 @@ type CreateTableStmt struct {
 // DropTableStmt is DROP TABLE name.
 type DropTableStmt struct{ Name string }
 
+// CreateIndexStmt is CREATE INDEX name ON table (column) — a secondary
+// hash index declaration (see index.go).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
 // InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
 type InsertStmt struct {
 	Table   string
@@ -77,6 +85,7 @@ type OrderKey struct {
 
 func (*CreateTableStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
@@ -90,6 +99,11 @@ type Literal struct{ Val Value }
 
 // ColumnRef references a column, optionally qualified by table or alias.
 type ColumnRef struct{ Table, Name string }
+
+// Param is one positional `?` placeholder of a prepared statement, bound
+// at execution time by Stmt.Query/Exec. Pos is zero-based, in order of
+// appearance.
+type Param struct{ Pos int }
 
 // Binary is a binary operation: comparison, LIKE, AND, OR.
 type Binary struct {
@@ -132,6 +146,7 @@ type Aggregate struct {
 
 func (*Literal) expr()   {}
 func (*ColumnRef) expr() {}
+func (*Param) expr()     {}
 func (*Binary) expr()    {}
 func (*Unary) expr()     {}
 func (*IsNull) expr()    {}
@@ -140,29 +155,37 @@ func (*Between) expr()   {}
 func (*Aggregate) expr() {}
 
 type parser struct {
-	toks []token
-	pos  int
+	toks    []token
+	pos     int
+	nParams int
 }
 
 // ParseStatement parses one SQL statement.
 func ParseStatement(sql string) (Statement, error) {
+	st, _, err := parseSQL(sql)
+	return st, err
+}
+
+// parseSQL parses one statement and reports how many `?` parameters it
+// declares.
+func parseSQL(sql string) (Statement, int, error) {
 	toks, err := lex(sql)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	st, err := p.parseStatement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Optional trailing semicolon.
 	if p.cur().kind == tokSymbol && p.cur().text == ";" {
 		p.pos++
 	}
 	if p.cur().kind != tokEOF {
-		return nil, errf("parse", "unexpected trailing input %q", p.cur().text)
+		return nil, 0, errf("parse", "unexpected trailing input %q", p.cur().text)
 	}
-	return st, nil
+	return st, p.nParams, nil
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -228,6 +251,9 @@ func (p *parser) parseStatement() (Statement, error) {
 }
 
 func (p *parser) parseCreate() (Statement, error) {
+	if p.acceptKeyword("INDEX") {
+		return p.parseCreateIndex()
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -288,6 +314,32 @@ func (p *parser) parseColumnType() (ColumnType, error) {
 		return TypeText, nil
 	}
 	return 0, errf("parse", "unknown column type %q", t.text)
+}
+
+// parseCreateIndex parses CREATE INDEX name ON table (column).
+func (p *parser) parseCreateIndex() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	column, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: column}, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {
@@ -716,6 +768,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return &Literal{Val: v}, nil
 		}
 		return lit, nil
+	}
+	if t.kind == tokSymbol && t.text == "?" {
+		p.pos++
+		prm := &Param{Pos: p.nParams}
+		p.nParams++
+		return prm, nil
 	}
 	switch t.kind {
 	case tokNumber:

@@ -1,0 +1,879 @@
+package minidb
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the planned half of the SELECT path: planSelect analyzes a
+// parsed statement against the schema and runPlan executes the resulting
+// operator pipeline. The planner
+//
+//   - splits the WHERE clause into AND-conjuncts and pushes each down to
+//     the earliest operator that can evaluate it (base scan, join build
+//     side, or post-join),
+//   - extracts an equi-join key from the ON clause and joins with a hash
+//     join when one exists, falling back to the naive nested loop
+//     otherwise, and
+//   - probes a secondary hash index instead of scanning when an indexed
+//     column is compared for equality against a constant or parameter.
+//
+// Execution is a pull-based iterator pipeline (rowSrc), so consumers can
+// stream rows without materializing the whole result; ORDER BY and
+// aggregate queries still materialize, as they must.
+//
+// Index and hash-join buckets may contain false positives (see indexKey),
+// so the pipeline re-evaluates every pushed predicate and the full ON
+// expression on candidate rows. That makes the planned path's semantics
+// exactly those of the retained naive executor (runSelectNaive), which the
+// differential tests assert.
+
+// eqCand is one index-eligible equality: base column col compared against
+// a constant (or parameter) expression.
+type eqCand struct {
+	col int
+	val Expr
+}
+
+// selectPlan is a planned SELECT, valid for the schema it was planned
+// against. A plan is immutable after planSelect returns — Stmt caches one
+// plan across executions (invalidated by Database.schemaGen) and may run
+// it from many goroutines, so per-execution state lives in the iterators
+// built by pipeline, never on the plan itself.
+type selectPlan struct {
+	st    *SelectStmt
+	db    *Database
+	base  *Table
+	cols  []qcol // combined row shape: base columns then join columns
+	nLeft int
+
+	// unsafe marks a query whose WHERE or ON could error during row
+	// evaluation (unknown/ambiguous column, aggregate in a predicate).
+	// The pipeline's pushdown and index shortcuts skip row evaluations,
+	// which would mask those per-row errors, so unsafe queries execute
+	// on the naive executor to keep planned semantics exactly equal.
+	unsafe bool
+
+	leftPred []Expr   // conjuncts evaluable on base rows alone
+	eqCands  []eqCand // index-eligible equalities among leftPred
+
+	join *joinPlan // nil for single-table queries
+}
+
+// joinPlan is the join half of a plan.
+type joinPlan struct {
+	right     *Table
+	rightPred []Expr // conjuncts evaluable on right rows alone
+	postPred  []Expr // conjuncts needing the combined row
+
+	// Hash-join key column positions (within base and right rows); -1
+	// when no equi-key was found and the join falls back to nested loop.
+	leftKey, rightKey int
+	on                Expr // full ON expression, re-checked on candidates
+}
+
+// splitConjuncts flattens nested ANDs into a conjunct list.
+func splitConjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return splitConjuncts(b.R, splitConjuncts(b.L, out))
+	}
+	return append(out, e)
+}
+
+// refSides classifies which sides of the row an expression touches.
+type refSides struct {
+	left, right, other bool
+}
+
+func (s refSides) leftOnly() bool  { return s.left && !s.right && !s.other }
+func (s refSides) rightOnly() bool { return s.right && !s.left && !s.other }
+
+// collectSides walks an expression recording which side each column
+// reference resolves to. References that are ambiguous or unresolvable
+// set other, forcing evaluation on the combined row where the naive
+// error surfaces identically.
+func collectSides(e Expr, p *selectPlan, rightQual string, baseQual string, s *refSides) {
+	switch x := e.(type) {
+	case nil, *Literal, *Param:
+	case *ColumnRef:
+		p.refSide(x, baseQual, rightQual, s)
+	case *Binary:
+		collectSides(x.L, p, rightQual, baseQual, s)
+		collectSides(x.R, p, rightQual, baseQual, s)
+	case *Unary:
+		collectSides(x.X, p, rightQual, baseQual, s)
+	case *IsNull:
+		collectSides(x.X, p, rightQual, baseQual, s)
+	case *Between:
+		collectSides(x.X, p, rightQual, baseQual, s)
+		collectSides(x.Lo, p, rightQual, baseQual, s)
+		collectSides(x.Hi, p, rightQual, baseQual, s)
+	case *InList:
+		collectSides(x.X, p, rightQual, baseQual, s)
+		for _, it := range x.List {
+			collectSides(it, p, rightQual, baseQual, s)
+		}
+	default:
+		s.other = true
+	}
+}
+
+// refSide resolves one column reference to a side of the combined row.
+func (p *selectPlan) refSide(ref *ColumnRef, baseQual, rightQual string, s *refSides) {
+	inLeft := p.base.ColumnIndex(ref.Name) >= 0
+	inRight := p.join != nil && p.join.right.ColumnIndex(ref.Name) >= 0
+	if ref.Table != "" {
+		switch {
+		case strings.EqualFold(ref.Table, baseQual) && inLeft:
+			s.left = true
+		case p.join != nil && strings.EqualFold(ref.Table, rightQual) && inRight:
+			s.right = true
+		default:
+			s.other = true
+		}
+		return
+	}
+	switch {
+	case inLeft && !inRight:
+		s.left = true
+	case inRight && !inLeft:
+		s.right = true
+	default:
+		s.other = true // ambiguous or unknown: evaluate on combined row
+	}
+}
+
+// exprStaticallySafe reports whether evaluating e can never error for
+// any row: every column reference resolves uniquely against cols and no
+// aggregate appears (parameters are arity-checked before execution).
+// This mirrors env.resolve exactly — name matches are case-sensitive,
+// qualifier matches fold case.
+func exprStaticallySafe(e Expr, cols []qcol) bool {
+	switch x := e.(type) {
+	case nil, *Literal, *Param:
+		return true
+	case *ColumnRef:
+		found := 0
+		for _, c := range cols {
+			if c.name != x.Name {
+				continue
+			}
+			if x.Table != "" && !strings.EqualFold(c.qualifier, x.Table) {
+				continue
+			}
+			found++
+		}
+		return found == 1
+	case *Binary:
+		return exprStaticallySafe(x.L, cols) && exprStaticallySafe(x.R, cols)
+	case *Unary:
+		return exprStaticallySafe(x.X, cols)
+	case *IsNull:
+		return exprStaticallySafe(x.X, cols)
+	case *Between:
+		return exprStaticallySafe(x.X, cols) && exprStaticallySafe(x.Lo, cols) &&
+			exprStaticallySafe(x.Hi, cols)
+	case *InList:
+		if !exprStaticallySafe(x.X, cols) {
+			return false
+		}
+		for _, it := range x.List {
+			if !exprStaticallySafe(it, cols) {
+				return false
+			}
+		}
+		return true
+	}
+	return false // aggregates (row-context error) and unknown node kinds
+}
+
+// isConst reports whether an expression references no columns, i.e. is
+// evaluable before any row is read (literals, parameters, and boolean
+// combinations thereof).
+func isConst(e Expr) bool {
+	switch x := e.(type) {
+	case *Literal, *Param:
+		return true
+	case *Unary:
+		return isConst(x.X)
+	case *Binary:
+		return isConst(x.L) && isConst(x.R)
+	}
+	return false
+}
+
+// planSelect analyzes a SELECT against the current schema. The caller
+// must hold at least a read lock.
+func (db *Database) planSelect(st *SelectStmt) (*selectPlan, error) {
+	base, err := db.table(st.From)
+	if err != nil {
+		return nil, err
+	}
+	baseQual := st.Alias
+	if baseQual == "" {
+		baseQual = st.From
+	}
+	p := &selectPlan{st: st, db: db, base: base}
+	for _, c := range base.Columns {
+		p.cols = append(p.cols, qcol{qualifier: baseQual, name: c.Name})
+	}
+	p.nLeft = len(p.cols)
+
+	rightQual := ""
+	if st.Join != nil {
+		right, err := db.table(st.Join.Table)
+		if err != nil {
+			return nil, err
+		}
+		rightQual = st.Join.Alias
+		if rightQual == "" {
+			rightQual = st.Join.Table
+		}
+		p.join = &joinPlan{right: right, leftKey: -1, rightKey: -1, on: st.Join.On}
+		for _, c := range right.Columns {
+			p.cols = append(p.cols, qcol{qualifier: rightQual, name: c.Name})
+		}
+	}
+
+	// Queries whose predicates could error per row must not be
+	// short-circuited by pushdown or index probes; route them to the
+	// naive executor instead (see the unsafe field).
+	if !exprStaticallySafe(st.Where, p.cols) ||
+		(st.Join != nil && !exprStaticallySafe(st.Join.On, p.cols)) {
+		p.unsafe = true
+		return p, nil
+	}
+
+	// Push WHERE conjuncts down by the sides they reference.
+	if st.Where != nil {
+		for _, c := range splitConjuncts(st.Where, nil) {
+			var s refSides
+			collectSides(c, p, rightQual, baseQual, &s)
+			switch {
+			case p.join == nil:
+				// Single table: the combined row is the base row, so every
+				// conjunct evaluates at the scan.
+				p.leftPred = append(p.leftPred, c)
+			case s.leftOnly():
+				p.leftPred = append(p.leftPred, c)
+			case s.rightOnly():
+				p.join.rightPred = append(p.join.rightPred, c)
+			default:
+				p.join.postPred = append(p.join.postPred, c)
+			}
+		}
+	}
+
+	// Extract a hash-join equi-key from the ON conjuncts: the first
+	// col-to-col equality spanning the two sides. The full ON expression
+	// is still evaluated on candidate pairs, so any residual conjuncts
+	// (and key-collision false positives) are filtered exactly.
+	if p.join != nil {
+		for _, c := range splitConjuncts(st.Join.On, nil) {
+			b, ok := c.(*Binary)
+			if !ok || b.Op != "=" {
+				continue
+			}
+			l, lok := b.L.(*ColumnRef)
+			r, rok := b.R.(*ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			var ls, rs refSides
+			p.refSide(l, baseQual, rightQual, &ls)
+			p.refSide(r, baseQual, rightQual, &rs)
+			if ls.leftOnly() && rs.rightOnly() {
+				p.join.leftKey = p.base.ColumnIndex(l.Name)
+				p.join.rightKey = p.join.right.ColumnIndex(r.Name)
+			} else if ls.rightOnly() && rs.leftOnly() {
+				p.join.leftKey = p.base.ColumnIndex(r.Name)
+				p.join.rightKey = p.join.right.ColumnIndex(l.Name)
+			} else {
+				continue
+			}
+			break
+		}
+	}
+
+	// Collect index-eligible equalities: base column = constant.
+	for _, c := range p.leftPred {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		ref, val := b.L, b.R
+		if _, ok := ref.(*ColumnRef); !ok {
+			ref, val = b.R, b.L
+		}
+		cr, ok := ref.(*ColumnRef)
+		if !ok || !isConst(val) {
+			continue
+		}
+		var s refSides
+		p.refSide(cr, baseQual, rightQual, &s)
+		if !s.leftOnly() {
+			continue
+		}
+		if col := p.base.ColumnIndex(cr.Name); col >= 0 {
+			p.eqCands = append(p.eqCands, eqCand{col: col, val: val})
+		}
+	}
+	return p, nil
+}
+
+// rowSrc is a pull-based row iterator: next returns (nil, nil) at end of
+// stream.
+type rowSrc interface {
+	next() (Row, error)
+}
+
+// passAll evaluates a conjunct list against one row.
+func passAll(preds []Expr, e *env, r Row) (bool, error) {
+	e.row = r
+	for _, p := range preds {
+		v, err := eval(p, e)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// scanIter scans a table (optionally narrowed to index-candidate
+// positions) applying pushed-down predicates.
+type scanIter struct {
+	rows  []Row
+	idx   []int // nil: scan every row; else candidate positions, ascending
+	pos   int
+	preds []Expr
+	env   *env
+}
+
+func (s *scanIter) next() (Row, error) {
+	for {
+		var r Row
+		if s.idx != nil {
+			if s.pos >= len(s.idx) {
+				return nil, nil
+			}
+			r = s.rows[s.idx[s.pos]]
+		} else {
+			if s.pos >= len(s.rows) {
+				return nil, nil
+			}
+			r = s.rows[s.pos]
+		}
+		s.pos++
+		ok, err := passAll(s.preds, s.env, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+// hashJoinIter joins a left row stream against a hashed right table.
+// When the right table already maintains a hash index on the join key
+// and no predicates were pushed to the build side, the iterator probes
+// that index directly — no per-query build at all. Otherwise the build
+// side hashes right rows passing their pushed-down predicates. Either
+// way, each probe re-evaluates the full ON expression plus post-join
+// predicates on the combined row, so bucket collisions are filtered
+// exactly. The combined row buffer is reused between calls — consumers
+// must not retain it across next calls (projection either evaluates
+// immediately or clones).
+type hashJoinIter struct {
+	left     rowSrc
+	jp       *joinPlan
+	checks   []Expr // full ON expression + post-join WHERE conjuncts
+	env      *env   // combined-row environment
+	rightEnv *env
+	nLeft    int
+
+	built     bool
+	rightIx   *hashIndex       // reused right-table index (nil: self-built)
+	rightRows []Row            // row storage rightIx positions refer to
+	buckets   map[string][]Row // self-built buckets when rightIx is nil
+	curRows   []Row            // current probe bucket (self-built mode)
+	curPos    []int            // current probe positions (index mode)
+	bucketPos int
+	combined  Row
+}
+
+func (h *hashJoinIter) build() error {
+	h.built = true
+	if len(h.jp.rightPred) == 0 {
+		key := h.jp.right.Columns[h.jp.rightKey].Name
+		if ix := h.jp.right.index(key); ix != nil {
+			h.rightIx = ix
+			h.rightRows = h.jp.right.Rows
+			return nil
+		}
+	}
+	h.buckets = make(map[string][]Row)
+	for _, r := range h.jp.right.Rows {
+		ok, err := passAll(h.jp.rightPred, h.rightEnv, r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if k, ok := indexKey(r[h.jp.rightKey]); ok {
+			h.buckets[k] = append(h.buckets[k], r)
+		}
+	}
+	return nil
+}
+
+// bucketLen returns the size of the current probe bucket.
+func (h *hashJoinIter) bucketLen() int {
+	if h.rightIx != nil {
+		return len(h.curPos)
+	}
+	return len(h.curRows)
+}
+
+// bucketRow returns the i-th right row of the current probe bucket; both
+// modes yield rows in right-table insertion order.
+func (h *hashJoinIter) bucketRow(i int) Row {
+	if h.rightIx != nil {
+		return h.rightRows[h.curPos[i]]
+	}
+	return h.curRows[i]
+}
+
+func (h *hashJoinIter) next() (Row, error) {
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		for h.bucketPos < h.bucketLen() {
+			rr := h.bucketRow(h.bucketPos)
+			h.bucketPos++
+			copy(h.combined[h.nLeft:], rr)
+			ok, err := passAll(h.checks, h.env, h.combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return h.combined, nil
+			}
+		}
+		lr, err := h.left.next()
+		if err != nil || lr == nil {
+			return nil, err
+		}
+		copy(h.combined, lr)
+		h.curRows, h.curPos = nil, nil
+		h.bucketPos = 0
+		if k, ok := indexKey(lr[h.jp.leftKey]); ok {
+			if h.rightIx != nil {
+				h.curPos = h.rightIx.buckets[k]
+			} else {
+				h.curRows = h.buckets[k]
+			}
+		}
+	}
+}
+
+// nlJoinIter is the nested-loop fallback for non-equi joins. The right
+// side is pre-filtered once with its pushed-down predicates; the full ON
+// expression and post-join predicates run per pair, exactly as the naive
+// executor evaluates them.
+type nlJoinIter struct {
+	left     rowSrc
+	jp       *joinPlan
+	checks   []Expr
+	env      *env
+	rightEnv *env
+	nLeft    int
+
+	prepared  bool
+	rightRows []Row
+	curLeft   Row
+	rightPos  int
+	combined  Row
+}
+
+func (n *nlJoinIter) prepare() error {
+	if len(n.jp.rightPred) == 0 {
+		n.rightRows = n.jp.right.Rows
+	} else {
+		for _, r := range n.jp.right.Rows {
+			ok, err := passAll(n.jp.rightPred, n.rightEnv, r)
+			if err != nil {
+				return err
+			}
+			if ok {
+				n.rightRows = append(n.rightRows, r)
+			}
+		}
+	}
+	n.prepared = true
+	return nil
+}
+
+func (n *nlJoinIter) next() (Row, error) {
+	if !n.prepared {
+		if err := n.prepare(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if n.curLeft == nil {
+			lr, err := n.left.next()
+			if err != nil || lr == nil {
+				return nil, err
+			}
+			n.curLeft = lr
+			copy(n.combined, lr)
+			n.rightPos = 0
+		}
+		for n.rightPos < len(n.rightRows) {
+			rr := n.rightRows[n.rightPos]
+			n.rightPos++
+			copy(n.combined[n.nLeft:], rr)
+			ok, err := passAll(n.checks, n.env, n.combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return n.combined, nil
+			}
+		}
+		n.curLeft = nil
+	}
+}
+
+// pipeline assembles the operator tree for a planned SELECT.
+func (p *selectPlan) pipeline(args []Value) rowSrc {
+	leftEnv := &env{cols: p.cols[:p.nLeft], args: args}
+	scan := &scanIter{rows: p.base.Rows, preds: p.leftPred, env: leftEnv}
+
+	// Probe the best available index: the candidate with the smallest
+	// bucket wins (all pushed predicates are still evaluated on the
+	// candidates, so any choice is correct).
+	for _, cand := range p.eqCands {
+		ix := p.base.index(p.base.Columns[cand.col].Name)
+		if ix == nil {
+			continue
+		}
+		v, err := eval(cand.val, &env{args: args})
+		if err != nil {
+			continue // let the full evaluation surface the error
+		}
+		bucket := ix.lookup(v)
+		if scan.idx == nil || len(bucket) < len(scan.idx) {
+			scan.idx = bucket
+			if scan.idx == nil {
+				scan.idx = []int{} // indexed probe with no matches: empty scan
+			}
+		}
+	}
+	if p.join == nil {
+		return scan
+	}
+
+	combEnv := &env{cols: p.cols, args: args}
+	rightEnv := &env{cols: p.cols[p.nLeft:], args: args}
+	checks := append([]Expr{p.join.on}, p.join.postPred...)
+	if p.join.leftKey >= 0 && p.join.rightKey >= 0 {
+		return &hashJoinIter{
+			left: scan, jp: p.join, checks: checks, env: combEnv,
+			rightEnv: rightEnv, nLeft: p.nLeft,
+			combined: make(Row, len(p.cols)),
+		}
+	}
+	return &nlJoinIter{
+		left: scan, jp: p.join, checks: checks, env: combEnv,
+		rightEnv: rightEnv, nLeft: p.nLeft,
+		combined: make(Row, len(p.cols)),
+	}
+}
+
+// runPlan executes a planned SELECT, returning a Rows iterator. Plain
+// scans stream; DISTINCT streams through a seen-set; ORDER BY and
+// aggregate queries materialize eagerly (their Rows iterate the
+// materialized output). The caller must hold at least a read lock for as
+// long as a streaming Rows is in use.
+func (db *Database) runPlan(st *SelectStmt, args []Value) (*Rows, error) {
+	p, err := db.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	return p.rows(args)
+}
+
+// rows executes a plan. Plans are immutable after construction, so one
+// plan may run concurrently from many goroutines (each execution builds
+// its own iterator state).
+func (p *selectPlan) rows(args []Value) (*Rows, error) {
+	st := p.st
+	if p.unsafe {
+		// The naive executor evaluates every row, surfacing the per-row
+		// predicate errors this query can produce (it also applies
+		// LIMIT itself).
+		rs, err := p.db.runSelectNaive(st, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{Columns: rs.Columns, mat: rs.Rows, limit: -1, materialized: true}, nil
+	}
+	src := p.pipeline(args)
+	outCols := outputColumns(st, p.cols)
+
+	if !st.Star && hasAggregate(st.Items) {
+		var rows []Row
+		for {
+			r, err := src.next()
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			rows = append(rows, r.clone())
+		}
+		rs, err := runAggregates(st, p.cols, rows)
+		if err != nil {
+			return nil, err
+		}
+		// The naive executor ignores LIMIT on all-aggregate selects; match it.
+		return &Rows{Columns: rs.Columns, mat: rs.Rows, limit: -1, materialized: true}, nil
+	}
+
+	if len(st.OrderBy) > 0 {
+		mat, err := materializeOrdered(st, p.cols, src, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{Columns: outCols, mat: mat, limit: st.Limit, materialized: true}, nil
+	}
+
+	rows := &Rows{
+		Columns: outCols,
+		st:      st,
+		src:     src,
+		env:     &env{cols: p.cols, args: args},
+		limit:   st.Limit,
+	}
+	if st.Distinct {
+		rows.seen = make(map[string]bool)
+	}
+	return rows, nil
+}
+
+// materializeOrdered projects, deduplicates, and sorts the full row
+// stream — the ORDER BY path, which cannot stream.
+func materializeOrdered(st *SelectStmt, cols []qcol, src rowSrc, args []Value) ([][]Value, error) {
+	type projRow struct {
+		out  []Value
+		keys []Value
+	}
+	var projected []projRow
+	e := &env{cols: cols, args: args}
+	for {
+		r, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		e.row = r
+		var out []Value
+		if st.Star {
+			out = r.clone()
+		} else {
+			out = make([]Value, len(st.Items))
+			for i, it := range st.Items {
+				v, err := eval(it.Expr, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+		}
+		keys := make([]Value, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			v, err := eval(k.Expr, e)
+			if err != nil {
+				v, err = aliasValue(k.Expr, st.Items, out)
+				if err != nil {
+					return nil, err
+				}
+			}
+			keys[i] = v
+		}
+		projected = append(projected, projRow{out: out, keys: keys})
+	}
+	if st.Distinct {
+		seen := make(map[string]bool, len(projected))
+		kept := projected[:0]
+		for _, pr := range projected {
+			k := rowKey(pr.out)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, pr)
+		}
+		projected = kept
+	}
+	sort.SliceStable(projected, func(i, j int) bool {
+		for k, key := range st.OrderBy {
+			c := Compare(projected[i].keys[k], projected[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([][]Value, len(projected))
+	for i, pr := range projected {
+		out[i] = pr.out
+	}
+	return out, nil
+}
+
+// Rows is a streaming SELECT result. Typical use:
+//
+//	rows, err := stmt.QueryStream(args...)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    row := rows.Row()
+//	    ...
+//	}
+//	err = rows.Err()
+//
+// A streaming Rows holds the database's read lock until Close (or
+// exhaustion); callers must Close promptly and must not execute write
+// statements on the same database from the same goroutine while
+// iterating. The slice returned by Row is owned by the iterator only
+// until the following Next call for SELECT * queries; projected rows are
+// freshly allocated.
+type Rows struct {
+	Columns []string
+
+	st    *SelectStmt
+	src   rowSrc
+	env   *env
+	seen  map[string]bool // DISTINCT
+	limit int             // -1: none
+
+	mat          [][]Value // ORDER BY / aggregate output
+	materialized bool
+	matPos       int
+
+	cur     []Value
+	emitted int
+	err     error
+	done    bool
+	unlock  func()
+}
+
+// Next advances to the next result row, returning false at the end of
+// the stream or on error (check Err).
+func (r *Rows) Next() bool {
+	if r.done || r.err != nil {
+		return false
+	}
+	if r.limit >= 0 && r.emitted >= r.limit {
+		r.finish()
+		return false
+	}
+	if r.materialized {
+		if r.matPos >= len(r.mat) {
+			r.finish()
+			return false
+		}
+		r.cur = r.mat[r.matPos]
+		r.matPos++
+		r.emitted++
+		return true
+	}
+	for {
+		row, err := r.src.next()
+		if err != nil {
+			r.err = err
+			r.finish()
+			return false
+		}
+		if row == nil {
+			r.finish()
+			return false
+		}
+		var out []Value
+		if r.st.Star {
+			out = row.clone()
+		} else {
+			r.env.row = row
+			out = make([]Value, len(r.st.Items))
+			for i, it := range r.st.Items {
+				v, err := eval(it.Expr, r.env)
+				if err != nil {
+					r.err = err
+					r.finish()
+					return false
+				}
+				out[i] = v
+			}
+		}
+		if r.seen != nil {
+			k := rowKey(out)
+			if r.seen[k] {
+				continue
+			}
+			r.seen[k] = true
+		}
+		r.cur = out
+		r.emitted++
+		return true
+	}
+}
+
+// Row returns the current row. Valid only after a true Next.
+func (r *Rows) Row() []Value { return r.cur }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// finish releases resources; further Next calls return false.
+func (r *Rows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.unlock != nil {
+		r.unlock()
+		r.unlock = nil
+	}
+}
+
+// Close releases the read lock a streaming Rows holds. It is safe to call
+// multiple times and after exhaustion.
+func (r *Rows) Close() { r.finish() }
+
+// drain materializes the remaining rows into a ResultSet.
+func (r *Rows) drain() (*ResultSet, error) {
+	rs := &ResultSet{Columns: r.Columns}
+	for r.Next() {
+		rs.Rows = append(rs.Rows, r.Row())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rs, nil
+}

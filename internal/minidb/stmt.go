@@ -1,0 +1,145 @@
+package minidb
+
+import "sync"
+
+// Stmt is a prepared statement: the SQL is lexed and parsed once, and
+// each execution binds `?` parameters positionally. SELECT plans are
+// additionally cached across executions and invalidated when the schema
+// changes. Statements are safe for concurrent use.
+type Stmt struct {
+	db      *Database
+	sql     string
+	st      Statement
+	nParams int
+
+	planMu  sync.Mutex
+	plan    *selectPlan
+	planGen uint64
+}
+
+// stmtCacheCap bounds the per-database prepared-statement cache. When the
+// cache fills (distinct SQL texts, not executions), it is dropped
+// wholesale — an epoch eviction that keeps the common case (a bounded set
+// of recurring mapping-layer templates) allocation-free.
+const stmtCacheCap = 1024
+
+// Prepare parses a statement once and caches it by SQL text, so repeated
+// preparations of the same template cost one map lookup instead of a
+// lex/parse. The returned Stmt binds `?` parameters at execution time.
+func (db *Database) Prepare(sql string) (*Stmt, error) {
+	db.stmtMu.Lock()
+	if s, ok := db.stmts[sql]; ok {
+		db.stmtMu.Unlock()
+		return s, nil
+	}
+	db.stmtMu.Unlock()
+
+	st, nParams, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, sql: sql, st: st, nParams: nParams}
+
+	db.stmtMu.Lock()
+	if len(db.stmts) >= stmtCacheCap {
+		db.stmts = make(map[string]*Stmt)
+	}
+	db.stmts[sql] = s
+	db.stmtMu.Unlock()
+	return s, nil
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// NumParams returns the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.nParams }
+
+func (s *Stmt) bindCheck(args []Value) error {
+	if len(args) != s.nParams {
+		return errf("exec", "statement wants %d parameters, got %d", s.nParams, len(args))
+	}
+	return nil
+}
+
+// Query runs a prepared SELECT with the given parameter bindings,
+// materializing the full result set.
+func (s *Stmt) Query(args ...Value) (*ResultSet, error) {
+	rows, err := s.QueryStream(args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	return rows.drain()
+}
+
+// QueryStream runs a prepared SELECT and returns a streaming iterator,
+// so large scans are consumed row by row instead of materialized. The
+// iterator holds the database's read lock until Close — callers must
+// Close it (defer rows.Close() immediately) and must not issue write
+// statements from the same goroutine while iterating.
+func (s *Stmt) QueryStream(args ...Value) (*Rows, error) {
+	sel, ok := s.st.(*SelectStmt)
+	if !ok {
+		return nil, errf("exec", "use Exec for non-SELECT statements")
+	}
+	if err := s.bindCheck(args); err != nil {
+		return nil, err
+	}
+	s.db.mu.RLock()
+	p, err := s.cachedPlan(sel)
+	if err != nil {
+		s.db.mu.RUnlock()
+		return nil, err
+	}
+	rows, err := p.rows(args)
+	if err != nil {
+		s.db.mu.RUnlock()
+		return nil, err
+	}
+	if rows.materialized {
+		// ORDER BY and aggregate results are already computed; no table
+		// state is referenced after this point.
+		s.db.mu.RUnlock()
+	} else {
+		rows.unlock = s.db.mu.RUnlock
+	}
+	return rows, nil
+}
+
+// cachedPlan returns the statement's plan, replanning when the schema
+// generation moved (CREATE/DROP TABLE). The caller must hold at least
+// the database's read lock.
+func (s *Stmt) cachedPlan(sel *SelectStmt) (*selectPlan, error) {
+	gen := s.db.schemaGen
+	s.planMu.Lock()
+	if s.plan != nil && s.planGen == gen {
+		p := s.plan
+		s.planMu.Unlock()
+		return p, nil
+	}
+	// Drop the stale plan now: it pins its tables' rows (a dropped
+	// table would otherwise stay reachable if replanning fails).
+	s.plan = nil
+	s.planMu.Unlock()
+	p, err := s.db.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	s.planMu.Lock()
+	s.plan, s.planGen = p, gen
+	s.planMu.Unlock()
+	return p, nil
+}
+
+// Exec runs a prepared DDL/DML statement with the given parameter
+// bindings, returning the number of rows affected.
+func (s *Stmt) Exec(args ...Value) (int, error) {
+	if _, ok := s.st.(*SelectStmt); ok {
+		return 0, errf("exec", "use Query for SELECT statements")
+	}
+	if err := s.bindCheck(args); err != nil {
+		return 0, err
+	}
+	return s.db.execStatement(s.st, args)
+}
