@@ -157,21 +157,106 @@ func BenchmarkFigure12(b *testing.B) {
 }
 
 // BenchmarkSOAPRoundTrip isolates the marshalling component of Table 4's
-// overhead at the paper's three payload scales (~8 B, ~5.7 KB, ~60 KB+).
+// overhead at the paper's three payload scales (~8 B, ~5.7 KB, ~60 KB+),
+// under the hand-rolled codec (the production path) and the retained
+// legacy encoding/xml codec (the seed's path).
 func BenchmarkSOAPRoundTrip(b *testing.B) {
-	for _, items := range []int{1, 80, 1000} {
-		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
-			vals := make([]string, items)
-			for i := range vals {
-				vals[i] = fmt.Sprintf("gflops|/Process/%d|hpl|0.0-132.5|%d.25", i, i)
+	for _, codec := range []string{"HandRolled", "Legacy"} {
+		for _, items := range []int{1, 80, 1000} {
+			b.Run(fmt.Sprintf("%s/items=%d", codec, items), func(b *testing.B) {
+				soap.SetLegacyCodec(codec == "Legacy")
+				defer soap.SetLegacyCodec(false)
+				vals := make([]string, items)
+				for i := range vals {
+					vals[i] = fmt.Sprintf("gflops|/Process/%d|hpl|0.0-132.5|%d.25", i, i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					data, err := soap.EncodeResponse("getPR", nil, vals)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := soap.DecodeResponse(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchSMGRefs stands up an uncalibrated (no injected latency) SMG98-
+// shaped site and binds one execution, so transport benches measure the
+// wire path itself rather than the calibrated mapping delay.
+func benchSMGRefs(b *testing.B, cachingOff bool) (*client.ExecutionRef, perfdata.Query) {
+	b.Helper()
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 8, TimeBins: 32, Seed: 3})
+	w := mapping.NewMemory(d)
+	site, err := core.StartSite(core.SiteConfig{AppName: "SMG98", Wrappers: []mapping.ApplicationWrapper{w}, CachingOff: cachingOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(site.Close)
+	c := client.NewWithoutRegistry()
+	binding, err := c.BindFactory("SMG98", site.ApplicationFactoryHandle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs, err := binding.QueryExecutions(nil)
+	if err != nil || len(refs) == 0 {
+		b.Fatalf("QueryExecutions: %v, %v", refs, err)
+	}
+	ref := refs[0]
+	tr, err := ref.TimeStartEnd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	metrics, err := ref.Metrics()
+	if err != nil || len(metrics) == 0 {
+		b.Fatalf("metrics: %v, %v", metrics, err)
+	}
+	return ref, perfdata.Query{Metric: metrics[0], Time: tr, Type: perfdata.UndefinedType}
+}
+
+// BenchmarkTransportGetPR measures one full-stack getPR (stub -> SOAP ->
+// container -> Execution -> store) with no injected mapping latency: the
+// pure wire-path cost the overhaul targets. CacheOff re-marshals every
+// reply; CacheHit is served from the encoded-response cache with zero XML
+// marshalling.
+func BenchmarkTransportGetPR(b *testing.B) {
+	b.Run("CacheOff", func(b *testing.B) {
+		ref, q := benchSMGRefs(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.PerformanceResults(q); err != nil {
+				b.Fatal(err)
 			}
+		}
+	})
+	b.Run("CacheHit", func(b *testing.B) {
+		ref, q := benchSMGRefs(b, false)
+		if _, err := ref.PerformanceResults(q); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.PerformanceResults(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransportPagedGetPR measures the paged protocol draining the
+// same result set at several page sizes (0 = service default, one page
+// per DefaultPageSize values).
+func BenchmarkTransportPagedGetPR(b *testing.B) {
+	for _, pageSize := range []int{64, 512, 0} {
+		b.Run(fmt.Sprintf("pageSize=%d", pageSize), func(b *testing.B) {
+			ref, q := benchSMGRefs(b, true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				data, err := soap.EncodeResponse("getPR", nil, vals)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := soap.DecodeResponse(data); err != nil {
+				if _, err := ref.PerformanceResultsPaged(q, pageSize).Collect(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -122,6 +122,24 @@ func runAblations(cfg experiment.Config, quick bool) {
 	fmt.Print(experiment.RenderSOAPOverhead(points))
 	fmt.Println()
 
+	codecPoints, err := experiment.RunTransportCodecSweep(counts, 64, rounds)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: transport codec sweep: %v", err)
+	}
+	fmt.Print(experiment.RenderTransportCodecSweep(codecPoints))
+	fmt.Println()
+
+	t4 := experiment.Table4Config{Config: cfg}
+	if quick {
+		t4.QueriesPerSource = 5
+	}
+	transportReport, err := experiment.RunTransportTable4(t4)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: transport table4: %v", err)
+	}
+	fmt.Print(transportReport.Render())
+	fmt.Println()
+
 	execs, repeats := 32, 5
 	if quick {
 		execs, repeats = 8, 2

@@ -11,6 +11,8 @@
 // regenerates the paper's Table 4, Table 5, and Figure 12 is in
 // bench_test.go next to this file.
 //
-// See README.md for a tour of the layout, the query engine, and the
-// calibrated experiment setup, and PAPER.md for the source citation.
+// See README.md for a tour of the layout, the query engine, the wire
+// protocol, and the calibrated experiment setup; ARCHITECTURE.md for the
+// layer-by-layer map from packages to the paper's sections and
+// measurements; and PAPER.md for the source citation.
 package pperfgrid

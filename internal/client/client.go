@@ -15,6 +15,13 @@
 // A Binding presents a remote Application Grid service as a local object;
 // the same interface covers the paper's future-work "local bypass", where
 // a co-located client skips the Services Layer entirely.
+//
+// Dialing is idempotent: a session keeps one stub per Grid Service
+// Handle, so repeated discovery and querying share the pooled persistent
+// HTTP connections underneath. Large getPR result sets can be consumed
+// incrementally through PerformanceResultsPaged, a Rows-style iterator
+// over the paged wire protocol; QueryPerformanceResults accepts a
+// PageSize option to route a whole parallel batch through it.
 package client
 
 import (
@@ -38,33 +45,53 @@ type Caller interface {
 	Call(op string, params ...string) ([]string, error)
 }
 
+// PagedCaller is a Caller that supports the paged-call protocol
+// (container.Stub does; the local bypass does not need to — its results
+// never cross the wire).
+type PagedCaller interface {
+	CallPaged(op, cursor string, limit int, params ...string) ([]string, string, error)
+}
+
 // Resolver turns a GSH string into a Caller.
 type Resolver func(handle string) (Caller, error)
 
 // Client is a PPerfGrid consumer session.
 type Client struct {
-	reg     *registry.Client
-	headers container.HeaderProvider
+	reg *registry.Client
 
 	mu        sync.Mutex
-	bindings  map[string]*Binding // key: org/name
-	callbacks *callbackHub        // non-nil once EnableCallbacks succeeds
+	headers   container.HeaderProvider
+	bindings  map[string]*Binding        // key: org/name
+	stubs     map[string]*container.Stub // key: GSH string; dialing is idempotent
+	callbacks *callbackHub               // non-nil once EnableCallbacks succeeds
 }
 
 // New creates a client session against the registry at host:port.
 func New(registryHost string) *Client {
-	return &Client{reg: registry.Connect(registryHost), bindings: make(map[string]*Binding)}
+	return &Client{
+		reg:      registry.Connect(registryHost),
+		bindings: make(map[string]*Binding),
+		stubs:    make(map[string]*container.Stub),
+	}
 }
 
 // NewWithoutRegistry creates a client session for direct binding (no
 // registry discovery), e.g. when factory handles are known out of band.
 func NewWithoutRegistry() *Client {
-	return &Client{bindings: make(map[string]*Binding)}
+	return &Client{bindings: make(map[string]*Binding), stubs: make(map[string]*container.Stub)}
 }
 
 // SetCredential installs a SOAP header provider (e.g. a gsi credential's
-// HeaderProvider) applied to every remote call made by this client.
-func (c *Client) SetCredential(p container.HeaderProvider) { c.headers = p }
+// HeaderProvider) applied to every remote call made by this client —
+// including calls through stubs the session has already dialed.
+func (c *Client) SetCredential(p container.HeaderProvider) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.headers = p
+	for _, s := range c.stubs {
+		s.SetHeaderProvider(p)
+	}
+}
 
 // DiscoverOrganizations queries the registry by name substring; empty
 // returns all (the Figure 8 search box).
@@ -83,12 +110,32 @@ func (c *Client) DiscoverServices(org string) ([]registry.ServiceEntry, error) {
 	return c.reg.Services(org)
 }
 
-// newStub dials a handle with the client's credential installed.
+// maxCachedStubs bounds the session's stub cache. Every transient
+// Execution instance has a unique GSH, so a long-lived session that keeps
+// discovering instances would otherwise accumulate stubs forever; past
+// the bound the cache restarts empty (stubs are cheap to redial, and the
+// persistent connections live in the shared transport, not the stub).
+const maxCachedStubs = 1024
+
+// newStub returns the session's stub for a handle, dialing on first use.
+// Dialing is idempotent: repeated resolutions of the same GSH share one
+// stub (and therefore the pooled persistent HTTP connections behind it)
+// instead of building a fresh stub per call.
 func (c *Client) newStub(h gsh.Handle) *container.Stub {
+	key := h.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.stubs[key]; ok {
+		return s
+	}
+	if len(c.stubs) >= maxCachedStubs {
+		c.stubs = make(map[string]*container.Stub)
+	}
 	s := container.Dial(h)
 	if c.headers != nil {
 		s.SetHeaderProvider(c.headers)
 	}
+	c.stubs[key] = s
 	return s
 }
 
@@ -366,6 +413,104 @@ func (e *ExecutionRef) PerformanceResults(q perfdata.Query) ([]perfdata.Result, 
 	return perfdata.ParseResults(out)
 }
 
+// PerformanceResultsPaged runs one getPR query through the paged wire
+// protocol and returns a Rows-style iterator: results stream to the caller
+// page by page instead of arriving in one giant envelope. pageSize <= 0
+// uses the service's default. Endpoints without paging support (the local
+// bypass) are served as a single page, so callers need not special-case
+// them.
+func (e *ExecutionRef) PerformanceResultsPaged(q perfdata.Query, pageSize int) *PRRows {
+	return &PRRows{exec: e.exec, params: q.WireParams(), pageSize: pageSize}
+}
+
+// PRRows iterates a paged getPR result set, fetching pages lazily:
+//
+//	rows := ref.PerformanceResultsPaged(q, 512)
+//	for rows.Next() {
+//		use(rows.Result())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type PRRows struct {
+	exec     Caller
+	params   []string
+	pageSize int
+
+	page    []string // undecoded remainder of the current page
+	cursor  string   // server-side continuation token, "" when exhausted
+	started bool
+	done    bool
+	cur     perfdata.Result
+	err     error
+}
+
+// Next advances to the next result, fetching the next page from the
+// service when the current one is exhausted. It returns false at the end
+// of the set or on error (check Err).
+func (r *PRRows) Next() bool {
+	if r.err != nil || r.done {
+		return false
+	}
+	for len(r.page) == 0 {
+		if r.started && r.cursor == "" {
+			r.done = true
+			return false
+		}
+		if err := r.fetch(); err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+	}
+	res, err := perfdata.ParseResult(r.page[0])
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	r.page = r.page[1:]
+	r.cur = res
+	return true
+}
+
+// fetch retrieves the next page (or, against an endpoint without paging
+// support, the entire result set as one terminal page).
+func (r *PRRows) fetch() error {
+	if pc, ok := r.exec.(PagedCaller); ok {
+		page, next, err := pc.CallPaged(core.OpGetPR, r.cursor, r.pageSize, r.params...)
+		if err != nil {
+			return err
+		}
+		r.page, r.cursor, r.started = page, next, true
+		return nil
+	}
+	page, err := r.exec.Call(core.OpGetPR, r.params...)
+	if err != nil {
+		return err
+	}
+	r.page, r.cursor, r.started = page, "", true
+	return nil
+}
+
+// Result returns the row Next advanced to.
+func (r *PRRows) Result() perfdata.Result { return r.cur }
+
+// Err returns the first error encountered while iterating.
+func (r *PRRows) Err() error { return r.err }
+
+// Close abandons the iteration. The server retires its cursor when the
+// set is read to the end; an abandoned cursor ages out of the service's
+// bounded cursor table.
+func (r *PRRows) Close() { r.done = true }
+
+// Collect drains the iterator into a slice.
+func (r *PRRows) Collect() ([]perfdata.Result, error) {
+	var out []perfdata.Result
+	for r.Next() {
+		out = append(out, r.Result())
+	}
+	return out, r.Err()
+}
+
 // Destroy destroys the remote Execution instance.
 func (e *ExecutionRef) Destroy() error {
 	_, err := e.exec.Call(ogsi.OpDestroy)
@@ -389,6 +534,10 @@ type ParallelOptions struct {
 	// MaxInFlight bounds concurrent queries; 0 means one goroutine per
 	// execution, the paper's model.
 	MaxInFlight int
+	// PageSize > 0 routes each execution's query through the paged wire
+	// protocol (PerformanceResultsPaged) with that page size, bounding
+	// per-response envelope size across the whole fan-out.
+	PageSize int
 }
 
 // QueryPerformanceResults queries every execution in parallel — one
@@ -417,7 +566,11 @@ func QueryPerformanceResults(execs []*ExecutionRef, q perfdata.Query, opts Paral
 			var rs []perfdata.Result
 			var err error
 			for r := 0; r < repeats; r++ {
-				rs, err = e.PerformanceResults(q)
+				if opts.PageSize > 0 {
+					rs, err = e.PerformanceResultsPaged(q, opts.PageSize).Collect()
+				} else {
+					rs, err = e.PerformanceResults(q)
+				}
 				if err != nil {
 					break
 				}

@@ -1,0 +1,209 @@
+package client
+
+// Tests for the session stub cache (idempotent dialing) and the paged
+// getPR flow through the full stack: client iterator -> SOAP headers ->
+// container -> Execution service cursors.
+
+import (
+	"reflect"
+	"testing"
+
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+// startSMGSite stands up a site over one SMG98-shaped execution with a
+// result set large enough to span several pages.
+func startSMGSite(t *testing.T) *core.Site {
+	t.Helper()
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 4, TimeBins: 16, Seed: 9})
+	w := mapping.NewMemory(d)
+	site, err := core.StartSite(core.SiteConfig{AppName: "SMG98", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+func bindOneExec(t *testing.T, c *Client, site *core.Site) *ExecutionRef {
+	t.Helper()
+	b, err := c.BindFactory("SMG98", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("QueryExecutions: %v, %v", refs, err)
+	}
+	return refs[0]
+}
+
+func smgQuery(t *testing.T, ref *ExecutionRef) perfdata.Query {
+	t.Helper()
+	tr, err := ref.TimeStartEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := ref.Metrics()
+	if err != nil || len(metrics) == 0 {
+		t.Fatalf("metrics: %v, %v", metrics, err)
+	}
+	return perfdata.Query{Metric: metrics[0], Time: tr, Type: perfdata.UndefinedType}
+}
+
+// TestDialingIdempotent is the regression test for the stub-per-call bug:
+// resolving the same GSH repeatedly must return the same stub, so every
+// call to one instance shares the pooled persistent connections.
+func TestDialingIdempotent(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	h := site.ApplicationFactoryHandle()
+	if s1, s2 := c.newStub(h), c.newStub(h); s1 != s2 {
+		t.Error("newStub dialed twice for one handle")
+	}
+	// Execution refs resolved by two discovery rounds share stubs too.
+	b, err := c.BindFactory("SMG98", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs1, err := b.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs2, err := b.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs1[0].Handle != refs2[0].Handle {
+		t.Fatalf("discovery not deterministic: %v vs %v", refs1[0].Handle, refs2[0].Handle)
+	}
+	if refs1[0].exec != refs2[0].exec {
+		t.Error("same execution GSH resolved to two different stubs")
+	}
+}
+
+// TestPagedQueryEndToEnd: the PRRows iterator must yield exactly the
+// unpaged result list, across page sizes, through the real wire path.
+func TestPagedQueryEndToEnd(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	ref := bindOneExec(t, c, site)
+	q := smgQuery(t, ref)
+	want, err := ref.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 20 {
+		t.Fatalf("result set too small (%d) to exercise paging", len(want))
+	}
+	for _, pageSize := range []int{1, 7, len(want), len(want) + 5, 0} {
+		got, err := ref.PerformanceResultsPaged(q, pageSize).Collect()
+		if err != nil {
+			t.Fatalf("pageSize %d: %v", pageSize, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pageSize %d: paged results differ from unpaged (%d vs %d rows)", pageSize, len(got), len(want))
+		}
+	}
+}
+
+// TestPagedQueryIterationOrder: Next/Result walk rows one at a time
+// without materializing the set.
+func TestPagedQueryIterationOrder(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	ref := bindOneExec(t, c, site)
+	q := smgQuery(t, ref)
+	want, err := ref.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ref.PerformanceResultsPaged(q, 5)
+	for i := 0; rows.Next(); i++ {
+		if rows.Result() != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, rows.Result(), want[i])
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed iterator stops immediately.
+	rows2 := ref.PerformanceResultsPaged(q, 5)
+	rows2.Close()
+	if rows2.Next() {
+		t.Error("closed iterator advanced")
+	}
+}
+
+// TestQueryPerformanceResultsPaged: the batched fan-out produces identical
+// outcomes through the paged protocol.
+func TestQueryPerformanceResultsPaged(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	ref := bindOneExec(t, c, site)
+	q := smgQuery(t, ref)
+	plain := QueryPerformanceResults([]*ExecutionRef{ref}, q, ParallelOptions{})
+	paged := QueryPerformanceResults([]*ExecutionRef{ref}, q, ParallelOptions{PageSize: 9})
+	if plain[0].Err != nil || paged[0].Err != nil {
+		t.Fatalf("errs: %v, %v", plain[0].Err, paged[0].Err)
+	}
+	if !reflect.DeepEqual(plain[0].Results, paged[0].Results) {
+		t.Error("paged fan-out results differ from plain")
+	}
+}
+
+// TestPagedLocalBypass: the local bypass has no paging (nothing crosses
+// the wire) but the iterator must still work, as a single page.
+func TestPagedLocalBypass(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	b, err := c.BindLocal("SMG98", site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("local QueryExecutions: %v, %v", refs, err)
+	}
+	q := smgQuery(t, refs[0])
+	want, err := refs[0].PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := refs[0].PerformanceResultsPaged(q, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("local paged iterator differs from plain query")
+	}
+}
+
+// TestStubReusedAcrossBindings: binding twice to the same factory handle
+// dials it once.
+func TestStubReusedAcrossBindings(t *testing.T) {
+	site := startSMGSite(t)
+	c := NewWithoutRegistry()
+	h := site.ApplicationFactoryHandle()
+	if _, err := c.BindFactory("SMG98", h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BindFactory("SMG98", h); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var factoryStubs int
+	for key := range c.stubs {
+		if parsed, err := gsh.Parse(key); err == nil && parsed == h {
+			factoryStubs++
+		}
+	}
+	if factoryStubs != 1 {
+		t.Errorf("%d stubs for one factory handle", factoryStubs)
+	}
+}

@@ -7,7 +7,21 @@
 // envelope, locates the addressed instance, invokes the native operation,
 // and marshals the result (or a SOAP Fault) back — the server half of the
 // architecture-adapter pattern. The client half is the Stub type in
-// stub.go.
+// stub.go, which multiplexes every call over a shared pool of persistent
+// HTTP connections; both halves reuse request/response body buffers
+// through the soap package's buffer pool.
+//
+// Beyond plain RPC, the container speaks two wire-path extensions:
+//
+//   - Paged calls: a request carrying the HeaderPageSize (and, on
+//     continuation, HeaderCursor) SOAP header entries is dispatched via
+//     ogsi.Instance.InvokePaged, so large result arrays — getPR against
+//     an SMG98-sized store — flow back in bounded chunks instead of one
+//     giant envelope. Stub.CallPaged is the client side.
+//   - Raw responses: a service implementing ogsi.RawResponder (the
+//     Execution service's encoded-response cache) answers with
+//     pre-encoded envelope bytes the container writes to the wire
+//     verbatim — zero marshalling on repeat queries.
 //
 // A Container may be configured with a fixed worker pool. A pool of size
 // one models the single-CPU Sun Ultra hosts of the paper's testbed:
@@ -23,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -174,18 +189,33 @@ func (c *Container) handleGet(w http.ResponseWriter, handle gsh.Handle) {
 	_, _ = w.Write(data)
 }
 
+// SOAP header entry names of the paged-call protocol. A request carrying
+// either entry is dispatched through ogsi.Instance.InvokePaged; the
+// response's HeaderCursor entry names the remainder of the result set
+// (absent when the set is complete).
+const (
+	// HeaderCursor carries the opaque paging cursor: empty/absent on a
+	// request opens a new paged result set, non-empty continues one.
+	HeaderCursor = "ppg-cursor"
+	// HeaderPageSize bounds the number of returned values per page.
+	HeaderPageSize = "ppg-pageSize"
+)
+
 func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gsh.Handle) {
 	c.requests.Add(1)
-	body, err := io.ReadAll(io.LimitReader(r.Body, c.opts.ReadLimit+1))
-	if err != nil {
+	body := soap.GetBuffer()
+	defer soap.PutBuffer(body)
+	if _, err := body.ReadFrom(io.LimitReader(r.Body, c.opts.ReadLimit+1)); err != nil {
 		c.writeFault(w, soap.ClientFault("read request: "+err.Error()))
 		return
 	}
-	if int64(len(body)) > c.opts.ReadLimit {
+	if int64(body.Len()) > c.opts.ReadLimit {
 		c.writeFault(w, soap.ClientFault("request exceeds size limit"))
 		return
 	}
-	req, err := soap.DecodeRequest(body)
+	// DecodeRequest copies every string out of the envelope, so the body
+	// buffer is free for reuse once the handler returns.
+	req, err := soap.DecodeRequest(body.Bytes())
 	if err != nil {
 		c.writeFault(w, soap.ClientFault("decode request: "+err.Error()))
 		return
@@ -202,32 +232,73 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		return
 	}
 
+	cursor, hasCursor := req.Header(HeaderCursor)
+	sizeStr, hasSize := req.Header(HeaderPageSize)
+	paged := hasCursor || hasSize
+	pageSize := 0
+	if hasSize {
+		pageSize, err = strconv.Atoi(sizeStr)
+		if err != nil || pageSize < 0 {
+			c.writeFault(w, soap.ClientFault("bad "+HeaderPageSize+" header: "+sizeStr))
+			return
+		}
+	}
+
 	// Acquire a simulated-CPU worker slot for the invocation itself.
 	if c.workers != nil {
 		c.workers <- struct{}{}
 	}
 	start := time.Now()
-	returns, err := in.Invoke(req.Operation, req.Params)
+	var (
+		returns []string
+		next    string
+		raw     []byte
+	)
+	if paged {
+		returns, next, err = in.InvokePaged(req.Operation, req.Params, cursor, pageSize)
+	} else {
+		// The raw fast path first: a service that caches encoded response
+		// envelopes answers without any marshalling.
+		var tookRaw bool
+		raw, tookRaw, err = in.InvokeRaw(req.Operation, req.Params)
+		if !tookRaw && err == nil {
+			returns, err = in.Invoke(req.Operation, req.Params)
+		}
+	}
 	elapsed := time.Since(start)
 	if c.workers != nil {
 		<-c.workers
 	}
 	if c.opts.Logf != nil {
-		c.opts.Logf("container %s: %s %s(%d params) -> %d values, err=%v, %s",
+		result := fmt.Sprintf("%d values", len(returns))
+		if raw != nil {
+			result = fmt.Sprintf("%d raw bytes", len(raw))
+		}
+		c.opts.Logf("container %s: %s %s(%d params) -> %s, err=%v, %s",
 			c.Host(), handle.ServiceType+"/"+handle.InstanceID, req.Operation,
-			len(req.Params), len(returns), err, elapsed)
+			len(req.Params), result, err, elapsed)
 	}
 	if err != nil {
 		c.writeFault(w, soap.ServerFault(err))
 		return
 	}
-	resp, err := soap.EncodeResponse(req.Operation, nil, returns)
-	if err != nil {
+	if raw != nil {
+		w.Header().Set("Content-Type", soap.ContentType)
+		_, _ = w.Write(raw)
+		return
+	}
+	var respHeaders []soap.HeaderEntry
+	if next != "" {
+		respHeaders = []soap.HeaderEntry{{Name: HeaderCursor, Value: next}}
+	}
+	out := soap.GetBuffer()
+	defer soap.PutBuffer(out)
+	if err := soap.EncodeResponseTo(out, req.Operation, respHeaders, returns); err != nil {
 		c.writeFault(w, soap.ServerFault(err))
 		return
 	}
 	w.Header().Set("Content-Type", soap.ContentType)
-	_, _ = w.Write(resp)
+	_, _ = w.Write(out.Bytes())
 }
 
 func (c *Container) writeFault(w http.ResponseWriter, f *soap.Fault) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,9 +32,20 @@ type Stub struct {
 	def *wsdl.Definition // fetched lazily by Definition()
 }
 
-// sharedClient reuses connections across stubs, like the per-JVM HTTP
-// connection pools of the paper's client.
-var sharedClient = &http.Client{Timeout: 60 * time.Second}
+// sharedTransport is the process-wide persistent-connection pool behind
+// every stub, like the per-JVM HTTP connection pools of the paper's
+// client — but sized for the one-goroutine-per-Execution fan-out of
+// QueryPerformanceResults: the default Transport caps idle connections at
+// 2 per host, which forces most of a parallel batch onto fresh TCP
+// connections every round.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// sharedClient reuses pooled connections across all stubs.
+var sharedClient = &http.Client{Transport: sharedTransport, Timeout: 60 * time.Second}
 
 // Dial creates a stub bound to the instance named by handle. No network
 // traffic occurs until the first call.
@@ -62,10 +74,46 @@ func (s *Stub) Handle() gsh.Handle { return s.handle }
 // Call invokes an operation on the remote instance and returns its string
 // array result. Remote failures surface as *soap.Fault errors.
 func (s *Stub) Call(op string, params ...string) ([]string, error) {
+	resp, err := s.roundTrip(op, nil, params)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Returns, nil
+}
+
+// CallPaged invokes an operation through the paged protocol: the cursor
+// and page size travel in SOAP header entries (HeaderCursor,
+// HeaderPageSize). An empty cursor opens a new paged result set; the
+// returned next cursor is "" once the set is exhausted. limit <= 0 lets
+// the service choose its default page size. Servers that do not page the
+// operation return the whole result as one terminal page, so callers can
+// use CallPaged unconditionally.
+func (s *Stub) CallPaged(op, cursor string, limit int, params ...string) ([]string, string, error) {
+	extra := []soap.HeaderEntry{{Name: HeaderPageSize, Value: strconv.Itoa(max(limit, 0))}}
+	if cursor != "" {
+		extra = append(extra, soap.HeaderEntry{Name: HeaderCursor, Value: cursor})
+	}
+	resp, err := s.roundTrip(op, extra, params)
+	if err != nil {
+		return nil, "", err
+	}
+	next, _ := resp.Header(HeaderCursor)
+	return resp.Returns, next, nil
+}
+
+// roundTrip posts one encoded request envelope and decodes the reply,
+// reusing pooled buffers for both bodies.
+func (s *Stub) roundTrip(op string, extraHeaders []soap.HeaderEntry, params []string) (*soap.Response, error) {
 	var hdrs []soap.HeaderEntry
 	if s.headers != nil {
 		hdrs = s.headers(op, params)
 	}
+	hdrs = append(hdrs, extraHeaders...)
+	// The request body must be freshly owned, not pooled: when the server
+	// answers before draining the body (e.g. a size-limit fault), Post
+	// returns while the Transport's write loop is still reading it, so a
+	// pooled buffer could be reset and rewritten mid-send. EncodeRequest
+	// does its scratch work in the pool and returns a right-sized copy.
 	reqBody, err := soap.EncodeRequest(op, hdrs, params)
 	if err != nil {
 		return nil, err
@@ -75,18 +123,21 @@ func (s *Stub) Call(op string, params ...string) ([]string, error) {
 		return nil, fmt.Errorf("container: call %s on %s: %w", op, s.handle, err)
 	}
 	defer httpResp.Body.Close()
-	respBody, err := io.ReadAll(httpResp.Body)
-	if err != nil {
+	respBuf := soap.GetBuffer()
+	defer soap.PutBuffer(respBuf)
+	if _, err := respBuf.ReadFrom(httpResp.Body); err != nil {
 		return nil, fmt.Errorf("container: read response for %s: %w", op, err)
 	}
-	resp, err := soap.DecodeResponse(respBody)
+	// DecodeResponse copies all strings out of the envelope, so both
+	// buffers can return to the pool when this function exits.
+	resp, err := soap.DecodeResponse(respBuf.Bytes())
 	if err != nil {
 		return nil, err // includes *soap.Fault for remote failures
 	}
 	if resp.Operation != op {
 		return nil, fmt.Errorf("container: response for %q to a %q call", resp.Operation, op)
 	}
-	return resp.Returns, nil
+	return resp, nil
 }
 
 // Definition fetches (once) and returns the remote instance's WSDL

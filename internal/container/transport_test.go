@@ -1,0 +1,281 @@
+package container
+
+// Wire-path tests: the paged-call protocol (cursor in SOAP headers), the
+// raw pre-encoded response path, and the fault behaviour for malformed,
+// truncated, and oversized envelopes.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/wsdl"
+)
+
+// pagedEchoService serves a fixed value list with real cursor state, so
+// stub-level paging is tested against an independent implementation
+// (core's Execution service has its own tests).
+type pagedEchoService struct {
+	values  []string
+	cursors map[string]int
+}
+
+func newPagedEcho(n int) *pagedEchoService {
+	s := &pagedEchoService{cursors: map[string]int{}}
+	for i := 0; i < n; i++ {
+		s.values = append(s.values, fmt.Sprintf("value-%03d", i))
+	}
+	return s
+}
+
+func (s *pagedEchoService) Invoke(op string, params []string) ([]string, error) {
+	if op != "list" {
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+	return s.values, nil
+}
+
+func (s *pagedEchoService) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
+	if op != "list" {
+		out, err := s.Invoke(op, params)
+		return out, "", err
+	}
+	if limit <= 0 {
+		limit = 4
+	}
+	start := 0
+	if cursor != "" {
+		off, ok := s.cursors[cursor]
+		if !ok {
+			return nil, "", errors.New("unknown cursor")
+		}
+		start = off
+		delete(s.cursors, cursor)
+	}
+	end := start + limit
+	if end >= len(s.values) {
+		return s.values[start:], "", nil
+	}
+	id := "c" + strconv.Itoa(end)
+	s.cursors[id] = end
+	return s.values[start:end], id, nil
+}
+
+func pagedEchoDef() *wsdl.Definition {
+	return wsdl.New("PagedEcho", wsdl.PortType{Name: "PagedEcho", Operations: []wsdl.Operation{
+		wsdl.Op("list", "Returns the value list."),
+	}})
+}
+
+// TestPagedCallOverWire: stub.CallPaged drains the set in limit-sized
+// pages whose concatenation equals the unpaged Call.
+func TestPagedCallOverWire(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, err := c.Hosting().DeployPersistent("PagedEcho", newPagedEcho(19), pagedEchoDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := Dial(in.Handle())
+	want, err := stub.Call("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		page, next, err := stub.CallPaged("list", cursor, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) > 5 {
+			t.Fatalf("page has %d values", len(page))
+		}
+		got = append(got, page...)
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged %v != unpaged %v", got, want)
+	}
+	if pages != 4 {
+		t.Errorf("%d pages for 19 values at limit 5", pages)
+	}
+}
+
+// TestPagedCallAgainstUnpagedService: a service without PagedService
+// support answers a paged call with one terminal page.
+func TestPagedCallAgainstUnpagedService(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	page, next, err := stub.CallPaged("ping", "", 1, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != "" {
+		t.Errorf("unpaged service returned cursor %q", next)
+	}
+	if !reflect.DeepEqual(page, []string{"pong", "a", "b"}) {
+		t.Errorf("page = %v", page)
+	}
+}
+
+// TestBadPageSizeHeaderFaults: a non-numeric page size is a client fault.
+func TestBadPageSizeHeaderFaults(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	data, err := soap.EncodeRequest("ping", []soap.HeaderEntry{{Name: HeaderPageSize, Value: "lots"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := postForFault(t, in.Handle().URL(), data)
+	if fault.Code != soap.FaultClient || !strings.Contains(fault.String, HeaderPageSize) {
+		t.Errorf("fault = %+v", fault)
+	}
+}
+
+// rawEchoService answers "list" with a pre-encoded envelope.
+type rawEchoService struct {
+	raw      []byte
+	rawCalls int
+}
+
+func (s *rawEchoService) Invoke(op string, params []string) ([]string, error) {
+	return nil, errors.New("plain Invoke must not be reached when raw answers")
+}
+
+func (s *rawEchoService) InvokeRaw(op string, params []string) ([]byte, bool, error) {
+	if op != "list" {
+		return nil, false, nil
+	}
+	s.rawCalls++
+	return s.raw, true, nil
+}
+
+// TestRawResponsePath: pre-encoded envelope bytes reach the client
+// verbatim, with no server-side marshalling step.
+func TestRawResponsePath(t *testing.T) {
+	raw, err := soap.EncodeResponse("list", nil, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &rawEchoService{raw: raw}
+	c := startContainer(t, Options{})
+	in, err := c.Hosting().DeployPersistent("PagedEcho", svc, pagedEchoDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := Dial(in.Handle())
+	out, err := stub.Call("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []string{"x", "y"}) {
+		t.Errorf("raw-served call = %v", out)
+	}
+	if svc.rawCalls != 1 {
+		t.Errorf("rawCalls = %d", svc.rawCalls)
+	}
+}
+
+// postForFault posts a raw body and decodes the expected SOAP Fault.
+func postForFault(t *testing.T, url string, body []byte) *soap.Fault {
+	t.Helper()
+	resp, err := http.Post(url, soap.ContentType, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("HTTP %d, want 500 (SOAP fault)", resp.StatusCode)
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = soap.DecodeResponse(respBody)
+	var fault *soap.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("response is not a fault: %v", err)
+	}
+	return fault
+}
+
+// TestTruncatedEnvelopeFaults: a request cut off mid-body must produce a
+// client fault, not a hang or a 400.
+func TestTruncatedEnvelopeFaults(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	data, err := soap.EncodeRequest("ping", nil, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{10, len(data) / 2, len(data) - 40} {
+		fault := postForFault(t, in.Handle().URL(), data[:cut])
+		if fault.Code != soap.FaultClient || !strings.Contains(fault.String, "decode request") {
+			t.Errorf("cut %d: fault = %+v", cut, fault)
+		}
+	}
+}
+
+// TestGarbageBodyFaults: non-XML bodies produce client faults.
+func TestGarbageBodyFaults(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	for _, body := range []string{"", "not xml at all", "<html><body>hi</body></html>", "{\"json\":true}"} {
+		fault := postForFault(t, in.Handle().URL(), []byte(body))
+		if fault.Code != soap.FaultClient {
+			t.Errorf("body %q: fault = %+v", body, fault)
+		}
+	}
+}
+
+// TestOversizedHeaderFaults: an envelope blown past ReadLimit by a giant
+// header entry is rejected by the size gate before any decode.
+func TestOversizedHeaderFaults(t *testing.T) {
+	c := startContainer(t, Options{ReadLimit: 4096})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	huge := strings.Repeat("x", 8192)
+	data, err := soap.EncodeRequest("ping", []soap.HeaderEntry{{Name: "token", Value: huge}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := postForFault(t, in.Handle().URL(), data)
+	if fault.Code != soap.FaultClient || !strings.Contains(fault.String, "size limit") {
+		t.Errorf("fault = %+v", fault)
+	}
+	if c.Faults() == 0 {
+		t.Error("fault counter not bumped")
+	}
+}
+
+// TestUnknownOperationFaultsOverWire: an operation absent from the WSDL
+// definition is a server fault naming the operation.
+func TestUnknownOperationFaultsOverWire(t *testing.T) {
+	c := startContainer(t, Options{})
+	in, _ := c.Hosting().DeployPersistent("Echo", echoService{}, echoDef())
+	stub := Dial(in.Handle())
+	_, err := stub.Call("noSuchOperation")
+	var fault *soap.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if !strings.Contains(fault.String, "noSuchOperation") {
+		t.Errorf("fault does not name the operation: %+v", fault)
+	}
+	// Same through the paged protocol.
+	_, _, err = stub.CallPaged("noSuchOperation", "", 3)
+	if !errors.As(err, &fault) {
+		t.Fatalf("paged: want fault, got %v", err)
+	}
+}

@@ -5,6 +5,14 @@
 // across replica hosts (section 5.3.1.4), and the Performance Results
 // cache inside each Execution instance (section 5.3.2.3).
 //
+// The cache stores each query's decoded results and, once the query has
+// been answered over the wire, the encoded SOAP response envelope
+// alongside them — so a repeat query (the Table 5 workload) is served to
+// the transport as pre-encoded bytes with zero XML marshalling. The
+// Execution service also implements the paged getPR protocol: results
+// flow to clients in cursor-addressed chunks (ogsi.PagedService) instead
+// of one envelope per result set.
+//
 // The Site type at the bottom of the package assembles one complete
 // PPerfGrid site: hosting containers, factories, Manager, and wrappers.
 package core
@@ -37,9 +45,23 @@ func (s CacheStats) HitRate() float64 {
 // a pluggable replacement policy. Implementations are safe for concurrent
 // use. The stored cost is the mapping-layer time the entry saves on a hit,
 // which the cost-aware policy uses to pick eviction victims.
+//
+// Alongside the decoded results, an entry can carry the encoded SOAP
+// response envelope for the query (AttachWire/GetWire): a repeat query
+// served over the wire then skips XML marshalling entirely — the
+// transport writes the cached bytes verbatim. Wire bytes live and die
+// with their entry, so eviction and invalidation need no extra
+// bookkeeping.
 type Cache interface {
 	Get(key string) ([]perfdata.Result, bool)
 	Put(key string, results []perfdata.Result, cost time.Duration)
+	// GetWire returns the entry's encoded response envelope. Present wire
+	// counts as a hit; absence is not counted as a miss (the Get that
+	// follows will count it).
+	GetWire(key string) ([]byte, bool)
+	// AttachWire stores encoded response bytes on an existing entry; it is
+	// a no-op for unknown keys. Callers must not mutate wire afterwards.
+	AttachWire(key string, wire []byte)
 	Len() int
 	Stats() CacheStats
 	// Policy names the replacement policy, for service data and reports.
@@ -50,6 +72,7 @@ type Cache interface {
 type entry struct {
 	key     string
 	results []perfdata.Result
+	wire    []byte // encoded SOAP response envelope, when attached
 	cost    time.Duration
 	uses    int64
 	elem    *list.Element // LRU position, when used
@@ -68,6 +91,30 @@ func newBase(capacity int) baseCache {
 }
 
 func (c *baseCache) lenLocked() int { return len(c.entries) }
+
+// GetWire implements the wire-bytes lookup shared by the non-LRU policies
+// (lruCache shadows it to refresh recency). A wire hit bumps the entry's
+// use count so frequency- and cost-driven eviction see wire traffic too.
+func (c *baseCache) GetWire(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.wire == nil {
+		return nil, false
+	}
+	c.stats.Hits++
+	e.uses++
+	return e.wire, true
+}
+
+// AttachWire implements Cache.
+func (c *baseCache) AttachWire(key string, wire []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.wire = wire
+	}
+}
 
 // lruCache evicts the least recently used entry.
 type lruCache struct {
@@ -97,11 +144,26 @@ func (c *lruCache) Get(key string) ([]perfdata.Result, bool) {
 	return e.results, true
 }
 
+// GetWire shadows baseCache's to also refresh the entry's recency.
+func (c *lruCache) GetWire(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.wire == nil {
+		return nil, false
+	}
+	c.stats.Hits++
+	e.uses++
+	c.order.MoveToFront(e.elem)
+	return e.wire, true
+}
+
 func (c *lruCache) Put(key string, results []perfdata.Result, cost time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		e.results = results
+		e.wire = nil // new results invalidate the encoded envelope
 		e.cost = cost
 		c.order.MoveToFront(e.elem)
 		return
@@ -163,6 +225,7 @@ func (c *lfuCache) Put(key string, results []perfdata.Result, cost time.Duration
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		e.results = results
+		e.wire = nil // new results invalidate the encoded envelope
 		e.cost = cost
 		return
 	}
@@ -232,6 +295,7 @@ func (c *costAwareCache) Put(key string, results []perfdata.Result, cost time.Du
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		e.results = results
+		e.wire = nil // new results invalidate the encoded envelope
 		e.cost = cost
 		return
 	}

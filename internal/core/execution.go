@@ -5,12 +5,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pperfgrid/internal/gsh"
 	"pperfgrid/internal/mapping"
 	"pperfgrid/internal/ogsi"
 	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
 )
 
 // ExecutionService is the implementation behind one Execution grid service
@@ -27,13 +29,36 @@ type ExecutionService struct {
 
 	async sync.WaitGroup // in-flight getPRAsync deliveries
 
+	// wireEncodes counts SOAP response envelopes encoded on the getPR
+	// raw path; tests use it to prove cache hits do zero marshalling.
+	wireEncodes atomic.Int64
+
 	mu        sync.Mutex
 	foci      []string
 	metrics   []string
 	types     []string
 	timeRange *perfdata.TimeRange
 	info      []perfdata.KV
+
+	cursorMu  sync.Mutex
+	cursors   map[string]*prCursor
+	cursorSeq int64
+	cursorIDs []string // FIFO of live cursor ids, for bounded eviction
 }
+
+// prCursor is the server-side state of one paged getPR result set: the
+// wire-encoded results and the read offset.
+type prCursor struct {
+	encoded []string
+	offset  int
+}
+
+// DefaultPageSize is the page length used when a paged getPR names none.
+const DefaultPageSize = 256
+
+// maxLiveCursors bounds per-instance paged-query state; opening more
+// evicts the oldest (its continuation then fails, like an expired cursor).
+const maxLiveCursors = 64
 
 // UpdatesTopic is the notification topic on which an Execution service
 // announces data-store updates (the paper's future-work streaming case).
@@ -64,13 +89,23 @@ func (e *ExecutionService) SetSinkDialer(d ogsi.SinkDialer) { e.dial = d }
 // ID returns the execution's unique ID.
 func (e *ExecutionService) ID() string { return e.id }
 
+// cacheRef returns the current cache under the instance lock.
+// NotifyUpdate replaces the cache wholesale, so each request takes one
+// snapshot and works against it throughout; a request racing an update
+// may write into the retired cache, which nothing reads afterwards.
+func (e *ExecutionService) cacheRef() Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache
+}
+
 // CacheStats reports the instance's cache statistics; the zero value is
 // returned when caching is off.
 func (e *ExecutionService) CacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	if c := e.cacheRef(); c != nil {
+		return c.Stats()
 	}
-	return e.cache.Stats()
+	return CacheStats{}
 }
 
 // Invoke implements the Execution PortType wire protocol.
@@ -117,6 +152,125 @@ func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) 
 	}
 	return nil, fmt.Errorf("%w: %q on Execution", ogsi.ErrUnknownOperation, op)
 }
+
+// InvokePaged implements ogsi.PagedService for getPR: large result sets
+// flow to the client in chunks instead of one giant envelope, the cursor
+// travelling in a SOAP header entry (section "paged getPR" of
+// ARCHITECTURE.md). Every other operation falls back to the plain
+// protocol as a single terminal page, so the concatenation of pages is
+// always element-identical to the unpaged reply.
+func (e *ExecutionService) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
+	if op != OpGetPR {
+		out, err := e.Invoke(op, params)
+		return out, "", err
+	}
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	if cursor != "" {
+		return e.continueCursor(cursor, limit)
+	}
+	q, err := perfdata.ParseQueryParams(params)
+	if err != nil {
+		return nil, "", err
+	}
+	rs, err := e.PerformanceResults(q)
+	if err != nil {
+		return nil, "", err
+	}
+	encoded := perfdata.EncodeResults(rs)
+	if len(encoded) <= limit {
+		return encoded, "", nil
+	}
+	return e.openCursor(encoded, limit)
+}
+
+// openCursor registers the remainder of a paged result set and returns
+// its first page.
+func (e *ExecutionService) openCursor(encoded []string, limit int) ([]string, string, error) {
+	e.cursorMu.Lock()
+	defer e.cursorMu.Unlock()
+	if e.cursors == nil {
+		e.cursors = make(map[string]*prCursor)
+	}
+	for len(e.cursorIDs) >= maxLiveCursors {
+		delete(e.cursors, e.cursorIDs[0])
+		e.cursorIDs = e.cursorIDs[1:]
+	}
+	e.cursorSeq++
+	id := fmt.Sprintf("pr-%s-%d", e.id, e.cursorSeq)
+	e.cursors[id] = &prCursor{encoded: encoded, offset: limit}
+	e.cursorIDs = append(e.cursorIDs, id)
+	return encoded[:limit], id, nil
+}
+
+// continueCursor serves the next page of a live cursor, retiring it when
+// the set is exhausted.
+func (e *ExecutionService) continueCursor(id string, limit int) ([]string, string, error) {
+	e.cursorMu.Lock()
+	defer e.cursorMu.Unlock()
+	c, ok := e.cursors[id]
+	if !ok {
+		return nil, "", fmt.Errorf("core: unknown or expired getPR cursor %q", id)
+	}
+	end := c.offset + limit
+	if end >= len(c.encoded) {
+		page := c.encoded[c.offset:]
+		e.dropCursorLocked(id)
+		return page, "", nil
+	}
+	page := c.encoded[c.offset:end]
+	c.offset = end
+	return page, id, nil
+}
+
+func (e *ExecutionService) dropCursorLocked(id string) {
+	delete(e.cursors, id)
+	for i, cid := range e.cursorIDs {
+		if cid == id {
+			e.cursorIDs = append(e.cursorIDs[:i], e.cursorIDs[i+1:]...)
+			break
+		}
+	}
+}
+
+// InvokeRaw implements ogsi.RawResponder for getPR when caching is on:
+// the entry's encoded SOAP response envelope is written to the wire
+// verbatim, so a repeat query (the Table 5 workload) does zero XML
+// marshalling. On a miss the envelope is encoded exactly once and
+// attached to the cache entry alongside the decoded results.
+func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, error) {
+	cache := e.cacheRef()
+	if op != OpGetPR || cache == nil {
+		return nil, false, nil
+	}
+	q, err := perfdata.ParseQueryParams(params)
+	if err != nil {
+		return nil, true, err
+	}
+	key := q.Key()
+	if raw, ok := cache.GetWire(key); ok {
+		return raw, true, nil
+	}
+	rs, err := e.resultsThrough(cache, q)
+	if err != nil {
+		return nil, true, err
+	}
+	raw, err := soap.EncodeResponse(OpGetPR, nil, perfdata.EncodeResults(rs))
+	if err != nil {
+		return nil, true, err
+	}
+	e.wireEncodes.Add(1)
+	// Attach to the same snapshot the results came from: if NotifyUpdate
+	// swapped caches mid-request, this writes into the retired cache and
+	// the stale envelope is never served.
+	cache.AttachWire(key, raw)
+	return raw, true, nil
+}
+
+// WireEncodes reports how many getPR response envelopes this instance has
+// encoded — the number cache hits hold at zero growth.
+func (e *ExecutionService) WireEncodes() int64 { return e.wireEncodes.Load() }
 
 // getPRAsync implements the callback query model. Parameters are
 // [requestID, sinkHandle, metric, start, end, type, foci...]. The call is
@@ -261,11 +415,17 @@ func (e *ExecutionService) TimeStartEnd() (perfdata.TimeRange, error) {
 // only reaching the Mapping Layer (and data store) on a miss — exactly the
 // flow of section 5.3.2.3.
 func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
-	if e.cache == nil {
+	return e.resultsThrough(e.cacheRef(), q)
+}
+
+// resultsThrough answers a getPR query against one cache snapshot (which
+// may be nil for uncached instances).
+func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perfdata.Result, error) {
+	if cache == nil {
 		return e.fetchResults(q)
 	}
 	key := q.Key()
-	if rs, ok := e.cache.Get(key); ok {
+	if rs, ok := cache.Get(key); ok {
 		return rs, nil
 	}
 	start := time.Now()
@@ -273,7 +433,7 @@ func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Resu
 	if err != nil {
 		return nil, err
 	}
-	e.cache.Put(key, rs, time.Since(start))
+	cache.Put(key, rs, time.Since(start))
 	return rs, nil
 }
 
@@ -291,7 +451,8 @@ func (e *ExecutionService) fetchResults(q perfdata.Query) ([]perfdata.Result, er
 
 // NotifyUpdate announces a data-store update: memoized discovery state is
 // dropped, the Performance Result cache is replaced (stale entries must
-// not survive new data), and subscribers are notified.
+// not survive new data), live paging cursors are expired, and subscribers
+// are notified.
 func (e *ExecutionService) NotifyUpdate(message string) {
 	e.mu.Lock()
 	e.foci, e.metrics, e.types, e.info, e.timeRange = nil, nil, nil, nil, nil
@@ -299,6 +460,9 @@ func (e *ExecutionService) NotifyUpdate(message string) {
 		e.cache = NewCache(e.cache.Policy(), cacheCapacity(e.cache))
 	}
 	e.mu.Unlock()
+	e.cursorMu.Lock()
+	e.cursors, e.cursorIDs = nil, nil
+	e.cursorMu.Unlock()
 	if e.hub != nil {
 		e.hub.Notify(UpdatesTopic, message)
 	}
@@ -324,13 +488,14 @@ func cacheCapacity(c Cache) int {
 //	FindServiceData("/metrics")               — all metric names
 //	FindServiceData("/foci[value=/Process/0]") — focus existence check
 func (e *ExecutionService) ServiceData() map[string][]string {
+	cache := e.cacheRef()
 	out := map[string][]string{
 		"executionID": {e.id},
-		"caching":     {strconv.FormatBool(e.cache != nil)},
+		"caching":     {strconv.FormatBool(cache != nil)},
 	}
-	if e.cache != nil {
-		s := e.cache.Stats()
-		out["cachePolicy"] = []string{e.cache.Policy()}
+	if cache != nil {
+		s := cache.Stats()
+		out["cachePolicy"] = []string{cache.Policy()}
 		out["cacheHits"] = []string{strconv.FormatInt(s.Hits, 10)}
 		out["cacheMisses"] = []string{strconv.FormatInt(s.Misses, 10)}
 	}

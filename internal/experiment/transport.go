@@ -1,0 +1,209 @@
+package experiment
+
+// The transport ablation: how much of Table 4's grid-services overhead
+// the wire-path overhaul removed. Two measurements, both against the
+// retained legacy codec (soap.SetLegacyCodec):
+//
+//   - RunTransportCodecSweep isolates pure marshalling/demarshalling cost
+//     per payload size, old codec vs new.
+//   - RunTransportTable4 runs the full Table 4 experiment twice — every
+//     byte of the wire path through the legacy codec, then through the
+//     hand-rolled codec — and reports the before/after overhead split
+//     end to end.
+
+import (
+	"fmt"
+	"time"
+
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/viz"
+)
+
+// TransportCodecPoint is one payload size's marshalling cost under both
+// codecs.
+type TransportCodecPoint struct {
+	Items        int
+	PayloadBytes int
+	Legacy       time.Duration // encoding/xml round trip (enc+dec request and response)
+	Fast         time.Duration // hand-rolled codec, same work
+}
+
+// Speedup returns legacy/fast.
+func (p TransportCodecPoint) Speedup() float64 {
+	if p.Fast == 0 {
+		return 0
+	}
+	return float64(p.Legacy) / float64(p.Fast)
+}
+
+// RunTransportCodecSweep measures the pure marshal+demarshal round trip
+// (encode request, decode request, encode response, decode response) for
+// growing result arrays, under the legacy codec and the hand-rolled one.
+func RunTransportCodecSweep(itemCounts []int, itemBytes, rounds int) ([]TransportCodecPoint, error) {
+	if itemBytes <= 0 {
+		itemBytes = 64
+	}
+	if rounds <= 0 {
+		rounds = 50
+	}
+	roundTrip := func(items []string) error {
+		req, err := soap.EncodeRequest("getPR", nil, items)
+		if err != nil {
+			return err
+		}
+		if _, err := soap.DecodeRequest(req); err != nil {
+			return err
+		}
+		resp, err := soap.EncodeResponse("getPR", nil, items)
+		if err != nil {
+			return err
+		}
+		_, err = soap.DecodeResponse(resp)
+		return err
+	}
+	var out []TransportCodecPoint
+	for _, n := range itemCounts {
+		items := make([]string, n)
+		payload := 0
+		for i := range items {
+			items[i] = fmt.Sprintf("%0*d", itemBytes, i)
+			payload += len(items[i])
+		}
+		p := TransportCodecPoint{Items: n, PayloadBytes: payload}
+		for _, legacy := range []bool{true, false} {
+			soap.SetLegacyCodec(legacy)
+			var total time.Duration
+			for r := 0; r < rounds; r++ {
+				start := time.Now()
+				if err := roundTrip(items); err != nil {
+					soap.SetLegacyCodec(false)
+					return nil, err
+				}
+				total += time.Since(start)
+			}
+			mean := total / time.Duration(rounds)
+			if legacy {
+				p.Legacy = mean
+			} else {
+				p.Fast = mean
+			}
+		}
+		out = append(out, p)
+	}
+	soap.SetLegacyCodec(false)
+	return out, nil
+}
+
+// RenderTransportCodecSweep formats the sweep as a table.
+func RenderTransportCodecSweep(points []TransportCodecPoint) string {
+	header := []string{"Items", "Payload (B)", "Legacy (µs)", "Hand-rolled (µs)", "Speedup"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Items), fmt.Sprint(p.PayloadBytes),
+			Fmt(float64(p.Legacy) / float64(time.Microsecond)),
+			Fmt(float64(p.Fast) / float64(time.Microsecond)),
+			Fmt(p.Speedup()) + "x",
+		})
+	}
+	return viz.Table("Transport ablation — SOAP codec cost, legacy vs hand-rolled", header, rows)
+}
+
+// TransportTable4Row is one source's before/after overhead split.
+type TransportTable4Row struct {
+	Source            string
+	LegacyOverheadMs  float64
+	FastOverheadMs    float64
+	LegacyOverheadPct float64
+	FastOverheadPct   float64
+}
+
+// TransportTable4Report is the end-to-end before/after comparison.
+type TransportTable4Report struct {
+	Rows []TransportTable4Row
+}
+
+// RunTransportTable4 runs the Table 4 overhead experiment under the
+// legacy codec ("before" — the seed's reflection-based wire path) and
+// under the hand-rolled codec ("after"), reporting the overhead split per
+// source. Mapping-layer latencies are identical in both runs, so any
+// difference is transport.
+func RunTransportTable4(cfg Table4Config) (*TransportTable4Report, error) {
+	soap.SetLegacyCodec(true)
+	legacy, err := RunTable4(cfg)
+	soap.SetLegacyCodec(false)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := RunTable4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report := &TransportTable4Report{}
+	for i, lr := range legacy.Rows {
+		if i >= len(fast.Rows) || fast.Rows[i].Source != lr.Source {
+			return nil, fmt.Errorf("experiment: transport runs disagree on sources")
+		}
+		fr := fast.Rows[i]
+		report.Rows = append(report.Rows, TransportTable4Row{
+			Source:            lr.Source,
+			LegacyOverheadMs:  lr.MeanOverhead,
+			FastOverheadMs:    fr.MeanOverhead,
+			LegacyOverheadPct: lr.OverheadPct,
+			FastOverheadPct:   fr.OverheadPct,
+		})
+	}
+	return report, nil
+}
+
+// Render prints the before/after table.
+func (r *TransportTable4Report) Render() string {
+	header := []string{"Source", "Overhead before (ms)", "Overhead after (ms)", "Before %", "After %", "Overhead cut"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		cut := 0.0
+		if row.LegacyOverheadMs > 0 {
+			cut = (1 - row.FastOverheadMs/row.LegacyOverheadMs) * 100
+		}
+		rows = append(rows, []string{
+			row.Source,
+			Fmt(row.LegacyOverheadMs), Fmt(row.FastOverheadMs),
+			Fmt(row.LegacyOverheadPct) + "%", Fmt(row.FastOverheadPct) + "%",
+			Fmt(cut) + "%",
+		})
+	}
+	out := viz.Table("Transport ablation — Table 4 overhead, before/after the wire-path overhaul", header, rows)
+	out += "\nShape checks:\n"
+	for _, c := range r.CheckShape() {
+		out += "  " + c + "\n"
+	}
+	return out
+}
+
+// CheckShape verifies the overhaul's qualitative claim: overhead must not
+// grow under the hand-rolled codec for any source.
+func (r *TransportTable4Report) CheckShape() []string {
+	var out []string
+	for _, row := range r.Rows {
+		status := "ok      "
+		if row.FastOverheadMs > row.LegacyOverheadMs {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s overhead does not grow (%.3f -> %.3f ms)",
+			status, row.Source, row.LegacyOverheadMs, row.FastOverheadMs))
+	}
+	if len(out) == 0 {
+		out = append(out, "no checks ran (no sources)")
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *TransportTable4Report) ShapeOK() bool {
+	for _, row := range r.Rows {
+		if row.FastOverheadMs > row.LegacyOverheadMs {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"testing"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/soap"
+)
+
+func TestRunTransportCodecSweep(t *testing.T) {
+	points, err := RunTransportCodecSweep([]int{1, 50}, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	for _, p := range points {
+		if p.Legacy <= 0 || p.Fast <= 0 {
+			t.Errorf("unmeasured point %+v", p)
+		}
+	}
+	if soap.LegacyCodec() {
+		t.Error("sweep left the legacy codec enabled")
+	}
+	if RenderTransportCodecSweep(points) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTransportTable4(t *testing.T) {
+	cfg := Table4Config{
+		Config: Config{
+			Scale: 0.001,
+			Seed:  1,
+			SMG98: datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8},
+		},
+		QueriesPerSource: 3,
+		Sources:          []string{"HPL"},
+	}
+	report, err := RunTransportTable4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soap.LegacyCodec() {
+		t.Error("run left the legacy codec enabled")
+	}
+	if len(report.Rows) != 1 || report.Rows[0].Source != "HPL" {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+	if report.Render() == "" {
+		t.Error("empty render")
+	}
+}

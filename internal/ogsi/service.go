@@ -7,7 +7,11 @@
 //
 // The paper used the Globus Toolkit 3.2 for this layer; this package is
 // the from-scratch substitute, providing the same semantics over the SOAP
-// transport of package container.
+// transport of package container. Two optional service interfaces extend
+// the wire path: PagedService (chunked results behind a cursor) and
+// RawResponder (pre-encoded response envelopes served verbatim); the
+// hosting Instance routes InvokePaged/InvokeRaw to them with the same
+// WSDL validation as plain Invoke.
 package ogsi
 
 import (
@@ -43,6 +47,33 @@ func (f ServiceFunc) Invoke(op string, params []string) ([]string, error) {
 // dynamic service data elements (SDEs) beyond the standard ones.
 type ServiceDataProvider interface {
 	ServiceData() map[string][]string
+}
+
+// PagedService is optionally implemented by services whose operations can
+// return large result arrays in chunks. A call with an empty cursor starts
+// a new paged result set: the service returns up to limit values plus an
+// opaque cursor naming the remainder ("" when the set is complete). A call
+// with a non-empty cursor continues that set; params are ignored on
+// continuation. The transport carries the cursor in a SOAP header entry
+// (see package container), keeping the body shape — an array of strings —
+// identical to the unpaged protocol.
+type PagedService interface {
+	InvokePaged(op string, params []string, cursor string, limit int) (values []string, next string, err error)
+}
+
+// RawResponder is optionally implemented by services that can answer an
+// operation with pre-encoded SOAP response envelope bytes — the transport
+// writes them to the wire verbatim, skipping marshalling entirely. ok
+// reports whether the service took the call; when false the caller must
+// fall back to Invoke. The Execution service uses this to serve repeat
+// getPR queries straight from its encoded-response cache.
+//
+// Implementations validate op and params themselves for the calls they
+// accept: the hosting Instance does not run WSDL validation before
+// InvokeRaw, so the common declined case (which falls back to Invoke,
+// where full validation runs) costs nothing extra.
+type RawResponder interface {
+	InvokeRaw(op string, params []string) (raw []byte, ok bool, err error)
 }
 
 // Destroyer is optionally implemented by services that must release
@@ -163,15 +194,80 @@ func (in *Instance) Invoke(op string, params []string) ([]string, error) {
 		return []string{string(data)}, nil
 	}
 
-	if in.def != nil {
-		if err := in.def.Validate(op, params); err != nil {
-			if errors.Is(err, wsdl.ErrUnknownOperation) {
-				return nil, fmt.Errorf("%w: %q", ErrUnknownOperation, op)
-			}
-			return nil, err
-		}
+	if err := in.validate(op, params); err != nil {
+		return nil, err
 	}
 	return in.impl.Invoke(op, params)
+}
+
+// validate checks a non-standard operation against the WSDL definition.
+func (in *Instance) validate(op string, params []string) error {
+	if in.def == nil {
+		return nil
+	}
+	if err := in.def.Validate(op, params); err != nil {
+		if errors.Is(err, wsdl.ErrUnknownOperation) {
+			return fmt.Errorf("%w: %q", ErrUnknownOperation, op)
+		}
+		return err
+	}
+	return nil
+}
+
+// standardOp reports whether op belongs to the GridService PortType that
+// Invoke handles itself; those operations never page and are never served
+// raw.
+func standardOp(op string) bool {
+	switch op {
+	case OpFindServiceData, OpSetTerminationTime, OpDestroy, OpGetServiceDefinition:
+		return true
+	}
+	return false
+}
+
+// InvokePaged dispatches a paged invocation. Implementations that support
+// paging (PagedService) get the cursor and limit; everything else falls
+// back to a plain Invoke whose whole result is returned as a single
+// terminal page, so callers can page uniformly against any instance.
+func (in *Instance) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
+	ps, ok := in.impl.(PagedService)
+	if !ok || standardOp(op) {
+		out, err := in.Invoke(op, params)
+		return out, "", err
+	}
+	in.mu.Lock()
+	destroyed := in.destroyed
+	in.mu.Unlock()
+	if destroyed {
+		return nil, "", ErrDestroyed
+	}
+	// Continuations name server-side state by cursor; the original call
+	// already validated the operation and parameters.
+	if cursor == "" {
+		if err := in.validate(op, params); err != nil {
+			return nil, "", err
+		}
+	}
+	return ps.InvokePaged(op, params, cursor, limit)
+}
+
+// InvokeRaw gives a RawResponder implementation the chance to answer with
+// pre-encoded response envelope bytes. ok is false when the implementation
+// does not (or cannot) take the call; the caller then uses Invoke, whose
+// WSDL validation covers the declined path (accepted calls are validated
+// by the implementation, per the RawResponder contract).
+func (in *Instance) InvokeRaw(op string, params []string) ([]byte, bool, error) {
+	rr, isRaw := in.impl.(RawResponder)
+	if !isRaw || standardOp(op) {
+		return nil, false, nil
+	}
+	in.mu.Lock()
+	destroyed := in.destroyed
+	in.mu.Unlock()
+	if destroyed {
+		return nil, false, ErrDestroyed
+	}
+	return rr.InvokeRaw(op, params)
 }
 
 // findServiceData answers a FindServiceData query. A plain name returns

@@ -1,0 +1,419 @@
+package soap
+
+// This file is the hand-rolled wire codec: a streaming encoder that writes
+// envelope bytes directly to an io.Writer with no reflection, and a strict
+// decoder for the canonical envelope shape that codec produces. Both exist
+// because the reflection-driven encoding/xml round trip was measured as the
+// principal component of the Table 4 grid-services overhead; the envelope
+// shapes are fixed (see the package comment), so the general-purpose
+// machinery buys nothing on the hot path.
+//
+// The encoding/xml implementation is retained in legacy.go as the
+// behavioural oracle: the fast encoder emits byte-identical envelopes
+// (enforced by differential tests), and the fast decoder falls back to the
+// tolerant legacy decoder for any document that is not in canonical form —
+// foreign indentation, comments, CDATA, faults, or malformed input — so
+// robustness and error reporting are unchanged.
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"unicode/utf8"
+)
+
+// envelopeOpen is the canonical envelope start: the exact bytes both
+// encoders emit after the XML prolog.
+const envelopeOpen = `<soapenv:Envelope xmlns:soapenv="` + EnvelopeNS + `" xmlns:ppg="` + ServiceNS + `">`
+
+// bufPool recycles encode scratch buffers across calls; envelopes for
+// large getPR result sets reach hundreds of KiB, so reusing the grown
+// backing arrays is most of the win.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer hands out a reset pooled buffer. Transport code (the container
+// and the client stub) uses the same pool for request/response bodies so
+// one hot set of buffers serves the whole wire path.
+func GetBuffer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not retain any
+// slice of its contents.
+func PutBuffer(b *bytes.Buffer) {
+	// Drop pathologically grown buffers instead of pinning their memory.
+	if b.Cap() > 1<<22 {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// stringWriter is the writer contract the streaming encoder needs;
+// *bytes.Buffer and *bufio.Writer both satisfy it.
+type stringWriter interface {
+	io.Writer
+	io.StringWriter
+}
+
+// Escape entities, matching encoding/xml's internal table (the short
+// numeric forms for quotes, hex forms for TAB/CR).
+const (
+	escQuot = "&#34;"
+	escApos = "&#39;"
+	escAmp  = "&amp;"
+	escLT   = "&lt;"
+	escGT   = "&gt;"
+	escTab  = "&#x9;"
+	escNL   = "&#xA;"
+	escCR   = "&#xD;"
+	escFFFD = "�"
+)
+
+// writeEscaped writes s with escaping identical to the encoding/xml
+// encoder's (its unexported escapeText): '&', '<', '>', quotes, TAB and CR
+// are entity-escaped, characters outside the XML character range become
+// U+FFFD, and '\n' is escaped only when escapeNewline is set — the
+// encoding/xml encoder escapes newlines in attribute values but passes
+// them through raw in character data, and the differential tests hold the
+// fast codec to exactly that. The common nothing-to-escape case is a
+// single WriteString.
+func writeEscaped(w stringWriter, s string, escapeNewline bool) error {
+	var esc string
+	last := 0
+	for i := 0; i < len(s); {
+		r, width := utf8.DecodeRuneInString(s[i:])
+		i += width
+		switch r {
+		case '"':
+			esc = escQuot
+		case '\'':
+			esc = escApos
+		case '&':
+			esc = escAmp
+		case '<':
+			esc = escLT
+		case '>':
+			esc = escGT
+		case '\t':
+			esc = escTab
+		case '\n':
+			if !escapeNewline {
+				continue
+			}
+			esc = escNL
+		case '\r':
+			esc = escCR
+		default:
+			if !inCharacterRange(r) || (r == utf8.RuneError && width == 1) {
+				esc = escFFFD
+				break
+			}
+			continue
+		}
+		if _, err := w.WriteString(s[last : i-width]); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(esc); err != nil {
+			return err
+		}
+		last = i
+	}
+	_, err := w.WriteString(s[last:])
+	return err
+}
+
+// inCharacterRange mirrors encoding/xml's XML 1.0 Char production check
+// (section 2.2 of the XML spec).
+func inCharacterRange(r rune) bool {
+	return r == 0x09 ||
+		r == 0x0A ||
+		r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// encodeEnvelopeTo streams one envelope in canonical form. It mirrors the
+// legacy encoder token for token; differential tests assert byte identity.
+func encodeEnvelopeTo(w stringWriter, headers []HeaderEntry, bodyElem, itemElem string, items []string, fault *Fault) error {
+	if _, err := w.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(envelopeOpen); err != nil {
+		return err
+	}
+	if len(headers) > 0 {
+		if _, err := w.WriteString("<soapenv:Header>"); err != nil {
+			return err
+		}
+		for _, h := range headers {
+			if _, err := w.WriteString(`<ppg:entry name="`); err != nil {
+				return err
+			}
+			if err := writeEscaped(w, h.Name, true); err != nil {
+				return err
+			}
+			if _, err := w.WriteString(`">`); err != nil {
+				return err
+			}
+			if err := writeEscaped(w, h.Value, false); err != nil {
+				return err
+			}
+			if _, err := w.WriteString("</ppg:entry>"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString("</soapenv:Header>"); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("<soapenv:Body>"); err != nil {
+		return err
+	}
+	if fault != nil {
+		if err := encodeFaultTo(w, fault); err != nil {
+			return err
+		}
+	} else {
+		if _, err := w.WriteString("<ppg:" + bodyElem + ">"); err != nil {
+			return err
+		}
+		for _, it := range items {
+			if _, err := w.WriteString("<ppg:" + itemElem + ">"); err != nil {
+				return err
+			}
+			if err := writeEscaped(w, it, false); err != nil {
+				return err
+			}
+			if _, err := w.WriteString("</ppg:" + itemElem + ">"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString("</ppg:" + bodyElem + ">"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("</soapenv:Body></soapenv:Envelope>")
+	return err
+}
+
+func encodeFaultTo(w stringWriter, f *Fault) error {
+	if _, err := w.WriteString("<soapenv:Fault><faultcode>soapenv:"); err != nil {
+		return err
+	}
+	if err := writeEscaped(w, f.Code, false); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("</faultcode><faultstring>"); err != nil {
+		return err
+	}
+	if err := writeEscaped(w, f.String, false); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("</faultstring>"); err != nil {
+		return err
+	}
+	if f.Detail != "" {
+		if _, err := w.WriteString("<detail>"); err != nil {
+			return err
+		}
+		if err := writeEscaped(w, f.Detail, false); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("</detail>"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("</soapenv:Fault>")
+	return err
+}
+
+// errNotCanonical makes the fast decoder hand the document to the legacy
+// decoder. It never escapes this package.
+var errNotCanonical = errors.New("soap: not in canonical form")
+
+// fastDecode parses a canonical envelope (the exact byte shape our
+// encoders produce). Any deviation returns errNotCanonical so the caller
+// retries with the tolerant legacy decoder.
+func fastDecode(data []byte, itemName string) (*decoded, error) {
+	s := scanner{b: data}
+	if !s.lit(xml.Header) || !s.lit(envelopeOpen) {
+		return nil, errNotCanonical
+	}
+	out := &decoded{}
+	if s.lit("<soapenv:Header>") {
+		for !s.lit("</soapenv:Header>") {
+			if !s.lit(`<ppg:entry name="`) {
+				return nil, errNotCanonical
+			}
+			name, ok := s.textUntil('"')
+			if !ok || !s.lit(">") {
+				return nil, errNotCanonical
+			}
+			value, ok := s.textUntil('<')
+			if !ok || !s.lit("</ppg:entry>") {
+				return nil, errNotCanonical
+			}
+			out.headers = append(out.headers, HeaderEntry{Name: name, Value: value})
+		}
+	}
+	if !s.lit("<soapenv:Body>") {
+		return nil, errNotCanonical
+	}
+	if !s.lit("<ppg:") {
+		// Faults (and anything foreign) take the legacy path.
+		return nil, errNotCanonical
+	}
+	name, ok := s.until('>')
+	if !ok || !operationNameOK(name) {
+		return nil, errNotCanonical
+	}
+	out.bodyName = name
+	openItem := "<ppg:" + itemName + ">"
+	closeItem := "</ppg:" + itemName + ">"
+	closeBody := "</ppg:" + name + ">"
+	for !s.lit(closeBody) {
+		if !s.lit(openItem) {
+			return nil, errNotCanonical
+		}
+		text, ok := s.textUntil('<')
+		if !ok || !s.lit(closeItem) {
+			return nil, errNotCanonical
+		}
+		out.items = append(out.items, text)
+	}
+	if !s.lit("</soapenv:Body></soapenv:Envelope>") {
+		return nil, errNotCanonical
+	}
+	if strings.TrimSpace(string(s.b[s.i:])) != "" {
+		return nil, errNotCanonical
+	}
+	return out, nil
+}
+
+// scanner is a zero-allocation cursor over the document bytes.
+type scanner struct {
+	b []byte
+	i int
+}
+
+// lit consumes tok if it is next.
+func (s *scanner) lit(tok string) bool {
+	if len(s.b)-s.i >= len(tok) && string(s.b[s.i:s.i+len(tok)]) == tok {
+		s.i += len(tok)
+		return true
+	}
+	return false
+}
+
+// until consumes and returns the raw bytes before the next occurrence of
+// stop, consuming stop too. The segment must not contain entities.
+func (s *scanner) until(stop byte) (string, bool) {
+	j := bytes.IndexByte(s.b[s.i:], stop)
+	if j < 0 {
+		return "", false
+	}
+	seg := s.b[s.i : s.i+j]
+	if bytes.IndexByte(seg, '&') >= 0 || bytes.IndexByte(seg, '<') >= 0 {
+		return "", false
+	}
+	s.i += j + 1
+	return string(seg), true
+}
+
+// textUntil consumes escaped character data up to (but not past) the next
+// occurrence of stop, resolving entities exactly as encoding/xml does.
+func (s *scanner) textUntil(stop byte) (string, bool) {
+	j := bytes.IndexByte(s.b[s.i:], stop)
+	if j < 0 {
+		return "", false
+	}
+	seg := s.b[s.i : s.i+j]
+	s.i += j
+	if stop != '<' {
+		s.i++ // consume the stop byte (attribute-closing quote)
+	}
+	if bytes.IndexByte(seg, '&') < 0 {
+		return string(seg), true
+	}
+	return unescape(seg)
+}
+
+// unescape resolves the entity forms the encoder can emit (the five named
+// entities plus decimal and hex character references).
+func unescape(seg []byte) (string, bool) {
+	var b strings.Builder
+	b.Grow(len(seg))
+	for i := 0; i < len(seg); {
+		c := seg[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := bytes.IndexByte(seg[i:], ';')
+		if semi < 0 {
+			return "", false
+		}
+		ent := string(seg[i+1 : i+semi])
+		i += semi + 1
+		switch ent {
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "amp":
+			b.WriteByte('&')
+		case "apos":
+			b.WriteByte('\'')
+		case "quot":
+			b.WriteByte('"')
+		default:
+			r, ok := charRef(ent)
+			if !ok {
+				return "", false
+			}
+			b.WriteRune(r)
+		}
+	}
+	return b.String(), true
+}
+
+// charRef parses a numeric character reference body ("#xA", "#39", ...).
+func charRef(ent string) (rune, bool) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, false
+	}
+	base, digits := 10, ent[1:]
+	if digits[0] == 'x' || digits[0] == 'X' {
+		base, digits = 16, digits[1:]
+	}
+	if digits == "" {
+		return 0, false
+	}
+	var n rune
+	for i := 0; i < len(digits); i++ {
+		var d rune
+		c := digits[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*rune(base) + d
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return n, true
+}

@@ -3,27 +3,28 @@
 //
 // Messages follow the SOAP 1.1 envelope structure: an Envelope element
 // containing an optional Header (carrying metadata entries such as security
-// tokens and message IDs) and a Body. Requests use RPC style — the body
-// holds one element named after the invoked operation, whose <param>
-// children carry the positional string arguments. Responses hold an
-// <operation>Response element whose <return> children carry the result
-// array. Failures are carried as SOAP Fault elements.
+// tokens, message IDs, and the getPR paging cursor) and a Body. Requests
+// use RPC style — the body holds one element named after the invoked
+// operation, whose <param> children carry the positional string arguments.
+// Responses hold an <operation>Response element whose <return> children
+// carry the result array. Failures are carried as SOAP Fault elements.
 //
 // All PPerfGrid PortType operations exchange arrays of strings (see Tables
 // 1 and 2 of the paper), so the wire format needs exactly these shapes.
 // The encode/decode work done here is the "marshalling/encoding" half of
 // the architecture-adapter pattern described in the paper's Services Layer,
-// and it is the principal source of the grid-services overhead measured in
-// Table 4.
+// and it was the principal source of the grid-services overhead measured in
+// Table 4 — which is why the hot path no longer uses reflection: codec.go
+// holds a hand-rolled streaming encoder/decoder for the fixed envelope
+// shapes, and legacy.go retains the original encoding/xml implementation
+// as the differential-test oracle and tolerant-decode fallback.
 package soap
 
 import (
-	"bytes"
-	"encoding/xml"
 	"errors"
 	"fmt"
-	"io"
 	"strings"
+	"sync/atomic"
 )
 
 // Namespace URIs used in PPerfGrid SOAP messages.
@@ -65,6 +66,16 @@ type Response struct {
 	Headers   []HeaderEntry
 }
 
+// Header returns the value of the named header entry and whether it exists.
+func (r *Response) Header(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if h.Name == name {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
 // Fault is a SOAP Fault. It satisfies error so transport code can return
 // remote failures directly.
 type Fault struct {
@@ -100,6 +111,23 @@ func ClientFault(msg string) *Fault {
 // envelope of the expected shape.
 var ErrMalformed = errors.New("soap: malformed envelope")
 
+// legacyCodec routes Encode*/Decode* through the retained encoding/xml
+// codec when set — an experiment hook (see SetLegacyCodec), not a
+// production mode.
+var legacyCodec atomic.Bool
+
+// SetLegacyCodec switches the package-level codec between the hand-rolled
+// implementation (false, the default) and the retained encoding/xml
+// implementation (true) — encoders and decoders both, so end-to-end
+// measurements exercise the old wire path on every byte. The two emit
+// byte-identical envelopes; only the cost differs. The transport ablation
+// in internal/experiment flips this around a full Table 4 run to measure
+// the before/after overhead split. Not intended for concurrent toggling.
+func SetLegacyCodec(enabled bool) { legacyCodec.Store(enabled) }
+
+// LegacyCodec reports whether the experiment hook is on.
+func LegacyCodec() bool { return legacyCodec.Load() }
+
 // operationNameOK reports whether s is usable as an XML element local name.
 func operationNameOK(s string) bool {
 	if s == "" {
@@ -121,119 +149,86 @@ func operationNameOK(s string) bool {
 
 // EncodeRequest serializes an RPC request envelope.
 func EncodeRequest(op string, headers []HeaderEntry, params []string) ([]byte, error) {
+	if legacyCodec.Load() {
+		return LegacyEncodeRequest(op, headers, params)
+	}
 	if !operationNameOK(op) {
 		return nil, fmt.Errorf("soap: invalid operation name %q", op)
 	}
-	return encodeEnvelope(headers, op, "param", params, nil)
+	return encodeToBytes(headers, op, "param", params, nil)
 }
 
 // EncodeResponse serializes an RPC response envelope for the given
 // operation. The wire element is named <op>Response per SOAP convention.
 func EncodeResponse(op string, headers []HeaderEntry, returns []string) ([]byte, error) {
+	if legacyCodec.Load() {
+		return LegacyEncodeResponse(op, headers, returns)
+	}
 	if !operationNameOK(op) {
 		return nil, fmt.Errorf("soap: invalid operation name %q", op)
 	}
-	return encodeEnvelope(headers, op+"Response", "return", returns, nil)
+	return encodeToBytes(headers, op+"Response", "return", returns, nil)
 }
 
 // EncodeFault serializes a Fault envelope.
 func EncodeFault(f *Fault) ([]byte, error) {
-	return encodeEnvelope(nil, "", "", nil, f)
+	if legacyCodec.Load() {
+		return LegacyEncodeFault(f)
+	}
+	return encodeToBytes(nil, "", "", nil, f)
 }
 
-func encodeEnvelope(headers []HeaderEntry, bodyElem, itemElem string, items []string, fault *Fault) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
-
-	env := xml.StartElement{
-		Name: xml.Name{Local: "soapenv:Envelope"},
-		Attr: []xml.Attr{
-			{Name: xml.Name{Local: "xmlns:soapenv"}, Value: EnvelopeNS},
-			{Name: xml.Name{Local: "xmlns:ppg"}, Value: ServiceNS},
-		},
-	}
-	if err := enc.EncodeToken(env); err != nil {
+// encodeToBytes runs the streaming encoder into a pooled scratch buffer
+// and returns a right-sized copy the caller owns.
+func encodeToBytes(headers []HeaderEntry, bodyElem, itemElem string, items []string, fault *Fault) ([]byte, error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if err := encodeEnvelopeTo(buf, headers, bodyElem, itemElem, items, fault); err != nil {
 		return nil, err
 	}
-	if len(headers) > 0 {
-		hdr := xml.StartElement{Name: xml.Name{Local: "soapenv:Header"}}
-		if err := enc.EncodeToken(hdr); err != nil {
-			return nil, err
-		}
-		for _, h := range headers {
-			e := xml.StartElement{
-				Name: xml.Name{Local: "ppg:entry"},
-				Attr: []xml.Attr{{Name: xml.Name{Local: "name"}, Value: h.Name}},
-			}
-			if err := encodeTextElement(enc, e, h.Value); err != nil {
-				return nil, err
-			}
-		}
-		if err := enc.EncodeToken(hdr.End()); err != nil {
-			return nil, err
-		}
-	}
-	body := xml.StartElement{Name: xml.Name{Local: "soapenv:Body"}}
-	if err := enc.EncodeToken(body); err != nil {
-		return nil, err
-	}
-	if fault != nil {
-		fe := xml.StartElement{Name: xml.Name{Local: "soapenv:Fault"}}
-		if err := enc.EncodeToken(fe); err != nil {
-			return nil, err
-		}
-		for _, kv := range [][2]string{
-			{"faultcode", "soapenv:" + fault.Code},
-			{"faultstring", fault.String},
-			{"detail", fault.Detail},
-		} {
-			if kv[0] == "detail" && kv[1] == "" {
-				continue
-			}
-			e := xml.StartElement{Name: xml.Name{Local: kv[0]}}
-			if err := encodeTextElement(enc, e, kv[1]); err != nil {
-				return nil, err
-			}
-		}
-		if err := enc.EncodeToken(fe.End()); err != nil {
-			return nil, err
-		}
-	} else {
-		be := xml.StartElement{Name: xml.Name{Local: "ppg:" + bodyElem}}
-		if err := enc.EncodeToken(be); err != nil {
-			return nil, err
-		}
-		for _, it := range items {
-			e := xml.StartElement{Name: xml.Name{Local: "ppg:" + itemElem}}
-			if err := encodeTextElement(enc, e, it); err != nil {
-				return nil, err
-			}
-		}
-		if err := enc.EncodeToken(be.End()); err != nil {
-			return nil, err
-		}
-	}
-	if err := enc.EncodeToken(body.End()); err != nil {
-		return nil, err
-	}
-	if err := enc.EncodeToken(env.End()); err != nil {
-		return nil, err
-	}
-	if err := enc.Flush(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
-func encodeTextElement(enc *xml.Encoder, start xml.StartElement, text string) error {
-	if err := enc.EncodeToken(start); err != nil {
+// EncodeRequestTo streams an RPC request envelope directly to w (the
+// zero-copy path for transports that own a write buffer). It honours the
+// SetLegacyCodec experiment hook so end-to-end ablations exercise the
+// old codec on every byte of the wire path.
+func EncodeRequestTo(w stringWriter, op string, headers []HeaderEntry, params []string) error {
+	if legacyCodec.Load() {
+		data, err := LegacyEncodeRequest(op, headers, params)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
 		return err
 	}
-	if err := enc.EncodeToken(xml.CharData(text)); err != nil {
+	if !operationNameOK(op) {
+		return fmt.Errorf("soap: invalid operation name %q", op)
+	}
+	return encodeEnvelopeTo(w, headers, op, "param", params, nil)
+}
+
+// EncodeResponseTo streams an RPC response envelope directly to w.
+func EncodeResponseTo(w stringWriter, op string, headers []HeaderEntry, returns []string) error {
+	if legacyCodec.Load() {
+		data, err := LegacyEncodeResponse(op, headers, returns)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
 		return err
 	}
-	return enc.EncodeToken(start.End())
+	if !operationNameOK(op) {
+		return fmt.Errorf("soap: invalid operation name %q", op)
+	}
+	return encodeEnvelopeTo(w, headers, op+"Response", "return", returns, nil)
+}
+
+// EncodeFaultTo streams a Fault envelope directly to w.
+func EncodeFaultTo(w stringWriter, f *Fault) error {
+	return encodeEnvelopeTo(w, nil, "", "", nil, f)
 }
 
 // decoded is the intermediate result of parsing any envelope.
@@ -244,9 +239,21 @@ type decoded struct {
 	fault    *Fault
 }
 
+// decodeAny parses an envelope: the strict fast decoder first (the
+// canonical shape every PPerfGrid peer emits), falling back to the
+// tolerant legacy decoder for anything else.
+func decodeAny(data []byte, itemName string) (*decoded, error) {
+	if !legacyCodec.Load() {
+		if d, err := fastDecode(data, itemName); err == nil {
+			return d, nil
+		}
+	}
+	return decodeEnvelope(data, itemName)
+}
+
 // DecodeRequest parses a request envelope.
 func DecodeRequest(data []byte) (*Request, error) {
-	d, err := decodeEnvelope(data, "param")
+	d, err := decodeAny(data, "param")
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +266,7 @@ func DecodeRequest(data []byte) (*Request, error) {
 // DecodeResponse parses a response envelope. If the body carries a SOAP
 // Fault, it is returned as the error.
 func DecodeResponse(data []byte) (*Response, error) {
-	d, err := decodeEnvelope(data, "return")
+	d, err := decodeAny(data, "return")
 	if err != nil {
 		return nil, err
 	}
@@ -271,186 +278,4 @@ func DecodeResponse(data []byte) (*Response, error) {
 		return nil, fmt.Errorf("%w: body element %q lacks Response suffix", ErrMalformed, d.bodyName)
 	}
 	return &Response{Operation: op, Returns: d.items, Headers: d.headers}, nil
-}
-
-// decodeEnvelope walks the token stream of a SOAP envelope, collecting
-// header entries and the single body element with its item children.
-func decodeEnvelope(data []byte, itemName string) (*decoded, error) {
-	dec := xml.NewDecoder(bytes.NewReader(data))
-	out := &decoded{}
-
-	if err := expectStart(dec, EnvelopeNS, "Envelope"); err != nil {
-		return nil, err
-	}
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			return nil, fmt.Errorf("%w: missing Body", ErrMalformed)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		se, ok := tok.(xml.StartElement)
-		if !ok {
-			continue
-		}
-		switch {
-		case se.Name.Space == EnvelopeNS && se.Name.Local == "Header":
-			if err := decodeHeader(dec, se, out); err != nil {
-				return nil, err
-			}
-		case se.Name.Space == EnvelopeNS && se.Name.Local == "Body":
-			return out, decodeBody(dec, se, itemName, out)
-		default:
-			if err := dec.Skip(); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
-			}
-		}
-	}
-}
-
-func expectStart(dec *xml.Decoder, space, local string) error {
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		if se, ok := tok.(xml.StartElement); ok {
-			if se.Name.Space == space && se.Name.Local == local {
-				return nil
-			}
-			return fmt.Errorf("%w: expected <%s>, got <%s>", ErrMalformed, local, se.Name.Local)
-		}
-	}
-}
-
-func decodeHeader(dec *xml.Decoder, start xml.StartElement, out *decoded) error {
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			var name string
-			for _, a := range t.Attr {
-				if a.Name.Local == "name" {
-					name = a.Value
-				}
-			}
-			text, err := collectText(dec, t)
-			if err != nil {
-				return err
-			}
-			out.headers = append(out.headers, HeaderEntry{Name: name, Value: text})
-		case xml.EndElement:
-			if t.Name == start.Name {
-				return nil
-			}
-		}
-	}
-}
-
-func decodeBody(dec *xml.Decoder, body xml.StartElement, itemName string, out *decoded) error {
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if t.Name.Space == EnvelopeNS && t.Name.Local == "Fault" {
-				return decodeFault(dec, t, out)
-			}
-			out.bodyName = t.Name.Local
-			return decodeItems(dec, t, itemName, out)
-		case xml.EndElement:
-			if t.Name == body.Name {
-				return fmt.Errorf("%w: empty Body", ErrMalformed)
-			}
-		}
-	}
-}
-
-func decodeItems(dec *xml.Decoder, parent xml.StartElement, itemName string, out *decoded) error {
-	// items stays nil until the first item so that "no results" and
-	// "empty result list" both decode to a nil slice, matching the
-	// paper's convention that operations return arrays of strings.
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if t.Name.Local != itemName {
-				return fmt.Errorf("%w: unexpected element <%s> in %s", ErrMalformed, t.Name.Local, parent.Name.Local)
-			}
-			text, err := collectText(dec, t)
-			if err != nil {
-				return err
-			}
-			out.items = append(out.items, text)
-		case xml.EndElement:
-			if t.Name == parent.Name {
-				return nil
-			}
-		}
-	}
-}
-
-func decodeFault(dec *xml.Decoder, start xml.StartElement, out *decoded) error {
-	f := &Fault{}
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			text, err := collectText(dec, t)
-			if err != nil {
-				return err
-			}
-			switch t.Name.Local {
-			case "faultcode":
-				// Strip the namespace prefix, e.g. "soapenv:Server".
-				if i := strings.LastIndexByte(text, ':'); i >= 0 {
-					text = text[i+1:]
-				}
-				f.Code = text
-			case "faultstring":
-				f.String = text
-			case "detail":
-				f.Detail = text
-			}
-		case xml.EndElement:
-			if t.Name == start.Name {
-				out.fault = f
-				return nil
-			}
-		}
-	}
-}
-
-// collectText reads the character data of an element that contains only
-// text, consuming through its end element.
-func collectText(dec *xml.Decoder, start xml.StartElement) (string, error) {
-	var b strings.Builder
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return "", fmt.Errorf("%w: %v", ErrMalformed, err)
-		}
-		switch t := tok.(type) {
-		case xml.CharData:
-			b.Write(t)
-		case xml.EndElement:
-			if t.Name == start.Name {
-				return b.String(), nil
-			}
-		case xml.StartElement:
-			return "", fmt.Errorf("%w: unexpected child <%s> in text element <%s>", ErrMalformed, t.Name.Local, start.Name.Local)
-		}
-	}
 }
