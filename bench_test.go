@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pperfgrid/internal/client"
+	"pperfgrid/internal/container"
 	"pperfgrid/internal/core"
 	"pperfgrid/internal/datagen"
 	"pperfgrid/internal/experiment"
@@ -117,10 +118,11 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 // BenchmarkFigure12 measures one threaded query batch (10 repeats per
-// Execution instance) against 1-host and 2-host HPL sites at the paper's
-// batch sizes — the workload of Figure 12.
+// Execution instance) against HPL sites along the replicas axis at the
+// paper's batch sizes — the workload of Figure 12, extended past the
+// paper's two-host testbed.
 func BenchmarkFigure12(b *testing.B) {
-	for _, hosts := range []int{1, 2} {
+	for _, hosts := range []int{1, 2, 4, 8} {
 		for _, n := range []int{2, 8, 32} {
 			b.Run(fmt.Sprintf("hosts=%d/execs=%d", hosts, n), func(b *testing.B) {
 				cfg := benchCfg()
@@ -404,30 +406,83 @@ func BenchmarkFlatfileParse(b *testing.B) {
 	}
 }
 
-// BenchmarkManagerHandles measures the Manager's instance-cache hit path,
-// the paper's justification for caching Execution GSHs.
+// BenchmarkManagerHandles measures the Manager's two regimes: the
+// instance-cache hit path (the paper's justification for caching
+// Execution GSHs), and a cold 124-ID batch resolved through remote
+// factories — batched (one plural CreateServices SOAP call per replica,
+// run concurrently) against the retained per-ID oracle (one CreateService
+// round trip per ID), at 1/2/4 replicas. The batched-vs-per-ID gap is the
+// before/after of the scale-out overhaul.
 func BenchmarkManagerHandles(b *testing.B) {
-	d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
-	w, err := mapping.NewWideTable(d)
-	if err != nil {
-		b.Fatal(err)
-	}
-	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer site.Close()
 	ids := make([]string, 124)
 	for i := range ids {
 		ids[i] = fmt.Sprint(100 + i)
 	}
-	if _, err := site.Manager().ExecutionHandles(ids); err != nil { // create once
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := site.Manager().ExecutionHandles(ids); err != nil {
+	b.Run("CachedHit", func(b *testing.B) {
+		d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+		w, err := mapping.NewWideTable(d)
+		if err != nil {
 			b.Fatal(err)
+		}
+		site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{w}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer site.Close()
+		if _, err := site.Manager().ExecutionHandles(ids); err != nil { // create once
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := site.Manager().ExecutionHandles(ids); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, replicas := range []int{1, 2, 4} {
+		for _, mode := range []string{"ColdBatched", "ColdPerID"} {
+			b.Run(fmt.Sprintf("%s/replicas=%d", mode, replicas), func(b *testing.B) {
+				d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+				wrappers := make([]mapping.ApplicationWrapper, replicas)
+				for i := range wrappers {
+					wrappers[i] = mapping.NewMemory(d)
+				}
+				site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: wrappers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer site.Close()
+				refs := make([]core.ExecutionFactoryRef, replicas)
+				for i, host := range site.Hosts() {
+					refs[i] = core.NewRemoteFactoryRef(host)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// A fresh Manager per iteration keeps every batch cold.
+					m, err := core.NewManager(nil, refs...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.SetBatching(mode == "ColdBatched")
+					handles, err := m.ExecutionHandles(ids)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Destroy the transient instances outside the timer so
+					// the hosting tables stay flat across iterations.
+					b.StopTimer()
+					for _, h := range handles {
+						stub, err := container.DialString(h)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := stub.Destroy(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+				}
+			})
 		}
 	}
 }

@@ -13,6 +13,10 @@
 //	pperfgrid-bench -ablations
 //	pperfgrid-bench -all -quick     # reduced sample sizes for smoke runs
 //	pperfgrid-bench -all -scale 0.02  # heavier Mapping-Layer calibration
+//
+// The scale-out ablation is runnable standalone through the flag pair:
+//
+//	pperfgrid-bench -figure 12 -policy interleave,least-loaded -replicas 1,2,4,8
 package main
 
 import (
@@ -20,8 +24,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"pperfgrid/internal/core"
 	"pperfgrid/internal/datagen"
 	"pperfgrid/internal/experiment"
 )
@@ -35,12 +42,25 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sample sizes")
 		scale     = flag.Float64("scale", 0.01, "Mapping-Layer calibration scale (fraction of the paper's latencies)")
 		seed      = flag.Int64("seed", 1, "dataset generator seed")
+		policy    = flag.String("policy", "", "comma-separated replica policies for Figure 12 and the policy ablation ("+strings.Join(core.AllPolicyNames, ", ")+"); unset means interleave for Figure 12 and every policy for the ablation")
+		replicas  = flag.String("replicas", "1,2,4,8", "comma-separated replica host counts: Figure 12's scale-out axis; the policy ablation uses the largest")
 	)
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*ablations {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	policies := splitList(*policy)
+	for _, p := range policies {
+		if _, err := core.PolicyByName(p); err != nil {
+			log.Fatalf("pperfgrid-bench: %v", err)
+		}
+	}
+	hostCounts, err := parseInts(*replicas)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: -replicas: %v", err)
 	}
 
 	cfg := experiment.Config{Scale: *scale, Seed: *seed}
@@ -69,17 +89,17 @@ func main() {
 	}
 	if *all || *figure == 12 {
 		runStep("Figure 12 (scalability)", func() (shaped, error) {
-			f12 := experiment.Figure12Config{Config: cfg}
+			f12 := experiment.Figure12Config{Config: cfg, HostCounts: hostCounts}
 			if *quick {
 				f12.ExecutionCounts = []int{2, 8, 32}
 				f12.Repeats = 5
 				f12.BatchRuns = 2
 			}
-			return experiment.RunFigure12(f12)
+			return experiment.RunFigure12Sweep(f12, policies)
 		}, &failed)
 	}
 	if *all || *ablations {
-		runAblations(cfg, *quick)
+		runAblations(cfg, *quick, policies, maxInt(hostCounts, 2))
 	}
 	if failed {
 		log.Fatal("pperfgrid-bench: one or more shape checks FAILED")
@@ -106,7 +126,42 @@ func runStep(name string, run func() (shaped, error), failed *bool) {
 	}
 }
 
-func runAblations(cfg experiment.Config, quick bool) {
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad replica count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// maxInt returns the largest element, or fallback for an empty list.
+func maxInt(xs []int, fallback int) int {
+	out := fallback
+	for _, x := range xs {
+		if x > out {
+			out = x
+		}
+	}
+	return out
+}
+
+func runAblations(cfg experiment.Config, quick bool, policies []string, replicas int) {
 	fmt.Println("=== Ablations ===")
 
 	counts := []int{1, 10, 100, 1000}
@@ -144,11 +199,11 @@ func runAblations(cfg experiment.Config, quick bool) {
 	if quick {
 		execs, repeats = 8, 2
 	}
-	policyRows, err := experiment.RunPolicyAblation(cfg, execs, repeats)
+	policyRows, err := experiment.RunPolicyAblation(cfg, policies, replicas, execs, repeats)
 	if err != nil {
 		log.Fatalf("pperfgrid-bench: policy ablation: %v", err)
 	}
-	fmt.Print(experiment.RenderPolicyAblation(policyRows))
+	fmt.Print(experiment.RenderPolicyAblation(policyRows, replicas))
 	fmt.Println()
 
 	capacity, queries := 8, 300

@@ -318,7 +318,10 @@ type AttrQuery struct {
 // QueryExecutions runs a batch of attribute queries (OR semantics, like
 // "stringing 'OR' terms together in SQL" per section 5.3.1.2) and returns
 // the deduplicated Execution references. An empty batch returns all
-// executions.
+// executions. The attribute queries go out concurrently — each already
+// resolves its matching Execution instances in one Manager round trip
+// server-side, so a multi-row Application Query Panel batch costs one
+// parallel wave of calls, not a sequential chain.
 func (b *Binding) QueryExecutions(queries []AttrQuery) ([]*ExecutionRef, error) {
 	var handles []string
 	if len(queries) == 0 {
@@ -328,13 +331,25 @@ func (b *Binding) QueryExecutions(queries []AttrQuery) ([]*ExecutionRef, error) 
 		}
 		handles = out
 	} else {
+		outs := make([][]string, len(queries))
+		errs := make([]error, len(queries))
+		var wg sync.WaitGroup
+		for qi, q := range queries {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				outs[qi], errs[qi] = b.app.Call(core.OpGetExecs, q.Attribute, q.Value)
+			}()
+		}
+		wg.Wait()
+		// Deduplicate in query order, so results are deterministic
+		// regardless of which call finished first.
 		seen := map[string]bool{}
-		for _, q := range queries {
-			out, err := b.app.Call(core.OpGetExecs, q.Attribute, q.Value)
-			if err != nil {
-				return nil, fmt.Errorf("client: getExecs(%s,%s): %w", q.Attribute, q.Value, err)
+		for qi, q := range queries {
+			if errs[qi] != nil {
+				return nil, fmt.Errorf("client: getExecs(%s,%s): %w", q.Attribute, q.Value, errs[qi])
 			}
-			for _, h := range out {
+			for _, h := range outs[qi] {
 				if !seen[h] {
 					seen[h] = true
 					handles = append(handles, h)
@@ -342,6 +357,14 @@ func (b *Binding) QueryExecutions(queries []AttrQuery) ([]*ExecutionRef, error) 
 			}
 		}
 	}
+	return b.ResolveExecutions(handles)
+}
+
+// ResolveExecutions turns a batch of Execution GSH strings into bound
+// references in input order — the handle-resolution step before a
+// QueryPerformanceResults fan-out. Resolution is session-local (stubs are
+// dialed lazily and idempotently), so the batch costs no wire traffic.
+func (b *Binding) ResolveExecutions(handles []string) ([]*ExecutionRef, error) {
 	refs := make([]*ExecutionRef, len(handles))
 	for i, h := range handles {
 		caller, err := b.resolve(h)

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -77,6 +78,13 @@ type Container struct {
 
 	requests atomic.Int64
 	faults   atomic.Int64
+
+	// inflight and svcMsEWMA feed load-aware replica scheduling: requests
+	// currently dispatched (including those queued for a worker slot) and
+	// an exponential moving average of service time in milliseconds
+	// (stored as math.Float64bits; 0 means "no samples yet").
+	inflight  atomic.Int64
+	svcMsEWMA atomic.Uint64
 }
 
 // New creates a container over a hosting table. Call Start before
@@ -136,6 +144,33 @@ func (c *Container) Requests() int64 { return c.requests.Load() }
 
 // Faults returns the number of requests that ended in a SOAP Fault.
 func (c *Container) Faults() int64 { return c.faults.Load() }
+
+// InFlight returns the number of requests currently dispatched — executing
+// or queued for a worker slot. With single-worker hosts (the paper's
+// one-CPU testbed) this is effectively the host's queue depth, the signal
+// load-aware replica policies balance on.
+func (c *Container) InFlight() int64 { return c.inflight.Load() }
+
+// MeanServiceMs returns an exponential moving average of recent request
+// service times (milliseconds), 0 until the first request completes.
+func (c *Container) MeanServiceMs() float64 {
+	return math.Float64frombits(c.svcMsEWMA.Load())
+}
+
+// noteServiceTime folds one request's service time into the EWMA.
+func (c *Container) noteServiceTime(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for {
+		old := c.svcMsEWMA.Load()
+		next := ms
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*ms
+		}
+		if c.svcMsEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
 
 // Close shuts the listener down and destroys all hosted instances.
 func (c *Container) Close() error {
@@ -244,7 +279,11 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		}
 	}
 
-	// Acquire a simulated-CPU worker slot for the invocation itself.
+	// Acquire a simulated-CPU worker slot for the invocation itself. The
+	// in-flight gauge covers the wait for the slot too, so it reflects
+	// queue depth, not just executing requests.
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	if c.workers != nil {
 		c.workers <- struct{}{}
 	}
@@ -269,6 +308,7 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 	if c.workers != nil {
 		<-c.workers
 	}
+	c.noteServiceTime(elapsed)
 	if c.opts.Logf != nil {
 		result := fmt.Sprintf("%d values", len(returns))
 		if raw != nil {

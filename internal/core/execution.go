@@ -33,6 +33,14 @@ type ExecutionService struct {
 	// raw path; tests use it to prove cache hits do zero marshalling.
 	wireEncodes atomic.Int64
 
+	// flights singleflights identical in-flight getPR queries on the
+	// cache-miss path: N concurrent cold misses cost one Mapping-Layer
+	// execution, the other N-1 wait for the leader's result. coalesced
+	// counts those followers.
+	flightMu  sync.Mutex
+	flights   map[string]*prFlight
+	coalesced atomic.Int64
+
 	mu        sync.Mutex
 	foci      []string
 	metrics   []string
@@ -51,6 +59,14 @@ type ExecutionService struct {
 type prCursor struct {
 	encoded []string
 	offset  int
+}
+
+// prFlight is one in-flight getPR Mapping-Layer execution; followers with
+// the same query key wait on done and share the outcome.
+type prFlight struct {
+	done chan struct{}
+	rs   []perfdata.Result
+	err  error
 }
 
 // DefaultPageSize is the page length used when a paged getPR names none.
@@ -419,23 +435,58 @@ func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Resu
 }
 
 // resultsThrough answers a getPR query against one cache snapshot (which
-// may be nil for uncached instances).
+// may be nil for uncached instances). Cold misses are singleflighted:
+// concurrent identical queries share one Mapping-Layer execution instead
+// of racing N of them before the cache fills. Uncached instances skip
+// coalescing — with caching off, every query must generate real store
+// load (the Table 5 / Figure 12 baseline workloads depend on it).
 func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perfdata.Result, error) {
 	if cache == nil {
 		return e.fetchResults(q)
 	}
 	key := q.Key()
+	e.flightMu.Lock()
+	if f, ok := e.flights[key]; ok {
+		e.flightMu.Unlock()
+		e.coalesced.Add(1)
+		<-f.done
+		return f.rs, f.err
+	}
+	// The cache is consulted under the flight lock: a leader fills the
+	// cache before retiring its flight, so a request that finds neither
+	// a flight nor an entry really is cold — checking the cache first
+	// (outside the lock) would leave a window where a just-completed
+	// flight's result is re-fetched from the Mapping Layer.
 	if rs, ok := cache.Get(key); ok {
+		e.flightMu.Unlock()
 		return rs, nil
 	}
+	f := &prFlight{done: make(chan struct{})}
+	if e.flights == nil {
+		e.flights = make(map[string]*prFlight)
+	}
+	e.flights[key] = f
+	e.flightMu.Unlock()
+
 	start := time.Now()
 	rs, err := e.fetchResults(q)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		// Fill the cache before retiring the flight, so a request arriving
+		// after the flight is gone finds the entry.
+		cache.Put(key, rs, time.Since(start))
 	}
-	cache.Put(key, rs, time.Since(start))
-	return rs, nil
+	f.rs, f.err = rs, err
+	e.flightMu.Lock()
+	delete(e.flights, key)
+	e.flightMu.Unlock()
+	close(f.done)
+	return rs, err
 }
+
+// CoalescedQueries reports how many getPR queries were answered by
+// waiting on an identical in-flight query instead of executing the
+// Mapping Layer themselves.
+func (e *ExecutionService) CoalescedQueries() int64 { return e.coalesced.Load() }
 
 // fetchResults reaches the Mapping Layer for a getPR query. When the
 // wrapper can stream (mapping.ResultStreamer — the relational wrappers
@@ -498,6 +549,7 @@ func (e *ExecutionService) ServiceData() map[string][]string {
 		out["cachePolicy"] = []string{cache.Policy()}
 		out["cacheHits"] = []string{strconv.FormatInt(s.Hits, 10)}
 		out["cacheMisses"] = []string{strconv.FormatInt(s.Misses, 10)}
+		out["coalescedQueries"] = []string{strconv.FormatInt(e.coalesced.Load(), 10)}
 	}
 	if ms, err := e.Metrics(); err == nil {
 		out["metrics"] = ms

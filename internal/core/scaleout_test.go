@@ -1,0 +1,594 @@
+package core
+
+// Tests for the scale-out path: batched parallel instance creation in the
+// Manager (lock never held over the wire, in-flight markers, per-replica
+// plural creation), the replica policies including the load-aware ones,
+// and getPR request coalescing in the Execution service.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+// slowBatchFactory is a BatchFactoryRef whose creations block until
+// released — the "slow remote factory" the regression tests need.
+type slowBatchFactory struct {
+	host    string
+	started chan string   // receives one value per create call
+	release chan struct{} // closed (or sent to) to let creations finish
+	fail    bool
+
+	mu         sync.Mutex
+	made       []string
+	batchCalls int
+	unitCalls  int
+}
+
+func newSlowBatchFactory(host string) *slowBatchFactory {
+	return &slowBatchFactory{
+		host:    host,
+		started: make(chan string, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (f *slowBatchFactory) CreateExecution(id string) (string, error) {
+	f.started <- id
+	<-f.release
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unitCalls++
+	if f.fail {
+		return "", errors.New("factory down")
+	}
+	f.made = append(f.made, id)
+	return gsh.New(f.host, ExecutionType, id).String(), nil
+}
+
+func (f *slowBatchFactory) CreateExecutions(ids []string) ([]string, error) {
+	f.started <- ids[0]
+	<-f.release
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batchCalls++
+	if f.fail {
+		return nil, errors.New("factory down")
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		f.made = append(f.made, id)
+		out[i] = gsh.New(f.host, ExecutionType, id).String()
+	}
+	return out, nil
+}
+
+func (f *slowBatchFactory) Host() string { return f.host }
+
+func (f *slowBatchFactory) counts() (made, batch, unit int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.made), f.batchCalls, f.unitCalls
+}
+
+// TestManagerCachedReadsDontStallBehindCreation is the regression test
+// for the old lock-across-the-wire bug: a slow remote creation must not
+// block lookups of already-cached handles.
+func TestManagerCachedReadsDontStallBehindCreation(t *testing.T) {
+	f := newSlowBatchFactory("a:1")
+	m, err := NewManager(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache with one instance.
+	done := make(chan struct{})
+	go func() { defer close(done); _, _ = m.ExecutionHandles([]string{"warm"}) }()
+	<-f.started
+	f.release <- struct{}{}
+	<-done
+
+	// Start a creation that blocks until released.
+	var slowErr error
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		_, slowErr = m.ExecutionHandles([]string{"cold"})
+	}()
+	<-f.started // creation is now in flight, factory blocked
+
+	// Cached lookups must complete while the creation is still blocked.
+	start := time.Now()
+	hs, err := m.ExecutionHandles([]string{"warm"})
+	elapsed := time.Since(start)
+	if err != nil || len(hs) != 1 {
+		t.Fatalf("cached lookup: %v, %v", hs, err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cached lookup stalled %v behind in-flight creation", elapsed)
+	}
+	select {
+	case <-slowDone:
+		t.Fatal("slow creation finished before release — test race")
+	default:
+	}
+	f.release <- struct{}{}
+	<-slowDone
+	if slowErr != nil {
+		t.Fatalf("slow creation: %v", slowErr)
+	}
+}
+
+// TestManagerInFlightDeduplicates proves duplicate requests wait on the
+// in-flight marker instead of re-creating: two concurrent batches for the
+// same missing ID cost one factory call.
+func TestManagerInFlightDeduplicates(t *testing.T) {
+	f := newSlowBatchFactory("a:1")
+	m, _ := NewManager(nil, f)
+
+	results := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			hs, err := m.ExecutionHandles([]string{"x"})
+			if err != nil {
+				results <- "err: " + err.Error()
+				return
+			}
+			results <- hs[0]
+		}()
+	}
+	// Exactly one creation starts; the duplicate waits on the marker.
+	<-f.started
+	select {
+	case id := <-f.started:
+		t.Fatalf("duplicate request started a second creation (%q)", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	f.release <- struct{}{}
+	a, b := <-results, <-results
+	if a != b {
+		t.Fatalf("waiter got different handle: %q vs %q", a, b)
+	}
+	if made, batch, unit := f.counts(); made != 1 || batch+unit != 1 {
+		t.Fatalf("made=%d batch=%d unit=%d, want one creation", made, batch, unit)
+	}
+}
+
+// TestManagerBatchGroupsPerReplica proves a cold batch costs one plural
+// factory call per replica (not one per ID) and that the groups run
+// concurrently.
+func TestManagerBatchGroupsPerReplica(t *testing.T) {
+	a := newSlowBatchFactory("a:1")
+	b := newSlowBatchFactory("b:1")
+	m, _ := NewManager(InterleavePolicy{}, a, b)
+
+	ids := []string{"1", "2", "3", "4", "5", "6"}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.ExecutionHandles(ids)
+		done <- err
+	}()
+	// Both replicas' creations must be in flight at the same time —
+	// sequential creation would start b only after a finished.
+	<-a.started
+	<-b.started
+	close(a.release)
+	close(b.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	aMade, aBatch, aUnit := a.counts()
+	bMade, bBatch, bUnit := b.counts()
+	if aMade != 3 || bMade != 3 {
+		t.Fatalf("distribution %d/%d, want 3/3", aMade, bMade)
+	}
+	if aBatch != 1 || bBatch != 1 || aUnit != 0 || bUnit != 0 {
+		t.Fatalf("calls a(batch=%d,unit=%d) b(batch=%d,unit=%d), want one plural call each",
+			aBatch, aUnit, bBatch, bUnit)
+	}
+}
+
+// TestManagerBatchedMatchesPerIDOracle differentially tests the batched
+// path against the retained per-ID oracle: same policy, same IDs, same
+// handles and same placement.
+func TestManagerBatchedMatchesPerIDOracle(t *testing.T) {
+	ids := make([]string, 25)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("e%02d", i)
+	}
+	for _, policy := range []ReplicaPolicy{InterleavePolicy{}, BlockPolicy{}, HashPolicy{}, LeastLoadedPolicy{}} {
+		run := func(batched bool) ([]string, map[string]int) {
+			t.Helper()
+			a := newSlowBatchFactory("a:1")
+			b := newSlowBatchFactory("b:1")
+			c := newSlowBatchFactory("c:1")
+			close(a.release)
+			close(b.release)
+			close(c.release)
+			go func() { // drain the started channel; creations are instant
+				for range a.started {
+				}
+			}()
+			go func() {
+				for range b.started {
+				}
+			}()
+			go func() {
+				for range c.started {
+				}
+			}()
+			m, err := NewManager(policy, a, b, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetBatching(batched)
+			hs, err := m.ExecutionHandles(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hs, m.PerHostCounts()
+		}
+		batchedHs, batchedCounts := run(true)
+		oracleHs, oracleCounts := run(false)
+		if !reflect.DeepEqual(batchedHs, oracleHs) {
+			t.Errorf("%s: batched handles diverge from per-ID oracle:\n%v\n%v",
+				policy.Name(), batchedHs, oracleHs)
+		}
+		if !reflect.DeepEqual(batchedCounts, oracleCounts) {
+			t.Errorf("%s: batched placement %v diverges from oracle %v",
+				policy.Name(), batchedCounts, oracleCounts)
+		}
+	}
+}
+
+// TestManagerBatchCreateFailure covers the plural path's error handling:
+// the request reports the failure, and the failed IDs are released for
+// retry once the factory recovers.
+func TestManagerBatchCreateFailure(t *testing.T) {
+	f := newSlowBatchFactory("a:1")
+	close(f.release)
+	go func() {
+		for range f.started {
+		}
+	}()
+	f.fail = true
+	m, _ := NewManager(nil, f)
+	if _, err := m.ExecutionHandles([]string{"1", "2"}); err == nil {
+		t.Fatal("batch factory failure not propagated")
+	}
+	f.mu.Lock()
+	f.fail = false
+	f.mu.Unlock()
+	hs, err := m.ExecutionHandles([]string{"1", "2"})
+	if err != nil || len(hs) != 2 {
+		t.Fatalf("retry after failure: %v, %v", hs, err)
+	}
+}
+
+// TestManagerDuplicateIDsInBatch: repeated IDs in one request map to one
+// creation and identical handles.
+func TestManagerDuplicateIDsInBatch(t *testing.T) {
+	f := newSlowBatchFactory("a:1")
+	close(f.release)
+	go func() {
+		for range f.started {
+		}
+	}()
+	m, _ := NewManager(nil, f)
+	hs, err := m.ExecutionHandles([]string{"7", "7", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0] != hs[1] || hs[1] != hs[2] {
+		t.Fatalf("duplicate IDs got different handles: %v", hs)
+	}
+	if made, _, _ := f.counts(); made != 1 {
+		t.Fatalf("created %d instances for one unique ID", made)
+	}
+}
+
+// TestPolicyFairnessManyHosts checks replica-policy fairness past the
+// paper's two-host testbed: uniform batches land within ±1 per host for
+// every balanced policy at 3, 4, and 8 replicas.
+func TestPolicyFairnessManyHosts(t *testing.T) {
+	for _, replicas := range []int{3, 4, 8} {
+		for _, batch := range []int{24, 25, 124} {
+			ids := make([]string, batch)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("exec-%03d", i)
+			}
+			for _, policy := range []ReplicaPolicy{InterleavePolicy{}, BlockPolicy{}, HashPolicy{}, LeastLoadedPolicy{}} {
+				var assign []int
+				if la, ok := policy.(LoadAwarePolicy); ok {
+					assign = la.AssignLoaded(ids, make([]HostLoad, replicas))
+				} else {
+					assign = policy.Assign(ids, replicas)
+				}
+				counts := make([]int, replicas)
+				for _, r := range assign {
+					if r < 0 || r >= replicas {
+						t.Fatalf("%s: assignment %d out of range [0,%d)", policy.Name(), r, replicas)
+					}
+					counts[r]++
+				}
+				lo, hi := counts[0], counts[0]
+				for _, c := range counts {
+					if c < lo {
+						lo = c
+					}
+					if c > hi {
+						hi = c
+					}
+				}
+				if hi-lo > 1 {
+					t.Errorf("%s: %d IDs on %d hosts spread %d (>1): %v",
+						policy.Name(), batch, replicas, hi-lo, counts)
+				}
+			}
+		}
+	}
+}
+
+// TestHashPolicyIncrementalSpread guards the incremental workload:
+// single-ID batches (clients resolving executions one at a time) must
+// spread across replicas by each ID's own hash, not pile onto replica 0.
+func TestHashPolicyIncrementalSpread(t *testing.T) {
+	for _, replicas := range []int{2, 4} {
+		counts := make([]int, replicas)
+		for i := 0; i < 124; i++ {
+			assign := (HashPolicy{}).Assign([]string{fmt.Sprintf("exec-%03d", i)}, replicas)
+			counts[assign[0]]++
+		}
+		for r, c := range counts {
+			if c == 0 {
+				t.Errorf("%d replicas: replica %d got no single-ID batches: %v", replicas, r, counts)
+			}
+			if c > 124*3/4 {
+				t.Errorf("%d replicas: replica %d hoards single-ID batches: %v", replicas, r, counts)
+			}
+		}
+	}
+}
+
+// TestHashPolicyOrderIndependent: the same ID set must land identically
+// regardless of batch order — the property hash placement trades
+// composition-independence for.
+func TestHashPolicyOrderIndependent(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e", "f", "g"}
+	fwd := (HashPolicy{}).Assign(ids, 3)
+	rev := make([]string, len(ids))
+	for i, id := range ids {
+		rev[len(ids)-1-i] = id
+	}
+	revAssign := (HashPolicy{}).Assign(rev, 3)
+	for i, id := range ids {
+		if fwd[i] != revAssign[len(ids)-1-i] {
+			t.Fatalf("id %q placed on %d forward but %d reversed", id, fwd[i], revAssign[len(ids)-1-i])
+		}
+	}
+}
+
+// TestLeastLoadedPolicyFavorsIdleHosts: with one replica pre-loaded, new
+// IDs flow to the others first.
+func TestLeastLoadedPolicyFavorsIdleHosts(t *testing.T) {
+	loads := []HostLoad{{Created: 10}, {Created: 0}, {Created: 0}}
+	ids := []string{"1", "2", "3", "4", "5", "6"}
+	assign := (LeastLoadedPolicy{}).AssignLoaded(ids, loads)
+	counts := make([]int, 3)
+	for _, r := range assign {
+		counts[r]++
+	}
+	if counts[0] != 0 || counts[1] != 3 || counts[2] != 3 {
+		t.Errorf("least-loaded counts = %v, want [0 3 3]", counts)
+	}
+}
+
+// TestAdaptivePolicySkewsFromSlowHosts: a replica observed twice as slow
+// receives roughly half the instances of a fast one.
+func TestAdaptivePolicySkewsFromSlowHosts(t *testing.T) {
+	loads := []HostLoad{{LatencyMs: 2}, {LatencyMs: 1}}
+	ids := make([]string, 30)
+	for i := range ids {
+		ids[i] = fmt.Sprint(i)
+	}
+	assign := (AdaptivePolicy{}).AssignLoaded(ids, loads)
+	counts := make([]int, 2)
+	for _, r := range assign {
+		counts[r]++
+	}
+	if counts[0] >= counts[1] {
+		t.Fatalf("slow host got %d vs fast host's %d", counts[0], counts[1])
+	}
+	if counts[0] < 8 || counts[0] > 12 { // ~1/3 of 30
+		t.Errorf("slow host share = %d, want about 10 of 30", counts[0])
+	}
+}
+
+// TestPolicyByName covers the registry.
+func TestPolicyByName(t *testing.T) {
+	for _, name := range AllPolicyNames {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if p, err := PolicyByName(""); err != nil || p.Name() != "interleave" {
+		t.Errorf("empty name: %v, %v", p, err)
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// countingExecWrapper wraps an ExecutionWrapper, counting and slowing
+// PerformanceResults so coalescing windows are wide enough to test.
+type countingExecWrapper struct {
+	mapping.ExecutionWrapper
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (c *countingExecWrapper) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
+	c.calls.Add(1)
+	time.Sleep(c.delay)
+	return c.ExecutionWrapper.PerformanceResults(q)
+}
+
+// TestGetPRCoalescing: N concurrent identical cold getPR queries execute
+// the Mapping Layer exactly once; the other N-1 are coalesced onto the
+// in-flight execution and counted.
+func TestGetPRCoalescing(t *testing.T) {
+	d := datagen.HPL(datagen.HPLConfig{Executions: 1, Seed: 31})
+	ew, err := mapping.NewMemory(d).ExecutionWrapper("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &countingExecWrapper{ExecutionWrapper: ew, delay: 50 * time.Millisecond}
+	svc := NewExecutionService("100", cw, NewLRU(0), nil)
+	tr, _ := svc.TimeStartEnd()
+	q := perfdata.Query{Metric: "gflops", Time: tr, Type: "hpl"}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]perfdata.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = svc.PerformanceResults(q)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("query %d diverged", i)
+		}
+	}
+	if got := cw.calls.Load(); got != 1 {
+		t.Fatalf("mapping layer executed %d times for %d concurrent identical queries", got, n)
+	}
+	if got := svc.CoalescedQueries(); got != n-1 {
+		t.Fatalf("coalesced = %d, want %d", got, n-1)
+	}
+	sd := svc.ServiceData()
+	if sd["coalescedQueries"][0] != fmt.Sprint(n-1) {
+		t.Errorf("coalescedQueries SDE = %v", sd["coalescedQueries"])
+	}
+
+	// A later identical query is a plain cache hit — no new execution, no
+	// new coalescing.
+	if _, err := svc.PerformanceResults(q); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls.Load() != 1 || svc.CoalescedQueries() != n-1 {
+		t.Errorf("post-flight query re-executed: calls=%d coalesced=%d",
+			cw.calls.Load(), svc.CoalescedQueries())
+	}
+}
+
+// TestGetPRCoalescingDistinctQueries: different queries are not coalesced
+// with each other.
+func TestGetPRCoalescingDistinctQueries(t *testing.T) {
+	d := datagen.HPL(datagen.HPLConfig{Executions: 1, Seed: 32})
+	ew, err := mapping.NewMemory(d).ExecutionWrapper("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &countingExecWrapper{ExecutionWrapper: ew, delay: 20 * time.Millisecond}
+	svc := NewExecutionService("100", cw, NewLRU(0), nil)
+	tr, _ := svc.TimeStartEnd()
+
+	var wg sync.WaitGroup
+	for _, metric := range []string{"gflops", "residual"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := perfdata.Query{Metric: metric, Time: tr, Type: "hpl"}
+			if _, err := svc.PerformanceResults(q); err != nil {
+				t.Errorf("%s: %v", metric, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cw.calls.Load(); got != 2 {
+		t.Errorf("distinct queries executed %d times, want 2", got)
+	}
+	if got := svc.CoalescedQueries(); got != 0 {
+		t.Errorf("distinct queries coalesced: %d", got)
+	}
+}
+
+// TestColdBatchWireCalls pins the headline wire-cost property: a cold
+// B-ID batch resolved through remote factories on R replicas costs at
+// most R factory round trips (one plural CreateServices per replica),
+// where the per-ID oracle costs B.
+func TestColdBatchWireCalls(t *testing.T) {
+	const replicas = 3
+	d := datagen.HPL(datagen.HPLConfig{Executions: 24, Seed: 33})
+	wrappers := make([]mapping.ApplicationWrapper, replicas)
+	for i := range wrappers {
+		wrappers[i] = mapping.NewMemory(d)
+	}
+	site, err := StartSite(SiteConfig{AppName: "HPL", Wrappers: wrappers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	ids, err := site.LocalWrapper().AllExecIDs()
+	if err != nil || len(ids) != 24 {
+		t.Fatalf("AllExecIDs: %v, %v", ids, err)
+	}
+	newRemoteManager := func() *Manager {
+		refs := make([]ExecutionFactoryRef, replicas)
+		for i, host := range site.Hosts() {
+			refs[i] = NewRemoteFactoryRef(host)
+		}
+		m, err := NewManager(InterleavePolicy{}, refs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	requests := func() int64 {
+		var total int64
+		for _, c := range site.Containers() {
+			total += c.Requests()
+		}
+		return total
+	}
+
+	before := requests()
+	if _, err := newRemoteManager().ExecutionHandles(ids); err != nil {
+		t.Fatal(err)
+	}
+	batchedCalls := requests() - before
+	if batchedCalls > replicas {
+		t.Errorf("cold %d-ID batch on %d replicas issued %d wire calls, want <= %d",
+			len(ids), replicas, batchedCalls, replicas)
+	}
+
+	before = requests()
+	oracle := newRemoteManager()
+	oracle.SetBatching(false)
+	if _, err := oracle.ExecutionHandles(ids); err != nil {
+		t.Fatal(err)
+	}
+	perIDCalls := requests() - before
+	if perIDCalls != int64(len(ids)) {
+		t.Errorf("per-ID oracle issued %d wire calls, want %d", perIDCalls, len(ids))
+	}
+	t.Logf("cold batch wire calls: batched=%d per-ID=%d", batchedCalls, perIDCalls)
+}

@@ -92,7 +92,15 @@ func StartSite(cfg SiteConfig) (*Site, error) {
 			s.Close()
 			return nil, err
 		}
-		refs = append(refs, &LocalFactoryRef{Factory: execFactory, HostID: cont.Host()})
+		refs = append(refs, &LocalFactoryRef{
+			Factory: execFactory,
+			HostID:  cont.Host(),
+			// Feed the container's worker-pool signals (queue depth,
+			// service-time EWMA) to load-aware replica policies.
+			LoadFn: func() HostLoad {
+				return HostLoad{InFlight: int(cont.InFlight()), LatencyMs: cont.MeanServiceMs()}
+			},
+		})
 	}
 
 	manager, err := NewManager(cfg.Policy, refs...)

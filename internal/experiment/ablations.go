@@ -97,16 +97,24 @@ func RenderSOAPOverhead(points []SOAPOverheadPoint) string {
 type PolicyAblationRow struct {
 	Policy     string
 	WallMs     float64
-	HostSpread int // |instances(host A) - instances(host B)|
+	HostSpread int // max(instances per host) - min(instances per host)
 }
 
-// RunPolicyAblation compares Manager replica policies on a two-host HPL
-// site: same threaded query batch, different placement. Interleaving and
-// hashing balance instances; block placement balances too on a full batch
-// but skews under prefix batches — the spread column shows placement, the
-// wall-time column its effect under single-CPU hosts.
-func RunPolicyAblation(cfg Config, executions, repeats int) ([]PolicyAblationRow, error) {
+// RunPolicyAblation compares Manager replica policies on an N-host HPL
+// site: same threaded query batch, different placement. Interleaving,
+// hashing, and the load-aware policies balance instances; block placement
+// balances too on a full batch but skews under prefix batches — the
+// spread column shows placement, the wall-time column its effect under
+// single-CPU hosts. nil policies runs every built-in policy; replicas <= 0
+// means the classic two hosts.
+func RunPolicyAblation(cfg Config, policies []string, replicas, executions, repeats int) ([]PolicyAblationRow, error) {
 	cfg = cfg.withDefaults()
+	if len(policies) == 0 {
+		policies = core.AllPolicyNames
+	}
+	if replicas <= 0 {
+		replicas = 2
+	}
 	if executions <= 0 {
 		executions = 32
 	}
@@ -114,9 +122,13 @@ func RunPolicyAblation(cfg Config, executions, repeats int) ([]PolicyAblationRow
 		repeats = 5
 	}
 	var out []PolicyAblationRow
-	for _, policy := range []core.ReplicaPolicy{core.InterleavePolicy{}, core.BlockPolicy{}, core.HashPolicy{}} {
+	for _, name := range policies {
+		policy, err := core.PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
 		d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: cfg.Seed})
-		wrappers := make([]mapping.ApplicationWrapper, 2)
+		wrappers := make([]mapping.ApplicationWrapper, replicas)
 		for i := range wrappers {
 			w, err := mapping.NewWideTable(d)
 			if err != nil {
@@ -170,17 +182,18 @@ func runPolicyBatch(site *core.Site, executions, repeats int) (PolicyAblationRow
 			return PolicyAblationRow{}, r.Err
 		}
 	}
-	counts := site.Manager().PerHostCounts()
-	spread := 0
-	vals := make([]int, 0, len(counts))
-	for _, v := range counts {
-		vals = append(vals, v)
-	}
-	if len(vals) == 2 {
-		spread = vals[0] - vals[1]
-		if spread < 0 {
-			spread = -spread
+	lo, hi := -1, -1
+	for _, v := range site.Manager().PerHostCounts() {
+		if lo == -1 || v < lo {
+			lo = v
 		}
+		if v > hi {
+			hi = v
+		}
+	}
+	spread := 0
+	if lo >= 0 {
+		spread = hi - lo
 	}
 	return PolicyAblationRow{
 		WallMs:     float64(wall) / float64(time.Millisecond),
@@ -189,13 +202,16 @@ func runPolicyBatch(site *core.Site, executions, repeats int) (PolicyAblationRow
 }
 
 // RenderPolicyAblation formats the comparison.
-func RenderPolicyAblation(rows []PolicyAblationRow) string {
+func RenderPolicyAblation(rows []PolicyAblationRow, replicas int) string {
+	if replicas <= 0 {
+		replicas = 2
+	}
 	header := []string{"Policy", "Batch wall (ms)", "Host spread"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{r.Policy, Fmt(r.WallMs), fmt.Sprint(r.HostSpread)})
 	}
-	return viz.Table("Ablation — Manager replica policies (2 hosts, 1 CPU each)", header, cells)
+	return viz.Table(fmt.Sprintf("Ablation — Manager replica policies (%d hosts, 1 CPU each)", replicas), header, cells)
 }
 
 // CachePolicyRow is one replacement policy's outcome under a skewed mix.

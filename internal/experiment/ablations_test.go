@@ -28,11 +28,11 @@ func TestRunSOAPOverheadSweep(t *testing.T) {
 }
 
 func TestRunPolicyAblation(t *testing.T) {
-	rows, err := RunPolicyAblation(Config{Scale: 0.001, Seed: 9}, 8, 2)
+	rows, err := RunPolicyAblation(Config{Scale: 0.001, Seed: 9}, nil, 2, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byName := map[string]PolicyAblationRow{}
@@ -42,12 +42,34 @@ func TestRunPolicyAblation(t *testing.T) {
 			t.Errorf("%s: wall = %v", r.Policy, r.WallMs)
 		}
 	}
-	// Interleave balances the full 124-instance placement exactly.
-	if byName["interleave"].HostSpread > 1 {
-		t.Errorf("interleave spread = %d", byName["interleave"].HostSpread)
+	// Every balanced policy places the full 124-instance set within ±1;
+	// block balances the full batch too. Adaptive is excluded: it
+	// deliberately skews toward hosts it has observed to be faster.
+	for _, p := range []string{"interleave", "hash", "least-loaded", "block"} {
+		if byName[p].HostSpread > 1 {
+			t.Errorf("%s spread = %d", p, byName[p].HostSpread)
+		}
 	}
-	if out := RenderPolicyAblation(rows); !strings.Contains(out, "interleave") {
+	if out := RenderPolicyAblation(rows, 2); !strings.Contains(out, "interleave") {
 		t.Error("render incomplete")
+	}
+}
+
+func TestRunPolicyAblationFourHosts(t *testing.T) {
+	rows, err := RunPolicyAblation(Config{Scale: 0.001, Seed: 9}, []string{"interleave", "least-loaded"}, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.HostSpread > 1 {
+			t.Errorf("%s spread = %d on 4 hosts", r.Policy, r.HostSpread)
+		}
+	}
+	if out := RenderPolicyAblation(rows, 4); !strings.Contains(out, "4 hosts") {
+		t.Error("render missing host count")
 	}
 }
 

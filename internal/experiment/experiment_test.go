@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -185,39 +186,80 @@ func TestRunFigure12Quick(t *testing.T) {
 		ExecutionCounts: []int{2, 8},
 		Repeats:         3,
 		BatchRuns:       2,
+		HostCounts:      []int{2, 4}, // 1-host baseline is prepended
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if want := []int{1, 2, 4}; !reflect.DeepEqual(report.HostCounts, want) {
+		t.Fatalf("host axis = %v, want %v", report.HostCounts, want)
 	}
 	if len(report.Points) != 2 {
 		t.Fatalf("points = %d", len(report.Points))
 	}
 	for _, p := range report.Points {
-		if p.OneHostMs <= 0 || p.TwoHostMs <= 0 {
-			t.Errorf("nonpositive wall times: %+v", p)
+		for _, h := range report.HostCounts {
+			if p.WallMs[h] <= 0 {
+				t.Errorf("nonpositive wall time at %d execs / %d hosts: %+v", p.Executions, h, p)
+			}
+		}
+		for _, h := range report.HostCounts[1:] {
+			if p.Speedup[h] <= 0 {
+				t.Errorf("nonpositive speedup at %d execs / %d hosts", p.Executions, h)
+			}
 		}
 	}
-	// getAllExecs instantiated the full dataset, interleaved across the
-	// two hosts (62/62 for 124 executions).
-	if len(report.HostCounts) != 2 {
-		t.Fatalf("host counts = %v", report.HostCounts)
-	}
-	total, diff := 0, 0
-	for _, c := range report.HostCounts {
-		total += c
-		diff = c - diff
-	}
-	if total != 124 {
-		t.Errorf("instances created = %d, want 124", total)
-	}
-	if diff < -1 || diff > 1 {
-		t.Errorf("unbalanced distribution: %v", report.HostCounts)
+	// getAllExecs instantiated the full dataset on every replicated
+	// configuration, interleaved within ±1 (62/62 on 2 hosts, 31×4 on 4).
+	for _, h := range report.HostCounts[1:] {
+		counts := report.InstanceCounts[h]
+		if len(counts) != h {
+			t.Fatalf("%d-host instance counts = %v", h, counts)
+		}
+		total, lo, hi := 0, -1, -1
+		for _, c := range counts {
+			total += c
+			if lo == -1 || c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if total != 124 {
+			t.Errorf("%d hosts: instances created = %d, want 124", h, total)
+		}
+		if hi-lo > 1 {
+			t.Errorf("%d hosts: unbalanced distribution: %v", h, counts)
+		}
 	}
 	text := report.Render()
-	for _, want := range []string{"Figure 12", "Mean speedup", "Non-Optimized", "Shape checks"} {
+	for _, want := range []string{"Figure 12", "Mean speedup", "Non-Optimized", "4 hosts", "Shape checks"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render missing %q", want)
 		}
+	}
+}
+
+func TestRunFigure12SweepPolicies(t *testing.T) {
+	sweep, err := RunFigure12Sweep(Figure12Config{
+		Config:          quickCfg(),
+		ExecutionCounts: []int{2, 4},
+		Repeats:         2,
+		BatchRuns:       1,
+		HostCounts:      []int{2},
+	}, []string{"interleave", "least-loaded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Reports) != 2 {
+		t.Fatalf("reports = %d", len(sweep.Reports))
+	}
+	if sweep.Reports[0].Policy != "interleave" || sweep.Reports[1].Policy != "least-loaded" {
+		t.Errorf("policies = %q, %q", sweep.Reports[0].Policy, sweep.Reports[1].Policy)
+	}
+	if !strings.Contains(sweep.Render(), "mean speedup per replica policy") {
+		t.Error("sweep render missing cross-policy summary")
 	}
 }
 

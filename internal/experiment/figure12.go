@@ -23,31 +23,48 @@ type Figure12Config struct {
 	// BatchRuns repeats the whole query set; the paper used 10. 0 means 3
 	// (enough for a stable mean at modern timer resolution).
 	BatchRuns int
+	// HostCounts is the replicas axis. The paper measured {1, 2}; nil
+	// extends it to {1, 2, 4, 8}. 1 (the non-optimized baseline) is
+	// prepended when absent.
+	HostCounts []int
+	// Policy names the Manager's replica policy for the replicated runs;
+	// empty means the paper's interleaving.
+	Policy string
 }
 
-// Figure12Point is one x-position of the reproduced Figure 12.
+// Figure12Point is one x-position of the reproduced Figure 12: the mean
+// batch wall time per replica count, and each replicated configuration's
+// speedup over the one-host baseline.
 type Figure12Point struct {
 	Executions     int
-	OneHostMs      float64
-	TwoHostMs      float64
-	Speedup        float64
-	RelativeChange float64
+	WallMs         map[int]float64 // replica count -> mean batch wall ms
+	Speedup        map[int]float64 // replica count > 1 -> speedup vs 1 host
+	RelativeChange map[int]float64 // replica count > 1 -> % change vs 1 host
 }
 
-// Figure12Report is the reproduced Figure 12.
+// OneHostMs returns the non-optimized baseline wall time.
+func (p Figure12Point) OneHostMs() float64 { return p.WallMs[1] }
+
+// Figure12Report is the reproduced Figure 12, generalized to an N-host
+// replicas axis.
 type Figure12Report struct {
-	Points      []Figure12Point
-	MeanSpeedup float64
-	// HostCounts records how many Execution instances each replica host
-	// received in the two-host run at the largest size.
-	HostCounts map[string]int
+	Policy     string
+	HostCounts []int // ascending; element 0 is the 1-host baseline
+	Points     []Figure12Point
+	// MeanSpeedup is the mean speedup over the measured sizes, per
+	// replicated host count.
+	MeanSpeedup map[int]float64
+	// InstanceCounts records, per replicated configuration, how many
+	// Execution instances the Manager placed on each replica host.
+	InstanceCounts map[int]map[string]int
 }
 
 // RunFigure12 measures scalability: Performance Result queries against
 // 2..124 HPL Execution service instances, each query in its own thread
 // and repeated to increase host load, comparing one single-CPU host
-// ("non-optimized") against the Manager's interleaved distribution over
-// two single-CPU replica hosts ("optimized") — the paper's section 6.5.
+// ("non-optimized") against the Manager's distribution over N single-CPU
+// replica hosts ("optimized") — the paper's section 6.5, extended past
+// its two-host testbed.
 func RunFigure12(cfg Figure12Config) (*Figure12Report, error) {
 	counts := cfg.ExecutionCounts
 	if counts == nil {
@@ -62,33 +79,84 @@ func RunFigure12(cfg Figure12Config) (*Figure12Report, error) {
 	if batchRuns <= 0 {
 		batchRuns = 3
 	}
+	hosts := normalizeHostCounts(cfg.HostCounts)
 	maxCount := counts[len(counts)-1]
 
-	report := &Figure12Report{}
-	oneHost, err := runScalability(cfg.Config, 1, counts, maxCount, repeats, batchRuns, nil)
-	if err != nil {
-		return nil, err
+	report := &Figure12Report{
+		Policy:         policyName(cfg.Policy),
+		HostCounts:     hosts,
+		MeanSpeedup:    make(map[int]float64),
+		InstanceCounts: make(map[int]map[string]int),
 	}
-	hostCounts := map[string]int{}
-	twoHost, err := runScalability(cfg.Config, 2, counts, maxCount, repeats, batchRuns, hostCounts)
-	if err != nil {
-		return nil, err
+	base := cfg.Config
+	base.Policy = cfg.Policy
+	wall := make(map[int]map[int]float64) // replicas -> executions -> ms
+	for _, r := range hosts {
+		var instances map[string]int
+		if r > 1 {
+			instances = map[string]int{}
+		}
+		ms, err := runScalability(base, r, counts, maxCount, repeats, batchRuns, instances)
+		if err != nil {
+			return nil, err
+		}
+		wall[r] = ms
+		if r > 1 {
+			report.InstanceCounts[r] = instances
+		}
 	}
-	var speedups Sample
+
+	speedups := make(map[int]*Sample)
 	for _, n := range counts {
 		p := Figure12Point{
 			Executions:     n,
-			OneHostMs:      oneHost[n],
-			TwoHostMs:      twoHost[n],
-			Speedup:        Speedup(oneHost[n], twoHost[n]),
-			RelativeChange: RelativeChange(oneHost[n], twoHost[n]),
+			WallMs:         map[int]float64{},
+			Speedup:        map[int]float64{},
+			RelativeChange: map[int]float64{},
 		}
-		speedups.Add(p.Speedup)
+		for _, r := range hosts {
+			p.WallMs[r] = wall[r][n]
+			if r == 1 {
+				continue
+			}
+			p.Speedup[r] = Speedup(wall[1][n], wall[r][n])
+			p.RelativeChange[r] = RelativeChange(wall[1][n], wall[r][n])
+			if speedups[r] == nil {
+				speedups[r] = &Sample{}
+			}
+			speedups[r].Add(p.Speedup[r])
+		}
 		report.Points = append(report.Points, p)
 	}
-	report.MeanSpeedup = speedups.Mean()
-	report.HostCounts = hostCounts
+	for r, s := range speedups {
+		report.MeanSpeedup[r] = s.Mean()
+	}
 	return report, nil
+}
+
+// normalizeHostCounts sorts, deduplicates, and prepends the 1-host
+// baseline. nil selects the default {1, 2, 4, 8} axis.
+func normalizeHostCounts(hosts []int) []int {
+	if len(hosts) == 0 {
+		return []int{1, 2, 4, 8}
+	}
+	seen := map[int]bool{1: true}
+	out := []int{1}
+	for _, h := range hosts {
+		if h > 1 && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func policyName(name string) string {
+	if name == "" {
+		return "interleave"
+	}
+	return name
 }
 
 // runScalability measures mean batch wall time per execution count on a
@@ -146,31 +214,47 @@ func runScalability(base Config, replicas int, counts []int, maxCount, repeats, 
 }
 
 // Render prints the measured figure (table + ASCII chart) with the
-// paper's reference speedups.
+// paper's reference speedups for the two-host column.
 func (r *Figure12Report) Render() string {
-	header := []string{"Executions", "1 host (ms)", "2 hosts (ms)", "Relative change", "Speedup", "Paper speedup"}
+	header := []string{"Executions", "1 host (ms)"}
+	for _, h := range r.HostCounts[1:] {
+		header = append(header, fmt.Sprintf("%d hosts (ms)", h), fmt.Sprintf("Speedup x%d", h))
+	}
+	header = append(header, "Paper speedup (2 hosts)")
 	var rows [][]string
 	for _, p := range r.Points {
+		row := []string{fmt.Sprint(p.Executions), Fmt(p.OneHostMs())}
+		for _, h := range r.HostCounts[1:] {
+			row = append(row, Fmt(p.WallMs[h]), Fmt(p.Speedup[h]))
+		}
 		paper := "N/A"
 		if v, ok := PaperFigure12.Speedups[p.Executions]; ok {
 			paper = Fmt(v)
 		}
-		rows = append(rows, []string{
-			fmt.Sprint(p.Executions), Fmt(p.OneHostMs), Fmt(p.TwoHostMs),
-			Fmt(p.RelativeChange) + "%", Fmt(p.Speedup), paper,
-		})
+		rows = append(rows, append(row, paper))
 	}
-	out := viz.Table("Figure 12 — PPerfGrid Scalability (measured)", header, rows)
-	out += fmt.Sprintf("\nMean speedup: %s (paper: %s over its measured points)\n",
-		Fmt(r.MeanSpeedup), Fmt(PaperFigure12.MeanSpeedup))
+	out := viz.Table(fmt.Sprintf("Figure 12 — PPerfGrid Scalability (measured, policy=%s)", r.Policy), header, rows)
+	for _, h := range r.HostCounts[1:] {
+		note := ""
+		if h == 2 {
+			note = fmt.Sprintf(" (paper: %s over its measured points)", Fmt(PaperFigure12.MeanSpeedup))
+		}
+		out += fmt.Sprintf("Mean speedup %d hosts: %s%s\n", h, Fmt(r.MeanSpeedup[h]), note)
+	}
 
-	one := viz.Series{Name: "Non-Optimized (1 host)", Points: map[float64]float64{}}
-	two := viz.Series{Name: "Optimized (2 hosts)", Points: map[float64]float64{}}
-	for _, p := range r.Points {
-		one.Points[float64(p.Executions)] = p.OneHostMs
-		two.Points[float64(p.Executions)] = p.TwoHostMs
+	var series []viz.Series
+	for _, h := range r.HostCounts {
+		name := "Non-Optimized (1 host)"
+		if h > 1 {
+			name = fmt.Sprintf("Optimized (%d hosts)", h)
+		}
+		s := viz.Series{Name: name, Points: map[float64]float64{}}
+		for _, p := range r.Points {
+			s.Points[float64(p.Executions)] = p.WallMs[h]
+		}
+		series = append(series, s)
 	}
-	out += "\n" + viz.LineChart("Batch wall time (ms) vs # of Execution GSs in query", []viz.Series{one, two}, 14, 60)
+	out += "\n" + viz.LineChart("Batch wall time (ms) vs # of Execution GSs in query", series, 14, 60)
 	out += "\nShape checks:\n"
 	for _, c := range r.CheckShape() {
 		out += "  " + c + "\n"
@@ -178,7 +262,8 @@ func (r *Figure12Report) Render() string {
 	return out
 }
 
-// CheckShape evaluates the paper's qualitative scalability findings.
+// CheckShape evaluates the paper's qualitative scalability findings,
+// extended to the N-host axis.
 func (r *Figure12Report) CheckShape() []string {
 	var out []string
 	check := func(name string, ok bool) {
@@ -188,30 +273,59 @@ func (r *Figure12Report) CheckShape() []string {
 		}
 		out = append(out, fmt.Sprintf("%s  %s", status, name))
 	}
-	check("two-host mean speedup is significant (> 1.5x; paper 2.14x)", r.MeanSpeedup > 1.5)
-	check("two-host mean speedup bounded by 2 replicas (< 2.6x)", r.MeanSpeedup < 2.6)
+	if _, measured := r.MeanSpeedup[2]; measured {
+		check("two-host mean speedup is significant (> 1.5x; paper 2.14x)", r.MeanSpeedup[2] > 1.5)
+		check("two-host mean speedup bounded by 2 replicas (< 2.6x)", r.MeanSpeedup[2] < 2.6)
+	}
 	allFaster := true
 	for _, p := range r.Points {
-		if p.Speedup <= 1 {
-			allFaster = false
+		for _, s := range p.Speedup {
+			if s <= 1 {
+				allFaster = false
+			}
 		}
 	}
-	check("distribution helps at every query size", allFaster)
+	check("distribution helps at every query size and replica count", allFaster)
 	if len(r.Points) >= 2 {
 		first, last := r.Points[0], r.Points[len(r.Points)-1]
-		check("wall time grows with query size on one host", last.OneHostMs > first.OneHostMs)
-		check("wall time grows with query size on two hosts", last.TwoHostMs > first.TwoHostMs)
+		for _, h := range r.HostCounts {
+			check(fmt.Sprintf("wall time grows with query size on %d host(s)", h),
+				last.WallMs[h] > first.WallMs[h])
+		}
 	}
-	if len(r.HostCounts) == 2 {
-		counts := make([]int, 0, 2)
-		for _, c := range r.HostCounts {
-			counts = append(counts, c)
+	if len(r.HostCounts) > 2 && len(r.Points) > 0 {
+		// More replicas should keep helping at the largest batch size
+		// (within 20% slack — the largest size may exceed replicas*workers
+		// saturation anyway).
+		last := r.Points[len(r.Points)-1]
+		growing := true
+		for i := 2; i < len(r.HostCounts); i++ {
+			prev, cur := r.HostCounts[i-1], r.HostCounts[i]
+			if last.Speedup[cur] < 0.8*last.Speedup[prev] {
+				growing = false
+			}
 		}
-		diff := counts[0] - counts[1]
-		if diff < 0 {
-			diff = -diff
+		check("speedup scales with replicas at the largest size (20% slack)", growing)
+	}
+	for _, h := range r.HostCounts[1:] {
+		counts := r.InstanceCounts[h]
+		if len(counts) != h {
+			check(fmt.Sprintf("%d-host run used all replica hosts", h), false)
+			continue
 		}
-		check("Manager interleaving balances instances across hosts (±1)", diff <= 1)
+		if r.Policy == "adaptive" {
+			continue // adaptive deliberately skews toward observed-faster hosts
+		}
+		lo, hi := -1, -1
+		for _, c := range counts {
+			if lo == -1 || c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		check(fmt.Sprintf("Manager %s balances instances across %d hosts (±1)", r.Policy, h), hi-lo <= 1)
 	}
 	return out
 }
@@ -220,6 +334,66 @@ func (r *Figure12Report) CheckShape() []string {
 func (r *Figure12Report) ShapeOK() bool {
 	for _, line := range r.CheckShape() {
 		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}
+
+// Figure12Sweep is one Figure 12 run per replica policy — the speedup
+// curves the scale-out ablation compares.
+type Figure12Sweep struct {
+	Reports []*Figure12Report
+}
+
+// RunFigure12Sweep reruns Figure 12 once per named policy.
+func RunFigure12Sweep(cfg Figure12Config, policies []string) (*Figure12Sweep, error) {
+	if len(policies) == 0 {
+		policies = []string{cfg.Policy}
+	}
+	sweep := &Figure12Sweep{}
+	for _, p := range policies {
+		c := cfg
+		c.Policy = p
+		report, err := RunFigure12(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure 12 policy %q: %w", policyName(p), err)
+		}
+		sweep.Reports = append(sweep.Reports, report)
+	}
+	return sweep, nil
+}
+
+// Render prints each policy's figure plus a cross-policy summary of mean
+// speedups per replica count.
+func (s *Figure12Sweep) Render() string {
+	var out strings.Builder
+	for _, r := range s.Reports {
+		out.WriteString(r.Render())
+		out.WriteString("\n")
+	}
+	if len(s.Reports) > 1 {
+		header := []string{"Policy"}
+		for _, h := range s.Reports[0].HostCounts[1:] {
+			header = append(header, fmt.Sprintf("Mean speedup x%d", h))
+		}
+		var rows [][]string
+		for _, r := range s.Reports {
+			row := []string{r.Policy}
+			for _, h := range r.HostCounts[1:] {
+				row = append(row, Fmt(r.MeanSpeedup[h]))
+			}
+			rows = append(rows, row)
+		}
+		out.WriteString(viz.Table("Figure 12 — mean speedup per replica policy", header, rows))
+	}
+	return out.String()
+}
+
+// ShapeOK reports whether every policy's shape checks passed.
+func (s *Figure12Sweep) ShapeOK() bool {
+	for _, r := range s.Reports {
+		if !r.ShapeOK() {
 			return false
 		}
 	}

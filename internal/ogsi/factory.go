@@ -46,8 +46,27 @@ func (f *Factory) Create(params []string) (*Instance, error) {
 	return f.hosting.CreateInstance(f.productType, impl, def)
 }
 
+// CreateBatch is the plural Create: one product instance per parameter,
+// each constructed with that single parameter. It backs the CreateServices
+// wire operation, which exists so a batch of instantiations costs one SOAP
+// round trip instead of one per instance (the Manager's scale-out path).
+// On error no results are returned; instances constructed before the
+// failure stay live and are reclaimed by lifetime management.
+func (f *Factory) CreateBatch(params []string) ([]*Instance, error) {
+	out := make([]*Instance, len(params))
+	for i, p := range params {
+		in, err := f.Create([]string{p})
+		if err != nil {
+			return nil, fmt.Errorf("ogsi: %s(%s)[%d]: %w", OpCreateServices, f.productType, i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
 // Invoke implements the Factory PortType over the wire: CreateService
-// returns the new instance's GSH as a single-element string array.
+// returns the new instance's GSH as a single-element string array;
+// CreateServices returns one GSH per constructor parameter, in order.
 func (f *Factory) Invoke(op string, params []string) ([]string, error) {
 	switch op {
 	case OpCreateService:
@@ -56,6 +75,16 @@ func (f *Factory) Invoke(op string, params []string) ([]string, error) {
 			return nil, err
 		}
 		return []string{in.Handle().String()}, nil
+	case OpCreateServices:
+		ins, err := f.CreateBatch(params)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(ins))
+		for i, in := range ins {
+			out[i] = in.Handle().String()
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("%w: %q on factory", ErrUnknownOperation, op)
 }

@@ -338,6 +338,62 @@ func TestFactoryCreateService(t *testing.T) {
 	}
 }
 
+func TestFactoryCreateServices(t *testing.T) {
+	h := newTestHosting()
+	var got []string
+	f := NewFactory(h, "Widget", echoDef(), func(params []string) (Service, *wsdl.Definition, error) {
+		got = append(got, params...)
+		if params[0] == "fail" {
+			return nil, nil, errors.New("constructor refused")
+		}
+		return &echoService{}, nil, nil
+	})
+	fin, err := f.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plural creation: one GSH per parameter, in order, each instance
+	// constructed with its single parameter.
+	out, err := fin.Invoke(OpCreateServices, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("CreateServices returned %d handles", len(out))
+	}
+	seen := map[string]bool{}
+	for _, hs := range out {
+		handle := gsh.MustParse(hs)
+		if handle.ServiceType != "Widget" {
+			t.Errorf("product handle = %s", handle)
+		}
+		if seen[hs] {
+			t.Errorf("duplicate handle %s", hs)
+		}
+		seen[hs] = true
+		if _, ok := h.LookupHandle(handle); !ok {
+			t.Errorf("product %s not in hosting table", hs)
+		}
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("constructor params = %v, want %v", got, want)
+	}
+	// A failing constructor fails the whole plural call.
+	if _, err := fin.Invoke(OpCreateServices, []string{"fail"}); err == nil {
+		t.Error("constructor failure not propagated through CreateServices")
+	}
+	// The plural op is published in the Factory PortType.
+	found := false
+	for _, op := range FactoryPortType().Operations {
+		if op.Name == OpCreateServices && op.Doc != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Factory PortType missing documented CreateServices")
+	}
+}
+
 func TestHandleMap(t *testing.T) {
 	h := newTestHosting()
 	m := NewHandleMap(h)

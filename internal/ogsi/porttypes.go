@@ -29,6 +29,9 @@ func FactoryPortType() wsdl.PortType {
 		wsdl.Op(OpCreateService,
 			"Create new Grid service instance; returns its Grid Service Handle. Parameters are passed to the service constructor.",
 			wsdl.PRep("constructorParam")),
+		wsdl.Op(OpCreateServices,
+			"Plural CreateService: create one Grid service instance per parameter, each constructed with that single parameter; returns one Grid Service Handle per parameter, in order. A batch of instantiations costs one round trip instead of one per instance.",
+			wsdl.PRep("constructorParam")),
 	}}
 }
 

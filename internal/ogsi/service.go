@@ -95,6 +95,7 @@ const (
 	OpSetTerminationTime   = "SetTerminationTime"
 	OpDestroy              = "Destroy"
 	OpCreateService        = "CreateService"
+	OpCreateServices       = "CreateServices"
 	OpFindByHandle         = "FindByHandle"
 	OpRegisterService      = "RegisterService"
 	OpUnregisterService    = "UnregisterService"
