@@ -14,23 +14,40 @@ func rs(v float64) []perfdata.Result {
 	return []perfdata.Result{{Metric: "m", Focus: "/", Type: "t", Time: perfdata.TimeRange{Start: 0, End: 1}, Value: v}}
 }
 
+// bothImpls builds the sharded cache and the retained single-lock oracle
+// with the same policy and entry capacity, for tests that pin behaviour
+// common to both.
+func bothImpls(policy string, capacity int) map[string]Cache {
+	return map[string]Cache{
+		"sharded":     NewCache(policy, capacity),
+		"single-lock": NewCacheFromConfig(CacheConfig{Policy: policy, MaxEntries: capacity, SingleLock: true}),
+	}
+}
+
 func TestCacheHitMiss(t *testing.T) {
 	for _, policy := range []string{"lru", "lfu", "cost"} {
-		c := NewCache(policy, 10)
-		if _, ok := c.Get("k"); ok {
-			t.Errorf("%s: hit on empty cache", policy)
-		}
-		c.Put("k", rs(1), time.Millisecond)
-		got, ok := c.Get("k")
-		if !ok || got[0].Value != 1 {
-			t.Errorf("%s: Get after Put = %v, %v", policy, got, ok)
-		}
-		s := c.Stats()
-		if s.Hits != 1 || s.Misses != 1 {
-			t.Errorf("%s: stats = %+v", policy, s)
-		}
-		if c.Len() != 1 {
-			t.Errorf("%s: Len = %d", policy, c.Len())
+		for impl, c := range bothImpls(policy, 10) {
+			if _, ok := c.Get("k"); ok {
+				t.Errorf("%s/%s: hit on empty cache", policy, impl)
+			}
+			c.Put("k", rs(1), time.Millisecond)
+			got, ok := c.Get("k")
+			if !ok || got[0].Value != 1 {
+				t.Errorf("%s/%s: Get after Put = %v, %v", policy, impl, got, ok)
+			}
+			s := c.Stats()
+			if s.Hits != 1 || s.Misses != 1 {
+				t.Errorf("%s/%s: stats = %+v", policy, impl, s)
+			}
+			if c.Len() != 1 {
+				t.Errorf("%s/%s: Len = %d", policy, impl, c.Len())
+			}
+			if c.SizeBytes() <= 0 {
+				t.Errorf("%s/%s: SizeBytes = %d after Put", policy, impl, c.SizeBytes())
+			}
+			if c.Config().Policy != policy {
+				t.Errorf("%s/%s: Config().Policy = %q", policy, impl, c.Config().Policy)
+			}
 		}
 	}
 }
@@ -148,23 +165,24 @@ func TestHitRate(t *testing.T) {
 
 func TestCacheConcurrent(t *testing.T) {
 	for _, policy := range []string{"lru", "lfu", "cost"} {
-		c := NewCache(policy, 64)
-		var wg sync.WaitGroup
-		for w := 0; w < 8; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := 0; i < 200; i++ {
-					k := fmt.Sprintf("k%d", i%100)
-					if _, ok := c.Get(k); !ok {
-						c.Put(k, rs(float64(i)), time.Duration(i))
+		for impl, c := range bothImpls(policy, 64) {
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						k := fmt.Sprintf("k%d", i%100)
+						if _, ok := c.Get(k); !ok {
+							c.Put(k, rs(float64(i)), time.Duration(i))
+						}
 					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		if c.Len() > 64 {
-			t.Errorf("%s: capacity exceeded: %d", policy, c.Len())
+				}(w)
+			}
+			wg.Wait()
+			if c.Len() > 64 {
+				t.Errorf("%s/%s: capacity exceeded: %d", policy, impl, c.Len())
+			}
 		}
 	}
 }
@@ -175,15 +193,16 @@ func TestQuickCacheInvariants(t *testing.T) {
 	f := func(keys []uint8, capRaw uint8) bool {
 		capacity := int(capRaw%16) + 1
 		for _, policy := range []string{"lru", "lfu", "cost"} {
-			c := NewCache(policy, capacity)
-			for i, k := range keys {
-				key := fmt.Sprintf("k%d", k)
-				c.Put(key, rs(float64(i)), time.Duration(k))
-				if _, ok := c.Get(key); !ok {
-					return false
-				}
-				if c.Len() > capacity {
-					return false
+			for _, c := range bothImpls(policy, capacity) {
+				for i, k := range keys {
+					key := fmt.Sprintf("k%d", k)
+					c.Put(key, rs(float64(i)), time.Duration(k))
+					if _, ok := c.Get(key); !ok {
+						return false
+					}
+					if c.Len() > capacity {
+						return false
+					}
 				}
 			}
 		}

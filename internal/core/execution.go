@@ -22,7 +22,12 @@ import (
 type ExecutionService struct {
 	id      string
 	wrapper mapping.ExecutionWrapper
-	cache   Cache // nil disables caching
+
+	// cache is the instance's Performance Results cache; a nil pointer
+	// disables caching. It is an atomic pointer — not a mutex-guarded
+	// field — because every getPR hit reads it, and the hot read path
+	// must not serialize on instance state (NotifyUpdate swaps it).
+	cache atomic.Pointer[Cache]
 
 	hub  *ogsi.NotificationHub // nil disables notifications
 	dial ogsi.SinkDialer       // nil disables getPRAsync callbacks
@@ -94,7 +99,11 @@ const OpGetPRAsync = "getPRAsync"
 // wrapper. cache may be nil to disable Performance Result caching; hub may
 // be nil to disable update notifications.
 func NewExecutionService(id string, w mapping.ExecutionWrapper, cache Cache, hub *ogsi.NotificationHub) *ExecutionService {
-	return &ExecutionService{id: id, wrapper: w, cache: cache, hub: hub}
+	e := &ExecutionService{id: id, wrapper: w, hub: hub}
+	if cache != nil {
+		e.cache.Store(&cache)
+	}
+	return e
 }
 
 // SetSinkDialer enables the getPRAsync callback model by providing the
@@ -105,14 +114,15 @@ func (e *ExecutionService) SetSinkDialer(d ogsi.SinkDialer) { e.dial = d }
 // ID returns the execution's unique ID.
 func (e *ExecutionService) ID() string { return e.id }
 
-// cacheRef returns the current cache under the instance lock.
+// cacheRef returns the current cache snapshot (nil when caching is off).
 // NotifyUpdate replaces the cache wholesale, so each request takes one
 // snapshot and works against it throughout; a request racing an update
 // may write into the retired cache, which nothing reads afterwards.
 func (e *ExecutionService) cacheRef() Cache {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cache
+	if p := e.cache.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // CacheStats reports the instance's cache statistics; the zero value is
@@ -264,11 +274,15 @@ func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, 
 	if err != nil {
 		return nil, true, err
 	}
+	// One logical lookup, counted once: a present envelope counts as the
+	// hit inside GetWire; an absent envelope is not a miss — the Get on
+	// the fallback path below settles the outcome (hit when only the
+	// decoded results are cached, miss when nothing is).
 	key := q.Key()
 	if raw, ok := cache.GetWire(key); ok {
 		return raw, true, nil
 	}
-	rs, err := e.resultsThrough(cache, q)
+	rs, err := e.resultsByKey(cache, key, q)
 	if err != nil {
 		return nil, true, err
 	}
@@ -435,16 +449,33 @@ func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Resu
 }
 
 // resultsThrough answers a getPR query against one cache snapshot (which
-// may be nil for uncached instances). Cold misses are singleflighted:
-// concurrent identical queries share one Mapping-Layer execution instead
-// of racing N of them before the cache fills. Uncached instances skip
-// coalescing — with caching off, every query must generate real store
-// load (the Table 5 / Figure 12 baseline workloads depend on it).
+// may be nil for uncached instances).
 func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perfdata.Result, error) {
 	if cache == nil {
 		return e.fetchResults(q)
 	}
-	key := q.Key()
+	return e.resultsByKey(cache, q.Key(), q)
+}
+
+// resultsByKey answers a getPR query whose cache key is already computed
+// (the raw wire path derives it for GetWire; recomputing the sorted-foci
+// join per lookup would tax the hot path twice).
+//
+// Hits take the fast path: one counting cache lookup, no instance locks —
+// concurrent hits proceed in parallel on the sharded cache. Cold misses
+// are singleflighted: concurrent identical queries share one
+// Mapping-Layer execution instead of racing N of them before the cache
+// fills. Each logical lookup is counted exactly once: the fast-path Get
+// settles hit or miss; the double-checked re-lookup under the flight lock
+// (which closes the window where a flight completed between the fast-path
+// miss and the lock) is stats-free, and coalesced followers add no
+// further counts. Uncached instances skip coalescing — with caching off,
+// every query must generate real store load (the Table 5 / Figure 12
+// baseline workloads depend on it).
+func (e *ExecutionService) resultsByKey(cache Cache, key string, q perfdata.Query) ([]perfdata.Result, error) {
+	if rs, ok := cache.Get(key); ok {
+		return rs, nil
+	}
 	e.flightMu.Lock()
 	if f, ok := e.flights[key]; ok {
 		e.flightMu.Unlock()
@@ -452,12 +483,10 @@ func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perf
 		<-f.done
 		return f.rs, f.err
 	}
-	// The cache is consulted under the flight lock: a leader fills the
-	// cache before retiring its flight, so a request that finds neither
-	// a flight nor an entry really is cold — checking the cache first
-	// (outside the lock) would leave a window where a just-completed
-	// flight's result is re-fetched from the Mapping Layer.
-	if rs, ok := cache.Get(key); ok {
+	// A leader fills the cache before retiring its flight, so a request
+	// that finds neither a flight nor (on this stats-free re-check) an
+	// entry really is cold.
+	if rs, ok := cacheGetQuiet(cache, key); ok {
 		e.flightMu.Unlock()
 		return rs, nil
 	}
@@ -507,29 +536,17 @@ func (e *ExecutionService) fetchResults(q perfdata.Query) ([]perfdata.Result, er
 func (e *ExecutionService) NotifyUpdate(message string) {
 	e.mu.Lock()
 	e.foci, e.metrics, e.types, e.info, e.timeRange = nil, nil, nil, nil, nil
-	if e.cache != nil {
-		e.cache = NewCache(e.cache.Policy(), cacheCapacity(e.cache))
-	}
 	e.mu.Unlock()
+	if old := e.cacheRef(); old != nil {
+		fresh := NewCacheFromConfig(old.Config())
+		e.cache.Store(&fresh)
+	}
 	e.cursorMu.Lock()
 	e.cursors, e.cursorIDs = nil, nil
 	e.cursorMu.Unlock()
 	if e.hub != nil {
 		e.hub.Notify(UpdatesTopic, message)
 	}
-}
-
-// cacheCapacity recovers a cache's capacity for rebuild-on-invalidate.
-func cacheCapacity(c Cache) int {
-	switch v := c.(type) {
-	case *lruCache:
-		return v.capacity
-	case *lfuCache:
-		return v.capacity
-	case *costAwareCache:
-		return v.capacity
-	}
-	return 0
 }
 
 // ServiceData publishes the execution's discovery sets as service data
@@ -549,7 +566,20 @@ func (e *ExecutionService) ServiceData() map[string][]string {
 		out["cachePolicy"] = []string{cache.Policy()}
 		out["cacheHits"] = []string{strconv.FormatInt(s.Hits, 10)}
 		out["cacheMisses"] = []string{strconv.FormatInt(s.Misses, 10)}
+		out["cacheEvictions"] = []string{strconv.FormatInt(s.Evictions, 10)}
+		out["cacheEntries"] = []string{strconv.Itoa(cache.Len())}
+		out["cacheBytes"] = []string{strconv.FormatInt(cache.SizeBytes(), 10)}
 		out["coalescedQueries"] = []string{strconv.FormatInt(e.coalesced.Load(), 10)}
+		if sl, ok := cache.(shardLoader); ok {
+			loads := sl.ShardLoads()
+			shards := make([]string, len(loads))
+			for i, l := range loads {
+				shards[i] = fmt.Sprintf("shard=%d|hits=%d|misses=%d|evictions=%d|entries=%d|bytes=%d",
+					i, l.Hits, l.Misses, l.Evictions, l.Entries, l.Bytes)
+			}
+			out["cacheShards"] = []string{strconv.Itoa(len(loads))}
+			out["cacheShardLoads"] = shards
+		}
 	}
 	if ms, err := e.Metrics(); err == nil {
 		out["metrics"] = ms

@@ -28,9 +28,17 @@ type SiteConfig struct {
 	// paper's Table 5 baseline runs.
 	CachingOff bool
 	// CachePolicy selects the replacement policy ("lru", "lfu", "cost");
-	// empty means LRU. CacheCapacity 0 means unbounded.
+	// empty means LRU. CacheCapacity 0 means unbounded entries.
 	CachePolicy   string
 	CacheCapacity int
+	// CacheBytes bounds each instance cache's footprint (decoded results
+	// plus attached wire envelopes); 0 means unbounded.
+	CacheBytes int64
+	// CacheShards hints the cache shard count; 0 picks the default.
+	CacheShards int
+	// CacheSingleLock selects the retained single-lock cache — the
+	// sharded cache's differential oracle and ablation hook.
+	CacheSingleLock bool
 	// Policy selects replica distribution; nil means interleaving.
 	Policy ReplicaPolicy
 	// Interceptors (e.g. a GSI verifier) run on every host.
@@ -143,7 +151,13 @@ func (s *Site) executionConstructor(w mapping.ApplicationWrapper) ogsi.Construct
 		}
 		var cache Cache
 		if !s.cfg.CachingOff {
-			cache = NewCache(s.cfg.CachePolicy, s.cfg.CacheCapacity)
+			cache = NewCacheFromConfig(CacheConfig{
+				Policy:     s.cfg.CachePolicy,
+				MaxEntries: s.cfg.CacheCapacity,
+				MaxBytes:   s.cfg.CacheBytes,
+				Shards:     s.cfg.CacheShards,
+				SingleLock: s.cfg.CacheSingleLock,
+			})
 		}
 		var hub *ogsi.NotificationHub
 		if s.cfg.Notifications {

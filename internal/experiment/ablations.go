@@ -301,6 +301,104 @@ func RenderCachePolicyAblation(rows []CachePolicyRow) string {
 	return viz.Table("Ablation — cache replacement under a skewed SMG98 mix", header, cells)
 }
 
+// CacheBytesRow is one replacement policy's outcome under a byte budget.
+type CacheBytesRow struct {
+	Policy    string  `json:"policy"`
+	Budget    int64   `json:"budgetBytes"`
+	HitRate   float64 `json:"hitRate"`
+	MeanMs    float64 `json:"meanMs"`
+	Evictions int64   `json:"evictions"`
+	PeakBytes int64   `json:"peakBytes"`
+	EndBytes  int64   `json:"endBytes"`
+}
+
+// RunCacheBytesAblation drives the same skewed SMG98 mix as
+// RunCachePolicyAblation against byte-budgeted sharded caches: capacity
+// is accounted in result+wire bytes instead of entries, so one recurring
+// whole-trace result set competes against many small tail windows for the
+// same budget. PeakBytes is sampled after every query; it never exceeds
+// the budget (the invariant the byte accounting guarantees).
+func RunCacheBytesAblation(cfg Config, budget int64, queries int) ([]CacheBytesRow, error) {
+	cfg = cfg.withDefaults()
+	if budget <= 0 {
+		budget = 64 << 10
+	}
+	if queries <= 0 {
+		queries = 300
+	}
+	d := datagen.SMG98(cfg.SMG98)
+	var out []CacheBytesRow
+	for _, policy := range []string{"lru", "lfu", "cost"} {
+		star, err := mapping.NewStar(d)
+		if err != nil {
+			return nil, err
+		}
+		delay := time.Duration(paperMappingMs("SMG98") * cfg.Scale / 50 * float64(time.Millisecond))
+		slowed := mapping.WithLatency(star, delay, 0)
+		ew, err := slowed.ExecutionWrapper(d.Execs[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		cache := core.NewCacheFromConfig(core.CacheConfig{Policy: policy, MaxBytes: budget})
+		svc := core.NewExecutionService(d.Execs[0].ID, ew, cache, nil)
+
+		tr := d.Execs[0].Time
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var sample Sample
+		var peak int64
+		for i := 0; i < queries; i++ {
+			var q perfdata.Query
+			switch {
+			case i%10 == 0:
+				q = perfdata.Query{Metric: "func_calls", Time: tr, Type: "vampir"}
+			case rng.Float64() < 0.5:
+				p := rng.Intn(2)
+				q = perfdata.Query{Metric: "func_calls", Foci: []string{fmt.Sprintf("/Process/%d", p)}, Time: tr, Type: "vampir"}
+			default:
+				fn := datagen.SMG98Functions[rng.Intn(len(datagen.SMG98Functions))]
+				q = perfdata.Query{
+					Metric: "excl_time",
+					Foci:   []string{fmt.Sprintf("/Process/%d/Code/MPI/%s", rng.Intn(2), fn)},
+					Time:   perfdata.TimeRange{Start: tr.End * rng.Float64() / 2, End: tr.End},
+					Type:   "vampir",
+				}
+			}
+			start := time.Now()
+			if _, err := svc.PerformanceResults(q); err != nil {
+				return nil, err
+			}
+			sample.Add(float64(time.Since(start)) / float64(time.Millisecond))
+			if b := cache.SizeBytes(); b > peak {
+				peak = b
+			}
+		}
+		stats := cache.Stats()
+		out = append(out, CacheBytesRow{
+			Policy:    policy,
+			Budget:    budget,
+			HitRate:   stats.HitRate(),
+			MeanMs:    sample.Mean(),
+			Evictions: stats.Evictions,
+			PeakBytes: peak,
+			EndBytes:  cache.SizeBytes(),
+		})
+	}
+	return out, nil
+}
+
+// RenderCacheBytesAblation formats the comparison.
+func RenderCacheBytesAblation(rows []CacheBytesRow) string {
+	header := []string{"Policy", "Budget (B)", "Hit rate", "Mean query (ms)", "Evictions", "Peak bytes", "End bytes"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Policy, fmt.Sprint(r.Budget), Fmt(r.HitRate), Fmt(r.MeanMs),
+			fmt.Sprint(r.Evictions), fmt.Sprint(r.PeakBytes), fmt.Sprint(r.EndBytes),
+		})
+	}
+	return viz.Table("Ablation — byte-budgeted cache under a skewed SMG98 mix", header, cells)
+}
+
 // LocalBypassRow compares Services-Layer and direct-wrapper access.
 type LocalBypassRow struct {
 	Path   string
