@@ -629,3 +629,131 @@ func BenchmarkGSISignVerify(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMinidbBatch pits the vectorized NextBatch scan against the
+// retained row-at-a-time iterator on the star fact-table join — the
+// per-row []Value allocation the cold-path overhaul removes.
+func BenchmarkMinidbBatch(b *testing.B) {
+	db := minidb.NewDatabase()
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8, Seed: 1})
+	if err := datagen.LoadStarSchema(db, d); err != nil {
+		b.Fatal(err)
+	}
+	for _, ix := range mapping.StarIndexes {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := db.Prepare("SELECT f.path, r.starttime, r.endtime, r.value, r.typeid " +
+		"FROM results r JOIN foci f ON r.fociid = f.fociid WHERE r.execid = ? AND r.metricid = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []minidb.Value{minidb.Text("1"), minidb.Int(1)}
+	b.Run("RowAtATime", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := st.QueryStream(args...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				n += len(rows.Row())
+			}
+			rows.Close()
+			if rows.Err() != nil || n == 0 {
+				b.Fatal(rows.Err(), n)
+			}
+		}
+	})
+	b.Run("NextBatch", func(b *testing.B) {
+		batch := minidb.NewBatch()
+		defer batch.Release()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := st.QueryStream(args...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.NextBatch(batch, 0) {
+				n += batch.Rows() * batch.Cols()
+			}
+			rows.Close()
+			if rows.Err() != nil || n == 0 {
+				b.Fatal(rows.Err(), n)
+			}
+		}
+	})
+}
+
+// BenchmarkColdGetPR measures one cold (cache-off) getPR through the
+// Execution service's wire encode per store shape: the vectorized
+// zero-intermediate path (batch decode into a pooled arena, results
+// streamed straight into the envelope buffer) against the retained
+// row-at-a-time/string oracle. This is the workload BENCH_PR5.json
+// records; allocs/op is the headline number.
+func BenchmarkColdGetPR(b *testing.B) {
+	shapes := []struct {
+		name  string
+		build func() (mapping.ApplicationWrapper, string, perfdata.Query, error)
+	}{
+		{"HPL", func() (mapping.ApplicationWrapper, string, perfdata.Query, error) {
+			d := datagen.HPL(datagen.HPLConfig{Executions: 124, Seed: 1})
+			w, err := mapping.NewWideTable(d)
+			return w, d.Execs[0].ID, perfdata.Query{Metric: "gflops", Time: d.Execs[0].Time, Type: "hpl"}, err
+		}},
+		{"RMA", func() (mapping.ApplicationWrapper, string, perfdata.Query, error) {
+			d := datagen.PrestaRMA(datagen.RMAConfig{Executions: 12, MessageSizes: 20, Seed: 1})
+			w, err := mapping.NewFlatFile(d)
+			return w, d.Execs[0].ID, perfdata.Query{Metric: "bandwidth", Time: d.Execs[0].Time, Type: "presta"}, err
+		}},
+		{"SMG98", func() (mapping.ApplicationWrapper, string, perfdata.Query, error) {
+			d := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8, Seed: 1})
+			w, err := mapping.NewStar(d)
+			return w, d.Execs[0].ID, perfdata.Query{Metric: "func_calls", Time: d.Execs[0].Time, Type: "vampir"}, err
+		}},
+	}
+	for _, shape := range shapes {
+		w, id, q, err := shape.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ew, err := w.ExecutionWrapper(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := core.NewExecutionService(id, ew, nil, nil)
+		params := q.WireParams()
+		b.Run(shape.name+"/oracle", func(b *testing.B) {
+			core.SetRowOracle(true)
+			defer core.SetRowOracle(false)
+			buf := soap.GetBuffer()
+			defer soap.PutBuffer(buf)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				returns, err := svc.Invoke(core.OpGetPR, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := soap.EncodeResponseTo(buf, core.OpGetPR, nil, returns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(shape.name+"/vectorized", func(b *testing.B) {
+			buf := soap.GetBuffer()
+			defer soap.PutBuffer(buf)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				took, err := svc.InvokeRawTo(core.OpGetPR, params, buf)
+				if err != nil || !took {
+					b.Fatal(took, err)
+				}
+			}
+		})
+	}
+}

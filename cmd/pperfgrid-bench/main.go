@@ -24,6 +24,12 @@
 // artifact — via:
 //
 //	pperfgrid-bench -cache-bench -readers 1,4,16,64 -bench-json BENCH_PR4.json
+//
+// The cold-path evaluation — one cold (cache-off) getPR per store shape,
+// vectorized wire path vs the retained row/string oracle, with ns/op,
+// B/op, and allocs/op from the testing harness — runs via:
+//
+//	pperfgrid-bench -cold-bench -bench-json BENCH_PR5.json
 package main
 
 import (
@@ -57,6 +63,7 @@ func main() {
 		replicas  = flag.String("replicas", "1,2,4,8", "comma-separated replica host counts: Figure 12's scale-out axis; the policy ablation uses the largest")
 
 		cacheBench  = flag.Bool("cache-bench", false, "run only the concurrent cache evaluation (non-fatal shape checks, for CI smoke)")
+		coldBench   = flag.Bool("cold-bench", false, "run only the cold-path getPR evaluation (ns/op, B/op, allocs/op per store shape; vectorized vs row/string oracle)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
 		readers     = flag.String("readers", "1,4,16,64", "comma-separated reader counts for the concurrent Table 5")
@@ -64,7 +71,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -101,6 +108,10 @@ func main() {
 
 	if *cacheBench {
 		runCacheBench(t5c, cfg, *quick, *cacheBytes, *benchJSON)
+		return
+	}
+	if *coldBench {
+		runColdBench(*seed, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -319,6 +330,59 @@ func serviceHitMicro() ([]cacheMicroRow, error) {
 		})
 	}
 	return out, nil
+}
+
+// coldBenchRecord is the BENCH_PR5.json schema: the cold-path getPR
+// comparison (vectorized vs retained row/string oracle) per store shape,
+// with the derived reduction ratios the acceptance criteria pin.
+type coldBenchRecord struct {
+	Record         string                       `json:"record"`
+	Workload       string                       `json:"workload"`
+	Cold           *experiment.Table4ColdReport `json:"coldGetPR"`
+	AllocReduction map[string]float64           `json:"allocReductionBySource"`
+	ByteReduction  map[string]float64           `json:"byteReductionBySource"`
+}
+
+// runColdBench runs the cold-path evaluation standalone. Shape checks
+// print but never fail the process (this mode is the CI smoke step);
+// the committed full-run BENCH_PR5.json records the reference numbers.
+func runColdBench(seed int64, quick bool, jsonPath string) {
+	fmt.Println("=== Cold-path getPR evaluation (cache off) ===")
+	cfg := experiment.Table4ColdConfig{Seed: seed}
+	if quick {
+		cfg.SMG98 = datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8}
+	}
+	report, err := experiment.RunTable4Cold(cfg)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: cold bench: %v", err)
+	}
+	fmt.Print(report.Render())
+
+	if jsonPath == "" {
+		return
+	}
+	rec := coldBenchRecord{
+		Record:         "PR5 cold-path overhaul perf trajectory",
+		Workload:       "cold getPR (cache off), representative query per store shape, full wire encode",
+		Cold:           report,
+		AllocReduction: map[string]float64{},
+		ByteReduction:  map[string]float64{},
+	}
+	for _, name := range experiment.AllSourceNames {
+		if r := report.AllocReduction(name); r > 0 {
+			rec.AllocReduction[name] = r
+			rec.ByteReduction[name] = report.ByteReduction(name)
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
 }
 
 // shaped is any report that can render itself and check the paper's shape.

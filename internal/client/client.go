@@ -484,14 +484,15 @@ func (r *PRRows) Next() bool {
 			return false
 		}
 	}
-	res, err := perfdata.ParseResult(r.page[0])
-	if err != nil {
+	// The index-walking parser decodes the wire string in place — the
+	// result's fields are substrings of the page entry, so iterating a
+	// paged set produces no per-result parse garbage.
+	if err := perfdata.ParseResultInto(r.page[0], &r.cur); err != nil {
 		r.err = err
 		r.done = true
 		return false
 	}
 	r.page = r.page[1:]
-	r.cur = res
 	return true
 }
 

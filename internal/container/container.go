@@ -21,7 +21,10 @@
 //   - Raw responses: a service implementing ogsi.RawResponder (the
 //     Execution service's encoded-response cache) answers with
 //     pre-encoded envelope bytes the container writes to the wire
-//     verbatim — zero marshalling on repeat queries.
+//     verbatim — zero marshalling on repeat queries. Services
+//     implementing ogsi.RawStreamer / ogsi.RawPagedStreamer instead
+//     encode their response straight into the container's pooled write
+//     buffer — the cold getPR path's zero-intermediate encode.
 //
 // A Container may be configured with a fixed worker pool. A pool of size
 // one models the single-CPU Sun Ultra hosts of the paper's testbed:
@@ -31,6 +34,7 @@
 package container
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -225,15 +229,17 @@ func (c *Container) handleGet(w http.ResponseWriter, handle gsh.Handle) {
 }
 
 // SOAP header entry names of the paged-call protocol. A request carrying
-// either entry is dispatched through ogsi.Instance.InvokePaged; the
+// either entry is dispatched through the paged invocation path; the
 // response's HeaderCursor entry names the remainder of the result set
-// (absent when the set is complete).
+// (absent when the set is complete). The canonical definitions live in
+// package ogsi, next to the PagedService/RawPagedStreamer contracts;
+// these aliases keep the transport's public names stable.
 const (
 	// HeaderCursor carries the opaque paging cursor: empty/absent on a
 	// request opens a new paged result set, non-empty continues one.
-	HeaderCursor = "ppg-cursor"
+	HeaderCursor = ogsi.HeaderCursor
 	// HeaderPageSize bounds the number of returned values per page.
-	HeaderPageSize = "ppg-pageSize"
+	HeaderPageSize = ogsi.HeaderPageSize
 )
 
 func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gsh.Handle) {
@@ -289,18 +295,48 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 	}
 	start := time.Now()
 	var (
-		returns []string
-		next    string
-		raw     []byte
+		returns  []string
+		next     string
+		raw      []byte
+		streamed bool
 	)
+	// out serves double duty: the raw streamers encode straight into it
+	// (zero-intermediate cold path), and the string path below reuses it
+	// as the response encode buffer. It is acquired lazily so the
+	// verbatim cache-hit path (InvokeRaw, served from pre-encoded bytes)
+	// stays free of pool traffic.
+	var out *bytes.Buffer
+	defer func() {
+		if out != nil {
+			soap.PutBuffer(out)
+		}
+	}()
+	getOut := func() *bytes.Buffer {
+		if out == nil {
+			out = soap.GetBuffer()
+		}
+		return out
+	}
 	if paged {
-		returns, next, err = in.InvokePaged(req.Operation, req.Params, cursor, pageSize)
+		// A paging-aware service that can stream its own page envelope
+		// (cursor header included) goes first; everything else pages
+		// through the string protocol.
+		next, streamed, err = in.InvokePagedRawTo(req.Operation, req.Params, cursor, pageSize, getOut())
+		if !streamed && err == nil {
+			returns, next, err = in.InvokePaged(req.Operation, req.Params, cursor, pageSize)
+		}
 	} else {
-		// The raw fast path first: a service that caches encoded response
-		// envelopes answers without any marshalling.
+		// The raw fast paths first: a service that caches encoded response
+		// envelopes answers verbatim with zero marshalling; a service that
+		// can stream the encode writes the envelope into the pooled buffer
+		// with no intermediate result strings. The plain string protocol
+		// is the fallback.
 		var tookRaw bool
 		raw, tookRaw, err = in.InvokeRaw(req.Operation, req.Params)
 		if !tookRaw && err == nil {
+			streamed, err = in.InvokeRawTo(req.Operation, req.Params, getOut())
+		}
+		if raw == nil && !streamed && err == nil {
 			returns, err = in.Invoke(req.Operation, req.Params)
 		}
 	}
@@ -311,8 +347,11 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 	c.noteServiceTime(elapsed)
 	if c.opts.Logf != nil {
 		result := fmt.Sprintf("%d values", len(returns))
-		if raw != nil {
+		switch {
+		case raw != nil:
 			result = fmt.Sprintf("%d raw bytes", len(raw))
+		case streamed:
+			result = fmt.Sprintf("%d streamed bytes", out.Len())
 		}
 		c.opts.Logf("container %s: %s %s(%d params) -> %s, err=%v, %s",
 			c.Host(), handle.ServiceType+"/"+handle.InstanceID, req.Operation,
@@ -327,15 +366,15 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		_, _ = w.Write(raw)
 		return
 	}
-	var respHeaders []soap.HeaderEntry
-	if next != "" {
-		respHeaders = []soap.HeaderEntry{{Name: HeaderCursor, Value: next}}
-	}
-	out := soap.GetBuffer()
-	defer soap.PutBuffer(out)
-	if err := soap.EncodeResponseTo(out, req.Operation, respHeaders, returns); err != nil {
-		c.writeFault(w, soap.ServerFault(err))
-		return
+	if !streamed {
+		var respHeaders []soap.HeaderEntry
+		if next != "" {
+			respHeaders = []soap.HeaderEntry{{Name: HeaderCursor, Value: next}}
+		}
+		if err := soap.EncodeResponseTo(getOut(), req.Operation, respHeaders, returns); err != nil {
+			c.writeFault(w, soap.ServerFault(err))
+			return
+		}
 	}
 	w.Header().Set("Content-Type", soap.ContentType)
 	_, _ = w.Write(out.Bytes())

@@ -1,0 +1,324 @@
+package core
+
+// Differential tests for the cold getPR overhaul: the vectorized,
+// zero-intermediate wire path (mapping.ResultAppender + the soap
+// streaming encoder, served through ogsi.RawStreamer /
+// ogsi.RawPagedStreamer) must produce byte-identical envelopes and
+// identical result sets to the retained row-at-a-time / string-building
+// oracle (SetRowOracle), on the full and paged protocols, for every
+// store shape.
+
+import (
+	"bytes"
+	"testing"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+)
+
+// coldShapes builds one uncached wrapper + representative query per
+// store shape (the paper's three data sources plus the memory oracle).
+func coldShapes(t *testing.T) map[string]struct {
+	build func() (mapping.ExecutionWrapper, error)
+	q     perfdata.Query
+	id    string
+} {
+	t.Helper()
+	hpl := datagen.HPL(datagen.HPLConfig{Executions: 6, Seed: 41})
+	rma := datagen.PrestaRMA(datagen.RMAConfig{Executions: 2, MessageSizes: 12, Seed: 42})
+	smg := datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 8, Seed: 43})
+	return map[string]struct {
+		build func() (mapping.ExecutionWrapper, error)
+		q     perfdata.Query
+		id    string
+	}{
+		"HPL-wide": {
+			build: func() (mapping.ExecutionWrapper, error) {
+				w, err := mapping.NewWideTable(hpl)
+				if err != nil {
+					return nil, err
+				}
+				return w.ExecutionWrapper(hpl.Execs[0].ID)
+			},
+			q:  perfdata.Query{Metric: "gflops", Time: hpl.Execs[0].Time, Type: perfdata.UndefinedType},
+			id: hpl.Execs[0].ID,
+		},
+		"RMA-flat": {
+			build: func() (mapping.ExecutionWrapper, error) {
+				w, err := mapping.NewFlatFile(rma)
+				if err != nil {
+					return nil, err
+				}
+				return w.ExecutionWrapper(rma.Execs[0].ID)
+			},
+			q:  perfdata.Query{Metric: "bandwidth", Time: rma.Execs[0].Time, Type: perfdata.UndefinedType},
+			id: rma.Execs[0].ID,
+		},
+		"SMG98-star": {
+			build: func() (mapping.ExecutionWrapper, error) {
+				w, err := mapping.NewStar(smg)
+				if err != nil {
+					return nil, err
+				}
+				return w.ExecutionWrapper(smg.Execs[0].ID)
+			},
+			q:  perfdata.Query{Metric: "func_calls", Time: smg.Execs[0].Time, Type: perfdata.UndefinedType},
+			id: smg.Execs[0].ID,
+		},
+	}
+}
+
+// oracleEnvelope renders the envelope exactly as the transport does on
+// the retained string path: Invoke -> EncodeResults -> EncodeResponse.
+func oracleEnvelope(t *testing.T, svc *ExecutionService, q perfdata.Query) []byte {
+	t.Helper()
+	SetRowOracle(true)
+	defer SetRowOracle(false)
+	var buf bytes.Buffer
+	if took, err := svc.InvokeRawTo(OpGetPR, q.WireParams(), &buf); took || err != nil {
+		t.Fatalf("raw streamer must decline under the row oracle (took=%v err=%v)", took, err)
+	}
+	returns, err := svc.Invoke(OpGetPR, q.WireParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := soap.EncodeResponse(OpGetPR, nil, returns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestColdWireEnvelopeByteIdentical(t *testing.T) {
+	for name, shape := range coldShapes(t) {
+		shape := shape
+		t.Run(name, func(t *testing.T) {
+			ew, err := shape.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc := NewExecutionService(shape.id, ew, nil, nil)
+			want := oracleEnvelope(t, svc, shape.q)
+
+			buf := soap.GetBuffer()
+			defer soap.PutBuffer(buf)
+			took, err := svc.InvokeRawTo(OpGetPR, shape.q.WireParams(), buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !took {
+				t.Fatal("uncached appender-backed service must take the raw stream path")
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("cold envelope diverges from the row/string oracle:\nvectorized %d bytes\noracle     %d bytes", buf.Len(), len(want))
+			}
+			// The envelope carries real results, not a degenerate empty set.
+			resp, err := soap.DecodeResponse(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Returns) == 0 {
+				t.Fatal("representative query returned no results; byte identity is vacuous")
+			}
+		})
+	}
+}
+
+// TestColdPagedEnvelopeByteIdentical pages the same query through two
+// fresh services (so cursor tokens align) — one on the vectorized raw
+// paged path, one on the string protocol rendered exactly as the
+// transport would — and requires byte-identical envelopes page by page.
+func TestColdPagedEnvelopeByteIdentical(t *testing.T) {
+	for name, shape := range coldShapes(t) {
+		shape := shape
+		t.Run(name, func(t *testing.T) {
+			ewA, err := shape.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ewB, err := shape.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := NewExecutionService(shape.id, ewA, nil, nil)
+			oracle := NewExecutionService(shape.id, ewB, nil, nil)
+
+			const limit = 7
+			cursorF, cursorO := "", ""
+			pages := 0
+			for {
+				buf := soap.GetBuffer()
+				next, took, err := fast.InvokePagedRawTo(OpGetPR, shape.q.WireParams(), cursorF, limit, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !took {
+					t.Fatal("uncached appender-backed service must take the raw paged path")
+				}
+
+				SetRowOracle(true)
+				returns, nextO, oerr := oracle.InvokePaged(OpGetPR, shape.q.WireParams(), cursorO, limit)
+				SetRowOracle(false)
+				if oerr != nil {
+					t.Fatal(oerr)
+				}
+				var headers []soap.HeaderEntry
+				if nextO != "" {
+					headers = []soap.HeaderEntry{{Name: ogsi.HeaderCursor, Value: nextO}}
+				}
+				want, err := soap.EncodeResponse(OpGetPR, headers, returns)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("page %d envelope diverges (%d vs %d bytes)", pages, buf.Len(), len(want))
+				}
+				soap.PutBuffer(buf)
+				pages++
+				if (next == "") != (nextO == "") {
+					t.Fatalf("cursor divergence at page %d: %q vs %q", pages, next, nextO)
+				}
+				if next == "" {
+					break
+				}
+				cursorF, cursorO = next, nextO
+			}
+			// HPL is a whole-run store: one result, one terminal page. The
+			// multi-page cursor machinery must be exercised by the series
+			// shapes.
+			if name != "HPL-wide" && pages < 2 {
+				t.Fatalf("query paged in %d page(s); the paged comparison is vacuous", pages)
+			}
+		})
+	}
+}
+
+// TestColdResultSetMatchesOracle pins decoded result-set equality end to
+// end: the wire envelope from the vectorized path decodes (with the
+// zero-copy parser, as the client does) to exactly the oracle's decoded
+// results.
+func TestColdResultSetMatchesOracle(t *testing.T) {
+	for name, shape := range coldShapes(t) {
+		shape := shape
+		t.Run(name, func(t *testing.T) {
+			ew, err := shape.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc := NewExecutionService(shape.id, ew, nil, nil)
+
+			SetRowOracle(true)
+			want, werr := svc.PerformanceResults(shape.q)
+			SetRowOracle(false)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+
+			buf := soap.GetBuffer()
+			defer soap.PutBuffer(buf)
+			if _, err := svc.InvokeRawTo(OpGetPR, shape.q.WireParams(), buf); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := soap.DecodeResponse(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := perfdata.ParseResults(resp.Returns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("result count diverges: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("result %d diverges:\nvectorized %+v\noracle     %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestColdCachedRawMatchesOracleBytes pins the cached miss path's
+// streamed encode to the string oracle's bytes, and the repeat hit to
+// the attached envelope, verbatim.
+func TestColdCachedRawMatchesOracleBytes(t *testing.T) {
+	shape := coldShapes(t)["SMG98-star"]
+	ew, err := shape.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewExecutionService(shape.id, ew, NewLRU(16), nil)
+	raw, took, err := svc.InvokeRaw(OpGetPR, shape.q.WireParams())
+	if err != nil || !took {
+		t.Fatalf("cached InvokeRaw: took=%v err=%v", took, err)
+	}
+
+	ew2, err := shape.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleEnvelope(t, NewExecutionService(shape.id, ew2, nil, nil), shape.q)
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("cached-miss streamed envelope diverges from oracle (%d vs %d bytes)", len(raw), len(want))
+	}
+	again, took, err := svc.InvokeRaw(OpGetPR, shape.q.WireParams())
+	if err != nil || !took {
+		t.Fatalf("repeat InvokeRaw: took=%v err=%v", took, err)
+	}
+	if !bytes.Equal(again, raw) {
+		t.Fatal("repeat hit did not serve the attached envelope verbatim")
+	}
+	if n := svc.WireEncodes(); n != 1 {
+		t.Fatalf("wireEncodes = %d after miss+hit, want 1", n)
+	}
+}
+
+// TestColdPathAllocs pins the acceptance criterion at the service level:
+// the vectorized cold path must allocate at least 5x less (and half the
+// bytes) of the retained row/string oracle on an SMG98-shaped query.
+func TestColdPathAllocs(t *testing.T) {
+	shape := coldShapes(t)["SMG98-star"]
+	ew, err := shape.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewExecutionService(shape.id, ew, nil, nil)
+	params := shape.q.WireParams()
+
+	measure := func(oracle bool) (allocs float64) {
+		SetRowOracle(oracle)
+		defer SetRowOracle(false)
+		buf := soap.GetBuffer()
+		defer soap.PutBuffer(buf)
+		run := func() {
+			buf.Reset()
+			if oracle {
+				returns, err := svc.Invoke(OpGetPR, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := soap.EncodeResponseTo(buf, OpGetPR, nil, returns); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				took, err := svc.InvokeRawTo(OpGetPR, params, buf)
+				if err != nil || !took {
+					t.Fatalf("took=%v err=%v", took, err)
+				}
+			}
+		}
+		run()
+		return testing.AllocsPerRun(10, run)
+	}
+
+	fast := measure(false)
+	oracle := measure(true)
+	if oracle < 5*fast {
+		t.Fatalf("cold-path allocation reduction below 5x: oracle %.0f allocs/op, vectorized %.0f", oracle, fast)
+	}
+	t.Logf("cold SMG98 getPR allocs/op: oracle %.0f, vectorized %.0f (%.1fx)", oracle, fast, oracle/fast)
+}

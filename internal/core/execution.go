@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -14,6 +15,33 @@ import (
 	"pperfgrid/internal/perfdata"
 	"pperfgrid/internal/soap"
 )
+
+// rowOracle routes the getPR read path through the retained
+// row-at-a-time, string-building implementation when set: fetchResults
+// streams row by row instead of batch-decoding, and the raw wire
+// streamers decline so the transport falls back to Invoke +
+// perfdata.EncodeResults + the generic response encode. It is the
+// differential oracle and ablation hook of the cold-path overhaul,
+// mirroring soap.SetLegacyCodec one layer up. Not intended for
+// concurrent toggling.
+var rowOracle atomic.Bool
+
+// SetRowOracle switches the package between the vectorized cold path
+// (false, the default) and the retained row/string path (true). The two
+// produce byte-identical wire envelopes — differential tests pin it —
+// so only the cost differs.
+func SetRowOracle(enabled bool) { rowOracle.Store(enabled) }
+
+// RowOracle reports whether the oracle hook is on.
+func RowOracle() bool { return rowOracle.Load() }
+
+// encScratchPool recycles the per-request scratch slice the streaming
+// encoders render each result into (one reused buffer per envelope, not
+// one string per result).
+var encScratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
 
 // ExecutionService is the implementation behind one Execution grid service
 // instance (Table 2). It is stateful, as OGSI instances are: discovery
@@ -46,6 +74,12 @@ type ExecutionService struct {
 	flights   map[string]*prFlight
 	coalesced atomic.Int64
 
+	// lastResultLen remembers the previous getPR result count, the
+	// pre-sizing hint for the next fetch's result arena — cold SMG98
+	// queries return thousands of rows, and growing a slice there from
+	// nothing costs a dozen reallocations per query.
+	lastResultLen atomic.Int64
+
 	mu        sync.Mutex
 	foci      []string
 	metrics   []string
@@ -60,10 +94,12 @@ type ExecutionService struct {
 }
 
 // prCursor is the server-side state of one paged getPR result set: the
-// wire-encoded results and the read offset.
+// decoded results and the read offset. Pages encode on their way out —
+// straight into the transport buffer on the raw-streamed path — so no
+// per-result intermediate strings sit in cursor state.
 type prCursor struct {
-	encoded []string
-	offset  int
+	rs     []perfdata.Result
+	offset int
 }
 
 // prFlight is one in-flight getPR Mapping-Layer execution; followers with
@@ -184,12 +220,24 @@ func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) 
 // travelling in a SOAP header entry (section "paged getPR" of
 // ARCHITECTURE.md). Every other operation falls back to the plain
 // protocol as a single terminal page, so the concatenation of pages is
-// always element-identical to the unpaged reply.
+// always element-identical to the unpaged reply. This is the string
+// protocol; raw-capable transports page through InvokePagedRawTo, which
+// encodes each page straight into the wire buffer.
 func (e *ExecutionService) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
 	if op != OpGetPR {
 		out, err := e.Invoke(op, params)
 		return out, "", err
 	}
+	page, next, err := e.pagedResults(op, params, cursor, limit)
+	if err != nil {
+		return nil, "", err
+	}
+	return perfdata.EncodeResults(page), next, nil
+}
+
+// pagedResults is the shared paging engine behind both paged protocols:
+// it returns one page of decoded results plus the continuation cursor.
+func (e *ExecutionService) pagedResults(op string, params []string, cursor string, limit int) ([]perfdata.Result, string, error) {
 	if limit <= 0 {
 		limit = DefaultPageSize
 	}
@@ -204,16 +252,17 @@ func (e *ExecutionService) InvokePaged(op string, params []string, cursor string
 	if err != nil {
 		return nil, "", err
 	}
-	encoded := perfdata.EncodeResults(rs)
-	if len(encoded) <= limit {
-		return encoded, "", nil
+	if len(rs) <= limit {
+		return rs, "", nil
 	}
-	return e.openCursor(encoded, limit)
+	return e.openCursor(rs, limit)
 }
 
 // openCursor registers the remainder of a paged result set and returns
-// its first page.
-func (e *ExecutionService) openCursor(encoded []string, limit int) ([]string, string, error) {
+// its first page. The cursor shares the result slice (it may alias a
+// cache entry, which is immutable by the Cache contract) and only ever
+// reads it.
+func (e *ExecutionService) openCursor(rs []perfdata.Result, limit int) ([]perfdata.Result, string, error) {
 	e.cursorMu.Lock()
 	defer e.cursorMu.Unlock()
 	if e.cursors == nil {
@@ -225,14 +274,14 @@ func (e *ExecutionService) openCursor(encoded []string, limit int) ([]string, st
 	}
 	e.cursorSeq++
 	id := fmt.Sprintf("pr-%s-%d", e.id, e.cursorSeq)
-	e.cursors[id] = &prCursor{encoded: encoded, offset: limit}
+	e.cursors[id] = &prCursor{rs: rs, offset: limit}
 	e.cursorIDs = append(e.cursorIDs, id)
-	return encoded[:limit], id, nil
+	return rs[:limit], id, nil
 }
 
 // continueCursor serves the next page of a live cursor, retiring it when
 // the set is exhausted.
-func (e *ExecutionService) continueCursor(id string, limit int) ([]string, string, error) {
+func (e *ExecutionService) continueCursor(id string, limit int) ([]perfdata.Result, string, error) {
 	e.cursorMu.Lock()
 	defer e.cursorMu.Unlock()
 	c, ok := e.cursors[id]
@@ -240,14 +289,59 @@ func (e *ExecutionService) continueCursor(id string, limit int) ([]string, strin
 		return nil, "", fmt.Errorf("core: unknown or expired getPR cursor %q", id)
 	}
 	end := c.offset + limit
-	if end >= len(c.encoded) {
-		page := c.encoded[c.offset:]
+	if end >= len(c.rs) {
+		page := c.rs[c.offset:]
 		e.dropCursorLocked(id)
 		return page, "", nil
 	}
-	page := c.encoded[c.offset:end]
+	page := c.rs[c.offset:end]
 	c.offset = end
 	return page, id, nil
+}
+
+// InvokePagedRawTo implements ogsi.RawPagedStreamer for getPR: one page
+// of results encodes straight into the transport's pooled buffer — the
+// cursor header entry included — with no per-result intermediate
+// strings. The envelope bytes are identical to what the transport
+// produces from the equivalent InvokePaged page (differential tests pin
+// it). Declines under the row-oracle and legacy-codec hooks so ablations
+// measure the string path end to end.
+func (e *ExecutionService) InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
+	if op != OpGetPR || rowOracle.Load() || soap.LegacyCodec() {
+		return "", false, nil
+	}
+	page, next, err := e.pagedResults(op, params, cursor, limit)
+	if err != nil {
+		return "", true, err
+	}
+	var headers []soap.HeaderEntry
+	if next != "" {
+		headers = []soap.HeaderEntry{{Name: ogsi.HeaderCursor, Value: next}}
+	}
+	if err := encodeResultsTo(buf, headers, page); err != nil {
+		return "", true, err
+	}
+	e.wireEncodes.Add(1)
+	return next, true, nil
+}
+
+// encodeResultsTo streams one getPR response envelope into buf: each
+// result renders into a pooled scratch slice (perfdata.AppendEncode) and
+// escapes straight into the envelope — the zero-intermediate encode.
+func encodeResultsTo(buf *bytes.Buffer, headers []soap.HeaderEntry, rs []perfdata.Result) error {
+	var enc soap.ResponseEncoder
+	if err := enc.Begin(buf, OpGetPR, headers); err != nil {
+		return err
+	}
+	scratchp := encScratchPool.Get().(*[]byte)
+	scratch := *scratchp
+	for i := range rs {
+		scratch = rs[i].AppendEncode(scratch[:0])
+		enc.ReturnBytes(scratch)
+	}
+	*scratchp = scratch
+	encScratchPool.Put(scratchp)
+	return enc.Close()
 }
 
 func (e *ExecutionService) dropCursorLocked(id string) {
@@ -286,7 +380,7 @@ func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, 
 	if err != nil {
 		return nil, true, err
 	}
-	raw, err := soap.EncodeResponse(OpGetPR, nil, perfdata.EncodeResults(rs))
+	raw, err := e.encodeResults(rs)
 	if err != nil {
 		return nil, true, err
 	}
@@ -301,6 +395,80 @@ func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, 
 // WireEncodes reports how many getPR response envelopes this instance has
 // encoded — the number cache hits hold at zero growth.
 func (e *ExecutionService) WireEncodes() int64 { return e.wireEncodes.Load() }
+
+// encodeResults renders one owned getPR response envelope (the form the
+// encoded-response cache retains). The vectorized path streams each
+// result's bytes straight into a pooled buffer; under the row-oracle or
+// legacy-codec hooks it takes the retained string route instead. Both
+// emit identical bytes.
+func (e *ExecutionService) encodeResults(rs []perfdata.Result) ([]byte, error) {
+	if rowOracle.Load() || soap.LegacyCodec() {
+		return soap.EncodeResponse(OpGetPR, nil, perfdata.EncodeResults(rs))
+	}
+	buf := soap.GetBuffer()
+	defer soap.PutBuffer(buf)
+	if err := encodeResultsTo(buf, nil, rs); err != nil {
+		return nil, err
+	}
+	return soap.CopyEncoded(buf), nil
+}
+
+// InvokeRawTo implements ogsi.RawStreamer for getPR on uncached
+// instances — the cold wire path. The result set decodes batch-at-a-time
+// into a pooled arena (mapping.ResultAppender), encodes straight into
+// the transport's buffer, and the arena recycles: steady-state cold
+// queries materialize no per-row values, no per-result strings, and no
+// owned envelope slice. Cached instances decline (InvokeRaw serves them,
+// since their envelope must be retained for the cache), as do the
+// row-oracle and legacy-codec hooks and wrappers without a vectorized
+// path.
+func (e *ExecutionService) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (bool, error) {
+	if op != OpGetPR || rowOracle.Load() || soap.LegacyCodec() {
+		return false, nil
+	}
+	if e.cacheRef() != nil {
+		return false, nil
+	}
+	a, ok := e.wrapper.(mapping.ResultAppender)
+	if !ok {
+		return false, nil
+	}
+	q, err := perfdata.ParseQueryParams(params)
+	if err != nil {
+		return true, err
+	}
+	arena := mapping.GetResultArena(e.resultsHint())
+	rs, err := a.AppendPerformanceResults(q, *arena)
+	*arena = rs
+	if err != nil {
+		mapping.PutResultArena(arena)
+		return true, err
+	}
+	e.noteResultLen(len(rs))
+	err = encodeResultsTo(buf, nil, rs)
+	mapping.PutResultArena(arena)
+	if err != nil {
+		return true, err
+	}
+	e.wireEncodes.Add(1)
+	return true, nil
+}
+
+// resultsHint pre-sizes a result arena from the previous query's result
+// count, clamped to keep a pathological outlier from pinning memory.
+func (e *ExecutionService) resultsHint() int {
+	const maxHint = 1 << 16
+	n := int(e.lastResultLen.Load())
+	if n <= 0 {
+		return 16
+	}
+	if n > maxHint {
+		return maxHint
+	}
+	return n
+}
+
+func (e *ExecutionService) noteResultLen(n int) { e.lastResultLen.Store(int64(n)) }
 
 // getPRAsync implements the callback query model. Parameters are
 // [requestID, sinkHandle, metric, start, end, type, foci...]. The call is
@@ -517,12 +685,32 @@ func (e *ExecutionService) resultsByKey(cache Cache, key string, q perfdata.Quer
 // Mapping Layer themselves.
 func (e *ExecutionService) CoalescedQueries() int64 { return e.coalesced.Load() }
 
-// fetchResults reaches the Mapping Layer for a getPR query. When the
-// wrapper can stream (mapping.ResultStreamer — the relational wrappers
-// decode rows straight off minidb's streaming iterator), each decoded
-// value is appended directly to the slice the cache will store, with no
-// intermediate materialized copy of the store's result set.
+// fetchResults reaches the Mapping Layer for a getPR query. Wrappers
+// with a vectorized path (mapping.ResultAppender — the relational
+// wrappers decode minidb's column-oriented batches, the flat-file
+// wrapper filters during its byte-level re-parse) append straight into a
+// pre-sized slice the cache can retain; streaming wrappers
+// (mapping.ResultStreamer) decode row by row into the same slice. The
+// row-oracle hook forces the streaming path, the differential baseline
+// of the cold-path overhaul. The returned slice is freshly allocated —
+// never an arena — because the cache (and callers) retain it.
 func (e *ExecutionService) fetchResults(q perfdata.Query) ([]perfdata.Result, error) {
+	if !rowOracle.Load() {
+		if a, ok := e.wrapper.(mapping.ResultAppender); ok {
+			rs, err := a.AppendPerformanceResults(q, make([]perfdata.Result, 0, e.resultsHint()))
+			if err == nil {
+				e.noteResultLen(len(rs))
+			}
+			// The caller (and the cache, whose byte budget charges len, not
+			// cap) retains this slice: when the hint badly over-shot — a
+			// small query after a large one — hand back a right-sized copy
+			// instead of pinning the oversized backing array.
+			if excess := cap(rs) - len(rs); excess > 32 && cap(rs) > len(rs)+len(rs)/4 {
+				rs = append(make([]perfdata.Result, 0, len(rs)), rs...)
+			}
+			return rs, err
+		}
+	}
 	if s, ok := e.wrapper.(mapping.ResultStreamer); ok {
 		return mapping.CollectResults(s, q)
 	}

@@ -115,3 +115,22 @@ func (e *timedExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, err
 	e.rec.Record(time.Since(start), payloadBytes(rs))
 	return rs, nil
 }
+
+// AppendPerformanceResults forwards the vectorized cold path
+// (mapping.ResultAppender) with the same per-call recording, so timed
+// sources measure whichever path the Semantic Layer picks exactly once.
+func (e *timedExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	a, ok := e.ExecutionWrapper.(mapping.ResultAppender)
+	if !ok {
+		rs, err := e.PerformanceResults(q) // records internally
+		return append(dst, rs...), err
+	}
+	before := len(dst)
+	start := time.Now()
+	out, err := a.AppendPerformanceResults(q, dst)
+	if err != nil {
+		return out, err
+	}
+	e.rec.Record(time.Since(start), payloadBytes(out[before:]))
+	return out, nil
+}

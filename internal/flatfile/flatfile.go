@@ -25,7 +25,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"pperfgrid/internal/perfdata"
 )
@@ -355,15 +358,202 @@ func execErr(fname string, line int, msg string) error {
 // Query scans one execution's results for those matching q, re-parsing the
 // backing file. This is the per-query path the Mapping Layer uses.
 func (s *Store) Query(id string, q perfdata.Query) ([]perfdata.Result, error) {
-	e, err := s.Execution(id)
-	if err != nil {
-		return nil, err
+	return s.QueryAppend(id, q, nil)
+}
+
+// queryScratch is the pooled per-parse scratch of the byte-level query
+// path: the scanner's token buffer, the reused field-split slice, and a
+// small intern table for the collector-type strings (a handful of
+// distinct values repeated across thousands of records). Pooling these
+// keeps the paper's parse-per-query cost model — every record is still
+// read, tokenized, and numerically parsed on every query — while the
+// steady-state RMA cold path stops handing the garbage collector one
+// fields slice and one record string per line.
+type queryScratch struct {
+	buf    []byte
+	fields [][]byte
+	types  map[string]string
+}
+
+var queryScratchPool = sync.Pool{New: func() any {
+	return &queryScratch{buf: make([]byte, 64*1024), types: make(map[string]string)}
+}}
+
+// maxInternedTypes bounds the scratch's intern table across reuses.
+const maxInternedTypes = 256
+
+// splitFieldsBytes appends the whitespace-separated fields of line to
+// dst, with strings.Fields semantics (any run of Unicode white space
+// separates).
+func splitFieldsBytes(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		r, w := utf8.DecodeRune(line[i:])
+		if unicode.IsSpace(r) {
+			i += w
+			continue
+		}
+		start := i
+		for i < len(line) {
+			r, w := utf8.DecodeRune(line[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += w
+		}
+		dst = append(dst, line[start:i])
 	}
-	var out []perfdata.Result
-	for _, r := range e.Results {
-		if q.Matches(r) {
-			out = append(out, r)
+	return dst
+}
+
+// focusMatchesBytes is perfdata.FocusMatches with the stored path still
+// in scanner-owned bytes, so non-matching records allocate nothing.
+func focusMatchesBytes(query string, stored []byte) bool {
+	if query == "/" || query == "" || string(stored) == query {
+		return true
+	}
+	base := strings.TrimSuffix(query, "/")
+	return len(stored) > len(base) && stored[len(base)] == '/' && string(stored[:len(base)]) == base
+}
+
+// matchesBytes mirrors perfdata.Query.Matches over a data record's raw
+// fields (metric, focus, type) plus its parsed time range.
+func matchesBytes(q perfdata.Query, metric, focus, typ []byte, tr perfdata.TimeRange) bool {
+	if string(metric) != q.Metric {
+		return false
+	}
+	if q.Type != perfdata.UndefinedType && string(typ) != q.Type {
+		return false
+	}
+	if !q.Time.Overlaps(tr) {
+		return false
+	}
+	if len(q.Foci) == 0 {
+		return true
+	}
+	for _, f := range q.Foci {
+		if focusMatchesBytes(f, focus) {
+			return true
 		}
 	}
-	return out, nil
+	return false
+}
+
+// intern returns a durable string for b, reusing a previously interned
+// copy when one exists (collector types recur; focus paths usually do
+// not and are allocated per match).
+func (sc *queryScratch) intern(b []byte) string {
+	if s, ok := sc.types[string(b)]; ok {
+		return s
+	}
+	if len(sc.types) >= maxInternedTypes {
+		sc.types = make(map[string]string)
+	}
+	s := string(b)
+	sc.types[s] = s
+	return s
+}
+
+// QueryAppend appends one execution's results matching q to dst,
+// re-parsing the backing file with pooled scratch: records are scanned
+// and filtered as raw bytes, and only matching records materialize
+// strings. The full row-materializing parse (Execution + filter) is the
+// differential oracle for this path.
+func (s *Store) QueryAppend(id string, q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	fname, ok := s.files[id]
+	if !ok {
+		return dst, fmt.Errorf("flatfile: no execution %q", id)
+	}
+	f, err := s.fsys.Open(fname)
+	if err != nil {
+		return dst, fmt.Errorf("flatfile: open %s: %w", fname, err)
+	}
+	defer f.Close()
+
+	sc := queryScratchPool.Get().(*queryScratch)
+	defer func() {
+		sc.fields = sc.fields[:0]
+		queryScratchPool.Put(sc)
+	}()
+
+	sr := bufio.NewScanner(f)
+	sr.Buffer(sc.buf, 4*1024*1024)
+	line, sawEnd := 0, false
+	declaredID := "" // last "execution" directive's ID, like the oracle's e.ID
+	for sr.Scan() {
+		line++
+		text := bytes.TrimSpace(sr.Bytes())
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		sc.fields = splitFieldsBytes(sc.fields[:0], text)
+		fields := sc.fields
+		switch string(fields[0]) {
+		case "execution":
+			if len(fields) != 2 {
+				return dst, execErr(fname, line, "execution needs an ID")
+			}
+			if string(fields[1]) == id {
+				declaredID = id // avoid re-allocating the common case
+			} else {
+				declaredID = string(fields[1])
+			}
+		case "attr":
+			if len(fields) < 2 {
+				return dst, execErr(fname, line, "attr needs a name")
+			}
+		case "timerange":
+			if len(fields) != 3 {
+				return dst, execErr(fname, line, "timerange needs <start> <end>")
+			}
+			start, err1 := strconv.ParseFloat(string(fields[1]), 64)
+			end, err2 := strconv.ParseFloat(string(fields[2]), 64)
+			if err1 != nil || err2 != nil || end < start {
+				return dst, execErr(fname, line, "bad timerange")
+			}
+		case "columns":
+			// Documentation line; the layout is fixed.
+		case "data":
+			if len(fields) != 7 {
+				return dst, execErr(fname, line, fmt.Sprintf("data record has %d fields, want 7", len(fields)))
+			}
+			start, err1 := strconv.ParseFloat(string(fields[4]), 64)
+			end, err2 := strconv.ParseFloat(string(fields[5]), 64)
+			val, err3 := strconv.ParseFloat(string(fields[6]), 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return dst, execErr(fname, line, "bad numeric field in data record")
+			}
+			tr := perfdata.TimeRange{Start: start, End: end}
+			if !matchesBytes(q, fields[1], fields[2], fields[3], tr) {
+				continue
+			}
+			dst = append(dst, perfdata.Result{
+				Metric: q.Metric, // matched, so equal to the record's field
+				Focus:  string(fields[2]),
+				Type:   sc.intern(fields[3]),
+				Time:   tr,
+				Value:  val,
+			})
+		case "end":
+			sawEnd = true
+		default:
+			return dst, execErr(fname, line, "unknown directive "+string(fields[0]))
+		}
+		if sawEnd {
+			break
+		}
+	}
+	if err := sr.Err(); err != nil {
+		return dst, fmt.Errorf("flatfile: read %s: %w", fname, err)
+	}
+	if !sawEnd {
+		return dst, fmt.Errorf("flatfile: %s: missing end directive", fname)
+	}
+	if declaredID == "" {
+		return dst, fmt.Errorf("flatfile: %s: missing execution directive", fname)
+	}
+	if declaredID != id {
+		return dst, fmt.Errorf("flatfile: %s: file declares execution %q, index says %q", fname, declaredID, id)
+	}
+	return dst, nil
 }

@@ -1,0 +1,179 @@
+package flatfile
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// queryOracle is the retained full-materialization path: parse
+// everything, then filter with perfdata.Query.Matches — the semantics
+// QueryAppend's byte-level scan must reproduce exactly.
+func queryOracle(s *Store, id string, q perfdata.Query) ([]perfdata.Result, error) {
+	e, err := s.Execution(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []perfdata.Result
+	for _, r := range e.Results {
+		if q.Matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func randDataset(rng *rand.Rand, execs int) *Dataset {
+	metrics := []string{"bandwidth", "latency", "m_1"}
+	foci := []string{"/", "/Process/0", "/Process/1", "/Code/MPI/MPI_Put", "/Code/MPI", "/Machine/n0"}
+	types := []string{"presta", "vampir", "UNDEFINED"}
+	ds := &Dataset{Name: "rand", Meta: []perfdata.KV{{Name: "v", Value: "1"}}}
+	for e := 0; e < execs; e++ {
+		ex := Execution{
+			ID:    fmt.Sprintf("e%d", e),
+			Attrs: map[string]string{"np": fmt.Sprint(1 + rng.Intn(8)), "note": "two words"},
+			Time:  perfdata.TimeRange{Start: 0, End: 100},
+		}
+		for r, n := 0, 5+rng.Intn(40); r < n; r++ {
+			start := rng.Float64() * 90
+			ex.Results = append(ex.Results, perfdata.Result{
+				Metric: metrics[rng.Intn(len(metrics))],
+				Focus:  foci[rng.Intn(len(foci))],
+				Type:   types[rng.Intn(len(types))],
+				Time:   perfdata.TimeRange{Start: start, End: start + rng.Float64()*10},
+				Value:  rng.NormFloat64() * 1000,
+			})
+		}
+		ds.Execs = append(ds.Execs, ex)
+	}
+	return ds
+}
+
+func TestQueryAppendMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	ds := randDataset(rng, 4)
+	files, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []perfdata.Query{
+		{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}},
+		{Metric: "bandwidth", Type: "presta", Time: perfdata.TimeRange{Start: 20, End: 60}},
+		{Metric: "latency", Type: "vampir", Time: perfdata.TimeRange{Start: 0, End: 100}, Foci: []string{"/Code/MPI"}},
+		{Metric: "m_1", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}, Foci: []string{"/Process/0", "/Machine"}},
+		{Metric: "nope", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}},
+		{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 200, End: 300}},
+		{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}, Foci: []string{"/"}},
+		{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}, Foci: []string{"/Code/MPI/"}},
+	}
+	for i := 0; i < 60; i++ {
+		e := ds.Execs[rng.Intn(len(ds.Execs))]
+		q := queries[rng.Intn(len(queries))]
+		want, werr := queryOracle(s, e.ID, q)
+		got, gerr := s.Query(e.ID, q)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence for %s %+v: %v vs %v", e.ID, q, gerr, werr)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("result divergence for %s %+v:\nbyte-path %v\noracle    %v", e.ID, q, got, want)
+		}
+	}
+	// dst-appending form preserves the prefix.
+	prefix := []perfdata.Result{{Metric: "sentinel"}}
+	out, err := s.QueryAppend(ds.Execs[0].ID, queries[0], prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Metric != "sentinel" {
+		t.Fatal("QueryAppend clobbered dst prefix")
+	}
+}
+
+// TestQueryAppendErrorShapes pins the byte-level scan's error parity with
+// the oracle parse on malformed files.
+func TestQueryAppendErrorShapes(t *testing.T) {
+	good := "execution e1\nattr np 4\ntimerange 0 100\ncolumns metric focus type start end value\n" +
+		"data bandwidth / presta 0 10 5.5\nend\n"
+	cases := map[string]string{
+		"good":             good,
+		"missing-end":      strings.Replace(good, "end\n", "", 1),
+		"bad-data-fields":  strings.Replace(good, "data bandwidth / presta 0 10 5.5", "data bandwidth / presta 0 10", 1),
+		"bad-data-number":  strings.Replace(good, "0 10 5.5", "0 ten 5.5", 1),
+		"bad-timerange":    strings.Replace(good, "timerange 0 100", "timerange 100 0", 1),
+		"unknown":          strings.Replace(good, "attr np 4", "bogus directive", 1),
+		"wrong-id":         strings.Replace(good, "execution e1", "execution other", 1),
+		"missing-exec":     strings.Replace(good, "execution e1\n", "", 1),
+		"attr-missing-arg": strings.Replace(good, "attr np 4", "attr", 1),
+		"exec-extra-arg":   strings.Replace(good, "execution e1", "execution e1 junk", 1),
+		"comments-blank":   "# c\n\n" + good,
+	}
+	q := perfdata.Query{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}}
+	for name, content := range cases {
+		files := map[string][]byte{
+			IndexFile:     []byte("application a\nexecution e1 exec_e1.txt\n"),
+			"exec_e1.txt": []byte(content),
+		}
+		s, err := OpenFiles(files)
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		want, werr := queryOracle(s, "e1", q)
+		got, gerr := s.Query("e1", q)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%s: error divergence: byte-path %v, oracle %v", name, gerr, werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: result divergence: %v vs %v", name, got, want)
+		}
+	}
+}
+
+// TestQueryAppendAllocs pins the pooled-scratch contract: a warmed
+// repeat query allocates proportionally to its matches, not to the file
+// size (non-matching records cost nothing).
+func TestQueryAppendAllocs(t *testing.T) {
+	var ds Dataset
+	ds.Name = "alloc"
+	ex := Execution{ID: "e1", Attrs: map[string]string{"np": "4"}, Time: perfdata.TimeRange{Start: 0, End: 100}}
+	for i := 0; i < 500; i++ {
+		ex.Results = append(ex.Results, perfdata.Result{
+			Metric: "other", Focus: "/Process/0", Type: "presta",
+			Time: perfdata.TimeRange{Start: 0, End: 1}, Value: float64(i),
+		})
+	}
+	ds.Execs = append(ds.Execs, ex)
+	files, err := Encode(&ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "bandwidth", Type: perfdata.UndefinedType, Time: perfdata.TimeRange{Start: 0, End: 100}}
+	dst := make([]perfdata.Result, 0, 8)
+	run := func() {
+		var err error
+		dst, err = s.QueryAppend("e1", q, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 12 {
+		t.Fatalf("no-match scan over 500 records allocates %.1f times per query, want a small constant (<= 12)", allocs)
+	}
+	t.Logf("no-match 500-record scan: %.1f allocs/query", allocs)
+}

@@ -149,6 +149,14 @@ func (e *flatExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 	return e.store.Query(e.id, q)
 }
 
+// AppendPerformanceResults implements ResultAppender: the store's
+// byte-level re-parse filters records into dst with pooled scratch,
+// keeping the paper's parse-per-query cost model without its per-line
+// garbage.
+func (e *flatExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	return e.store.QueryAppend(e.id, q, dst)
+}
+
 // XMLWrapper maps a native-XML dataset onto the PPerfGrid interfaces.
 // Result queries re-decode the document, per the store's cost model.
 type XMLWrapper struct {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"pperfgrid/internal/perfdata"
@@ -76,8 +77,28 @@ var ErrNoSuchExecution = errors.New("mapping: no such execution")
 // Layer decodes each row straight into the slice it caches, instead of
 // materializing an intermediate result set. The yield callback must not
 // retain its argument's backing store or call back into the wrapper.
+//
+// It is retained as the row-at-a-time oracle of the vectorized cold path:
+// differential tests pin ResultAppender implementations to the stream's
+// output, result for result.
 type ResultStreamer interface {
 	StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error
+}
+
+// ResultAppender is the vectorized extension of ExecutionWrapper: the
+// cold getPR fast path. AppendPerformanceResults appends every result
+// matching q to dst (growing it as needed) and returns the extended
+// slice. The relational wrappers implement it by decoding minidb's
+// column-oriented ValueBatches straight into dst — no per-row []Value,
+// no per-result append through a yield callback — and the flat-file
+// wrapper by filtering records during its byte-level re-parse.
+//
+// Ownership: the returned slice (and its backing array, which may have
+// been reallocated away from dst's) belongs to the caller; the wrapper
+// retains no reference. Callers that recycle dst through the arena pool
+// below therefore know the backing array is theirs to reuse.
+type ResultAppender interface {
+	AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error)
 }
 
 // CollectResults drains a streamer into a slice — the adapter behind
@@ -92,6 +113,37 @@ func CollectResults(s ResultStreamer, q perfdata.Query) ([]perfdata.Result, erro
 		return nil, err
 	}
 	return out, nil
+}
+
+// resultArenaPool recycles []perfdata.Result backing arrays for result
+// sets whose lifetime ends inside one request — the cache-off cold wire
+// path, which decodes a result set, encodes it into the response
+// envelope, and drops it. Pooling the arrays stops that steady-state
+// workload from allocating one arena per query.
+var resultArenaPool = sync.Pool{New: func() any { return new([]perfdata.Result) }}
+
+// GetResultArena hands out a pooled arena with empty-slice contents and
+// capacity at least hint. The pointer box travels with the arena: append
+// through `*p`, write the grown slice back into `*p`, and hand the same
+// pointer to PutResultArena — no per-cycle box allocation. Pool only
+// when nothing retains the slice (never for results handed to a cache
+// or a caller).
+func GetResultArena(hint int) *[]perfdata.Result {
+	p := resultArenaPool.Get().(*[]perfdata.Result)
+	if cap(*p) < hint {
+		*p = make([]perfdata.Result, 0, hint)
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+// PutResultArena clears the arena (dropping its string references so the
+// pool pins no store data) and recycles it.
+func PutResultArena(p *[]perfdata.Result) {
+	rs := (*p)[:cap(*p)]
+	clear(rs)
+	*p = rs[:0]
+	resultArenaPool.Put(p)
 }
 
 // Latency decorates an ApplicationWrapper with a fixed per-operation
@@ -171,6 +223,30 @@ func (e *latencyExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, e
 		time.Sleep(time.Duration(len(rs)) * e.l.PerResult)
 	}
 	return rs, nil
+}
+
+// AppendPerformanceResults implements ResultAppender, forwarding to the
+// wrapped wrapper's vectorized path when it has one (falling back to its
+// plain query otherwise). The per-result delay is charged in aggregate
+// after the underlying query returns, matching PerformanceResults.
+func (e *latencyExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	e.l.pause()
+	before := len(dst)
+	var err error
+	if a, ok := e.wrapped.(ResultAppender); ok {
+		dst, err = a.AppendPerformanceResults(q, dst)
+	} else {
+		var rs []perfdata.Result
+		rs, err = e.wrapped.PerformanceResults(q)
+		dst = append(dst, rs...)
+	}
+	if err != nil {
+		return dst, err
+	}
+	if n := len(dst) - before; e.l.PerResult > 0 && n > 0 {
+		time.Sleep(time.Duration(n) * e.l.PerResult)
+	}
+	return dst, nil
 }
 
 // StreamPerformanceResults implements ResultStreamer, forwarding to the
@@ -257,6 +333,15 @@ func (e *memoryExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, er
 		}
 	}
 	return out, nil
+}
+
+func (e *memoryExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	for _, r := range e.results {
+		if q.Matches(r) {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil
 }
 
 // Memory is the in-memory reference wrapper: the simplest correct
@@ -358,4 +443,9 @@ func (l *liveMemoryExec) TimeStartEnd() (perfdata.TimeRange, error) {
 }
 func (l *liveMemoryExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
 	return l.view().PerformanceResults(q)
+}
+
+// AppendPerformanceResults implements ResultAppender over the live view.
+func (l *liveMemoryExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	return l.view().AppendPerformanceResults(q, dst)
 }

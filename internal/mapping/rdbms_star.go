@@ -173,19 +173,28 @@ func (e *starExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 	return CollectResults(e, q)
 }
 
-// StreamPerformanceResults implements ResultStreamer: the dimension
-// lookups resolve first (small materialized queries), then the fact-table
-// join streams through minidb's result iterator, decoding each row into a
-// perfdata.Result handed to yield — no intermediate materialized copy of
-// the (potentially huge) fact scan exists.
-func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
+// starPRPlan is the resolved dimension half of one star-schema getPR:
+// the prepared fact-join statement, its bindings, and the collector
+// names needed to decode the joined rows.
+type starPRPlan struct {
+	st        *minidb.Stmt
+	args      []minidb.Value
+	typeNames map[int64]string
+}
+
+// planPR resolves the dimension lookups of a getPR (metric, collector
+// type, foci prefix scans) and prepares the fact-table join. ok=false
+// (with a nil error) means a dimension lookup proved the query matches
+// nothing. The collector names resolve here too, before the join stream
+// opens and takes the database's read lock.
+func (e *starExec) planPR(q perfdata.Query) (plan starPRPlan, ok bool, err error) {
 	// 1. Resolve the metric dimension.
 	rs, err := e.w.query("SELECT metricid FROM metrics WHERE name = ?", minidb.Text(q.Metric))
 	if err != nil {
-		return err
+		return plan, false, err
 	}
 	if len(rs.Rows) == 0 {
-		return nil
+		return plan, false, nil
 	}
 	metricID := rs.Rows[0][0].Int
 
@@ -195,10 +204,10 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 	if q.Type != perfdata.UndefinedType {
 		rs, err = e.w.query("SELECT typeid FROM collectors WHERE name = ?", minidb.Text(q.Type))
 		if err != nil {
-			return err
+			return plan, false, err
 		}
 		if len(rs.Rows) == 0 {
-			return nil
+			return plan, false, nil
 		}
 		typeFilter = " AND r.typeid = ?"
 		typeArg = []minidb.Value{minidb.Int(rs.Rows[0][0].Int)}
@@ -222,10 +231,10 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 		if conds != nil {
 			rs, err = e.w.query("SELECT fociid FROM foci WHERE "+strings.Join(conds, " OR "), args...)
 			if err != nil {
-				return err
+				return plan, false, err
 			}
 			if len(rs.Rows) == 0 {
-				return nil
+				return plan, false, nil
 			}
 			ph := make([]string, len(rs.Rows))
 			for i, row := range rs.Rows {
@@ -239,9 +248,9 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 	// 4. Resolve collector names before the streaming join opens: the
 	// stream holds the database's read lock, so no further queries may
 	// run until it closes.
-	typeNames, err := e.typeNames()
+	plan.typeNames, err = e.typeNames()
 	if err != nil {
-		return err
+		return plan, false, err
 	}
 
 	// 5. Fact-table join filtered by execution, metric, type, time, foci.
@@ -249,15 +258,29 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 	// filters into the scan, and hash-joins the foci dimension.
 	sql := "SELECT f.path, r.starttime, r.endtime, r.value, r.typeid FROM results r JOIN foci f ON r.fociid = f.fociid " +
 		"WHERE r.execid = ? AND r.metricid = ? AND r.endtime > ? AND r.starttime < ?" + typeFilter + fociFilter
-	st, err := e.w.DB.Prepare(sql)
+	plan.st, err = e.w.DB.Prepare(sql)
 	if err != nil {
-		return err
+		return plan, false, err
 	}
-	args := append([]minidb.Value{
+	plan.args = append([]minidb.Value{
 		minidb.Text(e.id), minidb.Int(metricID),
 		minidb.Float(q.Time.Start), minidb.Float(q.Time.End),
 	}, append(typeArg, fociArgs...)...)
-	rows, err := st.QueryStream(args...)
+	return plan, true, nil
+}
+
+// StreamPerformanceResults implements ResultStreamer: the dimension
+// lookups resolve first (small materialized queries), then the fact-table
+// join streams through minidb's result iterator, decoding each row into a
+// perfdata.Result handed to yield — no intermediate materialized copy of
+// the (potentially huge) fact scan exists. This row-at-a-time path is the
+// differential oracle for AppendPerformanceResults.
+func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
+	plan, ok, err := e.planPR(q)
+	if err != nil || !ok {
+		return err
+	}
+	rows, err := plan.st.QueryStream(plan.args...)
 	if err != nil {
 		return err
 	}
@@ -270,7 +293,7 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 		if err := yield(perfdata.Result{
 			Metric: q.Metric,
 			Focus:  row[0].String(),
-			Type:   typeNames[row[4].Int],
+			Type:   plan.typeNames[row[4].Int],
 			Time:   perfdata.TimeRange{Start: start, End: end},
 			Value:  val,
 		}); err != nil {
@@ -278,6 +301,41 @@ func (e *starExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 		}
 	}
 	return rows.Err()
+}
+
+// AppendPerformanceResults implements ResultAppender: the same fact-table
+// join consumed through minidb's vectorized NextBatch, decoding each
+// column-oriented batch straight into dst. No per-row []Value is
+// materialized and no per-result callback runs — this is the cold-path
+// counterpart of the streaming oracle above.
+func (e *starExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	plan, ok, err := e.planPR(q)
+	if err != nil || !ok {
+		return dst, err
+	}
+	rows, err := plan.st.QueryStream(plan.args...)
+	if err != nil {
+		return dst, err
+	}
+	defer rows.Close()
+	b := minidb.NewBatch()
+	defer b.Release()
+	for rows.NextBatch(b, 0) {
+		paths, starts, ends, vals, typeids := b.Col(0), b.Col(1), b.Col(2), b.Col(3), b.Col(4)
+		for i := range paths {
+			start, _ := starts[i].AsFloat()
+			end, _ := ends[i].AsFloat()
+			val, _ := vals[i].AsFloat()
+			dst = append(dst, perfdata.Result{
+				Metric: q.Metric,
+				Focus:  paths[i].String(),
+				Type:   plan.typeNames[typeids[i].Int],
+				Time:   perfdata.TimeRange{Start: start, End: end},
+				Value:  val,
+			})
+		}
+	}
+	return dst, rows.Err()
 }
 
 func (e *starExec) typeNames() (map[int64]string, error) {

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"fmt"
+	"sync"
 
 	"pperfgrid/internal/minidb"
 	"pperfgrid/internal/perfdata"
@@ -18,7 +19,10 @@ import (
 // template is parsed once (minidb.Database.Prepare caches by text) and
 // values are bound per call, so only the plan/scan cost is paid per
 // query. Identifiers (table, attribute, and metric column names) cannot
-// be parameters; they are interpolated under the identOK guard.
+// be parameters; each composed text is built once under the identOK
+// guard and cached on the wrapper (see wideSQLCache), so repeat queries
+// hand Prepare the same interned string — one statement/plan cache entry
+// per template, zero per-call SQL construction.
 type WideTableWrapper struct {
 	DB    *minidb.Database
 	Table string
@@ -27,6 +31,56 @@ type WideTableWrapper struct {
 	// Attrs and Metrics partition the table's non-fixed columns.
 	Attrs   []string
 	Metrics []string
+
+	sql wideSQLCache
+}
+
+// wideSQLCache holds the wrapper's composed SQL texts: the fixed
+// per-table statements (built once) and the identifier-parameterized
+// templates, keyed by attribute or metric column name. Identifiers
+// cannot be `?` binds, so this cache is what routes every wide-table
+// query through the statement/plan cache instead of re-deriving SQL text
+// (and re-keying the statement cache map) per call.
+type wideSQLCache struct {
+	once                                                          sync.Once
+	numExecs, allExecIDs, hasExec, rowByExec, typesByID, timeByID string
+
+	mu           sync.Mutex
+	distinctAttr map[string]string // ExecQueryParams projection per attribute
+	execIDsAttr  map[string]string // ExecIDs filter per attribute
+	prByMetric   map[string]string // getPR projection per metric column
+}
+
+// fixed returns the table-only statement texts, composing them on first
+// use.
+func (w *WideTableWrapper) fixed() *wideSQLCache {
+	c := &w.sql
+	c.once.Do(func() {
+		t := w.Table
+		c.numExecs = "SELECT COUNT(DISTINCT execid) FROM " + t
+		c.allExecIDs = "SELECT execid FROM " + t + " ORDER BY execid"
+		c.hasExec = "SELECT COUNT(*) FROM " + t + " WHERE execid = ?"
+		c.rowByExec = "SELECT * FROM " + t + " WHERE execid = ?"
+		c.typesByID = "SELECT DISTINCT collector FROM " + t + " WHERE execid = ?"
+		c.timeByID = "SELECT starttime, endtime FROM " + t + " WHERE execid = ?"
+	})
+	return c
+}
+
+// identSQL returns the cached composed text for one identifier under one
+// template map, building it on first use.
+func (c *wideSQLCache) identSQL(m *map[string]string, ident string, build func(string) string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *m == nil {
+		*m = make(map[string]string)
+	}
+	if s, ok := (*m)[ident]; ok {
+		return s
+	}
+	s := build(ident)
+	(*m)[ident] = s
+	return s
 }
 
 // prepQuery runs a prepared statement with bindings, materializing the
@@ -74,7 +128,7 @@ func (w *WideTableWrapper) query(sql string, args ...minidb.Value) (*minidb.Resu
 
 // NumExecs implements ApplicationWrapper.
 func (w *WideTableWrapper) NumExecs() (int, error) {
-	rs, err := w.query("SELECT COUNT(DISTINCT execid) FROM " + w.Table)
+	rs, err := w.query(w.fixed().numExecs)
 	if err != nil {
 		return 0, err
 	}
@@ -84,13 +138,16 @@ func (w *WideTableWrapper) NumExecs() (int, error) {
 // ExecQueryParams implements ApplicationWrapper: one DISTINCT projection
 // per attribute column.
 func (w *WideTableWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
+	c := w.fixed()
 	out := make([]perfdata.Attribute, 0, len(w.Attrs))
 	for _, attr := range w.Attrs {
 		if !identOK(attr) {
 			return nil, fmt.Errorf("mapping: bad attribute column %q", attr)
 		}
-		rs, err := w.query(fmt.Sprintf(
-			"SELECT DISTINCT %s FROM %s WHERE %s IS NOT NULL ORDER BY %s", attr, w.Table, attr, attr))
+		sql := c.identSQL(&c.distinctAttr, attr, func(a string) string {
+			return "SELECT DISTINCT " + a + " FROM " + w.Table + " WHERE " + a + " IS NOT NULL ORDER BY " + a
+		})
+		rs, err := w.query(sql)
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +162,7 @@ func (w *WideTableWrapper) ExecQueryParams() ([]perfdata.Attribute, error) {
 
 // AllExecIDs implements ApplicationWrapper.
 func (w *WideTableWrapper) AllExecIDs() ([]string, error) {
-	rs, err := w.query("SELECT execid FROM " + w.Table + " ORDER BY execid")
+	rs, err := w.query(w.fixed().allExecIDs)
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +174,11 @@ func (w *WideTableWrapper) ExecIDs(attr, value string) ([]string, error) {
 	if !identOK(attr) {
 		return nil, fmt.Errorf("mapping: bad attribute %q", attr)
 	}
-	rs, err := w.query(fmt.Sprintf(
-		"SELECT execid FROM %s WHERE %s = ? ORDER BY execid", w.Table, attr), minidb.Text(value))
+	c := w.fixed()
+	sql := c.identSQL(&c.execIDsAttr, attr, func(a string) string {
+		return "SELECT execid FROM " + w.Table + " WHERE " + a + " = ? ORDER BY execid"
+	})
+	rs, err := w.query(sql, minidb.Text(value))
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +195,7 @@ func column0(rs *minidb.ResultSet) []string {
 
 // ExecutionWrapper implements ApplicationWrapper.
 func (w *WideTableWrapper) ExecutionWrapper(id string) (ExecutionWrapper, error) {
-	rs, err := w.query(fmt.Sprintf(
-		"SELECT COUNT(*) FROM %s WHERE execid = ?", w.Table), minidb.Text(id))
+	rs, err := w.query(w.fixed().hasExec, minidb.Text(id))
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +211,7 @@ type wideExec struct {
 }
 
 func (e *wideExec) row() (*minidb.ResultSet, error) {
-	return e.w.query(fmt.Sprintf(
-		"SELECT * FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
+	return e.w.query(e.w.fixed().rowByExec, minidb.Text(e.id))
 }
 
 // Info returns the execution's attributes as metadata pairs.
@@ -201,8 +259,7 @@ func (e *wideExec) Metrics() ([]string, error) {
 }
 
 func (e *wideExec) Types() ([]string, error) {
-	rs, err := e.w.query(fmt.Sprintf(
-		"SELECT DISTINCT collector FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
+	rs, err := e.w.query(e.w.fixed().typesByID, minidb.Text(e.id))
 	if err != nil {
 		return nil, err
 	}
@@ -210,8 +267,7 @@ func (e *wideExec) Types() ([]string, error) {
 }
 
 func (e *wideExec) TimeStartEnd() (perfdata.TimeRange, error) {
-	rs, err := e.w.query(fmt.Sprintf(
-		"SELECT starttime, endtime FROM %s WHERE execid = ?", e.w.Table), minidb.Text(e.id))
+	rs, err := e.w.query(e.w.fixed().timeByID, minidb.Text(e.id))
 	if err != nil {
 		return perfdata.TimeRange{}, err
 	}
@@ -229,10 +285,10 @@ func (e *wideExec) PerformanceResults(q perfdata.Query) ([]perfdata.Result, erro
 	return CollectResults(e, q)
 }
 
-// StreamPerformanceResults implements ResultStreamer with a prepared
-// projection of the requested metric column, decoding rows as they
-// stream out of the point query.
-func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
+// prPlan resolves a getPR against the wide schema: metric and focus
+// checks plus the prepared point-query statement. ok=false (nil error)
+// means the query provably matches nothing.
+func (e *wideExec) prPlan(q perfdata.Query) (st *minidb.Stmt, ok bool, err error) {
 	metricOK := false
 	for _, m := range e.w.Metrics {
 		if m == q.Metric {
@@ -241,7 +297,7 @@ func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 		}
 	}
 	if !metricOK || !identOK(q.Metric) {
-		return nil // unknown metric: no results, not an error
+		return nil, false, nil // unknown metric: no results, not an error
 	}
 	// Whole-run results live at focus "/"; honor focus filters.
 	if len(q.Foci) > 0 {
@@ -253,13 +309,28 @@ func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 			}
 		}
 		if !rootOK {
-			return nil
+			return nil, false, nil
 		}
 	}
-	st, err := e.w.DB.Prepare(fmt.Sprintf(
-		"SELECT %s, starttime, endtime, collector FROM %s WHERE execid = ? AND %s IS NOT NULL",
-		q.Metric, e.w.Table, q.Metric))
+	c := e.w.fixed()
+	sql := c.identSQL(&c.prByMetric, q.Metric, func(m string) string {
+		return "SELECT " + m + ", starttime, endtime, collector FROM " + e.w.Table +
+			" WHERE execid = ? AND " + m + " IS NOT NULL"
+	})
+	st, err = e.w.DB.Prepare(sql)
 	if err != nil {
+		return nil, false, err
+	}
+	return st, true, nil
+}
+
+// StreamPerformanceResults implements ResultStreamer with a prepared
+// projection of the requested metric column, decoding rows as they
+// stream out of the point query. Retained as the row-at-a-time oracle
+// for AppendPerformanceResults.
+func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdata.Result) error) error {
+	st, ok, err := e.prPlan(q)
+	if err != nil || !ok {
 		return err
 	}
 	rows, err := st.QueryStream(minidb.Text(e.id))
@@ -285,4 +356,39 @@ func (e *wideExec) StreamPerformanceResults(q perfdata.Query, yield func(perfdat
 		}
 	}
 	return rows.Err()
+}
+
+// AppendPerformanceResults implements ResultAppender: the same point
+// query consumed through minidb's vectorized NextBatch, decoded column-
+// wise into dst.
+func (e *wideExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Result) ([]perfdata.Result, error) {
+	st, ok, err := e.prPlan(q)
+	if err != nil || !ok {
+		return dst, err
+	}
+	rows, err := st.QueryStream(minidb.Text(e.id))
+	if err != nil {
+		return dst, err
+	}
+	defer rows.Close()
+	b := minidb.NewBatch()
+	defer b.Release()
+	for rows.NextBatch(b, 0) {
+		vals, starts, ends, collectors := b.Col(0), b.Col(1), b.Col(2), b.Col(3)
+		for i := range vals {
+			val, _ := vals[i].AsFloat()
+			start, _ := starts[i].AsFloat()
+			end, _ := ends[i].AsFloat()
+			r := perfdata.Result{
+				Metric: q.Metric, Focus: "/", Type: collectors[i].String(),
+				Time:  perfdata.TimeRange{Start: start, End: end},
+				Value: val,
+			}
+			if !q.Matches(r) {
+				continue
+			}
+			dst = append(dst, r)
+		}
+	}
+	return dst, rows.Err()
 }

@@ -21,22 +21,40 @@ type hashIndex struct {
 	buckets map[string][]int
 }
 
-// indexKey normalizes a value for hashing consistently with Equal: all
-// numerically equal values (ints, floats, and numeric text) share one key,
-// and non-numeric text keys on the exact string. NULL is not indexed —
-// SQL equality with NULL is never true, so NULL rows can never match an
-// equality probe or an equi-join key.
-func indexKey(v Value) (string, bool) {
+// appendIndexKey appends a value's normalized hash key to dst,
+// consistently with Equal: all numerically equal values (ints, floats,
+// and numeric text) share one key, and non-numeric text keys on the exact
+// string. NULL is not indexed — SQL equality with NULL is never true, so
+// NULL rows can never match an equality probe or an equi-join key.
+//
+// Probes pass a reused scratch buffer and look the bucket map up through
+// string(key), which the compiler compiles without a heap allocation —
+// the per-probe "n:" + FormatFloat garbage the string-building form paid
+// is gone (pinned by TestIndexProbeAllocs).
+func appendIndexKey(dst []byte, v Value) ([]byte, bool) {
 	if v.IsNull() {
-		return "", false
+		return dst, false
 	}
 	if f, ok := v.AsFloat(); ok {
 		if f == 0 {
 			f = 0 // fold -0 onto +0; they compare equal
 		}
-		return "n:" + strconv.FormatFloat(f, 'g', -1, 64), true
+		dst = append(dst, 'n', ':')
+		return strconv.AppendFloat(dst, f, 'g', -1, 64), true
 	}
-	return "t:" + v.Text, true
+	dst = append(dst, 't', ':')
+	return append(dst, v.Text...), true
+}
+
+// indexKey materializes the key as a string, for bucket-map inserts
+// (which must retain the key).
+func indexKey(v Value) (string, bool) {
+	var a [32]byte
+	k, ok := appendIndexKey(a[:0], v)
+	if !ok {
+		return "", false
+	}
+	return string(k), true
 }
 
 // add records a newly appended row at position pos.
@@ -47,13 +65,15 @@ func (ix *hashIndex) add(pos int, row Row) {
 }
 
 // lookup returns the candidate row positions for an equality probe, in
-// ascending (insertion) order. A nil probe key yields no candidates.
+// ascending (insertion) order. A nil probe key yields no candidates. The
+// probe key lives in a stack scratch buffer; no allocation per probe.
 func (ix *hashIndex) lookup(v Value) []int {
-	k, ok := indexKey(v)
+	var a [32]byte
+	k, ok := appendIndexKey(a[:0], v)
 	if !ok {
 		return nil
 	}
-	return ix.buckets[k]
+	return ix.buckets[string(k)]
 }
 
 // rebuild recomputes the index from scratch, after deletes or updates

@@ -403,6 +403,7 @@ type hashJoinIter struct {
 	curPos    []int            // current probe positions (index mode)
 	bucketPos int
 	combined  Row
+	keyBuf    []byte // reused probe-key scratch; no per-probe allocation
 }
 
 func (h *hashJoinIter) build() error {
@@ -474,11 +475,12 @@ func (h *hashJoinIter) next() (Row, error) {
 		copy(h.combined, lr)
 		h.curRows, h.curPos = nil, nil
 		h.bucketPos = 0
-		if k, ok := indexKey(lr[h.jp.leftKey]); ok {
+		var ok bool
+		if h.keyBuf, ok = appendIndexKey(h.keyBuf[:0], lr[h.jp.leftKey]); ok {
 			if h.rightIx != nil {
-				h.curPos = h.rightIx.buckets[k]
+				h.curPos = h.rightIx.buckets[string(h.keyBuf)]
 			} else {
-				h.curRows = h.buckets[k]
+				h.curRows = h.buckets[string(h.keyBuf)]
 			}
 		}
 	}

@@ -7,14 +7,17 @@
 //
 // The paper used the Globus Toolkit 3.2 for this layer; this package is
 // the from-scratch substitute, providing the same semantics over the SOAP
-// transport of package container. Two optional service interfaces extend
-// the wire path: PagedService (chunked results behind a cursor) and
-// RawResponder (pre-encoded response envelopes served verbatim); the
-// hosting Instance routes InvokePaged/InvokeRaw to them with the same
-// WSDL validation as plain Invoke.
+// transport of package container. Optional service interfaces extend the
+// wire path: PagedService (chunked results behind a cursor), RawResponder
+// (pre-encoded response envelopes served verbatim), and the streaming
+// pair RawStreamer / RawPagedStreamer (envelopes encoded directly into
+// the transport's pooled buffer — the cold path's zero-intermediate
+// encode); the hosting Instance routes the Invoke* variants to them with
+// the same WSDL validation as plain Invoke.
 package ogsi
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +27,18 @@ import (
 
 	"pperfgrid/internal/gsh"
 	"pperfgrid/internal/wsdl"
+)
+
+// SOAP header entry names of the paged-call protocol. They live here —
+// beside the PagedService contract — so both the transport (package
+// container) and services that stream their own paged envelopes
+// (RawPagedStreamer implementations) name them without an import cycle.
+const (
+	// HeaderCursor carries the opaque paging cursor: empty/absent on a
+	// fresh call, the service's continuation token afterwards.
+	HeaderCursor = "ppg-cursor"
+	// HeaderPageSize bounds the number of returned values per page.
+	HeaderPageSize = "ppg-pageSize"
 )
 
 // Service is the invocation interface every grid service implementation
@@ -74,6 +89,30 @@ type PagedService interface {
 // where full validation runs) costs nothing extra.
 type RawResponder interface {
 	InvokeRaw(op string, params []string) (raw []byte, ok bool, err error)
+}
+
+// RawStreamer is optionally implemented by services that can encode an
+// operation's response envelope directly into the transport's pooled
+// write buffer — the zero-intermediate cold path: no per-item strings,
+// no owned envelope slice, one buffer from store to wire. ok reports
+// whether the service took the call; when false the buffer is untouched
+// and the caller falls back to Invoke. When err != nil the buffer's
+// contents are undefined and must be discarded (the transport writes a
+// fault instead). Like RawResponder, implementations validate op and
+// params themselves for calls they accept.
+type RawStreamer interface {
+	InvokeRawTo(op string, params []string, buf *bytes.Buffer) (ok bool, err error)
+}
+
+// RawPagedStreamer is the paged counterpart of RawStreamer: the service
+// encodes one page's response envelope (including the HeaderCursor
+// entry when the set continues) into buf. ok=false leaves the buffer
+// untouched and the caller falls back to the string-based PagedService
+// protocol. The envelope bytes must equal what the transport would have
+// produced from the equivalent InvokePaged page, so paged responses are
+// indistinguishable on the wire whichever path served them.
+type RawPagedStreamer interface {
+	InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (next string, ok bool, err error)
 }
 
 // Destroyer is optionally implemented by services that must release
@@ -269,6 +308,47 @@ func (in *Instance) InvokeRaw(op string, params []string) ([]byte, bool, error) 
 		return nil, false, ErrDestroyed
 	}
 	return rr.InvokeRaw(op, params)
+}
+
+// InvokeRawTo gives a RawStreamer implementation the chance to encode
+// the response envelope straight into buf. Declined calls (ok=false)
+// leave buf untouched; the caller falls back to Invoke, whose WSDL
+// validation covers that path.
+func (in *Instance) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (bool, error) {
+	rs, isRaw := in.impl.(RawStreamer)
+	if !isRaw || standardOp(op) {
+		return false, nil
+	}
+	in.mu.Lock()
+	destroyed := in.destroyed
+	in.mu.Unlock()
+	if destroyed {
+		return false, ErrDestroyed
+	}
+	return rs.InvokeRawTo(op, params, buf)
+}
+
+// InvokePagedRawTo gives a RawPagedStreamer implementation the chance to
+// encode one page's envelope straight into buf. Fresh calls are WSDL-
+// validated like InvokePaged; continuations were validated when their
+// cursor was opened.
+func (in *Instance) InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
+	ps, isRaw := in.impl.(RawPagedStreamer)
+	if !isRaw || standardOp(op) {
+		return "", false, nil
+	}
+	in.mu.Lock()
+	destroyed := in.destroyed
+	in.mu.Unlock()
+	if destroyed {
+		return "", false, ErrDestroyed
+	}
+	if cursor == "" {
+		if err := in.validate(op, params); err != nil {
+			return "", true, err
+		}
+	}
+	return ps.InvokePagedRawTo(op, params, cursor, limit, buf)
 }
 
 // findServiceData answers a FindServiceData query. A plain name returns

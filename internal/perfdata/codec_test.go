@@ -1,0 +1,162 @@
+package perfdata
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// encodeOracle is the retained string-based wire encoding AppendEncode
+// must reproduce byte for byte.
+func encodeOracle(r Result) string {
+	return strings.Join([]string{
+		r.Metric, r.Focus, r.Type, r.Time.Encode(),
+		strconv.FormatFloat(r.Value, 'g', -1, 64),
+	}, Sep)
+}
+
+// parseOracle is the retained strings.Split parser ParseResultInto must
+// agree with, success and failure alike.
+func parseOracle(s string) (Result, error) {
+	parts := strings.Split(s, Sep)
+	if len(parts) != 5 {
+		return Result{}, malformedResult(s, len(parts))
+	}
+	tr, err := ParseTimeRange(parts[3])
+	if err != nil {
+		return Result{}, err
+	}
+	v, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Metric: parts[0], Focus: parts[1], Type: parts[2], Time: tr, Value: v}, nil
+}
+
+func randomResult(rng *rand.Rand) Result {
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+	start := rng.Float64() * 100
+	return Result{
+		Metric: pick([]string{"func_calls", "gflops", "bandwidth", "wall_clock", "m"}),
+		Focus:  pick([]string{"/", "/Process/27", "/Code/MPI/MPI_Allgather", "/Machine/node0/cpu1", "f"}),
+		Type:   pick([]string{"UNDEFINED", "vampir", "hpl", "presta"}),
+		Time:   TimeRange{Start: start, End: start + rng.Float64()*1000},
+		Value:  rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6)),
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var dst []byte
+	for i := 0; i < 2000; i++ {
+		r := randomResult(rng)
+		dst = r.AppendEncode(dst[:0])
+		if got, want := string(dst), encodeOracle(r); got != want {
+			t.Fatalf("AppendEncode = %q, Encode oracle = %q", got, want)
+		}
+		if got, want := r.Encode(), encodeOracle(r); got != want {
+			t.Fatalf("Encode = %q, oracle = %q", got, want)
+		}
+	}
+	// Edge values the 'f'/'g' formatters treat specially.
+	for _, r := range []Result{
+		{Metric: "m", Focus: "/", Type: "t", Time: TimeRange{Start: 0, End: 0}, Value: 0},
+		{Metric: "m", Focus: "/", Type: "t", Time: TimeRange{Start: 1e21, End: 2e21}, Value: 1e-300},
+		{Metric: "m", Focus: "/", Type: "t", Time: TimeRange{Start: 0.1, End: 11.047856}, Value: math.MaxFloat64},
+		{Metric: "", Focus: "", Type: "", Time: TimeRange{Start: 3, End: 3}, Value: -0.0},
+	} {
+		if got, want := string(r.AppendEncode(nil)), encodeOracle(r); got != want {
+			t.Fatalf("AppendEncode = %q, Encode oracle = %q", got, want)
+		}
+	}
+}
+
+func TestTimeRangeAppendEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		tr := TimeRange{Start: rng.Float64() * 1e6, End: rng.Float64() * 1e6}
+		if i%3 == 0 {
+			tr.Start = float64(rng.Intn(1000)) // integral: formatTime adds ".0"
+			tr.End = float64(rng.Intn(1000))
+		}
+		if got, want := string(tr.AppendEncode(nil)), tr.Encode(); got != want {
+			t.Fatalf("TimeRange.AppendEncode = %q, Encode = %q", got, want)
+		}
+	}
+}
+
+func TestParseResultIntoMatchesSplitOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := []string{
+		"", "|", "||||", "|||||", "a|b|c|d|e|f",
+		"m|f|t|0.0-1.0|nope",
+		"m|f|t|bad|1",
+		"m|f|t|1.0-0.5|1", // ends before it starts
+		"m|f|t|0.0-1.0|1.5",
+		"func_calls|/Code/MPI|UNDEFINED|0.0-11.047856|42",
+	}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, encodeOracle(randomResult(rng)))
+	}
+	// Mutated garbage: random separator counts.
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(8)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = encodeOracle(randomResult(rng))[:rng.Intn(6)]
+		}
+		cases = append(cases, strings.Join(parts, Sep))
+	}
+	for _, s := range cases {
+		want, wantErr := parseOracle(s)
+		var got Result
+		gotErr := ParseResultInto(s, &got)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("ParseResultInto(%q) err = %v, oracle err = %v", s, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("ParseResultInto(%q) = %+v, oracle = %+v", s, got, want)
+		}
+	}
+}
+
+func TestParseResultRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		r := randomResult(rng)
+		got, err := ParseResult(r.Encode())
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip %+v -> %+v", r, got)
+		}
+	}
+}
+
+// TestAppendEncodeAllocs pins the zero-garbage contract: with capacity in
+// dst, AppendEncode allocates nothing, and a well-formed ParseResultInto
+// allocates nothing (fields are substrings of the input).
+func TestAppendEncodeAllocs(t *testing.T) {
+	r := Result{
+		Metric: "func_calls", Focus: "/Code/MPI/MPI_Allgather", Type: "vampir",
+		Time: TimeRange{Start: 0, End: 11.047856}, Value: 129.75,
+	}
+	dst := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		dst = r.AppendEncode(dst[:0])
+	}); n != 0 {
+		t.Fatalf("AppendEncode allocates %.1f times per run, want 0", n)
+	}
+	s := r.Encode()
+	var out Result
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ParseResultInto(s, &out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ParseResultInto allocates %.1f times per run, want 0", n)
+	}
+}

@@ -167,12 +167,32 @@ func (r TimeRange) Encode() string {
 	return formatTime(r.Start) + "-" + formatTime(r.End)
 }
 
+// AppendEncode appends the Encode form to dst without building any
+// intermediate string. The output bytes are identical to Encode's.
+func (r TimeRange) AppendEncode(dst []byte) []byte {
+	dst = appendTime(dst, r.Start)
+	dst = append(dst, '-')
+	return appendTime(dst, r.End)
+}
+
 func formatTime(f float64) string {
 	s := strconv.FormatFloat(f, 'f', -1, 64)
 	if !strings.Contains(s, ".") {
 		s += ".0"
 	}
 	return s
+}
+
+// appendTime is the allocation-free twin of formatTime.
+func appendTime(dst []byte, f float64) []byte {
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, f, 'f', -1, 64)
+	for _, c := range dst[start:] {
+		if c == '.' {
+			return dst
+		}
+	}
+	return append(dst, '.', '0')
 }
 
 // ParseTimeRange parses "start-end".
@@ -214,21 +234,77 @@ func (r Result) Encode() string {
 	}, Sep)
 }
 
+// AppendEncode appends the wire form to dst without building the
+// intermediate field strings Encode does. The output bytes are identical
+// to Encode's; differential tests pin the equivalence.
+func (r Result) AppendEncode(dst []byte) []byte {
+	dst = append(dst, r.Metric...)
+	dst = append(dst, '|')
+	dst = append(dst, r.Focus...)
+	dst = append(dst, '|')
+	dst = append(dst, r.Type...)
+	dst = append(dst, '|')
+	dst = r.Time.AppendEncode(dst)
+	dst = append(dst, '|')
+	return strconv.AppendFloat(dst, r.Value, 'g', -1, 64)
+}
+
 // ParseResult parses the wire form produced by Encode.
 func ParseResult(s string) (Result, error) {
-	parts := strings.Split(s, Sep)
-	if len(parts) != 5 {
-		return Result{}, fmt.Errorf("perfdata: malformed result %q: want 5 fields, got %d", s, len(parts))
-	}
-	tr, err := ParseTimeRange(parts[3])
-	if err != nil {
+	var r Result
+	if err := ParseResultInto(s, &r); err != nil {
 		return Result{}, err
 	}
-	v, err := strconv.ParseFloat(parts[4], 64)
-	if err != nil {
-		return Result{}, fmt.Errorf("perfdata: result %q: bad value: %w", s, err)
+	return r, nil
+}
+
+// ParseResultInto parses the wire form produced by Encode into *r by
+// walking separator indexes: the field values are substrings sharing s's
+// backing array, so a well-formed parse allocates nothing. It accepts
+// exactly the strings ParseResult accepted (differential tests pin the
+// equivalence, errors included).
+func ParseResultInto(s string, r *Result) error {
+	i1 := strings.IndexByte(s, '|')
+	if i1 < 0 {
+		return malformedResult(s, 1)
 	}
-	return Result{Metric: parts[0], Focus: parts[1], Type: parts[2], Time: tr, Value: v}, nil
+	i2 := strings.IndexByte(s[i1+1:], '|')
+	if i2 < 0 {
+		return malformedResult(s, 2)
+	}
+	i2 += i1 + 1
+	i3 := strings.IndexByte(s[i2+1:], '|')
+	if i3 < 0 {
+		return malformedResult(s, 3)
+	}
+	i3 += i2 + 1
+	i4 := strings.IndexByte(s[i3+1:], '|')
+	if i4 < 0 {
+		return malformedResult(s, 4)
+	}
+	i4 += i3 + 1
+	if strings.IndexByte(s[i4+1:], '|') >= 0 {
+		return malformedResult(s, strings.Count(s, Sep)+1)
+	}
+	tr, err := ParseTimeRange(s[i3+1 : i4])
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(s[i4+1:], 64)
+	if err != nil {
+		return fmt.Errorf("perfdata: result %q: bad value: %w", s, err)
+	}
+	r.Metric = s[:i1]
+	r.Focus = s[i1+1 : i2]
+	r.Type = s[i2+1 : i3]
+	r.Time = tr
+	r.Value = v
+	return nil
+}
+
+// malformedResult reproduces ParseResult's historical field-count error.
+func malformedResult(s string, fields int) error {
+	return fmt.Errorf("perfdata: malformed result %q: want 5 fields, got %d", s, fields)
 }
 
 // EncodeResults encodes a result list.
@@ -244,11 +320,9 @@ func EncodeResults(rs []Result) []string {
 func ParseResults(ss []string) ([]Result, error) {
 	out := make([]Result, len(ss))
 	for i, s := range ss {
-		r, err := ParseResult(s)
-		if err != nil {
+		if err := ParseResultInto(s, &out[i]); err != nil {
 			return nil, err
 		}
-		out[i] = r
 	}
 	return out, nil
 }
