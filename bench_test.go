@@ -757,3 +757,84 @@ func BenchmarkColdGetPR(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScaleEngine measures the million-row engine paths on a
+// reduced (10^5-row) scale star schema: ordered-index range probes and
+// the ORDER BY+LIMIT ordered walk against the naive full-scan executor,
+// plus the hot point-query path the open-loop harness drives. The full
+// 10^6-row acceptance numbers come from pperfgrid-bench -scale-bench.
+func BenchmarkScaleEngine(b *testing.B) {
+	db := minidb.NewDatabase()
+	scale, err := datagen.LoadScaleStar(db, datagen.ScaleConfig{
+		Executions: 100, ResultsPerExec: 1000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mapping.DeclareStarIndexes(db); err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := scale.TimeWindow(scale.Executions / 3)
+	rangeSQL := fmt.Sprintf(
+		"SELECT execid, starttime, value FROM results WHERE starttime >= %g AND starttime <= %g", lo, hi)
+	const topkSQL = "SELECT execid, starttime, value FROM results ORDER BY value DESC LIMIT 10"
+	if _, err := db.Query(rangeSQL); err != nil { // warm the lazy indexes
+		b.Fatal(err)
+	}
+	if _, err := db.Query(topkSQL); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("RangeProbe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(rangeSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TopKWalk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(topkSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveRangeScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryNaive(rangeSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveTopKSort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryNaive(topkSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HotPointStream", func(b *testing.B) {
+		stmt, err := db.Prepare("SELECT starttime, value FROM results WHERE execid = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := minidb.Text(scale.ExecID(scale.Executions / 2))
+		batch := minidb.NewBatch()
+		defer batch.Release()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.QueryStream(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.NextBatch(batch, 0) {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
+}

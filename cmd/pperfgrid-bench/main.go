@@ -30,6 +30,14 @@
 // B/op, and allocs/op from the testing harness — runs via:
 //
 //	pperfgrid-bench -cold-bench -bench-json BENCH_PR5.json
+//
+// The million-row engine evaluation — open-loop latency-vs-offered-load
+// curves over the scale star schema plus the indexed-vs-naive range and
+// top-k speedups, every scenario differentially gated against the naive
+// executor — runs via:
+//
+//	pperfgrid-bench -scale-bench -bench-json BENCH_PR6.json
+//	pperfgrid-bench -scale-bench -quick     # reduced rows, for CI smoke
 package main
 
 import (
@@ -64,6 +72,7 @@ func main() {
 
 		cacheBench  = flag.Bool("cache-bench", false, "run only the concurrent cache evaluation (non-fatal shape checks, for CI smoke)")
 		coldBench   = flag.Bool("cold-bench", false, "run only the cold-path getPR evaluation (ns/op, B/op, allocs/op per store shape; vectorized vs row/string oracle)")
+		scaleBench  = flag.Bool("scale-bench", false, "run only the million-row engine evaluation (open-loop load curves + indexed-vs-naive speedups)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
 		readers     = flag.String("readers", "1,4,16,64", "comma-separated reader counts for the concurrent Table 5")
@@ -71,7 +80,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,6 +121,10 @@ func main() {
 	}
 	if *coldBench {
 		runColdBench(*seed, *quick, *benchJSON)
+		return
+	}
+	if *scaleBench {
+		runScaleBench(*seed, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -373,6 +386,59 @@ func runColdBench(seed int64, quick bool, jsonPath string) {
 			rec.AllocReduction[name] = r
 			rec.ByteReduction[name] = report.ByteReduction(name)
 		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// scaleBenchRecord is the BENCH_PR6.json schema: the open-loop
+// latency-vs-offered-load curves and the indexed-vs-naive speedups over
+// the scale star schema.
+type scaleBenchRecord struct {
+	Record   string                  `json:"record"`
+	Workload string                  `json:"workload"`
+	Scale    *experiment.ScaleReport `json:"scaleEngine"`
+}
+
+// runScaleBench runs the million-row engine evaluation standalone. Shape
+// checks print but never fail the process (quick mode is the CI smoke
+// step; the committed full-run BENCH_PR6.json records the reference
+// numbers). Differential mismatches and EXPLAIN assertion failures are
+// hard errors regardless of mode.
+func runScaleBench(seed int64, quick bool, jsonPath string) {
+	fmt.Println("=== Million-row engine evaluation (open-loop) ===")
+	cfg := experiment.ScaleBenchConfig{}
+	cfg.Scale.Seed = seed
+	rowsLabel := "10^6"
+	if quick {
+		// ~50k fact rows and a short, truncated sweep: exercises every
+		// code path (ordered index, knee logic, differential gate) in
+		// seconds instead of minutes.
+		cfg.Scale = datagen.ScaleConfig{Executions: 50, ResultsPerExec: 1000, Seed: seed}
+		cfg.Rates = []float64{500, 2000, 8000, 32000, 128000}
+		cfg.Duration = 250 * time.Millisecond
+		rowsLabel = "5*10^4 (quick)"
+	}
+	report, err := experiment.RunScaleBench(cfg)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: scale bench: %v", err)
+	}
+	fmt.Print(report.Render())
+
+	if jsonPath == "" {
+		return
+	}
+	rec := scaleBenchRecord{
+		Record:   "PR6 million-row engine perf trajectory",
+		Workload: "scale star schema, " + rowsLabel + " Zipf-skewed fact rows; open-loop hot-hit/cold-miss/range-scan + range/top-k speedups",
+		Scale:    report,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -381,16 +381,9 @@ func LoadWideTable(db *minidb.Database, table string, d *Dataset) error {
 // store layout ("a relational database with 5 tables").
 var StarTables = []string{"executions", "foci", "metrics", "collectors", "results"}
 
-// LoadStarSchema loads a dataset into the five-table star schema:
-//
-//	executions(execid, starttime, endtime, attrname, attrvalue) — one row
-//	  per execution attribute (an EAV layout, so arbitrary attribute sets
-//	  fit one schema)
-//	foci(fociid, path)
-//	metrics(metricid, name)
-//	collectors(typeid, name)
-//	results(execid, fociid, metricid, typeid, starttime, endtime, value)
-func LoadStarSchema(db *minidb.Database, d *Dataset) error {
+// CreateStarTables creates the five empty star-schema tables; LoadStarSchema
+// and the million-row scale loader (scale.go) share this DDL.
+func CreateStarTables(db *minidb.Database) error {
 	stmts := []string{
 		`CREATE TABLE executions (execid TEXT, starttime FLOAT, endtime FLOAT, attrname TEXT, attrvalue TEXT)`,
 		`CREATE TABLE foci (fociid INT, path TEXT)`,
@@ -402,6 +395,22 @@ func LoadStarSchema(db *minidb.Database, d *Dataset) error {
 		if _, err := db.Exec(s); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// LoadStarSchema loads a dataset into the five-table star schema:
+//
+//	executions(execid, starttime, endtime, attrname, attrvalue) — one row
+//	  per execution attribute (an EAV layout, so arbitrary attribute sets
+//	  fit one schema)
+//	foci(fociid, path)
+//	metrics(metricid, name)
+//	collectors(typeid, name)
+//	results(execid, fociid, metricid, typeid, starttime, endtime, value)
+func LoadStarSchema(db *minidb.Database, d *Dataset) error {
+	if err := CreateStarTables(db); err != nil {
+		return err
 	}
 	fociIDs := map[string]int64{}
 	metricIDs := map[string]int64{}

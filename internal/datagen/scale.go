@@ -1,0 +1,246 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"pperfgrid/internal/minidb"
+)
+
+// This file is the million-row generator: paper-scale datasets (SMG98 ≈
+// 1024 results) load through LoadStarSchema, but the scale experiments
+// need 10^6+ fact rows with realistic skew. Following the FK-aware
+// worker-pool seeding pattern, generation is parallelized per execution
+// with a deterministic per-execution seed, so the output is byte-identical
+// for any worker count, and field distributions are Zipf/weighted rather
+// than uniform: focus and metric popularity follow a Zipf law (a few hot
+// code regions absorb most samples) and values are exponentially
+// heavy-tailed.
+
+// ScaleConfig parameterizes the scale star-schema generator.
+type ScaleConfig struct {
+	Executions     int     // number of executions
+	ResultsPerExec int     // fact rows per execution
+	Foci           int     // focus-path vocabulary size (Zipf-skewed)
+	Metrics        int     // metric vocabulary size (Zipf-skewed)
+	Collectors     int     // collector vocabulary size (uniform)
+	ZipfS          float64 // Zipf skew exponent; must be > 1, default 1.2
+	Seed           int64
+	Workers        int // generation workers; <= 0 means GOMAXPROCS
+}
+
+// DefaultScale is the million-row shape: 1000 executions × 1000 fact rows.
+var DefaultScale = ScaleConfig{
+	Executions:     1000,
+	ResultsPerExec: 1000,
+	Foci:           512,
+	Metrics:        16,
+	Collectors:     4,
+	ZipfS:          1.2,
+	Seed:           7,
+}
+
+// Rows returns the total fact-table row count the config generates.
+func (c ScaleConfig) Rows() int { return c.Executions * c.ResultsPerExec }
+
+// ExecID returns the execid of the i-th execution (0-based), matching the
+// generator's key layout.
+func (c ScaleConfig) ExecID(i int) string { return strconv.Itoa(i + 1) }
+
+// TimeWindow returns a selective fact-table time window inside execution
+// i (0-based): result bins of that execution start from the window's low
+// edge, and the shortest execution the generator emits still overlaps the
+// window, so the returned range always selects rows — but only execution
+// i's slice of the time axis.
+func (c ScaleConfig) TimeWindow(i int) (lo, hi float64) {
+	lo = float64(i) * scaleExecSpacing
+	return lo, lo + scaleExecDuration*0.5
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	d := DefaultScale
+	if c.Executions <= 0 {
+		c.Executions = d.Executions
+	}
+	if c.ResultsPerExec <= 0 {
+		c.ResultsPerExec = d.ResultsPerExec
+	}
+	if c.Foci < 2 {
+		c.Foci = d.Foci
+	}
+	if c.Metrics < 2 {
+		c.Metrics = d.Metrics
+	}
+	if c.Collectors < 1 {
+		c.Collectors = d.Collectors
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = d.ZipfS
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Execution time-axis layout: executions are spaced along a global time
+// axis so time-window queries select by execution era.
+const (
+	scaleExecSpacing  = 100.0 // seconds between execution starts
+	scaleExecDuration = 60.0  // nominal execution duration
+)
+
+// scaleApps are the application-attribute choices with their relative
+// weights: a realistic workload reruns a few codes far more than others.
+var (
+	scaleApps       = []string{"smg98", "sweep3d", "hpl", "sppm"}
+	scaleAppWeights = []int{8, 4, 2, 1}
+)
+
+// LoadScaleStar generates a ScaleConfig's dataset directly into the
+// five-table star schema of db. Generation runs on cfg.Workers goroutines
+// in bounded windows (memory stays proportional to the window, not the
+// dataset); each execution is seeded from (Seed, execution index), so the
+// loaded tables are identical regardless of worker count. Declare indexes
+// after loading — ordered indexes are lazily built, so declaration order
+// does not matter, but loading into index-free tables keeps hash-index
+// maintenance off the bulk path.
+func LoadScaleStar(db *minidb.Database, cfg ScaleConfig) (ScaleConfig, error) {
+	cfg = cfg.withDefaults()
+	if err := CreateStarTables(db); err != nil {
+		return cfg, err
+	}
+	if err := loadScaleDims(db, cfg); err != nil {
+		return cfg, err
+	}
+
+	type execData struct {
+		attrs   [][]minidb.Value
+		results [][]minidb.Value
+	}
+	window := cfg.Workers * 8
+	bufs := make([]execData, window)
+	for base := 0; base < cfg.Executions; base += window {
+		m := window
+		if rest := cfg.Executions - base; rest < m {
+			m = rest
+		}
+		ch := make(chan int, m)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range ch {
+					attrs, results := genScaleExec(cfg, base+k)
+					bufs[k] = execData{attrs: attrs, results: results}
+				}
+			}()
+		}
+		for k := 0; k < m; k++ {
+			ch <- k
+		}
+		close(ch)
+		wg.Wait()
+		// Insert sequentially in execution order: table contents stay
+		// deterministic and row positions reproducible.
+		for k := 0; k < m; k++ {
+			if err := db.InsertRows("executions", bufs[k].attrs); err != nil {
+				return cfg, err
+			}
+			if err := db.InsertRows("results", bufs[k].results); err != nil {
+				return cfg, err
+			}
+			bufs[k] = execData{}
+		}
+	}
+	return cfg, nil
+}
+
+// loadScaleDims inserts the dimension vocabularies (single-threaded; they
+// are tiny next to the fact table).
+func loadScaleDims(db *minidb.Database, cfg ScaleConfig) error {
+	foci := make([][]minidb.Value, cfg.Foci)
+	for i := range foci {
+		path := fmt.Sprintf("/SMG98/p%d/MPI/%s", i%64, SMG98Functions[i%len(SMG98Functions)])
+		foci[i] = []minidb.Value{minidb.Int(int64(i + 1)), minidb.Text(fmt.Sprintf("%s#%d", path, i))}
+	}
+	if err := db.InsertRows("foci", foci); err != nil {
+		return err
+	}
+	metrics := make([][]minidb.Value, cfg.Metrics)
+	for i := range metrics {
+		name := fmt.Sprintf("%s_%d", SMG98Metrics[i%len(SMG98Metrics)], i/len(SMG98Metrics))
+		metrics[i] = []minidb.Value{minidb.Int(int64(i + 1)), minidb.Text(name)}
+	}
+	if err := db.InsertRows("metrics", metrics); err != nil {
+		return err
+	}
+	collectors := make([][]minidb.Value, cfg.Collectors)
+	for i := range collectors {
+		collectors[i] = []minidb.Value{minidb.Int(int64(i + 1)), minidb.Text(fmt.Sprintf("collector_%d", i+1))}
+	}
+	return db.InsertRows("collectors", collectors)
+}
+
+// genScaleExec generates one execution's EAV attribute rows and fact rows.
+// The rng is seeded from (Seed, index) alone — never from worker identity
+// — so output is independent of scheduling.
+func genScaleExec(cfg ScaleConfig, i int) (attrs, results [][]minidb.Value) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000003 + 1))
+	zipfFocus := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Foci-1))
+	zipfMetric := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Metrics-1))
+
+	execID := minidb.Text(strconv.Itoa(i + 1))
+	start := float64(i) * scaleExecSpacing
+	dur := scaleExecDuration * (0.5 + rng.Float64())
+	end := start + dur
+	st, en := minidb.Float(start), minidb.Float(end)
+
+	app := weightedChoice(rng, scaleApps, scaleAppWeights)
+	procs := strconv.Itoa(1 << (1 + rng.Intn(5))) // 2..32, powers of two
+	attrs = [][]minidb.Value{
+		{execID, st, en, minidb.Text("application"), minidb.Text(app)},
+		{execID, st, en, minidb.Text("numprocesses"), minidb.Text(procs)},
+	}
+
+	n := cfg.ResultsPerExec
+	results = make([][]minidb.Value, n)
+	binW := dur / float64(n)
+	for j := 0; j < n; j++ {
+		fid := int64(1 + zipfFocus.Uint64())
+		mid := int64(1 + zipfMetric.Uint64())
+		tid := int64(1 + rng.Intn(cfg.Collectors))
+		binStart := start + binW*float64(j)
+		results[j] = []minidb.Value{
+			execID,
+			minidb.Int(fid),
+			minidb.Int(mid),
+			minidb.Int(tid),
+			minidb.Float(binStart),
+			minidb.Float(binStart + binW),
+			minidb.Float(rng.ExpFloat64() * 100),
+		}
+	}
+	return attrs, results
+}
+
+// weightedChoice picks one of choices with probability proportional to
+// its weight.
+func weightedChoice(rng *rand.Rand, choices []string, weights []int) string {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	pick := rng.Intn(total)
+	for i, w := range weights {
+		if pick < w {
+			return choices[i]
+		}
+		pick -= w
+	}
+	return choices[len(choices)-1]
+}

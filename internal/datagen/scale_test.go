@@ -1,0 +1,122 @@
+package datagen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/minidb"
+)
+
+// loadScale loads one small scale dataset and renders every table.
+func loadScale(t *testing.T, cfg datagen.ScaleConfig) map[string][][]string {
+	t.Helper()
+	db := minidb.NewDatabase()
+	if _, err := datagen.LoadScaleStar(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][][]string{}
+	for _, table := range db.TableNames() {
+		rows, err := db.QueryStrings("SELECT * FROM " + table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[table] = rows
+	}
+	return out
+}
+
+// TestLoadScaleStarDeterministic pins worker-count independence: the
+// loaded tables — contents AND row order — must be identical whether
+// generation ran on one goroutine or many, because every execution is
+// seeded from (Seed, index) alone and insertion happens in index order.
+func TestLoadScaleStarDeterministic(t *testing.T) {
+	cfg := datagen.ScaleConfig{Executions: 37, ResultsPerExec: 50, Foci: 16, Metrics: 4, Seed: 3}
+	one := cfg
+	one.Workers = 1
+	many := cfg
+	many.Workers = 7
+
+	a := loadScale(t, one)
+	b := loadScale(t, many)
+	if len(a) != len(b) {
+		t.Fatalf("table sets differ: %d vs %d", len(a), len(b))
+	}
+	for table, rowsA := range a {
+		rowsB := b[table]
+		if len(rowsA) != len(rowsB) {
+			t.Fatalf("%s: %d rows with 1 worker, %d with 7", table, len(rowsA), len(rowsB))
+		}
+		for i := range rowsA {
+			for j := range rowsA[i] {
+				if rowsA[i][j] != rowsB[i][j] {
+					t.Fatalf("%s row %d col %d: %q (1 worker) vs %q (7 workers)",
+						table, i, j, rowsA[i][j], rowsB[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestLoadScaleStarShape checks the generated volume and the skew the
+// scale experiments rely on: the configured row counts land exactly,
+// every fact row joins to a real dimension row, and the Zipf focus
+// distribution is actually skewed (the hottest focus absorbs far more
+// than a uniform share).
+func TestLoadScaleStarShape(t *testing.T) {
+	db := minidb.NewDatabase()
+	cfg, err := datagen.LoadScaleStar(db, datagen.ScaleConfig{
+		Executions: 40, ResultsPerExec: 100, Foci: 32, Metrics: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.NumRows("results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cfg.Rows() {
+		t.Fatalf("results has %d rows, want %d", n, cfg.Rows())
+	}
+	nExec, err := db.NumRows("executions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nExec != cfg.Executions*2 { // two EAV attribute rows per execution
+		t.Fatalf("executions has %d rows, want %d", nExec, cfg.Executions*2)
+	}
+
+	// Referential integrity: every fact row's fociid joins.
+	joined, err := db.Query("SELECT COUNT(*) FROM results r JOIN foci f ON r.fociid = f.fociid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joined.Strings()[0][0]; got != fmt.Sprint(cfg.Rows()) {
+		t.Fatalf("fact-dimension join covers %s rows, want %d", got, cfg.Rows())
+	}
+
+	// Zipf skew: the hottest focus should absorb well over the uniform
+	// share (rows/foci).
+	top, err := db.Query("SELECT COUNT(*) FROM results WHERE fociid = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot int
+	fmt.Sscan(top.Strings()[0][0], &hot)
+	uniform := cfg.Rows() / cfg.Foci
+	if hot < 3*uniform {
+		t.Fatalf("hottest focus has %d rows; want >= 3x the uniform share %d (Zipf skew missing)", hot, uniform)
+	}
+
+	// Time axis: each execution's window selects only its own rows.
+	lo, hi := cfg.TimeWindow(5)
+	win, err := db.Query(fmt.Sprintf(
+		"SELECT DISTINCT execid FROM results WHERE starttime >= %g AND starttime <= %g", lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := win.Strings()
+	if len(ids) != 1 || ids[0][0] != cfg.ExecID(5) {
+		t.Fatalf("time window of execution 5 selected execids %v, want exactly [%s]", ids, cfg.ExecID(5))
+	}
+}

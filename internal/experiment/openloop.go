@@ -1,0 +1,569 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/minidb"
+	"pperfgrid/internal/viz"
+)
+
+// This file is the million-row engine evaluation: an open-loop
+// (constant-arrival-rate) load harness over the scale star schema, plus
+// the range/top-k speedup comparison against the retained naive executor.
+//
+// The load generator is open-loop, not closed-loop: request i has an
+// intended send time start + i/rate fixed before the run, independent of
+// how long earlier requests took. Latency is measured from the INTENDED
+// send time to completion, so when the engine falls behind, queueing
+// delay lands in the recorded latencies instead of silently stretching
+// the inter-arrival gaps — the coordinated-omission error a closed loop
+// makes. A fixed worker pool executes the schedule (a bounded-concurrency
+// open loop); a worker that is ahead of schedule sleeps until its
+// request's intended time.
+//
+// pperfgrid-bench -scale-bench drives it and emits BENCH_PR6.json.
+
+// ScaleBenchConfig tunes the scale evaluation.
+type ScaleBenchConfig struct {
+	// Scale sizes the dataset; the zero value loads datagen.DefaultScale
+	// (10^6 fact rows).
+	Scale datagen.ScaleConfig
+	// Rates is the offered-load sweep in queries/sec. The sweep stops
+	// early once a rate's achieved throughput falls below kneeFraction of
+	// offered — the saturation knee. Nil uses DefaultScaleRates.
+	Rates []float64
+	// Duration is the time window each rate point schedules requests
+	// over (so a point issues rate×Duration requests). Zero means 1s.
+	Duration time.Duration
+	// Workers is the executing pool size; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultScaleRates is the default offered-load sweep. It climbs well
+// past any plausible single-host capacity; the knee cutoff stops it.
+var DefaultScaleRates = []float64{
+	1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+}
+
+// kneeFraction: a rate point whose achieved throughput is below this
+// fraction of the offered rate is past the saturation knee; the sweep
+// records it and stops.
+const kneeFraction = 0.7
+
+// LoadPoint is one (scenario, offered-rate) measurement.
+type LoadPoint struct {
+	Offered  float64 `json:"offeredPerSec"`
+	Achieved float64 `json:"achievedPerSec"`
+	Requests int     `json:"requests"`
+	P50ms    float64 `json:"p50ms"`
+	P99ms    float64 `json:"p99ms"`
+	P999ms   float64 `json:"p999ms"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
+// LoadCurve is one scenario's latency-vs-offered-load curve, swept to
+// the saturation knee.
+type LoadCurve struct {
+	Scenario string      `json:"scenario"`
+	SQL      string      `json:"sql"`
+	Plan     string      `json:"plan"` // EXPLAIN of the scenario statement
+	Points   []LoadPoint `json:"points"`
+	// Peak is the highest achieved throughput across the sweep — the
+	// capacity estimate the knee brackets.
+	Peak float64 `json:"peakAchievedPerSec"`
+}
+
+// SpeedupRow is one planned-vs-naive comparison on the full dataset.
+type SpeedupRow struct {
+	Name       string  `json:"name"`
+	SQL        string  `json:"sql"`
+	Plan       string  `json:"plan"`
+	ResultRows int     `json:"resultRows"`
+	PlannedNs  float64 `json:"plannedNsPerOp"`
+	NaiveNs    float64 `json:"naiveNsPerOp"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// ScaleReport is the full scale evaluation: the dataset shape, the
+// open-loop curves, and the indexed-vs-naive speedups.
+type ScaleReport struct {
+	Rows         int          `json:"factRows"`
+	Workers      int          `json:"workers"`
+	Curves       []LoadCurve  `json:"curves"`
+	Speedups     []SpeedupRow `json:"speedups"`
+	Differential int          `json:"differentialQueriesChecked"`
+}
+
+// scaleScenario is one load-harness workload over the scale schema.
+type scaleScenario struct {
+	name string
+	sql  string
+	// args returns request i's parameter bindings. Derived from i alone,
+	// never from worker identity or time, so a run's request stream is
+	// deterministic.
+	args func(i int) []minidb.Value
+	// literals renders a few parameter-free instances for the
+	// differential gate against the naive executor.
+	literals func() []string
+	access   string // the access path Explain must report
+}
+
+// scaleScenarios builds the three workloads: a repeated point query on
+// one hot key (plan cache + hash index, every probe hits the same
+// bucket), point queries spread across the whole key space (cold
+// probes), and rotating selective time windows through the ordered
+// index.
+func scaleScenarios(cfg datagen.ScaleConfig) []scaleScenario {
+	nExec := cfg.Executions
+	hotID := cfg.ExecID(nExec / 2)
+	pointSQL := "SELECT starttime, value FROM results WHERE execid = ?"
+	rangeSQL := "SELECT execid, starttime, value FROM results WHERE starttime >= ? AND starttime <= ?"
+	coldID := func(i int) string {
+		// Multiplicative hashing walks the key space in a fixed
+		// scattered order, so consecutive requests probe unrelated keys.
+		return cfg.ExecID(int((uint64(i) * 2654435761) % uint64(nExec)))
+	}
+	return []scaleScenario{
+		{
+			name: "hot-hit",
+			sql:  pointSQL,
+			args: func(i int) []minidb.Value {
+				return []minidb.Value{minidb.Text(hotID)}
+			},
+			literals: func() []string {
+				return []string{strings.Replace(pointSQL, "?", "'"+hotID+"'", 1)}
+			},
+			access: "index-eq",
+		},
+		{
+			name: "cold-miss",
+			sql:  pointSQL,
+			args: func(i int) []minidb.Value {
+				return []minidb.Value{minidb.Text(coldID(i))}
+			},
+			literals: func() []string {
+				var out []string
+				for _, i := range []int{0, 7, 131} {
+					out = append(out, strings.Replace(pointSQL, "?", "'"+coldID(i)+"'", 1))
+				}
+				return out
+			},
+			access: "index-eq",
+		},
+		{
+			name: "range-scan",
+			sql:  rangeSQL,
+			args: func(i int) []minidb.Value {
+				lo, hi := cfg.TimeWindow((i * 613) % nExec)
+				return []minidb.Value{minidb.Float(lo), minidb.Float(hi)}
+			},
+			literals: func() []string {
+				var out []string
+				for _, i := range []int{0, nExec / 3, nExec - 1} {
+					lo, hi := cfg.TimeWindow(i)
+					s := strings.Replace(rangeSQL, "?", fmtFloatLit(lo), 1)
+					out = append(out, strings.Replace(s, "?", fmtFloatLit(hi), 1))
+				}
+				return out
+			},
+			access: "index-range",
+		},
+	}
+}
+
+// fmtFloatLit renders a float as an exact SQL literal.
+func fmtFloatLit(v float64) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+// RunScaleBench loads the scale dataset, differentially gates every
+// scenario against the naive executor, asserts each scenario's access
+// path through EXPLAIN, sweeps the open-loop curves, and measures the
+// range/top-k speedups.
+func RunScaleBench(cfg ScaleBenchConfig) (*ScaleReport, error) {
+	db := minidb.NewDatabase()
+	scale, err := datagen.LoadScaleStar(db, cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: load scale star: %w", err)
+	}
+	if err := mapping.DeclareStarIndexes(db); err != nil {
+		return nil, err
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = DefaultScaleRates
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = time.Second
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	report := &ScaleReport{Rows: scale.Rows(), Workers: workers}
+
+	scenarios := scaleScenarios(scale)
+	for _, sc := range scenarios {
+		n, err := differentialGate(db, sc.literals())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", sc.name, err)
+		}
+		report.Differential += n
+	}
+
+	for _, sc := range scenarios {
+		curve, err := runLoadCurve(db, sc, rates, dur, workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", sc.name, err)
+		}
+		report.Curves = append(report.Curves, *curve)
+	}
+
+	speedups, n, err := runScaleSpeedups(db, scale)
+	if err != nil {
+		return nil, err
+	}
+	report.Speedups = speedups
+	report.Differential += n
+	return report, nil
+}
+
+// differentialGate proves each literal query byte-equivalent between the
+// planned pipeline and the naive reference executor, and returns how
+// many queries it checked.
+func differentialGate(db *minidb.Database, queries []string) (int, error) {
+	for _, q := range queries {
+		got, err := db.Query(q)
+		if err != nil {
+			return 0, fmt.Errorf("planned %q: %w", q, err)
+		}
+		want, err := db.QueryNaive(q)
+		if err != nil {
+			return 0, fmt.Errorf("naive %q: %w", q, err)
+		}
+		if err := sameStrings(got.Strings(), want.Strings()); err != nil {
+			return 0, fmt.Errorf("differential gate %q: %w", q, err)
+		}
+	}
+	return len(queries), nil
+}
+
+// sameStrings compares two rendered result sets cell by cell.
+func sameStrings(got, want [][]string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("planned %d rows, naive %d rows", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("row %d: planned %d cells, naive %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("row %d col %d: planned %q, naive %q", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// runLoadCurve sweeps one scenario across the offered rates until the
+// saturation knee.
+func runLoadCurve(db *minidb.Database, sc scaleScenario, rates []float64, dur time.Duration, workers int) (*LoadCurve, error) {
+	stmt, err := db.Prepare(sc.sql)
+	if err != nil {
+		return nil, err
+	}
+	// Warm: the first probe builds any stale ordered index (a lazy build
+	// inside the measured window would be charged to one unlucky
+	// request), and the plan cache fills.
+	for i := 0; i < 3; i++ {
+		if err := drainOnce(stmt, sc.args(i)); err != nil {
+			return nil, err
+		}
+	}
+	info, err := stmt.Explain(sc.args(0)...)
+	if err != nil {
+		return nil, err
+	}
+	if info.Access != sc.access {
+		return nil, fmt.Errorf("explain: access %q, want %q (%s)", info.Access, sc.access, info)
+	}
+	curve := &LoadCurve{Scenario: sc.name, SQL: sc.sql, Plan: info.String()}
+	for _, rate := range rates {
+		pt, err := runOpenLoop(stmt, sc.args, rate, dur, workers)
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, *pt)
+		if pt.Achieved > curve.Peak {
+			curve.Peak = pt.Achieved
+		}
+		if pt.Achieved < kneeFraction*pt.Offered {
+			break // past the knee; higher offered rates only queue deeper
+		}
+	}
+	return curve, nil
+}
+
+// drainOnce runs the statement once through the streaming batch path and
+// discards the rows.
+func drainOnce(stmt *minidb.Stmt, args []minidb.Value) error {
+	rows, err := stmt.QueryStream(args...)
+	if err != nil {
+		return err
+	}
+	b := minidb.NewBatch()
+	for rows.NextBatch(b, 0) {
+	}
+	b.Release()
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	rows.Close()
+	return nil
+}
+
+// runOpenLoop executes one rate point: n = rate×dur requests with
+// intended send times start + i/rate, executed by a fixed worker pool.
+// Latency for request i runs from its intended send time (not its actual
+// start) to completion.
+func runOpenLoop(stmt *minidb.Stmt, argsFor func(int) []minidb.Value, rate float64, dur time.Duration, workers int) (*LoadPoint, error) {
+	n := int(rate * dur.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	lats := make([]float64, n) // ms, indexed by request; no contention
+	var next atomic.Int64
+	var firstErr atomic.Value
+	ends := make([]time.Time, workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := minidb.NewBatch()
+			defer b.Release()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				intended := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				rows, err := stmt.QueryStream(argsFor(i)...)
+				if err == nil {
+					for rows.NextBatch(b, 0) {
+					}
+					err = rows.Err()
+					rows.Close()
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				done := time.Now()
+				lats[i] = float64(done.Sub(intended)) / float64(time.Millisecond)
+				ends[w] = done
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+
+	var s Sample
+	for _, l := range lats {
+		s.Add(l)
+	}
+	end := start
+	for _, e := range ends {
+		if e.After(end) {
+			end = e
+		}
+	}
+	elapsed := end.Sub(start).Seconds()
+	achieved := rate
+	if elapsed > 0 {
+		achieved = float64(n) / elapsed
+	}
+	return &LoadPoint{
+		Offered:  rate,
+		Achieved: achieved,
+		Requests: n,
+		P50ms:    s.Percentile(50),
+		P99ms:    s.Percentile(99),
+		P999ms:   s.Percentile(99.9),
+		MaxMs:    s.Max(),
+	}, nil
+}
+
+// runScaleSpeedups measures the PR's acceptance comparisons on the full
+// dataset: a selective time-range query and an ORDER BY+LIMIT top-k,
+// planned pipeline vs the naive full-scan executor, each differentially
+// gated first. Measurement uses the testing harness so ns/op is exact.
+func runScaleSpeedups(db *minidb.Database, scale datagen.ScaleConfig) ([]SpeedupRow, int, error) {
+	lo, hi := scale.TimeWindow(scale.Executions / 3)
+	rangeSQL := fmt.Sprintf(
+		"SELECT execid, starttime, value FROM results WHERE starttime >= %s AND starttime <= %s",
+		fmtFloatLit(lo), fmtFloatLit(hi))
+	topkSQL := "SELECT execid, starttime, value FROM results ORDER BY value DESC LIMIT 10"
+
+	var out []SpeedupRow
+	checked := 0
+	for _, m := range []struct{ name, sql, access string }{
+		{"time-range", rangeSQL, "index-range"},
+		{"order-by-limit top-k", topkSQL, "ordered-walk"},
+	} {
+		if n, err := differentialGate(db, []string{m.sql}); err != nil {
+			return nil, 0, err
+		} else {
+			checked += n
+		}
+		info, err := db.Explain(m.sql)
+		if err != nil {
+			return nil, 0, err
+		}
+		if info.Access != m.access {
+			return nil, 0, fmt.Errorf("experiment: %s: access %q, want %q (%s)", m.name, info.Access, m.access, info)
+		}
+		rs, err := db.Query(m.sql)
+		if err != nil {
+			return nil, 0, err
+		}
+		nRows := len(rs.Strings())
+
+		planned := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(m.sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		naive := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryNaive(m.sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := SpeedupRow{
+			Name:       m.name,
+			SQL:        m.sql,
+			Plan:       info.String(),
+			ResultRows: nRows,
+			PlannedNs:  float64(planned.NsPerOp()),
+			NaiveNs:    float64(naive.NsPerOp()),
+		}
+		row.Speedup = Speedup(row.NaiveNs, row.PlannedNs)
+		out = append(out, row)
+	}
+	return out, checked, nil
+}
+
+// Render prints the curves, the speedup comparison, and the shape checks.
+func (r *ScaleReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale engine evaluation: %d fact rows, %d workers, %d differential queries byte-equivalent to the naive executor\n\n",
+		r.Rows, r.Workers, r.Differential)
+	header := []string{"Scenario", "Offered/s", "Achieved/s", "Requests", "p50 ms", "p99 ms", "p999 ms", "max ms"}
+	var rows [][]string
+	for _, c := range r.Curves {
+		for i, p := range c.Points {
+			name := ""
+			if i == 0 {
+				name = c.Scenario
+			}
+			rows = append(rows, []string{
+				name, Fmt(p.Offered), Fmt(p.Achieved), fmt.Sprint(p.Requests),
+				Fmt(p.P50ms), Fmt(p.P99ms), Fmt(p.P999ms), Fmt(p.MaxMs),
+			})
+		}
+	}
+	b.WriteString(viz.Table("Open-loop latency vs offered load (latency from intended send time)", header, rows))
+	b.WriteString("\nPlans:\n")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "  %-10s %s\n", c.Scenario, c.Plan)
+	}
+	b.WriteString("\nIndexed pipeline vs naive full scan:\n")
+	for _, s := range r.Speedups {
+		fmt.Fprintf(&b, "  %-20s %10.1f ns/op vs %12.1f ns/op  =  %.0fx  (%d rows; %s)\n",
+			s.Name, s.PlannedNs, s.NaiveNs, s.Speedup, s.ResultRows, s.Plan)
+	}
+	b.WriteString("\nShape checks:\n")
+	for _, c := range r.CheckShape() {
+		b.WriteString("  " + c + "\n")
+	}
+	return b.String()
+}
+
+// CheckShape evaluates the PR's acceptance criteria: every scenario went
+// through its index (asserted during the run), each curve found its
+// knee or sustained the whole sweep, latency percentiles are coherent,
+// and the range/top-k speedups clear the bar — 20x at million-row
+// scale, 5x for reduced smoke shapes.
+func (r *ScaleReport) CheckShape() []string {
+	var out []string
+	check := func(name string, ok bool) {
+		status := "ok      "
+		if !ok {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s", status, name))
+	}
+	for _, c := range r.Curves {
+		check(fmt.Sprintf("%s: measured %d rate points", c.Scenario, len(c.Points)), len(c.Points) >= 1)
+		if len(c.Points) == 0 {
+			continue
+		}
+		coherent := true
+		for _, p := range c.Points {
+			if p.P50ms > p.P99ms || p.P99ms > p.P999ms || p.P999ms > p.MaxMs {
+				coherent = false
+			}
+		}
+		check(fmt.Sprintf("%s: percentiles coherent (p50<=p99<=p999<=max)", c.Scenario), coherent)
+		first := c.Points[0]
+		check(fmt.Sprintf("%s: lowest offered rate sustained (%.0f/s offered, %.0f/s achieved; peak %.0f/s)",
+			c.Scenario, first.Offered, first.Achieved, c.Peak),
+			first.Achieved >= kneeFraction*first.Offered)
+	}
+	bar := 5.0
+	if r.Rows >= 1_000_000 {
+		bar = 20.0
+	}
+	for _, s := range r.Speedups {
+		check(fmt.Sprintf("%s >= %.0fx vs naive full scan (got %.0fx)", s.Name, bar, s.Speedup),
+			s.Speedup >= bar)
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *ScaleReport) ShapeOK() bool {
+	for _, line := range r.CheckShape() {
+		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}

@@ -25,10 +25,15 @@ func NewMemory(d *datagen.Dataset) *Memory {
 	return m
 }
 
+// WideOrderedIndexes are the wide table's sorted range indexes: the
+// time-window columns every interval query bounds.
+var WideOrderedIndexes = []string{"starttime", "endtime"}
+
 // NewWideTable loads the dataset into a fresh single-table database and
 // returns the wrapper over it — the paper's HPL store. The execid point-
-// query column is indexed, so per-execution lookups probe instead of
-// scanning.
+// query column is hash-indexed, so per-execution lookups probe instead of
+// scanning, and the time-window columns carry ordered indexes so range
+// predicates binary-search instead of scanning.
 func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
 	db := minidb.NewDatabase()
 	const table = "executions"
@@ -37,6 +42,11 @@ func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
 	}
 	if err := db.CreateIndex(table, "execid"); err != nil {
 		return nil, fmt.Errorf("mapping: index wide table: %w", err)
+	}
+	for _, col := range WideOrderedIndexes {
+		if err := db.CreateOrderedIndex(table, col); err != nil {
+			return nil, fmt.Errorf("mapping: ordered-index wide table: %w", err)
+		}
 	}
 	metrics := map[string]bool{}
 	for _, e := range d.Execs {
@@ -76,20 +86,46 @@ var StarIndexes = [][2]string{
 	{"executions", "attrname"},
 }
 
+// StarOrderedIndexes are the star schema's sorted range indexes: the fact
+// table's time-window columns (every interval query bounds starttime and
+// endtime) and its value column (top-k and threshold queries).
+var StarOrderedIndexes = [][2]string{
+	{"results", "starttime"},
+	{"results", "endtime"},
+	{"results", "value"},
+}
+
 // NewStar loads the dataset into a fresh five-table star schema and
 // returns the wrapper over it — the paper's SMG98 store — with hash
-// indexes declared on the join and filter columns.
+// indexes declared on the join and filter columns and ordered indexes on
+// the fact table's time and value columns.
 func NewStar(d *datagen.Dataset) (*StarWrapper, error) {
 	db := minidb.NewDatabase()
 	if err := datagen.LoadStarSchema(db, d); err != nil {
 		return nil, fmt.Errorf("mapping: load star schema: %w", err)
 	}
-	for _, ix := range StarIndexes {
-		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
-			return nil, fmt.Errorf("mapping: index star schema: %w", err)
-		}
+	if err := DeclareStarIndexes(db); err != nil {
+		return nil, err
 	}
 	return &StarWrapper{DB: db, Meta: d.Meta}, nil
+}
+
+// DeclareStarIndexes declares the production star-schema index
+// configuration (StarIndexes + StarOrderedIndexes) on a loaded database.
+// Tests, benchmarks, and the scale harness reuse it so every star
+// database matches the wrapper's configuration.
+func DeclareStarIndexes(db *minidb.Database) error {
+	for _, ix := range StarIndexes {
+		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
+			return fmt.Errorf("mapping: index star schema: %w", err)
+		}
+	}
+	for _, ix := range StarOrderedIndexes {
+		if err := db.CreateOrderedIndex(ix[0], ix[1]); err != nil {
+			return fmt.Errorf("mapping: ordered-index star schema: %w", err)
+		}
+	}
+	return nil
 }
 
 // NewFlatFile encodes the dataset as flat text files held in memory and

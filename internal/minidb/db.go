@@ -12,7 +12,8 @@ type Table struct {
 	Rows    []Row
 
 	colIndex map[string]int
-	indexes  map[string]*hashIndex // secondary hash indexes, by column
+	indexes  map[string]*hashIndex    // secondary hash indexes, by column
+	ordered  map[string]*orderedIndex // sorted range indexes, by column
 }
 
 func newTable(name string, cols []Column) *Table {
@@ -105,6 +106,9 @@ func (db *Database) execStatement(st Statement, args []Value) (int, error) {
 	case *DropTableStmt:
 		return 0, db.dropTable(s)
 	case *CreateIndexStmt:
+		if s.Ordered {
+			return 0, db.CreateOrderedIndex(s.Table, s.Column)
+		}
 		return 0, db.CreateIndex(s.Table, s.Column)
 	case *InsertStmt:
 		return db.insert(s, args)
@@ -357,6 +361,14 @@ func (db *Database) update(s *UpdateStmt, args []Value) (int, error) {
 				}
 			}
 		}
+		for _, ox := range t.ordered {
+			for _, col := range targets {
+				if ox.col == col {
+					ox.invalidate()
+					break
+				}
+			}
+		}
 	}()
 	e := &env{cols: make([]qcol, len(t.Columns)), args: args}
 	for i, c := range t.Columns {
@@ -409,5 +421,31 @@ func (db *Database) InsertRow(table string, vals ...Value) error {
 	}
 	t.Rows = append(t.Rows, row)
 	t.noteInsert()
+	return nil
+}
+
+// InsertRows appends many rows under one lock acquisition — the bulk
+// variant of InsertRow for million-row dataset loads, where per-row
+// locking would dominate. Each row must match the table's column count;
+// on a mismatch, rows inserted so far stay inserted (matching INSERT's
+// partial-progress semantics).
+func (db *Database) InsertRows(table string, rows [][]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	for _, vals := range rows {
+		if len(vals) != len(t.Columns) {
+			return errf("exec", "InsertRows: %d values for %d columns", len(vals), len(t.Columns))
+		}
+		row := make(Row, len(vals))
+		for i, v := range vals {
+			row[i] = t.Columns[i].Type.Coerce(v)
+		}
+		t.Rows = append(t.Rows, row)
+		t.noteInsert()
+	}
 	return nil
 }

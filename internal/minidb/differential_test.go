@@ -22,9 +22,11 @@ import (
 )
 
 // starDB loads an SMG98-shaped star schema and declares exactly the
-// indexes the mapping layer declares (mapping.StarIndexes), so the
-// planned path exercises the production index configuration — including
-// the hash join's build-side index reuse on the dimension keys.
+// indexes the mapping layer declares (mapping.DeclareStarIndexes: the
+// hash indexes plus the ordered time/value indexes), so the planned path
+// exercises the production index configuration — including the hash
+// join's build-side index reuse on the dimension keys and the ordered
+// range probes on the fact table.
 func starDB(t *testing.T, seed int64) *minidb.Database {
 	t.Helper()
 	db := minidb.NewDatabase()
@@ -32,10 +34,8 @@ func starDB(t *testing.T, seed int64) *minidb.Database {
 	if err := datagen.LoadStarSchema(db, d); err != nil {
 		t.Fatal(err)
 	}
-	for _, ix := range mapping.StarIndexes {
-		if err := db.CreateIndex(ix[0], ix[1]); err != nil {
-			t.Fatal(err)
-		}
+	if err := mapping.DeclareStarIndexes(db); err != nil {
+		t.Fatal(err)
 	}
 	return db
 }
@@ -56,6 +56,9 @@ func randStarQuery(rng *rand.Rand) string {
 		fmt.Sprintf("r.fociid = %d", fociid),
 		fmt.Sprintf("r.value > %g", threshold),
 		fmt.Sprintf("r.starttime BETWEEN %g AND %g", threshold, threshold+30),
+		fmt.Sprintf("r.starttime >= %g", threshold),
+		fmt.Sprintf("r.endtime <= %g", threshold+45),
+		fmt.Sprintf("r.value BETWEEN %g AND %g", threshold, threshold+25),
 		fmt.Sprintf("r.metricid IN (%d, %d)", metricid, 1+rng.Intn(5)),
 		fmt.Sprintf("r.execid = %s OR r.fociid = %d", execid, fociid),
 		"f.path LIKE '/Process/0/%'",
@@ -69,7 +72,7 @@ func randStarQuery(rng *rand.Rand) string {
 		sep = " AND "
 	}
 
-	switch rng.Intn(6) {
+	switch rng.Intn(8) {
 	case 0: // hash equi-join, projected columns
 		return "SELECT f.path, r.value FROM results r JOIN foci f ON r.fociid = f.fociid" + where
 	case 1: // equi-join with ORDER BY and LIMIT
@@ -86,6 +89,12 @@ func randStarQuery(rng *rand.Rand) string {
 			w = fmt.Sprintf(" WHERE execid = %s", execid)
 		}
 		return "SELECT DISTINCT metricid FROM results" + w + " ORDER BY metricid"
+	case 5: // ordered-index range probe with ORDER BY on the probe column
+		return fmt.Sprintf(
+			"SELECT execid, starttime, value FROM results WHERE starttime >= %g AND starttime <= %g ORDER BY starttime LIMIT %d",
+			threshold, threshold+40, 1+rng.Intn(30))
+	case 6: // descending ordered walk (duplicate keys exercise run order)
+		return fmt.Sprintf("SELECT metricid, value FROM results ORDER BY metricid DESC LIMIT %d", 1+rng.Intn(20))
 	default: // single-table projection with mixed filters
 		return fmt.Sprintf(
 			"SELECT execid, fociid, value FROM results WHERE execid = %s AND value > %g ORDER BY fociid, value LIMIT %d",

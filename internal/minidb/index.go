@@ -109,12 +109,17 @@ func (t *Table) index(column string) *hashIndex {
 	return t.indexes[column]
 }
 
-// noteInsert maintains all indexes after a row append.
+// noteInsert maintains all indexes after a row append: hash indexes are
+// appended to incrementally, ordered indexes are just marked stale (their
+// rebuild is deferred to the next probe, keeping bulk loads O(1) per row).
 func (t *Table) noteInsert() {
 	pos := len(t.Rows) - 1
 	row := t.Rows[pos]
 	for _, ix := range t.indexes {
 		ix.add(pos, row)
+	}
+	for _, ox := range t.ordered {
+		ox.invalidate()
 	}
 }
 
@@ -123,6 +128,9 @@ func (t *Table) noteInsert() {
 func (t *Table) reindex() {
 	for _, ix := range t.indexes {
 		ix.rebuild(t.Rows)
+	}
+	for _, ox := range t.ordered {
+		ox.invalidate()
 	}
 }
 

@@ -17,12 +17,14 @@ type CreateTableStmt struct {
 // DropTableStmt is DROP TABLE name.
 type DropTableStmt struct{ Name string }
 
-// CreateIndexStmt is CREATE INDEX name ON table (column) — a secondary
-// hash index declaration (see index.go).
+// CreateIndexStmt is CREATE [ORDERED] INDEX name ON table (column) — a
+// secondary index declaration: a hash index (index.go) by default, or a
+// sorted range index (ordered.go) when ORDERED is given.
 type CreateIndexStmt struct {
-	Name   string
-	Table  string
-	Column string
+	Name    string
+	Table   string
+	Column  string
+	Ordered bool
 }
 
 // InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
@@ -252,7 +254,16 @@ func (p *parser) parseStatement() (Statement, error) {
 
 func (p *parser) parseCreate() (Statement, error) {
 	if p.acceptKeyword("INDEX") {
-		return p.parseCreateIndex()
+		return p.parseCreateIndex(false)
+	}
+	// ORDERED is not reserved (columns may be named "ordered"), so it is
+	// matched as an identifier that must be followed by INDEX.
+	if t := p.cur(); t.kind == tokIdent && strings.EqualFold(t.text, "ORDERED") {
+		p.pos++
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndex(true)
 	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -316,8 +327,9 @@ func (p *parser) parseColumnType() (ColumnType, error) {
 	return 0, errf("parse", "unknown column type %q", t.text)
 }
 
-// parseCreateIndex parses CREATE INDEX name ON table (column).
-func (p *parser) parseCreateIndex() (Statement, error) {
+// parseCreateIndex parses CREATE [ORDERED] INDEX name ON table (column);
+// the leading CREATE [ORDERED] INDEX tokens are already consumed.
+func (p *parser) parseCreateIndex(ordered bool) (Statement, error) {
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
@@ -339,7 +351,7 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndexStmt{Name: name, Table: table, Column: column}, nil
+	return &CreateIndexStmt{Name: name, Table: table, Column: column, Ordered: ordered}, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {

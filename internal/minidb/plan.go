@@ -14,13 +14,23 @@ import (
 //     side, or post-join),
 //   - extracts an equi-join key from the ON clause and joins with a hash
 //     join when one exists, falling back to the naive nested loop
-//     otherwise, and
+//     otherwise,
 //   - probes a secondary hash index instead of scanning when an indexed
-//     column is compared for equality against a constant or parameter.
+//     column is compared for equality against a constant or parameter
+//     (IN lists multi-probe the same index),
+//   - probes an ordered index (ordered.go) with a binary-searched range
+//     span for </<=/>/>=/BETWEEN bounds and for IS NULL, and
+//   - satisfies a single-key ORDER BY from ordered-index order (streaming
+//     with LIMIT stopping early) when no probe narrowed the scan; when one
+//     did, ORDER BY ... LIMIT materializes through a bounded top-k heap
+//     instead of sorting the full result.
 //
 // Execution is a pull-based iterator pipeline (rowSrc), so consumers can
-// stream rows without materializing the whole result; ORDER BY and
-// aggregate queries still materialize, as they must.
+// stream rows without materializing the whole result; aggregate queries
+// and ORDER BY queries not satisfied by an index still materialize, as
+// they must. Residual base-scan predicates run column-at-a-time through
+// compiled kernels over selection-vector blocks (vector.go) rather than
+// row-at-a-time through eval.
 //
 // Index and hash-join buckets may contain false positives (see indexKey),
 // so the pipeline re-evaluates every pushed predicate and the full ON
@@ -33,6 +43,37 @@ import (
 type eqCand struct {
 	col int
 	val Expr
+}
+
+// rangeCand is one index-eligible range bound: base column col bounded by
+// a constant expression, with op one of < <= > >= (column on the left).
+// When reqNonNull is set, the bound is usable only if that expression
+// evaluates non-NULL: a BETWEEN whose lower bound is NULL degenerates (by
+// Compare semantics) to an upper-bound check that NULL rows also satisfy,
+// and the index excludes NULL rows, so probing would drop matches.
+type rangeCand struct {
+	col        int
+	op         string
+	val        Expr
+	reqNonNull Expr
+}
+
+// inCand is one index-eligible IN list: base column col matched against
+// all-constant items, multi-probed on the hash index. Usable only when
+// every item evaluates non-NULL (Equal(NULL, NULL) is true in this
+// engine, so a NULL item matches NULL rows, which the index excludes).
+type inCand struct {
+	col  int
+	list []Expr
+}
+
+// orderPush records a structurally index-satisfiable ORDER BY: exactly one
+// key that is a plain reference to base column col. DISTINCT disqualifies
+// (the naive executor deduplicates before sorting, keeping first-in-table-
+// order representatives, which index order cannot replicate).
+type orderPush struct {
+	col  int
+	desc bool
 }
 
 // selectPlan is a planned SELECT, valid for the schema it was planned
@@ -54,8 +95,20 @@ type selectPlan struct {
 	// on the naive executor to keep planned semantics exactly equal.
 	unsafe bool
 
-	leftPred []Expr   // conjuncts evaluable on base rows alone
-	eqCands  []eqCand // index-eligible equalities among leftPred
+	leftPred []Expr // conjuncts evaluable on base rows alone
+
+	// Index-eligible shapes among leftPred. Candidates are collected at
+	// plan time regardless of whether a matching index exists — CREATE
+	// INDEX does not bump schemaGen, so index presence is (re)checked per
+	// execution in chooseAccess.
+	eqCands    []eqCand
+	rangeCands []rangeCand
+	inCands    []inCand
+	nullCands  []int // base columns with a non-negated IS NULL conjunct
+
+	vecPreds []vecPred  // compiled column-at-a-time forms of leftPred, 1:1
+	orderBy  *orderPush // non-nil: ORDER BY satisfiable from index order
+	hasAgg   bool
 
 	join *joinPlan // nil for single-table queries
 }
@@ -295,30 +348,147 @@ func (db *Database) planSelect(st *SelectStmt) (*selectPlan, error) {
 		}
 	}
 
-	// Collect index-eligible equalities: base column = constant.
+	// Collect index-eligible predicate shapes among the base-scan
+	// conjuncts: equalities and IN lists (hash index), range bounds and
+	// IS NULL (ordered index).
 	for _, c := range p.leftPred {
-		b, ok := c.(*Binary)
-		if !ok || b.Op != "=" {
-			continue
+		switch x := c.(type) {
+		case *Binary:
+			op := x.Op
+			ref, val := x.L, x.R
+			if _, ok := ref.(*ColumnRef); !ok {
+				ref, val = x.R, x.L
+				op = flipCmp(op)
+			}
+			cr, ok := ref.(*ColumnRef)
+			if !ok || !isConst(val) {
+				continue
+			}
+			col := p.baseCol(cr, baseQual, rightQual)
+			if col < 0 {
+				continue
+			}
+			switch op {
+			case "=":
+				p.eqCands = append(p.eqCands, eqCand{col: col, val: val})
+			case "<", "<=", ">", ">=":
+				p.rangeCands = append(p.rangeCands, rangeCand{col: col, op: op, val: val})
+			}
+		case *Between:
+			if x.Negate || !isConst(x.Lo) || !isConst(x.Hi) {
+				continue
+			}
+			cr, ok := x.X.(*ColumnRef)
+			if !ok {
+				continue
+			}
+			col := p.baseCol(cr, baseQual, rightQual)
+			if col < 0 {
+				continue
+			}
+			// Both bounds are guarded on the lower bound being non-NULL;
+			// see rangeCand. (A NULL upper bound needs no guard: the
+			// predicate then matches nothing, and any span is a superset
+			// of the empty set.)
+			p.rangeCands = append(p.rangeCands,
+				rangeCand{col: col, op: ">=", val: x.Lo, reqNonNull: x.Lo},
+				rangeCand{col: col, op: "<=", val: x.Hi, reqNonNull: x.Lo})
+		case *InList:
+			if x.Negate {
+				continue
+			}
+			cr, ok := x.X.(*ColumnRef)
+			if !ok {
+				continue
+			}
+			allConst := true
+			for _, it := range x.List {
+				if !isConst(it) {
+					allConst = false
+					break
+				}
+			}
+			if !allConst {
+				continue
+			}
+			if col := p.baseCol(cr, baseQual, rightQual); col >= 0 {
+				p.inCands = append(p.inCands, inCand{col: col, list: x.List})
+			}
+		case *IsNull:
+			if x.Negate {
+				continue
+			}
+			cr, ok := x.X.(*ColumnRef)
+			if !ok {
+				continue
+			}
+			if col := p.baseCol(cr, baseQual, rightQual); col >= 0 {
+				p.nullCands = append(p.nullCands, col)
+			}
 		}
-		ref, val := b.L, b.R
-		if _, ok := ref.(*ColumnRef); !ok {
-			ref, val = b.R, b.L
+	}
+
+	// Compile the base-scan conjuncts to vectorized kernels (vector.go).
+	if len(p.leftPred) > 0 {
+		p.vecPreds = make([]vecPred, len(p.leftPred))
+		for i, c := range p.leftPred {
+			p.vecPreds[i] = p.compileVec(c, baseQual, rightQual)
 		}
-		cr, ok := ref.(*ColumnRef)
-		if !ok || !isConst(val) {
-			continue
-		}
-		var s refSides
-		p.refSide(cr, baseQual, rightQual, &s)
-		if !s.leftOnly() {
-			continue
-		}
-		if col := p.base.ColumnIndex(cr.Name); col >= 0 {
-			p.eqCands = append(p.eqCands, eqCand{col: col, val: val})
+	}
+
+	p.hasAgg = !st.Star && hasAggregate(st.Items)
+
+	// A single-key ORDER BY over a plain base-column reference can be
+	// satisfied from an ordered index's key order. The reference must
+	// resolve uniquely against the combined row (mirroring env.resolve) to
+	// a base column; DISTINCT and aggregates disqualify.
+	if len(st.OrderBy) == 1 && !st.Distinct && !p.hasAgg {
+		if cr, ok := st.OrderBy[0].Expr.(*ColumnRef); ok {
+			found, idx := 0, -1
+			for i, c := range p.cols {
+				if c.name != cr.Name {
+					continue
+				}
+				if cr.Table != "" && !strings.EqualFold(c.qualifier, cr.Table) {
+					continue
+				}
+				found++
+				idx = i
+			}
+			if found == 1 && idx < p.nLeft {
+				p.orderBy = &orderPush{col: idx, desc: st.OrderBy[0].Desc}
+			}
 		}
 	}
 	return p, nil
+}
+
+// baseCol resolves a column reference to its base-table position when it
+// refers to the base side only, else -1.
+func (p *selectPlan) baseCol(cr *ColumnRef, baseQual, rightQual string) int {
+	var s refSides
+	p.refSide(cr, baseQual, rightQual, &s)
+	if !s.leftOnly() {
+		return -1
+	}
+	return p.base.ColumnIndex(cr.Name)
+}
+
+// flipCmp mirrors a comparison operator for swapped operands; operators
+// that are not order comparisons come back unchanged (LIKE is direction-
+// sensitive, so a flipped LIKE never index-qualifies and "=" is symmetric).
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
 }
 
 // rowSrc is a pull-based row iterator: next returns (nil, nil) at end of
@@ -342,39 +512,226 @@ func passAll(preds []Expr, e *env, r Row) (bool, error) {
 	return true, nil
 }
 
-// scanIter scans a table (optionally narrowed to index-candidate
-// positions) applying pushed-down predicates.
-type scanIter struct {
-	rows  []Row
-	idx   []int // nil: scan every row; else candidate positions, ascending
-	pos   int
-	preds []Expr
-	env   *env
+// Access-path kinds, as reported by PlanInfo.
+const (
+	accessSeqScan     = "seq-scan"
+	accessIndexEq     = "index-eq"
+	accessIndexIn     = "index-in"
+	accessIndexRange  = "index-range"
+	accessIndexNull   = "index-null"
+	accessOrderedWalk = "ordered-walk"
+)
+
+// emptyIdx is the shared "indexed probe with no matches" candidate set;
+// it is never mutated.
+var emptyIdx = []int{}
+
+// accessChoice is the access path picked for one execution of a plan:
+// which index probe (if any) narrows the base scan, or an ordered walk
+// that satisfies the ORDER BY from index order. Probes are chosen by
+// candidate count — every pushed predicate is still evaluated on the
+// candidates, so any choice is correct, only speed differs.
+type accessChoice struct {
+	kind     string
+	column   string // index column, for non-scan kinds
+	idx      []int  // candidate positions, ascending; nil for full scans
+	walk     *orderedIndex
+	walkDesc bool
 }
 
-func (s *scanIter) next() (Row, error) {
-	for {
-		var r Row
-		if s.idx != nil {
-			if s.pos >= len(s.idx) {
-				return nil, nil
-			}
-			r = s.rows[s.idx[s.pos]]
-		} else {
-			if s.pos >= len(s.rows) {
-				return nil, nil
-			}
-			r = s.rows[s.pos]
+// chooseAccess evaluates the plan's probe candidates against the bound
+// parameters and current indexes, picking the narrowest. The caller must
+// hold at least the database read lock.
+func (p *selectPlan) chooseAccess(args []Value) accessChoice {
+	acc := accessChoice{kind: accessSeqScan}
+	constEnv := &env{args: args}
+	best := -1 // candidate count of the current winner; -1: full scan
+
+	type rangeSpan struct {
+		ix         *orderedIndex
+		start, end int
+	}
+	var bestSpan rangeSpan
+	record := func(kind, column string, idx []int, span rangeSpan, n int) {
+		if best >= 0 && n >= best {
+			return
 		}
-		s.pos++
-		ok, err := passAll(s.preds, s.env, r)
+		best = n
+		acc.kind, acc.column, acc.idx = kind, column, idx
+		bestSpan = span
+	}
+
+	// Equality probes on hash indexes.
+	for _, cand := range p.eqCands {
+		ix := p.base.index(p.base.Columns[cand.col].Name)
+		if ix == nil {
+			continue
+		}
+		v, err := eval(cand.val, constEnv)
 		if err != nil {
-			return nil, err
+			continue // let the full evaluation surface the error
 		}
-		if ok {
-			return r, nil
+		bucket := ix.lookup(v)
+		if bucket == nil {
+			bucket = emptyIdx
+		}
+		record(accessIndexEq, ix.column, bucket, rangeSpan{}, len(bucket))
+	}
+
+	// IN lists multi-probe the hash index: the candidate set is the union
+	// of the item buckets. Distinct items can share a bucket (numeric text
+	// and numbers key identically), so the union is sorted and deduped.
+	for _, cand := range p.inCands {
+		ix := p.base.index(p.base.Columns[cand.col].Name)
+		if ix == nil {
+			continue
+		}
+		var union []int
+		buckets, usable := 0, true
+		for _, it := range cand.list {
+			v, err := eval(it, constEnv)
+			if err != nil || v.IsNull() {
+				usable = false
+				break
+			}
+			if b := ix.lookup(v); len(b) > 0 {
+				union = append(union, b...)
+				buckets++
+			}
+		}
+		if !usable {
+			continue
+		}
+		if buckets > 1 {
+			sort.Ints(union)
+			w := 0
+			for i, pos := range union {
+				if i == 0 || pos != union[w-1] {
+					union[w] = pos
+					w++
+				}
+			}
+			union = union[:w]
+		}
+		if union == nil {
+			union = emptyIdx
+		}
+		record(accessIndexIn, ix.column, union, rangeSpan{}, len(union))
+	}
+
+	// IS NULL answers directly from an ordered index's tracked NULL
+	// positions (already ascending).
+	for _, col := range p.nullCands {
+		ox := p.base.orderedIx(p.base.Columns[col].Name)
+		if ox == nil {
+			continue
+		}
+		ox.ensure(p.base.Rows)
+		nulls := ox.nulls
+		if nulls == nil {
+			nulls = emptyIdx
+		}
+		record(accessIndexNull, ox.column, nulls, rangeSpan{}, len(nulls))
+	}
+
+	// Range probes on ordered indexes: merge every usable bound per
+	// column into one [lo, hi] span and binary-search its extent. The
+	// span is materialized (positions re-sorted ascending) only if it
+	// wins.
+	for i, rc := range p.rangeCands {
+		seen := false
+		for j := 0; j < i; j++ {
+			if p.rangeCands[j].col == rc.col {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		ox := p.base.orderedIx(p.base.Columns[rc.col].Name)
+		if ox == nil {
+			continue
+		}
+		var lo, hi Value
+		var hasLo, hasHi, loIncl, hiIncl bool
+		for j := i; j < len(p.rangeCands); j++ {
+			c := p.rangeCands[j]
+			if c.col != rc.col {
+				continue
+			}
+			if c.reqNonNull != nil {
+				g, err := eval(c.reqNonNull, constEnv)
+				if err != nil || g.IsNull() {
+					continue // this bound is unusable; others may still be
+				}
+			}
+			v, err := eval(c.val, constEnv)
+			if err != nil {
+				continue
+			}
+			switch c.op {
+			case ">", ">=":
+				incl := c.op == ">="
+				if !hasLo || tighterBound(v, incl, lo, loIncl, 1) {
+					lo, loIncl, hasLo = v, incl, true
+				}
+			case "<", "<=":
+				incl := c.op == "<="
+				if !hasHi || tighterBound(v, incl, hi, hiIncl, -1) {
+					hi, hiIncl, hasHi = v, incl, true
+				}
+			}
+		}
+		if !hasLo && !hasHi {
+			continue
+		}
+		ox.ensure(p.base.Rows)
+		start, end := 0, len(ox.keys)
+		if hasLo {
+			start = ox.lowerBound(lo, loIncl)
+		}
+		if hasHi {
+			end = ox.upperBound(hi, hiIncl)
+		}
+		if end < start {
+			end = start
+		}
+		record(accessIndexRange, ox.column, nil, rangeSpan{ix: ox, start: start, end: end}, end-start)
+	}
+	if acc.kind == accessIndexRange {
+		// Span positions are in key order; the scan must visit them in
+		// table order to match the naive executor's emission order.
+		idx := make([]int, bestSpan.end-bestSpan.start)
+		copy(idx, bestSpan.ix.pos[bestSpan.start:bestSpan.end])
+		sort.Ints(idx)
+		acc.idx = idx
+	}
+
+	// ORDER BY pushdown: stream in index order when no probe narrowed the
+	// scan. (With a probe, the probe + bounded top-k sort wins: the
+	// candidate positions are in table order, not key order.)
+	if p.orderBy != nil && acc.kind == accessSeqScan {
+		if ox := p.base.orderedIx(p.base.Columns[p.orderBy.col].Name); ox != nil {
+			ox.ensure(p.base.Rows)
+			acc.kind = accessOrderedWalk
+			acc.column = ox.column
+			acc.walk = ox
+			acc.walkDesc = p.orderBy.desc
 		}
 	}
+	return acc
+}
+
+// tighterBound reports whether bound (v, incl) is strictly tighter than
+// (cur, curIncl); dir is +1 for lower bounds, -1 for upper bounds. At
+// equal values an exclusive bound beats an inclusive one.
+func tighterBound(v Value, incl bool, cur Value, curIncl bool, dir int) bool {
+	c := Compare(v, cur)
+	if c != 0 {
+		return c == dir
+	}
+	return curIncl && !incl
 }
 
 // hashJoinIter joins a left row stream against a hashed right table.
@@ -555,30 +912,20 @@ func (n *nlJoinIter) next() (Row, error) {
 	}
 }
 
-// pipeline assembles the operator tree for a planned SELECT.
-func (p *selectPlan) pipeline(args []Value) rowSrc {
+// pipeline assembles the operator tree for a planned SELECT under the
+// chosen access path.
+func (p *selectPlan) pipeline(args []Value, acc accessChoice) rowSrc {
 	leftEnv := &env{cols: p.cols[:p.nLeft], args: args}
-	scan := &scanIter{rows: p.base.Rows, preds: p.leftPred, env: leftEnv}
-
-	// Probe the best available index: the candidate with the smallest
-	// bucket wins (all pushed predicates are still evaluated on the
-	// candidates, so any choice is correct).
-	for _, cand := range p.eqCands {
-		ix := p.base.index(p.base.Columns[cand.col].Name)
-		if ix == nil {
-			continue
-		}
-		v, err := eval(cand.val, &env{args: args})
-		if err != nil {
-			continue // let the full evaluation surface the error
-		}
-		bucket := ix.lookup(v)
-		if scan.idx == nil || len(bucket) < len(scan.idx) {
-			scan.idx = bucket
-			if scan.idx == nil {
-				scan.idx = []int{} // indexed probe with no matches: empty scan
-			}
-		}
+	var scan rowSrc
+	if acc.walk != nil {
+		w := &orderedWalkIter{rows: p.base.Rows, ix: acc.walk, desc: acc.walkDesc}
+		w.vf.bind(p.vecPreds, args, leftEnv, p.base.Rows)
+		w.hi = len(acc.walk.keys)
+		scan = w
+	} else {
+		s := &vecScanIter{rows: p.base.Rows, idx: acc.idx}
+		s.vf.bind(p.vecPreds, args, leftEnv, p.base.Rows)
+		scan = s
 	}
 	if p.join == nil {
 		return scan
@@ -629,10 +976,11 @@ func (p *selectPlan) rows(args []Value) (*Rows, error) {
 		}
 		return &Rows{Columns: rs.Columns, mat: rs.Rows, limit: -1, materialized: true}, nil
 	}
-	src := p.pipeline(args)
+	acc := p.chooseAccess(args)
+	src := p.pipeline(args, acc)
 	outCols := outputColumns(st, p.cols)
 
-	if !st.Star && hasAggregate(st.Items) {
+	if p.hasAgg {
 		var rows []Row
 		for {
 			r, err := src.next()
@@ -653,6 +1001,19 @@ func (p *selectPlan) rows(args []Value) (*Rows, error) {
 	}
 
 	if len(st.OrderBy) > 0 {
+		if acc.walk != nil {
+			// The ordered walk already emits rows in ORDER BY order:
+			// stream them, with LIMIT stopping the walk early instead of
+			// materializing and truncating. (DISTINCT never reaches here;
+			// see orderPush.)
+			return &Rows{
+				Columns: outCols,
+				st:      st,
+				src:     src,
+				env:     &env{cols: p.cols, args: args},
+				limit:   st.Limit,
+			}, nil
+		}
 		mat, err := materializeOrdered(st, p.cols, src, args)
 		if err != nil {
 			return nil, err
@@ -673,15 +1034,42 @@ func (p *selectPlan) rows(args []Value) (*Rows, error) {
 	return rows, nil
 }
 
+// projRow is one projected row awaiting the ORDER BY sort. seq is the
+// arrival index: using (keys, seq) as the sort order makes the comparator
+// a strict total order that reproduces a stable sort exactly, which both
+// the plain sort and the bounded top-k heap rely on.
+type projRow struct {
+	out  []Value
+	keys []Value
+	seq  int
+}
+
 // materializeOrdered projects, deduplicates, and sorts the full row
-// stream — the ORDER BY path, which cannot stream.
+// stream — the ORDER BY path, which cannot stream. When a LIMIT is
+// present (and no DISTINCT), only the top LIMIT rows are retained in a
+// bounded max-heap instead of sorting the full result: O(n log k) time
+// and O(k) memory for a top-k query over n rows.
 func materializeOrdered(st *SelectStmt, cols []qcol, src rowSrc, args []Value) ([][]Value, error) {
-	type projRow struct {
-		out  []Value
-		keys []Value
+	less := func(a, b *projRow) bool {
+		for k, key := range st.OrderBy {
+			c := Compare(a.keys[k], b.keys[k])
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return a.seq < b.seq
 	}
-	var projected []projRow
+	// DISTINCT deduplicates before sorting (keeping first-in-stream
+	// representatives), so it must see every row: no top-k for it.
+	topK := st.Limit >= 0 && !st.Distinct
+
+	var projected []projRow // plain mode, and the heap in top-k mode
 	e := &env{cols: cols, args: args}
+	seq := 0
 	for {
 		r, err := src.next()
 		if err != nil {
@@ -715,7 +1103,25 @@ func materializeOrdered(st *SelectStmt, cols []qcol, src rowSrc, args []Value) (
 			}
 			keys[i] = v
 		}
-		projected = append(projected, projRow{out: out, keys: keys})
+		pr := projRow{out: out, keys: keys, seq: seq}
+		seq++
+		if topK {
+			// Max-heap of the LIMIT least rows: the root is the greatest
+			// kept row, evicted when a lesser row arrives. (Projection and
+			// key evaluation above still ran for every row, so evaluation
+			// errors surface exactly as in the full sort.)
+			switch {
+			case st.Limit == 0:
+			case len(projected) < st.Limit:
+				projected = append(projected, pr)
+				heapSiftUp(projected, len(projected)-1, less)
+			case less(&pr, &projected[0]):
+				projected[0] = pr
+				heapSiftDown(projected, 0, less)
+			}
+			continue
+		}
+		projected = append(projected, pr)
 	}
 	if st.Distinct {
 		seen := make(map[string]bool, len(projected))
@@ -730,24 +1136,47 @@ func materializeOrdered(st *SelectStmt, cols []qcol, src rowSrc, args []Value) (
 		}
 		projected = kept
 	}
-	sort.SliceStable(projected, func(i, j int) bool {
-		for k, key := range st.OrderBy {
-			c := Compare(projected[i].keys[k], projected[j].keys[k])
-			if c == 0 {
-				continue
-			}
-			if key.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+	// less is a strict total order (seq tie-break), so a plain sort
+	// reproduces the naive executor's stable sort byte for byte.
+	sort.Slice(projected, func(i, j int) bool {
+		return less(&projected[i], &projected[j])
 	})
 	out := make([][]Value, len(projected))
 	for i, pr := range projected {
 		out[i] = pr.out
 	}
 	return out, nil
+}
+
+// heapSiftUp restores the max-heap property after appending at position i.
+func heapSiftUp(h []projRow, i int, less func(a, b *projRow) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(&h[parent], &h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// heapSiftDown restores the max-heap property after replacing position i.
+func heapSiftDown(h []projRow, i int, less func(a, b *projRow) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && less(&h[largest], &h[l]) {
+			largest = l
+		}
+		if r < len(h) && less(&h[largest], &h[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
 }
 
 // Rows is a streaming SELECT result. Typical use:
