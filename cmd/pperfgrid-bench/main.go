@@ -38,6 +38,14 @@
 //
 //	pperfgrid-bench -scale-bench -bench-json BENCH_PR6.json
 //	pperfgrid-bench -scale-bench -quick     # reduced rows, for CI smoke
+//
+// The mixed read/write evaluation — live ingestion (PublishResults with
+// epoch-versioned cache invalidation) running beside hot getPR readers,
+// at 95/5 and 50/50 reader/writer mixes, with throughput retention
+// against the read-only baseline — runs via:
+//
+//	pperfgrid-bench -mixed-bench -bench-json BENCH_PR7.json
+//	pperfgrid-bench -mixed-bench -quick     # reduced ops, for CI smoke
 package main
 
 import (
@@ -73,6 +81,7 @@ func main() {
 		cacheBench  = flag.Bool("cache-bench", false, "run only the concurrent cache evaluation (non-fatal shape checks, for CI smoke)")
 		coldBench   = flag.Bool("cold-bench", false, "run only the cold-path getPR evaluation (ns/op, B/op, allocs/op per store shape; vectorized vs row/string oracle)")
 		scaleBench  = flag.Bool("scale-bench", false, "run only the million-row engine evaluation (open-loop load curves + indexed-vs-naive speedups)")
+		mixedBench  = flag.Bool("mixed-bench", false, "run only the mixed read/write evaluation (live ingestion beside hot readers; throughput retention vs read-only)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
 		readers     = flag.String("readers", "1,4,16,64", "comma-separated reader counts for the concurrent Table 5")
@@ -80,7 +89,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,6 +134,10 @@ func main() {
 	}
 	if *scaleBench {
 		runScaleBench(*seed, *quick, *benchJSON)
+		return
+	}
+	if *mixedBench {
+		runMixedBench(cfg, *cachePolicy, readerCounts, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -449,6 +462,75 @@ func runScaleBench(seed int64, quick bool, jsonPath string) {
 		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
 	}
 	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// mixedBenchRecord is the BENCH_PR7.json schema: the mixed read/write
+// Table 5 rows plus the derived retention figures the acceptance
+// criteria pin.
+type mixedBenchRecord struct {
+	Record             string                        `json:"record"`
+	Workload           string                        `json:"workload"`
+	Mixed              *experiment.Table5MixedReport `json:"mixedTable5"`
+	RetentionByReaders map[string]float64            `json:"mix95to5RetentionByReaders"`
+}
+
+// runMixedBench runs the mixed read/write evaluation standalone. Shape
+// checks print but never fail the process (quick mode is the CI smoke
+// step; the committed full-run BENCH_PR7.json records the reference
+// numbers).
+func runMixedBench(cfg experiment.Config, cachePolicy string, readerCounts []int, quick bool, jsonPath string) {
+	fmt.Println("=== Mixed read/write evaluation (live ingestion) ===")
+	t5m := experiment.Table5MixedConfig{Config: cfg}
+	t5m.CachePolicy = cachePolicy
+	// The default -readers list targets the read-heavy cache experiment;
+	// the mixed cells top out at 16 readers unless overridden.
+	t5m.Readers = []int{1, 4, 16}
+	if len(readerCounts) > 0 && flagWasSet("readers") {
+		t5m.Readers = readerCounts
+	}
+	if quick {
+		t5m.OpsPerReader = 3000
+	}
+	report, err := experiment.RunTable5Mixed(t5m)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: mixed table 5: %v", err)
+	}
+	fmt.Print(report.Render())
+
+	if jsonPath == "" {
+		return
+	}
+	rec := mixedBenchRecord{
+		Record:             "PR7 write-path perf trajectory",
+		Workload:           "SMG98 star store; hot getPR readers beside paced PublishResults writers (per-execution epoch invalidation)",
+		Mixed:              report,
+		RetentionByReaders: map[string]float64{},
+	}
+	for _, row := range report.Rows {
+		if row.WriterShare == 5 {
+			rec.RetentionByReaders[strconv.Itoa(row.Readers)] = row.Retention
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// flagWasSet reports whether a flag was explicitly provided.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // shaped is any report that can render itself and check the paper's shape.

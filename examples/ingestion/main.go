@@ -1,0 +1,104 @@
+// Ingestion: the write path opened by PublishResults. An instrumented
+// application streams measurements over the SOAP wire into a live star
+// (minidb) store while an analyst queries the same Execution service —
+// every read after a publish sees the new rows, because each write
+// advances the instance's cache epoch and re-indexes incrementally.
+//
+// Run with:
+//
+//	go run ./examples/ingestion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
+)
+
+func main() {
+	// The site fronts a relational star store seeded with one SMG98 run
+	// that is still in flight: the first 20 seconds are already loaded.
+	dataset := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 4, TimeBins: 20, Seed: 7})
+	store, err := mapping.NewStar(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{
+		AppName:  "SMG98-live",
+		Wrappers: []mapping.ApplicationWrapper{store},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+
+	// Both the analyst and the application's monitor go through the
+	// wire: bind the factory, locate the in-flight execution.
+	c := client.NewWithoutRegistry()
+	app, err := c.BindFactory("SMG98-live", site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs, err := app.QueryExecutions(nil)
+	if err != nil || len(execs) != 1 {
+		log.Fatalf("executions: %d, %v", len(execs), err)
+	}
+	exec := execs[0]
+
+	q := perfdata.Query{
+		Metric: "func_calls",
+		Foci:   []string{"/Process/0"},
+		Time:   perfdata.TimeRange{Start: 0, End: 3600},
+		Type:   perfdata.UndefinedType,
+	}
+	before, err := exec.PerformanceResults(q) // warms the instance cache
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyst's first read: %d results for /Process/0\n", len(before))
+
+	// The application emits its next measurement interval: publishPR
+	// carries encoded results over the same SOAP wire the reads use.
+	// The star wrapper inserts the rows, interns any new dimension
+	// values, and maintains the hash indexes incrementally (ordered
+	// range indexes are marked stale and rebuilt lazily on next use).
+	var batch []perfdata.Result
+	for p := 0; p < 4; p++ {
+		batch = append(batch, perfdata.Result{
+			Metric: "func_calls",
+			Focus:  fmt.Sprintf("/Process/%d/Code/MPI/MPI_Allreduce", p),
+			Type:   "vampir",
+			Time:   perfdata.TimeRange{Start: 20, End: 21},
+			Value:  float64(8 + p),
+		})
+	}
+	n, err := exec.PublishResults(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application published %d results\n", n)
+
+	// The publish bumped the instance's epoch, so the cached pre-write
+	// envelope is structurally unreachable: this read misses, refetches,
+	// and includes the new interval.
+	after, err := exec.PerformanceResults(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyst's re-read: %d results (%d new)\n", len(after), len(after)-len(before))
+
+	// The write generation is visible as service data.
+	for _, key := range []string{"writable", "epoch", "publishes", "cacheInvalidated"} {
+		vals, err := exec.Call(ogsi.OpFindServiceData, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s = %s\n", key, vals[0])
+	}
+}

@@ -427,6 +427,22 @@ func (e *ExecutionRef) TimeStartEnd() (perfdata.TimeRange, error) {
 	return perfdata.TimeRange{Start: start, End: end}, nil
 }
 
+// PublishResults publishes Performance Results into this execution's
+// data store — the live-ingestion write path (publishPR). On success the
+// results are immediately visible to subsequent queries from any client;
+// the service never serves a pre-write cached envelope afterwards. It
+// returns the number of results the service reports as published.
+func (e *ExecutionRef) PublishResults(rs []perfdata.Result) (int, error) {
+	out, err := e.exec.Call(core.OpPublishPR, perfdata.EncodeResults(rs)...)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("client: publishPR returned %d values", len(out))
+	}
+	return strconv.Atoi(out[0])
+}
+
 // PerformanceResults runs one getPR query against this execution.
 func (e *ExecutionRef) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
 	out, err := e.exec.Call(core.OpGetPR, q.WireParams()...)

@@ -1,0 +1,224 @@
+package client
+
+// End-to-end live ingestion: PublishResults travels the full consumer
+// path — client stub, SOAP envelope, WSDL validation, container worker
+// pool, Execution service, Mapping-Layer writer — and subsequent reads
+// over the same wire see the write immediately, cached or not.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+func startWritableSite(t *testing.T) (*core.Site, *ExecutionRef) {
+	t.Helper()
+	smg := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 2, TimeBins: 4, Seed: 31})
+	w, err := mapping.NewStar(smg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "SMG98", Wrappers: []mapping.ApplicationWrapper{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+
+	c := NewWithoutRegistry()
+	b, err := c.BindFactory("SMG98", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil || len(execs) != 1 {
+		t.Fatalf("QueryExecutions: %d refs, %v", len(execs), err)
+	}
+	return site, execs[0]
+}
+
+func TestPublishResultsOverWire(t *testing.T) {
+	_, exec := startWritableSite(t)
+	tr, err := exec.TimeStartEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "func_calls", Time: tr, Type: perfdata.UndefinedType}
+
+	before, err := exec.PerformanceResults(q) // also warms the instance cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []perfdata.Result{
+		{Metric: "func_calls", Focus: "/Process/7/Code/MPI/MPI_Waitall", Type: "vampir", Time: perfdata.TimeRange{Start: 1, End: 2}, Value: 17},
+		{Metric: "func_calls", Focus: "/Process/7/Code/MPI/MPI_Waitall", Type: "vampir", Time: perfdata.TimeRange{Start: 2, End: 3}, Value: 4},
+	}
+	n, err := exec.PublishResults(adds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(adds) {
+		t.Fatalf("published %d results, want %d", n, len(adds))
+	}
+
+	// The same query over the same wire now includes the write — the
+	// pre-write cached envelope is never served.
+	after, err := exec.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(perfdata.EncodeResults(before), perfdata.EncodeResults(adds)...)
+	got := perfdata.EncodeResults(after)
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("post-publish read has %d results, want %d with the published rows", len(after), len(before)+len(adds))
+	}
+
+	// The interned focus shows up in discovery, and the paged iterator
+	// agrees with the one-shot read.
+	foci, err := exec.Foci()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range foci {
+		if f == "/Process/7/Code/MPI/MPI_Waitall" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("published focus missing from getFoci: %v", foci)
+	}
+	rows := exec.PerformanceResultsPaged(q, 5)
+	var paged []string
+	for rows.Next() {
+		paged = append(paged, rows.Result().Encode())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paged)
+	if strings.Join(paged, "\n") != strings.Join(got, "\n") {
+		t.Error("paged read after publish diverges from one-shot read")
+	}
+
+	// Empty publish is wire-legal (the repeated parameter's arity floor
+	// is zero) and a no-op.
+	if n, err := exec.PublishResults(nil); err != nil || n != 0 {
+		t.Errorf("empty publish = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestPublishResultsWireRejections pins the failure shapes at the wire
+// boundary: undecodable result encodings and unknown operations reject
+// without mutating the store.
+func TestPublishResultsWireRejections(t *testing.T) {
+	_, exec := startWritableSite(t)
+	tr, err := exec.TimeStartEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := perfdata.Query{Metric: "func_calls", Time: tr, Type: perfdata.UndefinedType}
+	before, err := exec.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, bad := range map[string]string{
+		"too few fields":  "func_calls|/",
+		"bad time range":  "func_calls|/|vampir|x-y|1",
+		"bad value":       "func_calls|/|vampir|0-1|notanumber",
+		"empty parameter": "",
+	} {
+		if _, err := exec.Call(core.OpPublishPR, bad); err == nil {
+			t.Errorf("%s: publishPR accepted %q", name, bad)
+		}
+	}
+	if _, err := exec.Call("publishPRv2", "func_calls|/|vampir|0-1|1"); err == nil {
+		t.Error("unknown operation accepted")
+	}
+
+	after, err := exec.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("rejected publishes changed the store: %d results, was %d", len(after), len(before))
+	}
+}
+
+// TestSitePublishFansOutToReplicas drives Site.PublishResults on a
+// two-replica site: the write must land in every replica's store (or
+// replicas would diverge), and every live instance's epoch must advance
+// so no instance serves a pre-write envelope.
+func TestSitePublishFansOutToReplicas(t *testing.T) {
+	smg := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 2, TimeBins: 2, Seed: 33})
+	var wrappers []mapping.ApplicationWrapper
+	for i := 0; i < 2; i++ {
+		w, err := mapping.NewStar(smg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrappers = append(wrappers, w)
+	}
+	site, err := core.StartSite(core.SiteConfig{AppName: "SMG98", Wrappers: wrappers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+
+	c := NewWithoutRegistry()
+	b, err := c.BindFactory("SMG98", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil || len(execs) != 1 {
+		t.Fatalf("QueryExecutions: %d refs, %v", len(execs), err)
+	}
+	id := smg.Execs[0].ID
+	// Warm the live instance's cache so the publish has an envelope to
+	// invalidate.
+	q := perfdata.Query{Metric: "func_calls", Foci: []string{"/Process/9"}, Time: perfdata.TimeRange{Start: 0, End: 60}, Type: perfdata.UndefinedType}
+	if rs, err := execs[0].PerformanceResults(q); err != nil || len(rs) != 0 {
+		t.Fatalf("pre-publish read: %v, %v", rs, err)
+	}
+
+	add := []perfdata.Result{{
+		Metric: "func_calls", Focus: "/Process/9/Code/MPI/MPI_Barrier", Type: "vampir",
+		Time: perfdata.TimeRange{Start: 0, End: 1}, Value: 3,
+	}}
+	if err := site.PublishResults(id, add); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica's store holds the write, not just the one hosting
+	// the live instance.
+	for i, w := range wrappers {
+		ew, err := w.ExecutionWrapper(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ew.PerformanceResults(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 || rs[0].Value != 3 {
+			t.Errorf("replica %d store missed the write: %v", i, rs)
+		}
+	}
+	// The instance's epoch advanced and the wire read sees the write.
+	for _, svc := range site.ExecutionServices(id) {
+		if svc.Epoch() != 1 || svc.Publishes() != 1 {
+			t.Errorf("instance epoch=%d publishes=%d, want 1/1", svc.Epoch(), svc.Publishes())
+		}
+	}
+	rs, err := execs[0].PerformanceResults(q)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("post-publish wire read: %v, %v", rs, err)
+	}
+}

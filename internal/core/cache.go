@@ -98,6 +98,13 @@ type Cache interface {
 	// a no-op for unknown keys. Callers must not mutate wire afterwards.
 	AttachWire(key string, wire []byte)
 	Len() int
+	// Invalidate drops every entry and reports how many were purged. The
+	// write path (ExecutionService.PublishResults) calls it after a store
+	// mutation so stale envelopes release their bytes immediately — the
+	// epoch bump already makes their keys unreachable. Result slices and
+	// wire bytes already handed out stay valid: references are dropped,
+	// never mutated.
+	Invalidate() int
 	// SizeBytes reports the footprint estimate of all cached entries,
 	// decoded results plus attached wire envelopes.
 	SizeBytes() int64
@@ -267,6 +274,18 @@ func (c *baseCache) SizeBytes() int64 {
 	return c.bytes
 }
 
+// Invalidate implements Cache for the non-LRU policies. Purged entries do
+// not count as evictions: Stats().Evictions keeps meaning capacity
+// pressure, not write-path invalidation.
+func (c *baseCache) Invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]*entry)
+	c.bytes = 0
+	return n
+}
+
 // lruCache evicts the least recently used entry.
 type lruCache struct {
 	baseCache
@@ -354,6 +373,17 @@ func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lenLocked()
+}
+
+// Invalidate shadows baseCache's to also reset the recency list.
+func (c *lruCache) Invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]*entry)
+	c.bytes = 0
+	c.order.Init()
+	return n
 }
 
 func (c *lruCache) Stats() CacheStats {

@@ -409,6 +409,24 @@ func (c *shardedCache) removeLocked(s *cacheShard, e *shardEntry) {
 	s.bytes -= e.size
 }
 
+// Invalidate implements Cache: purge every shard and report the total
+// entry count dropped. Purges are per-shard atomic — a concurrent reader
+// sees each shard either full or empty, which is enough for the write
+// path, where the epoch bump has already retired every live key.
+func (c *shardedCache) Invalidate() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.entries = make(map[string]*shardEntry)
+		s.heap.items = nil
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+	return n
+}
+
 func (c *shardedCache) Len() int {
 	n := 0
 	for i := range c.shards {

@@ -66,6 +66,20 @@ type ExecutionService struct {
 	// raw path; tests use it to prove cache hits do zero marshalling.
 	wireEncodes atomic.Int64
 
+	// epoch is the execution's write generation. Every cache key is
+	// prefixed with it (versionedKey), so a PublishResults bump retires
+	// all previously cached envelopes and all in-flight singleflight
+	// fills at once: their keys become structurally unreachable. This is
+	// the version-stamp-at-query-start contract — a reader that started
+	// before a write can only populate (and read) pre-write keys.
+	epoch atomic.Int64
+
+	// publishes counts successful PublishResults calls; invalidated
+	// accumulates the cache entries purged by them. Both feed service
+	// data, and tests pin exact per-instance invalidation counts.
+	publishes   atomic.Int64
+	invalidated atomic.Int64
+
 	// flights singleflights identical in-flight getPR queries on the
 	// cache-miss path: N concurrent cold misses cost one Mapping-Layer
 	// execution, the other N-1 wait for the leader's result. coalesced
@@ -204,6 +218,15 @@ func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) 
 			return nil, err
 		}
 		return perfdata.EncodeResults(rs), nil
+	case OpPublishPR:
+		rs, err := perfdata.ParseResults(params)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.PublishResults(rs); err != nil {
+			return nil, err
+		}
+		return []string{strconv.Itoa(len(rs))}, nil
 	case OpGetPRAsync:
 		return e.getPRAsync(params)
 	case ogsi.OpSubscribe:
@@ -372,7 +395,7 @@ func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, 
 	// hit inside GetWire; an absent envelope is not a miss — the Get on
 	// the fallback path below settles the outcome (hit when only the
 	// decoded results are cached, miss when nothing is).
-	key := q.Key()
+	key := e.versionedKey(q.Key())
 	if raw, ok := cache.GetWire(key); ok {
 		return raw, true, nil
 	}
@@ -622,7 +645,18 @@ func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perf
 	if cache == nil {
 		return e.fetchResults(q)
 	}
-	return e.resultsByKey(cache, q.Key(), q)
+	return e.resultsByKey(cache, e.versionedKey(q.Key()), q)
+}
+
+// versionedKey prefixes a query key with the execution's current write
+// epoch. Keys are stamped once, at query start: a singleflight leader
+// that began before a PublishResults fills the cache under its pre-write
+// key, which no post-write reader can look up — the stale entry is
+// discarded by unreachability rather than by an explicit stamp
+// comparison. Post-write readers likewise never join a pre-write flight,
+// because the flights map is keyed by the versioned key too.
+func (e *ExecutionService) versionedKey(key string) string {
+	return strconv.FormatInt(e.epoch.Load(), 10) + "|" + key
 }
 
 // resultsByKey answers a getPR query whose cache key is already computed
@@ -737,6 +771,67 @@ func (e *ExecutionService) NotifyUpdate(message string) {
 	}
 }
 
+// PublishResults ingests Performance Results into the execution's data
+// store — the live write path (publishPR on the wire). The wrapper must
+// implement mapping.ResultWriter; read-only stores report
+// mapping.ErrNotWritable. On success the write is immediately visible: a
+// getPR issued after PublishResults returns can never be served a
+// pre-write cached envelope (see noteWrite for the sequence).
+func (e *ExecutionService) PublishResults(rs []perfdata.Result) error {
+	w, ok := e.wrapper.(mapping.ResultWriter)
+	if !ok {
+		return fmt.Errorf("core: execution %s: %w", e.id, mapping.ErrNotWritable)
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	if err := w.PublishResults(rs); err != nil {
+		return err
+	}
+	e.noteWrite(fmt.Sprintf("published %d results", len(rs)))
+	return nil
+}
+
+// noteWrite applies the write-visibility sequence after a successful
+// store mutation, in order:
+//
+//  1. Bump the epoch — every previously cached key, and every key an
+//     in-flight singleflight leader will fill, becomes unreachable.
+//  2. Purge the cache — the retired entries' bytes release immediately
+//     instead of aging out of the budget (counted into invalidated).
+//  3. Drop memoized discovery state — a publish can introduce new
+//     metrics, foci, or types.
+//  4. Notify subscribers on UpdatesTopic.
+//
+// Unlike NotifyUpdate (an external whole-store reload), noteWrite keeps
+// the cache instance (only its entries die) and leaves live paging
+// cursors alone: a cursor pages a point-in-time snapshot slice, which
+// the Cache sharing contract already guarantees is never mutated.
+func (e *ExecutionService) noteWrite(message string) {
+	e.publishes.Add(1)
+	e.epoch.Add(1)
+	if c := e.cacheRef(); c != nil {
+		e.invalidated.Add(int64(c.Invalidate()))
+	}
+	e.mu.Lock()
+	e.foci, e.metrics, e.types, e.info, e.timeRange = nil, nil, nil, nil, nil
+	e.mu.Unlock()
+	if e.hub != nil {
+		e.hub.Notify(UpdatesTopic, message)
+	}
+}
+
+// Epoch reports the execution's write generation — the number of
+// store-mutating PublishResults applied through this instance.
+func (e *ExecutionService) Epoch() int64 { return e.epoch.Load() }
+
+// Publishes reports how many PublishResults calls have mutated the store.
+func (e *ExecutionService) Publishes() int64 { return e.publishes.Load() }
+
+// Invalidations reports the cumulative number of cache entries purged by
+// the write path.
+func (e *ExecutionService) Invalidations() int64 { return e.invalidated.Load() }
+
 // ServiceData publishes the execution's discovery sets as service data
 // elements, so clients can use FindServiceData path queries (the paper's
 // future-work XPath mechanism) instead of discovery calls:
@@ -745,9 +840,13 @@ func (e *ExecutionService) NotifyUpdate(message string) {
 //	FindServiceData("/foci[value=/Process/0]") — focus existence check
 func (e *ExecutionService) ServiceData() map[string][]string {
 	cache := e.cacheRef()
+	_, writable := e.wrapper.(mapping.ResultWriter)
 	out := map[string][]string{
 		"executionID": {e.id},
 		"caching":     {strconv.FormatBool(cache != nil)},
+		"writable":    {strconv.FormatBool(writable)},
+		"epoch":       {strconv.FormatInt(e.epoch.Load(), 10)},
+		"publishes":   {strconv.FormatInt(e.publishes.Load(), 10)},
 	}
 	if cache != nil {
 		s := cache.Stats()
@@ -758,6 +857,7 @@ func (e *ExecutionService) ServiceData() map[string][]string {
 		out["cacheEntries"] = []string{strconv.Itoa(cache.Len())}
 		out["cacheBytes"] = []string{strconv.FormatInt(cache.SizeBytes(), 10)}
 		out["coalescedQueries"] = []string{strconv.FormatInt(e.coalesced.Load(), 10)}
+		out["cacheInvalidated"] = []string{strconv.FormatInt(e.invalidated.Load(), 10)}
 		if sl, ok := cache.(shardLoader); ok {
 			loads := sl.ShardLoads()
 			shards := make([]string, len(loads))

@@ -18,6 +18,10 @@ const (
 	OpGetTypes        = "getTypes"
 	OpGetTimeStartEnd = "getTimeStartEnd"
 	OpGetPR           = "getPR"
+	// OpPublishPR is the write-path extension to Table 2: live ingestion
+	// of new Performance Results into a running Execution instance (the
+	// paper's future-work "data streamed in from a running application").
+	OpPublishPR = "publishPR"
 
 	// Manager PortType (internal service, section 5.3.1.4).
 	OpGetExecutions = "getExecutions"
@@ -65,6 +69,9 @@ func ExecutionPortType() wsdl.PortType {
 		wsdl.Op(OpGetPR,
 			"Returns a list of Performance Results that meet the criteria given by the parameter values as an array of strings. Parameters are one Metric, a start time, an end time, one Type, and one or more Foci.",
 			wsdl.P("metric"), wsdl.P("startTime"), wsdl.P("endTime"), wsdl.P("type"), wsdl.PRep("focus")),
+		wsdl.Op(OpPublishPR,
+			"Publishes one or more Performance Results into the Execution's data store — the live-ingestion write path. Parameters are encoded Performance Results ('metric|focus|type|start-end|value', the getPR wire form). On success the results are durable, immediately visible to subsequent getPR queries (cached envelopes from before the write are never served), and the call returns the number of results published.",
+			wsdl.PRep("result")),
 		wsdl.Op(OpGetPRAsync,
 			"Callback-model variant of getPR (the registry-callback model of the paper's future work): acknowledges immediately and delivers the encoded result set to the given NotificationSink as one DeliverNotification on the prResults topic, tagged with the request ID.",
 			wsdl.P("requestID"), wsdl.P("sinkHandle"), wsdl.P("metric"), wsdl.P("startTime"), wsdl.P("endTime"), wsdl.P("type"), wsdl.PRep("focus")),

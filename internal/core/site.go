@@ -8,6 +8,7 @@ import (
 	"pperfgrid/internal/gsh"
 	"pperfgrid/internal/mapping"
 	"pperfgrid/internal/ogsi"
+	"pperfgrid/internal/perfdata"
 	"pperfgrid/internal/wsdl"
 )
 
@@ -230,4 +231,35 @@ func (s *Site) NotifyUpdate(execID, message string) {
 	for _, svc := range s.ExecutionServices(execID) {
 		svc.NotifyUpdate(message)
 	}
+}
+
+// PublishResults ingests Performance Results for one execution across the
+// whole site: each replica wraps its own copy of the data store, so the
+// write lands on every replica's wrapper (or replicas would diverge), and
+// every live Execution instance for the ID then applies its
+// write-visibility sequence (epoch bump, cache purge, subscriber
+// notification). A publishPR call on a single instance, by contrast,
+// writes only that replica's store — single-replica sites (the common
+// test topology) can use either path interchangeably.
+func (s *Site) PublishResults(execID string, rs []perfdata.Result) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	for _, w := range s.cfg.Wrappers {
+		ew, err := w.ExecutionWrapper(execID)
+		if err != nil {
+			return err
+		}
+		rw, ok := ew.(mapping.ResultWriter)
+		if !ok {
+			return fmt.Errorf("core: site %s execution %s: %w", s.cfg.AppName, execID, mapping.ErrNotWritable)
+		}
+		if err := rw.PublishResults(rs); err != nil {
+			return err
+		}
+	}
+	for _, svc := range s.ExecutionServices(execID) {
+		svc.noteWrite(fmt.Sprintf("published %d results", len(rs)))
+	}
+	return nil
 }

@@ -1,0 +1,409 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// This file extends Table 5 to the mixed read/write regime the write
+// path (PublishResults) opened: live Execution services over a shared
+// star store, with writers streaming results in — the paper's
+// future-work "data streamed in from a running application" — while
+// readers re-query the hot set. Every publish bumps the target
+// instance's epoch and purges its cache, so the measurement is the real
+// cost of write-driven invalidation: how much of the read-only hit
+// throughput survives when ingestion runs alongside.
+//
+// Writes are paced (WriteInterval) rather than closed-loop: a running
+// application emits results at its own measurement rate, not at the
+// store's CPU speed. The read/write worker ratio (95/5 and 50/50) sets
+// how many paced writers run beside the readers.
+
+// Table5MixedConfig tunes the mixed read/write experiment.
+type Table5MixedConfig struct {
+	Config
+	// Readers lists the concurrent reader counts; nil means {1, 4, 16}.
+	Readers []int
+	// Mixes lists the reader/writer worker ratios to measure, as the
+	// writer share of a 100-worker mix; nil means {5, 50} (95/5 and
+	// 50/50). The read-only baseline (share 0) is always measured.
+	Mixes []int
+	// Executions is the number of live Execution instances (writes are
+	// per-execution scoped; default 4).
+	Executions int
+	// HotQueries is the per-execution hot query set size (default 8).
+	HotQueries int
+	// OpsPerReader is each reader's minimum operation count (default
+	// 20000).
+	OpsPerReader int
+	// MinDuration is the minimum wall time per cell: readers keep
+	// cycling past OpsPerReader until it elapses, so the paced writers
+	// participate in every cell even when reads are fast (default
+	// 300ms).
+	MinDuration time.Duration
+	// WriteInterval paces each writer between publishes (default 2ms —
+	// with the default batch of 8, 4000 results/sec per writer).
+	WriteInterval time.Duration
+	// WriteBatch is the number of results per publish (default 8).
+	WriteBatch int
+}
+
+func (cfg Table5MixedConfig) withT5MDefaults() Table5MixedConfig {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.Readers == nil {
+		cfg.Readers = []int{1, 4, 16}
+	}
+	if cfg.Mixes == nil {
+		cfg.Mixes = []int{5, 50}
+	}
+	if cfg.Executions <= 0 {
+		cfg.Executions = 4
+	}
+	if cfg.HotQueries <= 0 {
+		cfg.HotQueries = 8
+	}
+	if cfg.OpsPerReader <= 0 {
+		cfg.OpsPerReader = 20000
+	}
+	if cfg.MinDuration <= 0 {
+		cfg.MinDuration = 300 * time.Millisecond
+	}
+	if cfg.WriteInterval <= 0 {
+		cfg.WriteInterval = 2 * time.Millisecond
+	}
+	if cfg.WriteBatch <= 0 {
+		cfg.WriteBatch = 8
+	}
+	if cfg.CachePolicy == "" {
+		cfg.CachePolicy = "cost"
+	}
+	return cfg
+}
+
+// Table5MixedRow is one (writer share, readers) measurement.
+type Table5MixedRow struct {
+	WriterShare int     `json:"writerShare"` // percent of a 100-worker mix; 0 = read-only baseline
+	Readers     int     `json:"readers"`
+	Writers     int     `json:"writers"`
+	ReadsPerSec float64 `json:"readsPerSec"`
+	MeanReadUs  float64 `json:"meanReadUs"`
+	P99ReadUs   float64 `json:"p99ReadUs"`
+	HitRate     float64 `json:"hitRate"`
+	Writes      int64   `json:"writes"`      // publish calls completed
+	Invalidated int64   `json:"invalidated"` // cache entries purged by writes
+	Retention   float64 `json:"retention"`   // ReadsPerSec / read-only baseline at same reader count
+}
+
+// Table5MixedReport is the measured mixed read/write Table 5.
+type Table5MixedReport struct {
+	Policy        string           `json:"policy"`
+	Executions    int              `json:"executions"`
+	WriteInterval string           `json:"writeInterval"`
+	WriteBatch    int              `json:"writeBatch"`
+	Rows          []Table5MixedRow `json:"rows"`
+}
+
+// mixedServices builds the live topology: one star store over an
+// E-execution SMG98 dataset, one cached ExecutionService per execution
+// (the per-instance-cache topology of a real site).
+func mixedServices(cfg Table5MixedConfig) ([]*core.ExecutionService, []perfdata.Query, error) {
+	smg := cfg.SMG98
+	smg.Executions = cfg.Executions
+	smg.Seed = cfg.Seed
+	d := datagen.SMG98(smg)
+	star, err := mapping.NewStar(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	svcs := make([]*core.ExecutionService, len(d.Execs))
+	for i, e := range d.Execs {
+		ew, err := star.ExecutionWrapper(e.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache := core.NewCacheFromConfig(core.CacheConfig{Policy: cfg.CachePolicy})
+		svcs[i] = core.NewExecutionService(e.ID, ew, cache, nil)
+	}
+	tr := d.Execs[0].Time
+	hot := make([]perfdata.Query, cfg.HotQueries)
+	for i := range hot {
+		hot[i] = perfdata.Query{
+			Metric: "func_calls",
+			Foci:   []string{fmt.Sprintf("/Process/%d", i%8)},
+			Time:   perfdata.TimeRange{Start: float64(i), End: tr.End},
+			Type:   "vampir",
+		}
+	}
+	return svcs, hot, nil
+}
+
+// RunTable5Mixed measures read throughput and latency for each
+// reader-count × writer-share cell, including the writer-free baseline
+// retention is computed against.
+func RunTable5Mixed(cfg Table5MixedConfig) (*Table5MixedReport, error) {
+	cfg = cfg.withT5MDefaults()
+	report := &Table5MixedReport{
+		Policy:        cfg.CachePolicy,
+		Executions:    cfg.Executions,
+		WriteInterval: cfg.WriteInterval.String(),
+		WriteBatch:    cfg.WriteBatch,
+	}
+	shares := append([]int{0}, cfg.Mixes...)
+	baseline := map[int]float64{} // readers -> read-only ReadsPerSec
+	for _, share := range shares {
+		for _, readers := range cfg.Readers {
+			row, err := table5MixedCell(cfg, share, readers)
+			if err != nil {
+				return nil, err
+			}
+			if share == 0 {
+				baseline[readers] = row.ReadsPerSec
+				row.Retention = 1
+			} else if base := baseline[readers]; base > 0 {
+				row.Retention = row.ReadsPerSec / base
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report, nil
+}
+
+// writersFor converts a writer share (percent of a 100-worker mix) into
+// a writer count beside n readers: 5% beside 16 readers ≈ 1 writer,
+// 50% beside 16 readers = 16 writers. Any nonzero share runs at least
+// one writer.
+func writersFor(share, readers int) int {
+	if share <= 0 {
+		return 0
+	}
+	w := readers * share / (100 - share)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func table5MixedCell(cfg Table5MixedConfig, share, readers int) (Table5MixedRow, error) {
+	svcs, hot, err := mixedServices(cfg)
+	if err != nil {
+		return Table5MixedRow{}, err
+	}
+	// Warm every instance's hot set so the baseline starts from hits.
+	for _, svc := range svcs {
+		for _, q := range hot {
+			if _, err := svc.PerformanceResults(q); err != nil {
+				return Table5MixedRow{}, err
+			}
+		}
+	}
+
+	writers := writersFor(share, readers)
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		writes    atomic.Int64
+		runErr    atomic.Value
+		samples   = make([][]float64, readers)
+		readTotal atomic.Int64
+	)
+	fail := func(err error) { runErr.CompareAndSwap(nil, error(err)) }
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1e6 + int64(w)*104729))
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(cfg.WriteInterval):
+				}
+				svc := svcs[rng.Intn(len(svcs))]
+				batch := make([]perfdata.Result, cfg.WriteBatch)
+				for i := range batch {
+					batch[i] = perfdata.Result{
+						Metric: "func_calls",
+						Focus:  fmt.Sprintf("/Process/%d/Code/MPI/MPI_Stream%d", 900+w, seq),
+						Type:   "vampir",
+						Time:   perfdata.TimeRange{Start: float64(seq % 60), End: float64(seq%60) + 1},
+						Value:  float64(w*100000 + seq),
+					}
+					seq++
+				}
+				if err := svc.PublishResults(batch); err != nil {
+					fail(err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+
+	var readersWG sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		readersWG.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer readersWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
+			local := make([]float64, 0, cfg.OpsPerReader/4+1)
+			ops := 0
+			for i := 0; i < cfg.OpsPerReader || time.Since(start) < cfg.MinDuration; i++ {
+				svc := svcs[rng.Intn(len(svcs))]
+				q := hot[rng.Intn(len(hot))]
+				t0 := time.Now()
+				if _, err := svc.PerformanceResults(q); err != nil {
+					fail(err)
+					return
+				}
+				ops++
+				if i%4 == 0 {
+					local = append(local, float64(time.Since(t0))/float64(time.Microsecond))
+				}
+			}
+			readTotal.Add(int64(ops))
+			samples[r] = local
+		}(r)
+	}
+	readersWG.Wait()
+	wall := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if err, _ := runErr.Load().(error); err != nil {
+		return Table5MixedRow{}, err
+	}
+
+	var lat Sample
+	for _, s := range samples {
+		for _, v := range s {
+			lat.Add(v)
+		}
+	}
+	var hits, misses, invalidated int64
+	for _, svc := range svcs {
+		c := svc.CacheStats()
+		hits += c.Hits
+		misses += c.Misses
+		invalidated += svc.Invalidations()
+	}
+	row := Table5MixedRow{
+		WriterShare: share,
+		Readers:     readers,
+		Writers:     writers,
+		ReadsPerSec: float64(readTotal.Load()) / wall.Seconds(),
+		MeanReadUs:  lat.Mean(),
+		P99ReadUs:   lat.Percentile(99),
+		Writes:      writes.Load(),
+		Invalidated: invalidated,
+	}
+	if hits+misses > 0 {
+		row.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return row, nil
+}
+
+// row returns the (share, readers) measurement, or a zero row.
+func (r *Table5MixedReport) row(share, readers int) Table5MixedRow {
+	for _, row := range r.Rows {
+		if row.WriterShare == share && row.Readers == readers {
+			return row
+		}
+	}
+	return Table5MixedRow{}
+}
+
+func (r *Table5MixedReport) maxReaders() int {
+	out := 0
+	for _, row := range r.Rows {
+		if row.Readers > out {
+			out = row.Readers
+		}
+	}
+	return out
+}
+
+// RetentionAt returns the fraction of read-only throughput retained at
+// one writer share and reader count (0 when either cell is missing).
+func (r *Table5MixedReport) RetentionAt(share, readers int) float64 {
+	return r.row(share, readers).Retention
+}
+
+// Render prints the mixed table and its shape checks.
+func (r *Table5MixedReport) Render() string {
+	header := []string{"Mix (R/W)", "Readers", "Writers", "Reads/s", "Mean read (µs)", "p99 read (µs)", "Hit rate", "Publishes", "Invalidated", "Retention"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		mix := "read-only"
+		if row.WriterShare > 0 {
+			mix = fmt.Sprintf("%d/%d", 100-row.WriterShare, row.WriterShare)
+		}
+		rows = append(rows, []string{
+			mix, fmt.Sprint(row.Readers), fmt.Sprint(row.Writers), Fmt(row.ReadsPerSec),
+			Fmt(row.MeanReadUs), Fmt(row.P99ReadUs), Fmt(row.HitRate),
+			fmt.Sprint(row.Writes), fmt.Sprint(row.Invalidated), Fmt(row.Retention),
+		})
+	}
+	title := fmt.Sprintf("Table 5 (mixed read/write) — live ingestion beside hot reads (policy=%s, executions=%d, write interval=%s, batch=%d)",
+		r.Policy, r.Executions, r.WriteInterval, r.WriteBatch)
+	out := viz.Table(title, header, rows)
+	out += "Shape checks:\n"
+	for _, c := range r.CheckShape() {
+		out += "  " + c + "\n"
+	}
+	return out
+}
+
+// CheckShape evaluates the write path's performance claims.
+func (r *Table5MixedReport) CheckShape() []string {
+	var out []string
+	check := func(name string, ok bool) {
+		status := "ok      "
+		if !ok {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s", status, name))
+	}
+	max := r.maxReaders()
+	for _, row := range r.Rows {
+		if row.WriterShare == 0 {
+			check(fmt.Sprintf("read-only@%d: warmed hot set serves from cache (hit rate ≥ 0.95)", row.Readers),
+				row.HitRate >= 0.95)
+		} else {
+			check(fmt.Sprintf("%d/%d@%d: writers actually ran (publishes > 0) and invalidated entries", 100-row.WriterShare, row.WriterShare, row.Readers),
+				row.Writes > 0 && row.Invalidated > 0)
+		}
+	}
+	check(fmt.Sprintf("95/5@%d readers retains ≥ 50%% of read-only hit throughput", max),
+		r.RetentionAt(5, max) >= 0.5)
+	heavy := r.row(50, max)
+	light := r.row(5, max)
+	if heavy.Writes > 0 && light.Writes > 0 {
+		check(fmt.Sprintf("50/50@%d publishes more than 95/5 (the mix knob works)", max),
+			heavy.Writes > light.Writes)
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *Table5MixedReport) ShapeOK() bool {
+	for _, line := range r.CheckShape() {
+		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}

@@ -119,12 +119,26 @@ func WriteDir(ds *Dataset, dir string) error {
 
 // Store provides lazy, per-query access to a flat-file dataset rooted in
 // an fs.FS (a real directory via os.DirFS, or an in-memory fstest.MapFS).
+// Stores opened over in-memory file sets (OpenFiles) additionally accept
+// appends via AppendResults.
 type Store struct {
+	// mu guards the file set: AppendResults replaces a file's content
+	// under the write lock, opens take the read lock. A replaced file's
+	// old byte slice is never mutated, so readers streaming from an
+	// already-open file are unaffected by a concurrent append.
+	mu    sync.RWMutex
 	fsys  fs.FS
 	name  string
 	meta  []perfdata.KV
 	order []string          // execution IDs in index order
 	files map[string]string // execution ID -> file name
+}
+
+// open opens one stored file under the read lock.
+func (s *Store) open(fname string) (fs.File, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fsys.Open(fname)
 }
 
 // Open reads and validates the dataset index. Execution data files are
@@ -262,7 +276,7 @@ func (s *Store) parseExec(id string, withData bool) (*Execution, error) {
 	if !ok {
 		return nil, fmt.Errorf("flatfile: no execution %q", id)
 	}
-	f, err := s.fsys.Open(fname)
+	f, err := s.open(fname)
 	if err != nil {
 		return nil, fmt.Errorf("flatfile: open %s: %w", fname, err)
 	}
@@ -353,6 +367,52 @@ func finishExec(e *Execution, fname, wantID string) (*Execution, error) {
 
 func execErr(fname string, line int, msg string) error {
 	return fmt.Errorf("flatfile: %s:%d: %s", fname, line, msg)
+}
+
+// AppendResults appends data records for rs to one execution's file, in
+// argument order, producing byte-for-byte the file Encode would write for
+// the extended execution: the existing content up to the trailing end
+// directive, one data line per result in encodeExec's format, and the
+// end directive re-appended. Only in-memory stores (OpenFiles) are
+// writable. The file's content slice is replaced, never mutated, so
+// queries already streaming from the old content are unaffected.
+func (s *Store) AppendResults(id string, rs []perfdata.Result) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	for _, r := range rs {
+		for _, field := range [3]string{r.Metric, r.Focus, r.Type} {
+			if field == "" || strings.ContainsAny(field, " \t\n") {
+				return fmt.Errorf("flatfile: result field %q cannot be stored in a whitespace-separated record", field)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fname, ok := s.files[id]
+	if !ok {
+		return fmt.Errorf("flatfile: no execution %q", id)
+	}
+	m, ok := s.fsys.(memFS)
+	if !ok {
+		return fmt.Errorf("flatfile: store over %T is read-only", s.fsys)
+	}
+	content := m[fname]
+	const endDirective = "end\n"
+	if !bytes.HasSuffix(content, []byte(endDirective)) {
+		return fmt.Errorf("flatfile: %s: missing end directive", fname)
+	}
+	var b bytes.Buffer
+	b.Grow(len(content) + 64*len(rs))
+	b.Write(content[:len(content)-len(endDirective)])
+	for _, r := range rs {
+		fmt.Fprintf(&b, "data %s %s %s %s %s %s\n",
+			r.Metric, r.Focus, r.Type, ftoa(r.Time.Start), ftoa(r.Time.End),
+			strconv.FormatFloat(r.Value, 'g', -1, 64))
+	}
+	b.WriteString(endDirective)
+	m[fname] = b.Bytes()
+	return nil
 }
 
 // Query scans one execution's results for those matching q, re-parsing the
@@ -464,7 +524,7 @@ func (s *Store) QueryAppend(id string, q perfdata.Query, dst []perfdata.Result) 
 	if !ok {
 		return dst, fmt.Errorf("flatfile: no execution %q", id)
 	}
-	f, err := s.fsys.Open(fname)
+	f, err := s.open(fname)
 	if err != nil {
 		return dst, fmt.Errorf("flatfile: open %s: %w", fname, err)
 	}

@@ -310,3 +310,89 @@ func TestLargeDatasetRoundTrip(t *testing.T) {
 		t.Error("large dataset mangled in round trip")
 	}
 }
+
+// TestAppendResultsByteIdentity pins the append contract: after
+// AppendResults the stored file is byte-for-byte what Encode would have
+// written for the extended dataset — so a store grown by appends is
+// indistinguishable from one encoded from the final data.
+func TestAppendResultsByteIdentity(t *testing.T) {
+	ds := sampleDataset()
+	files, err := Encode(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []perfdata.Result{
+		{Metric: "bandwidth", Focus: "/Comm/unidir/4096", Type: "presta", Time: perfdata.TimeRange{Start: 20, End: 30}, Value: 104.5},
+		{Metric: "jitter", Focus: "/Comm/bidir/8", Type: "presta2", Time: perfdata.TimeRange{Start: 30, End: 40}, Value: 0.125},
+	}
+	// Two calls: the splice must compose, not just work once.
+	if err := s.AppendResults("1", adds[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendResults("1", adds[1:]); err != nil {
+		t.Fatal(err)
+	}
+	ext := sampleDataset()
+	ext.Execs[0].Results = append(ext.Execs[0].Results, adds...)
+	wantFiles, err := Encode(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OpenFiles shares the caller's map, so files holds the live content.
+	if string(files["exec_1.txt"]) != string(wantFiles["exec_1.txt"]) {
+		t.Fatalf("appended file diverges from re-encode:\n%s\n--- want ---\n%s",
+			files["exec_1.txt"], wantFiles["exec_1.txt"])
+	}
+	e, err := s.Execution("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Results, ext.Execs[0].Results) {
+		t.Error("parsed results diverge from extended dataset")
+	}
+}
+
+// TestAppendResultsErrors pins the rejection shapes: fields a
+// whitespace-separated record cannot hold, unknown executions, and
+// stores not opened over in-memory file sets — all without mutating the
+// stored content.
+func TestAppendResultsErrors(t *testing.T) {
+	files, err := Encode(sampleDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := string(files["exec_1.txt"])
+	ok := perfdata.Result{Metric: "bandwidth", Focus: "/Comm/unidir/8", Type: "presta", Time: perfdata.TimeRange{Start: 0, End: 1}, Value: 1}
+	for name, bad := range map[string]perfdata.Result{
+		"space in metric": {Metric: "band width", Focus: "/", Type: "t", Value: 1},
+		"tab in focus":    {Metric: "m", Focus: "/a\tb", Type: "t", Value: 1},
+		"empty type":      {Metric: "m", Focus: "/", Type: "", Value: 1},
+		"newline in type": {Metric: "m", Focus: "/", Type: "t\nu", Value: 1},
+	} {
+		if err := s.AppendResults("1", []perfdata.Result{bad}); err == nil {
+			t.Errorf("%s: append did not error", name)
+		}
+	}
+	if err := s.AppendResults("nosuch", []perfdata.Result{ok}); err == nil {
+		t.Error("append to unknown execution did not error")
+	}
+	if err := s.AppendResults("1", nil); err != nil {
+		t.Errorf("empty append: %v", err)
+	}
+	if got := string(files["exec_1.txt"]); got != before {
+		t.Error("rejected appends mutated the stored file")
+	}
+	// Stores over arbitrary fs.FS values (directories, MapFS) are
+	// read-only.
+	if err := openSample(t).AppendResults("1", []perfdata.Result{ok}); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("append to fs.FS-backed store: %v, want read-only error", err)
+	}
+}

@@ -157,6 +157,13 @@ func (e *flatExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Res
 	return e.store.QueryAppend(e.id, q, dst)
 }
 
+// PublishResults implements ResultWriter by appending data records to the
+// execution's backing file, byte-identical to re-encoding the extended
+// execution.
+func (e *flatExec) PublishResults(rs []perfdata.Result) error {
+	return e.store.AppendResults(e.id, rs)
+}
+
 // XMLWrapper maps a native-XML dataset onto the PPerfGrid interfaces.
 // Result queries re-decode the document, per the store's cost model.
 type XMLWrapper struct {

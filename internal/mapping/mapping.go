@@ -71,6 +71,38 @@ type ExecutionWrapper interface {
 // not contain.
 var ErrNoSuchExecution = errors.New("mapping: no such execution")
 
+// ErrNotWritable reports a publish against a wrapper whose store has no
+// write path (the read-only XML store, or a decorator over one).
+var ErrNotWritable = errors.New("mapping: store does not support publishing")
+
+// ResultWriter is the write-path extension of ExecutionWrapper: live
+// ingestion of new performance results into an existing execution. The
+// star, wide-table, flat-file, and Memory wrappers implement it; the XML
+// wrapper does not (its store is a read-only document).
+//
+// Contract:
+//
+//   - PublishResults appends rs to the execution's result set in argument
+//     order. On a nil error return the results are durable in the store
+//     and visible to every subsequent read through any wrapper over it —
+//     a store rebuilt from scratch with the extended dataset must answer
+//     every query identically (the differential write-oracle the tests
+//     pin).
+//   - The wrapper copies what it retains; the caller keeps ownership of
+//     rs and its backing array.
+//   - Calls for the same store may run concurrently with reads and with
+//     each other; the wrapper serializes internally as needed. Results
+//     of a failed call may be partially applied (matching minidb INSERT's
+//     partial-progress semantics) but never torn within one result.
+//   - Invalidation is the caller's job: the Semantic Layer
+//     (core.ExecutionService.PublishResults) bumps its epoch and purges
+//     its caches after the wrapper returns; wrappers only make the store
+//     itself consistent (indexes maintained, ordered indexes re-marked
+//     stale).
+type ResultWriter interface {
+	PublishResults(rs []perfdata.Result) error
+}
+
 // ResultStreamer is an optional extension of ExecutionWrapper. Wrappers
 // whose stores can produce results incrementally (the relational wrappers,
 // via minidb's streaming result iterator) implement it so the Semantic
@@ -249,6 +281,18 @@ func (e *latencyExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.
 	return dst, nil
 }
 
+// PublishResults implements ResultWriter, forwarding to the wrapped
+// execution wrapper's writer after the per-operation pause (a write costs
+// a store round trip just like a query on the calibrated testbed).
+func (e *latencyExec) PublishResults(rs []perfdata.Result) error {
+	w, ok := e.wrapped.(ResultWriter)
+	if !ok {
+		return fmt.Errorf("%w: %T", ErrNotWritable, e.wrapped)
+	}
+	e.l.pause()
+	return w.PublishResults(rs)
+}
+
 // StreamPerformanceResults implements ResultStreamer, forwarding to the
 // wrapped wrapper's stream when it has one. The per-result delay is
 // charged in aggregate after the underlying stream has finished (and
@@ -351,6 +395,13 @@ type Memory struct {
 	Name  string
 	Meta  []perfdata.KV
 	Execs []MemoryExecution
+
+	// mu guards each execution's Results slice header: PublishResults
+	// swaps it under the write lock, live views copy it under the read
+	// lock. Element storage needs no guard — readers only index below
+	// the length their header snapshot carries, and appends never write
+	// below it.
+	mu sync.RWMutex
 }
 
 // MemoryExecution is one execution of a Memory wrapper.
@@ -418,7 +469,7 @@ func (m *Memory) ExecIDs(attr, value string) ([]string, error) {
 func (m *Memory) ExecutionWrapper(id string) (ExecutionWrapper, error) {
 	for i := range m.Execs {
 		if m.Execs[i].ID == id {
-			return &liveMemoryExec{e: &m.Execs[i]}, nil
+			return &liveMemoryExec{m: m, e: &m.Execs[i]}, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: %q in %s", ErrNoSuchExecution, id, m.Name)
@@ -427,11 +478,25 @@ func (m *Memory) ExecutionWrapper(id string) (ExecutionWrapper, error) {
 // liveMemoryExec views a MemoryExecution through a pointer, building a
 // fresh snapshot per call.
 type liveMemoryExec struct {
+	m *Memory
 	e *MemoryExecution
 }
 
 func (l *liveMemoryExec) view() *memoryExec {
-	return &memoryExec{id: l.e.ID, attrs: l.e.Attrs, time: l.e.Time, results: l.e.Results}
+	l.m.mu.RLock()
+	results := l.e.Results
+	l.m.mu.RUnlock()
+	return &memoryExec{id: l.e.ID, attrs: l.e.Attrs, time: l.e.Time, results: results}
+}
+
+// PublishResults implements ResultWriter by appending to the live
+// execution. Views snapshotted before the publish keep serving their old
+// length; views opened after it see the new results.
+func (l *liveMemoryExec) PublishResults(rs []perfdata.Result) error {
+	l.m.mu.Lock()
+	l.e.Results = append(l.e.Results, rs...)
+	l.m.mu.Unlock()
+	return nil
 }
 
 func (l *liveMemoryExec) Info() ([]perfdata.KV, error) { return l.view().Info() }

@@ -3,6 +3,7 @@ package mapping
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"pperfgrid/internal/minidb"
 	"pperfgrid/internal/perfdata"
@@ -27,6 +28,12 @@ import (
 type StarWrapper struct {
 	DB   *minidb.Database
 	Meta []perfdata.KV
+
+	// pubMu serializes publishes: dimension interning is a read-then-
+	// create sequence over several statements, and per-statement database
+	// locking alone would let two concurrent publishes mint the same
+	// dimension ID.
+	pubMu sync.Mutex
 }
 
 // query runs a prepared statement with bindings, materializing the rows
@@ -336,6 +343,86 @@ func (e *starExec) AppendPerformanceResults(q perfdata.Query, dst []perfdata.Res
 		}
 	}
 	return dst, rows.Err()
+}
+
+// starDims maps each dimension table to its lookup statements, fixed SQL
+// texts so every publish reuses the same prepared statements.
+var starDims = []struct{ table, sel, ins string }{
+	{"foci", "SELECT fociid FROM foci WHERE path = ?", "INSERT INTO foci VALUES (?, ?)"},
+	{"metrics", "SELECT metricid FROM metrics WHERE name = ?", "INSERT INTO metrics VALUES (?, ?)"},
+	{"collectors", "SELECT typeid FROM collectors WHERE name = ?", "INSERT INTO collectors VALUES (?, ?)"},
+}
+
+// internDim resolves a dimension key to its ID, creating the row when it
+// is new. IDs are dense 1..n in first-appearance order — exactly
+// datagen.LoadStarSchema's interning, whose in-memory map always holds
+// one entry per dimension row, so the next ID is the row count plus one.
+// The caller must hold pubMu.
+func (w *StarWrapper) internDim(dim int, key string) (int64, error) {
+	d := starDims[dim]
+	rs, err := w.query(d.sel, minidb.Text(key))
+	if err != nil {
+		return 0, err
+	}
+	if len(rs.Rows) > 0 {
+		return rs.Rows[0][0].Int, nil
+	}
+	n, err := w.DB.NumRows(d.table)
+	if err != nil {
+		return 0, err
+	}
+	id := int64(n + 1)
+	ins, err := w.DB.Prepare(d.ins)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := ins.Exec(minidb.Int(id), minidb.Text(key)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// starInsertResult is the prepared fact-table insert of the publish path.
+// Inserting through the statement maintains the results table's hash
+// indexes incrementally and marks its ordered indexes stale, per minidb's
+// insert contract — the next range probe lazily rebuilds.
+const starInsertResult = "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?)"
+
+// PublishResults implements ResultWriter: each result interns its
+// dimension values (focus, then metric, then collector — LoadStarSchema's
+// order, so a store rebuilt from the extended dataset mints identical
+// dimension IDs) and appends one fact row through the prepared insert.
+func (e *starExec) PublishResults(rs []perfdata.Result) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	w := e.w
+	w.pubMu.Lock()
+	defer w.pubMu.Unlock()
+	ins, err := w.DB.Prepare(starInsertResult)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		fid, err := w.internDim(0, r.Focus)
+		if err != nil {
+			return err
+		}
+		mid, err := w.internDim(1, r.Metric)
+		if err != nil {
+			return err
+		}
+		tid, err := w.internDim(2, r.Type)
+		if err != nil {
+			return err
+		}
+		if _, err := ins.Exec(
+			minidb.Text(e.id), minidb.Int(fid), minidb.Int(mid), minidb.Int(tid),
+			minidb.Float(r.Time.Start), minidb.Float(r.Time.End), minidb.Float(r.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *starExec) typeNames() (map[int64]string, error) {

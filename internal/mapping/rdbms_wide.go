@@ -33,6 +33,11 @@ type WideTableWrapper struct {
 	Metrics []string
 
 	sql wideSQLCache
+
+	// pubMu serializes publishes: the NULL-cell and collector checks plus
+	// the UPDATE are separate statements, and two concurrent publishes of
+	// the same metric would otherwise both pass the duplicate check.
+	pubMu sync.Mutex
 }
 
 // wideSQLCache holds the wrapper's composed SQL texts: the fixed
@@ -49,6 +54,9 @@ type wideSQLCache struct {
 	distinctAttr map[string]string // ExecQueryParams projection per attribute
 	execIDsAttr  map[string]string // ExecIDs filter per attribute
 	prByMetric   map[string]string // getPR projection per metric column
+	pubCheck     map[string]string // publish pre-check per metric column
+	pubSet       map[string]string // publish cell update per metric column
+	pubSetColl   map[string]string // publish cell+collector update per metric column
 }
 
 // fixed returns the table-only statement texts, composing them on first
@@ -322,6 +330,80 @@ func (e *wideExec) prPlan(q perfdata.Query) (st *minidb.Stmt, ok bool, err error
 		return nil, false, err
 	}
 	return st, true, nil
+}
+
+// PublishResults implements ResultWriter under the wide schema's
+// constraints: an execution is one row holding at most one whole-run
+// value per metric column, all collected by the table's single collector
+// type over the execution's time range. A publish therefore must name an
+// existing metric column whose cell is still NULL, carry the root focus,
+// and match the row's collector; it lands as an UPDATE of that one cell.
+// Those are exactly the datagen.LoadWideTable invariants, so a table
+// rebuilt from the extended dataset is identical — readers stamp every
+// result with the row's time range and focus "/" either way.
+func (e *wideExec) PublishResults(rs []perfdata.Result) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	w := e.w
+	w.pubMu.Lock()
+	defer w.pubMu.Unlock()
+	c := w.fixed()
+	for _, r := range rs {
+		metricOK := false
+		for _, m := range w.Metrics {
+			if m == r.Metric {
+				metricOK = true
+				break
+			}
+		}
+		if !metricOK || !identOK(r.Metric) {
+			return fmt.Errorf("mapping: wide table %s has no metric column %q", w.Table, r.Metric)
+		}
+		if r.Focus != "" && r.Focus != "/" {
+			return fmt.Errorf("mapping: wide table stores whole-run results at focus \"/\", not %q", r.Focus)
+		}
+		check := c.identSQL(&c.pubCheck, r.Metric, func(m string) string {
+			return "SELECT collector, " + m + " FROM " + w.Table + " WHERE execid = ?"
+		})
+		row, err := w.query(check, minidb.Text(e.id))
+		if err != nil {
+			return err
+		}
+		if len(row.Rows) == 0 {
+			return fmt.Errorf("%w: %q in table %s", ErrNoSuchExecution, e.id, w.Table)
+		}
+		if !row.Rows[0][1].IsNull() {
+			return fmt.Errorf("mapping: execution %q already has a %q result (wide table holds whole-run metrics)", e.id, r.Metric)
+		}
+		collector := row.Rows[0][0].String()
+		var sql string
+		var args []minidb.Value
+		switch {
+		case collector == "":
+			// First result for this execution: the collector column adopts
+			// the result's type, as LoadWideTable would.
+			sql = c.identSQL(&c.pubSetColl, r.Metric, func(m string) string {
+				return "UPDATE " + w.Table + " SET " + m + " = ?, collector = ? WHERE execid = ?"
+			})
+			args = []minidb.Value{minidb.Float(r.Value), minidb.Text(r.Type), minidb.Text(e.id)}
+		case r.Type == collector:
+			sql = c.identSQL(&c.pubSet, r.Metric, func(m string) string {
+				return "UPDATE " + w.Table + " SET " + m + " = ? WHERE execid = ?"
+			})
+			args = []minidb.Value{minidb.Float(r.Value), minidb.Text(e.id)}
+		default:
+			return fmt.Errorf("mapping: wide table collector is %q, result has type %q", collector, r.Type)
+		}
+		st, err := w.DB.Prepare(sql)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Exec(args...); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StreamPerformanceResults implements ResultStreamer with a prepared

@@ -1,0 +1,192 @@
+package mapping
+
+// ResultWriter conformance across the wrapper families: every writable
+// shape must answer post-publish queries exactly like the Memory oracle
+// over the extended dataset, the XML wrapper must stay read-only, the
+// latency decorator must forward writes, and the wide table must enforce
+// its whole-run-metrics schema constraints.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/perfdata"
+)
+
+// TestResultWriterConformance publishes the same batch through every
+// writable wrapper family and requires identical answers afterwards:
+// results, foci, metrics, and types all reflect the write.
+func TestResultWriterConformance(t *testing.T) {
+	d := datagen.PrestaRMA(datagen.RMAConfig{Executions: 2, MessageSizes: 4, Seed: 21})
+	adds := []perfdata.Result{
+		{Metric: "bandwidth", Focus: "/Comm/put/msgsize/1048576", Type: "presta", Time: perfdata.TimeRange{Start: 40, End: 50}, Value: 512.25},
+		{Metric: "jitter", Focus: "/Comm/get/msgsize/8", Type: "presta2", Time: perfdata.TimeRange{Start: 50, End: 60}, Value: 0.5},
+	}
+	id := d.Execs[0].ID
+
+	// Oracle: a Memory wrapper over the dataset with the adds baked in.
+	ext := datagen.PrestaRMA(datagen.RMAConfig{Executions: 2, MessageSizes: 4, Seed: 21})
+	ext.Execs[0].Results = append(ext.Execs[0].Results, adds...)
+	oe, err := NewMemory(ext).ExecutionWrapper(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := oe.TimeStartEnd()
+	queries := []perfdata.Query{
+		{Metric: "bandwidth", Time: perfdata.TimeRange{Start: tr.Start, End: tr.End + 100}, Type: perfdata.UndefinedType},
+		{Metric: "jitter", Time: perfdata.TimeRange{Start: tr.Start, End: tr.End + 100}, Type: "presta2"},
+		{Metric: "bandwidth", Time: perfdata.TimeRange{Start: 45, End: 55}, Type: perfdata.UndefinedType, Foci: []string{"/Comm/put"}},
+	}
+
+	set := wrapperSet(t, d)
+	set["latency"] = WithLatency(NewMemory(d), time.Microsecond, 0)
+	for wname, w := range set {
+		if wname == "wide" || wname == "xml" {
+			continue // wide can't hold RMA foci; xml is read-only
+		}
+		ew, err := w.ExecutionWrapper(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, ok := ew.(ResultWriter)
+		if !ok {
+			t.Fatalf("%s execution wrapper is not a ResultWriter", wname)
+		}
+		if err := rw.PublishResults(adds); err != nil {
+			t.Fatalf("%s.PublishResults: %v", wname, err)
+		}
+		for _, q := range queries {
+			want, _ := oe.PerformanceResults(q)
+			got, err := ew.PerformanceResults(q)
+			if err != nil {
+				t.Fatalf("%s post-publish query: %v", wname, err)
+			}
+			if !reflect.DeepEqual(sortedResults(got), sortedResults(want)) {
+				t.Errorf("%s post-publish %v:\n got %v\nwant %v", wname, q, sortedResults(got), sortedResults(want))
+			}
+		}
+		// The new metric, focus, and type surface in the vocabulary ops.
+		wantMetrics, _ := oe.Metrics()
+		if ms, _ := ew.Metrics(); !reflect.DeepEqual(ms, wantMetrics) {
+			t.Errorf("%s.Metrics after publish = %v, want %v", wname, ms, wantMetrics)
+		}
+		wantTypes, _ := oe.Types()
+		if ts, _ := ew.Types(); !reflect.DeepEqual(ts, wantTypes) {
+			t.Errorf("%s.Types after publish = %v, want %v", wname, ts, wantTypes)
+		}
+		wantFoci, _ := oe.Foci()
+		if fs, _ := ew.Foci(); !reflect.DeepEqual(fs, wantFoci) {
+			t.Errorf("%s.Foci after publish = %v, want %v", wname, fs, wantFoci)
+		}
+		// The write is scoped: the sibling execution is untouched.
+		sib, err := w.ExecutionWrapper(d.Execs[1].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		osib, _ := NewMemory(ext).ExecutionWrapper(d.Execs[1].ID)
+		want, _ := osib.PerformanceResults(queries[0])
+		got, err := sib.PerformanceResults(queries[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedResults(got), sortedResults(want)) {
+			t.Errorf("%s: publish to execution %s leaked into %s", wname, id, d.Execs[1].ID)
+		}
+	}
+
+	// XML stays read-only, and a latency decorator over it inherits that.
+	xe, err := set["xml"].ExecutionWrapper(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := xe.(ResultWriter); ok {
+		t.Error("XML execution wrapper claims to be writable")
+	}
+	lx, err := WithLatency(set["xml"], 0, 0).ExecutionWrapper(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lx.(ResultWriter).PublishResults(adds); !errors.Is(err, ErrNotWritable) {
+		t.Errorf("latency-wrapped XML publish: %v, want ErrNotWritable", err)
+	}
+}
+
+// TestWideWriterRules pins the wide table's schema constraints: a
+// publish must target an existing metric column of a known execution at
+// whole-run focus, land in a NULL cell, and carry the row's collector
+// type (adopting it when the row has none).
+func TestWideWriterRules(t *testing.T) {
+	d := &datagen.Dataset{
+		Name: "HPL",
+		Execs: []datagen.Execution{
+			{
+				ID: "100", Attrs: map[string]string{"nprocs": "4"},
+				Time: perfdata.TimeRange{Start: 0, End: 10},
+				// No results at all: the collector column starts empty.
+			},
+			{
+				ID: "101", Attrs: map[string]string{"nprocs": "8"},
+				Time: perfdata.TimeRange{Start: 0, End: 12},
+				Results: []perfdata.Result{
+					{Metric: "gflops", Focus: "/", Type: "hpl", Time: perfdata.TimeRange{Start: 0, End: 12}, Value: 3.5},
+					{Metric: "runtimesec", Focus: "/", Type: "hpl", Time: perfdata.TimeRange{Start: 0, End: 12}, Value: 120},
+				},
+			},
+		},
+	}
+	w, err := NewWideTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := w.ExecutionWrapper("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := ew.(ResultWriter)
+	mk := func(metric, focus, typ string, v float64) []perfdata.Result {
+		return []perfdata.Result{{Metric: metric, Focus: focus, Type: typ, Time: perfdata.TimeRange{Start: 0, End: 10}, Value: v}}
+	}
+
+	// First write adopts the collector; "" and "/" foci both mean
+	// whole-run.
+	if err := rw.PublishResults(mk("gflops", "/", "hpl", 2.25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.PublishResults(mk("runtimesec", "", "hpl", 240)); err != nil {
+		t.Fatal(err)
+	}
+	rejections := map[string][]perfdata.Result{
+		"unknown metric column": mk("watts", "/", "hpl", 1),
+		"non-root focus":        mk("gflops", "/Process/0", "hpl", 1),
+		"cell already filled":   mk("gflops", "/", "hpl", 9),
+		"collector mismatch":    mk("gflops", "/", "papi", 9),
+	}
+	for name, rs := range rejections {
+		if err := rw.PublishResults(rs); err == nil {
+			t.Errorf("%s: publish did not error", name)
+		}
+	}
+
+	// The written row answers queries like a Memory wrapper over the
+	// final data.
+	ext := &datagen.Dataset{Name: d.Name, Execs: []datagen.Execution{
+		{ID: "100", Attrs: d.Execs[0].Attrs, Time: d.Execs[0].Time, Results: []perfdata.Result{
+			{Metric: "gflops", Focus: "/", Type: "hpl", Time: d.Execs[0].Time, Value: 2.25},
+			{Metric: "runtimesec", Focus: "/", Type: "hpl", Time: d.Execs[0].Time, Value: 240},
+		}},
+		d.Execs[1],
+	}}
+	oe, _ := NewMemory(ext).ExecutionWrapper("100")
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 20}, Type: perfdata.UndefinedType}
+	want, _ := oe.PerformanceResults(q)
+	got, err := ew.PerformanceResults(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedResults(got), sortedResults(want)) {
+		t.Errorf("wide post-publish results = %v, want %v", sortedResults(got), sortedResults(want))
+	}
+}

@@ -101,6 +101,19 @@ func eval(e Expr, env *env) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		if x.Op == "-" {
+			switch v.Kind {
+			case KindInt:
+				v.Int = -v.Int
+				return v, nil
+			case KindFloat:
+				v.Float = -v.Float
+				return v, nil
+			case KindNull:
+				return v, nil
+			}
+			return Value{}, errf("exec", "unary - requires a numeric value, got %s", v.Kind)
+		}
 		return Bool(!v.Truthy()), nil
 	case *IsNull:
 		v, err := eval(x.X, env)

@@ -124,10 +124,21 @@ func TestDifferentialOrderedFixed(t *testing.T) {
 
 // TestDifferentialOrderedRandom fuzzes the planned pipeline against the
 // naive executor over the adversarial table, interleaving mutations so
-// stale-index rebuilds are exercised mid-stream.
+// stale-index rebuilds are exercised mid-stream. Mutations alternate
+// between literal SQL and prepared ?-bound inserts — the write path's
+// ingestion route — so the incremental hash-index add and ordered-index
+// staleness marking in noteInsert are fuzzed alongside the planner.
 func TestDifferentialOrderedRandom(t *testing.T) {
 	db := orderedObsDB(t)
 	rng := rand.New(rand.NewSource(99))
+	ins, err := db.Prepare("INSERT INTO obs VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insNeg, err := db.Prepare("INSERT INTO obs VALUES (-?, ?, -?)")
+	if err != nil {
+		t.Fatal(err)
+	}
 	cmp := []string{">=", ">", "<=", "<", "=", "!="}
 	orders := []string{"", " ORDER BY k", " ORDER BY k DESC", " ORDER BY v", " ORDER BY v DESC"}
 	for i := 0; i < 400; i++ {
@@ -154,11 +165,21 @@ func TestDifferentialOrderedRandom(t *testing.T) {
 		// Every few queries, mutate: the next probe must rebuild.
 		switch {
 		case i%23 == 11:
-			db.MustExec(fmt.Sprintf("INSERT INTO obs VALUES (%d, '%c', %g)", rng.Intn(12), 'a'+rune(rng.Intn(8)), rng.Float64()*10))
+			if i%2 == 0 {
+				db.MustExec(fmt.Sprintf("INSERT INTO obs VALUES (%d, '%c', %g)", rng.Intn(12), 'a'+rune(rng.Intn(8)), rng.Float64()*10))
+			} else if _, err := ins.Exec(minidb.Int(int64(rng.Intn(12))), minidb.Text(string(rune('a'+rng.Intn(8)))), minidb.Float(rng.Float64()*10)); err != nil {
+				t.Fatalf("iter %d: prepared insert: %v", i, err)
+			}
 		case i%31 == 17:
 			db.MustExec(fmt.Sprintf("DELETE FROM obs WHERE k = %d AND v > %g", rng.Intn(12), rng.Float64()*10))
 		case i%41 == 29:
 			db.MustExec(fmt.Sprintf("UPDATE obs SET v = %g WHERE k = %d", rng.Float64()*10, rng.Intn(12)))
+		case i%37 == 19:
+			// Negated params land negative keys: below every literal range
+			// bound, so ordered walks must still place them first.
+			if _, err := insNeg.Exec(minidb.Int(int64(1+rng.Intn(5))), minidb.Text("neg"), minidb.Float(rng.Float64()*4)); err != nil {
+				t.Fatalf("iter %d: prepared negated insert: %v", i, err)
+			}
 		}
 	}
 }

@@ -113,9 +113,10 @@ type Binary struct {
 	L, R Expr
 }
 
-// Unary is NOT x.
+// Unary is NOT x, or numeric negation -x over a deferred operand (a `?`
+// parameter; signs on numeric literals fold at parse time instead).
 type Unary struct {
-	Op string // "NOT"
+	Op string // "NOT", "-"
 	X  Expr
 }
 
@@ -758,7 +759,8 @@ var aggregateFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "M
 
 func (p *parser) parsePrimary() (Expr, error) {
 	t := p.cur()
-	// Unary sign on numeric literals.
+	// Unary sign on numeric literals (folded here) or on `?` parameters
+	// (deferred to bind time, so prepared INSERTs can write -?).
 	if t.kind == tokSymbol && (t.text == "-" || t.text == "+") {
 		neg := t.text == "-"
 		p.pos++
@@ -766,9 +768,15 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if _, isParam := inner.(*Param); isParam {
+			if neg {
+				return &Unary{Op: "-", X: inner}, nil
+			}
+			return inner, nil
+		}
 		lit, ok := inner.(*Literal)
 		if !ok || (lit.Val.Kind != KindInt && lit.Val.Kind != KindFloat) {
-			return nil, errf("parse", "unary %s requires a numeric literal", t.text)
+			return nil, errf("parse", "unary %s requires a numeric literal or parameter", t.text)
 		}
 		if neg {
 			v := lit.Val

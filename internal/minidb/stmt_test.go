@@ -341,6 +341,93 @@ func TestStreamDistinctAndLimit(t *testing.T) {
 	}
 }
 
+func TestPreparedInsertSignedParams(t *testing.T) {
+	db := execDB(t)
+	ins, err := db.Prepare(`INSERT INTO executions VALUES (?, -?, ?, +?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumParams() != 4 {
+		t.Fatalf("NumParams = %d, want 4", ins.NumParams())
+	}
+	if n, err := ins.Exec(Int(300), Int(8), Text("2004-05-01"), Float(3.25)); err != nil || n != 1 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	rs, err := db.Query(`SELECT numprocesses, gflops FROM executions WHERE runid = 300`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"-8", "3.25"}}; !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v want %v", rs.Strings(), want)
+	}
+	// Negating a bound negative flips the sign back; NULL stays NULL.
+	if n, err := ins.Exec(Int(301), Int(-4), Text("2004-05-02"), Null()); err != nil || n != 1 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	rs, err = db.Query(`SELECT numprocesses, gflops FROM executions WHERE runid = 301`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"4", "NULL"}}; !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v want %v", rs.Strings(), want)
+	}
+	// Binding text under a unary minus is an execution-time error.
+	if _, err := ins.Exec(Int(302), Text("oops"), Text("2004-05-03"), Float(1)); err == nil {
+		t.Error("want error negating a text value")
+	}
+	// Signed parameters also bind in WHERE clauses.
+	sel, err := db.Prepare(`SELECT runid FROM executions WHERE numprocesses = -?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = sel.Query(Int(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"300"}}; !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("got %v want %v", rs.Strings(), want)
+	}
+}
+
+// TestPreparedInsertMaintainsIndexes pins the contract PublishResults
+// relies on: inserts through the prepared-statement path update hash
+// indexes incrementally and mark ordered indexes stale, exactly like the
+// SQL-text and InsertRow paths.
+func TestPreparedInsertMaintainsIndexes(t *testing.T) {
+	db := execDB(t)
+	if err := db.CreateIndex("executions", "numprocesses"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateOrderedIndex("executions", "gflops"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the ordered index so the insert must re-mark it stale.
+	if _, err := db.Query(`SELECT runid FROM executions WHERE gflops > 100`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO executions (runid, numprocesses, gflops) VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec(Int(400), Int(2), Float(123.5)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db.Query(`SELECT runid FROM executions WHERE numprocesses = 2 ORDER BY runid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"100"}, {"104"}, {"400"}}; !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("hash-index probe after prepared insert: got %v want %v", rs.Strings(), want)
+	}
+	rs, err = db.Query(`SELECT runid FROM executions WHERE gflops > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"400"}}; !reflect.DeepEqual(rs.Strings(), want) {
+		t.Errorf("ordered-index range after prepared insert: got %v want %v", rs.Strings(), want)
+	}
+}
+
 func TestStmtCacheEpochEviction(t *testing.T) {
 	db := execDB(t)
 	for i := 0; i < stmtCacheCap+8; i++ {
