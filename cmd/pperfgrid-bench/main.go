@@ -46,6 +46,15 @@
 //
 //	pperfgrid-bench -mixed-bench -bench-json BENCH_PR7.json
 //	pperfgrid-bench -mixed-bench -quick     # reduced ops, for CI smoke
+//
+// The federated scatter-gather evaluation — the Figure 12 successor for
+// the federation layer: live heterogeneous fleets of 2/4/8 sites under
+// an emulated WAN (seeded per-site latency, jitter, and failure
+// injection), measuring completeness, goodput, and the p50/p99 tail the
+// hedging/retry/breaker machinery delivers — runs via:
+//
+//	pperfgrid-bench -federation-bench -bench-json BENCH_PR8.json
+//	pperfgrid-bench -federation-bench -quick  # reduced cells, for CI smoke
 package main
 
 import (
@@ -82,6 +91,7 @@ func main() {
 		coldBench   = flag.Bool("cold-bench", false, "run only the cold-path getPR evaluation (ns/op, B/op, allocs/op per store shape; vectorized vs row/string oracle)")
 		scaleBench  = flag.Bool("scale-bench", false, "run only the million-row engine evaluation (open-loop load curves + indexed-vs-naive speedups)")
 		mixedBench  = flag.Bool("mixed-bench", false, "run only the mixed read/write evaluation (live ingestion beside hot readers; throughput retention vs read-only)")
+		fedBench    = flag.Bool("federation-bench", false, "run only the federated scatter-gather evaluation (sites x WAN latency x failure rate; completeness, goodput, tail latency)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
 		readers     = flag.String("readers", "1,4,16,64", "comma-separated reader counts for the concurrent Table 5")
@@ -89,7 +99,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench && !*fedBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -138,6 +148,10 @@ func main() {
 	}
 	if *mixedBench {
 		runMixedBench(cfg, *cachePolicy, readerCounts, *quick, *benchJSON)
+		return
+	}
+	if *fedBench {
+		runFederationBench(*seed, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -509,6 +523,63 @@ func runMixedBench(cfg experiment.Config, cachePolicy string, readerCounts []int
 	for _, row := range report.Rows {
 		if row.WriterShare == 5 {
 			rec.RetentionByReaders[strconv.Itoa(row.Readers)] = row.Retention
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// federationBenchRecord is the BENCH_PR8.json schema: the emulated-WAN
+// federation sweep plus the derived graceful-degradation tail ratios the
+// acceptance criteria pin.
+type federationBenchRecord struct {
+	Record             string                            `json:"record"`
+	Workload           string                            `json:"workload"`
+	Federation         *experiment.FederationBenchReport `json:"federationSweep"`
+	TailRatioByLatency map[string]float64                `json:"p99Ratio4Sites10pctByLatencyMs"`
+}
+
+// runFederationBench runs the federated scatter-gather evaluation
+// standalone. Shape checks print but never fail the process (quick mode
+// is the CI smoke step; the committed full-run BENCH_PR8.json records
+// the reference numbers).
+func runFederationBench(seed int64, quick bool, jsonPath string) {
+	fmt.Println("=== Federated scatter-gather evaluation (emulated WAN) ===")
+	cfg := experiment.FederationBenchConfig{Seed: seed}
+	if quick {
+		// Keep the 4-site/10%-failure acceptance cell, trim everything
+		// else: exercises fleets, chaos, hedging, and the tail-ratio
+		// check in seconds.
+		cfg.SiteCounts = []int{2, 4}
+		cfg.LatenciesMs = []int{2, 6}
+		cfg.FailureRates = []float64{0, 0.10}
+		cfg.QueriesPerCell = 120
+	}
+	report, err := experiment.RunFederationBench(cfg)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: federation bench: %v", err)
+	}
+	fmt.Print(report.Render())
+
+	if jsonPath == "" {
+		return
+	}
+	rec := federationBenchRecord{
+		Record:             "PR8 federation robustness trajectory",
+		Workload:           "live heterogeneous fleets (wide/star/flatfile) over the wire; seeded chaos WAN (latency+jitter, per-site failure rates); engine defaults (hedging, budgeted retries, breakers)",
+		Federation:         report,
+		TailRatioByLatency: map[string]float64{},
+	}
+	for _, latMs := range report.LatencyAxis() {
+		if ratio := report.TailRatioAt(4, latMs, 0.10); ratio > 0 {
+			rec.TailRatioByLatency[strconv.Itoa(latMs)] = ratio
 		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

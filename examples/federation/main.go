@@ -5,19 +5,30 @@
 // Application/Execution grid services provide. Data heterogeneity, system
 // heterogeneity, and location are all invisible at the client.
 //
+// Act two then re-runs the scenario the way a real grid behaves: through
+// the scatter-gather engine, with one site blackholed and another turned
+// into a straggler by the seeded chaos transport — and the analysis
+// still completes, with explicit per-site annotations instead of a hang
+// or an all-or-nothing failure.
+//
 // Run with:
 //
 //	go run ./examples/federation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
+	"time"
 
 	"pperfgrid/internal/client"
+	"pperfgrid/internal/compare"
 	"pperfgrid/internal/container"
 	"pperfgrid/internal/core"
 	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/federation"
 	"pperfgrid/internal/mapping"
 	"pperfgrid/internal/ogsi"
 	"pperfgrid/internal/perfdata"
@@ -164,4 +175,65 @@ func main() {
 	fmt.Println()
 	fmt.Print(viz.BarChart("headline metric per federated site (mixed units)", labels, values, 40))
 	fmt.Println("\nthree formats, three locations, one interface — the PPerfGrid virtual view")
+
+	// ----- Act two: the same fleet through the scatter-gather engine. -----
+	//
+	// The walk above queried each site in turn and died on the first error.
+	// A real grid loses sites mid-analysis, so route the fan-out through
+	// internal/federation instead: concurrent per-site deadlines, retries
+	// from a shared budget, hedged requests, and a circuit breaker — with a
+	// Report that names exactly which sites answered and why the rest
+	// didn't.
+	fmt.Println("\n--- act two: scatter-gather with injected faults ---")
+
+	transport, names, err := federation.Discover(c, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaos := federation.NewChaosTransport(transport, 42)
+	engine := federation.New(chaos, federation.Config{PerSiteTimeout: 300 * time.Millisecond})
+
+	// Presta bandwidth is published by every RMA execution; the other two
+	// sites simply report zero observations for it — a federated query is
+	// allowed to be sparse.
+	q := perfdata.Query{Metric: "bandwidth", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "presta"}
+
+	healthy := engine.Query(context.Background(), names, q)
+	fmt.Printf("fault-free: %s\n", healthy.Summary())
+
+	// Now blackhole one site and turn another into a straggler. The
+	// federated query still returns, inside the deadline, with the healthy
+	// answers intact and the casualties annotated.
+	var dead, slow string
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "LLNL/"):
+			dead = n
+		case strings.HasPrefix(n, "UOregon/"):
+			slow = n
+		}
+	}
+	chaos.SetSiteFaults(dead, federation.SiteFaults{BlackholeRate: 1})
+	chaos.SetSiteFaults(slow, federation.SiteFaults{Latency: 40 * time.Millisecond, LatencyJitter: 20 * time.Millisecond})
+	fmt.Printf("\ninjected: %s blackholed, %s lagging ~40ms\n", dead, slow)
+
+	report := engine.Query(context.Background(), names, q)
+	fmt.Printf("faulted:    %s\n", report.Summary())
+	for _, o := range report.Outcomes {
+		note := ""
+		if o.Err != nil {
+			note = " — " + o.Err.Error()
+		}
+		fmt.Printf("  %-20s %-8s attempts=%d hedged=%v%s\n", o.Site, o.Status, o.Attempts, o.Hedged, note)
+	}
+
+	// The analysis layer rides the same engine: CollectFederated harvests
+	// every observation the surviving sites produced and returns typed
+	// per-site errors for the rest, instead of all-or-nothing.
+	obs, oerrs, _ := compare.CollectFederated(context.Background(), engine, names, q)
+	fmt.Printf("\ncompare.CollectFederated: %d observations harvested, %d site errors\n", len(obs), len(oerrs))
+	for _, oe := range oerrs {
+		fmt.Printf("  lost %s: retryable=%v timeout=%v\n", oe.Site, oe.Retryable, oe.Timeout)
+	}
+	fmt.Println("\npartial failure is an annotated answer, not a hang — the PPerfGrid federation layer")
 }

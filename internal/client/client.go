@@ -25,6 +25,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -43,6 +44,28 @@ import (
 // services, or a direct in-process invoker for the local bypass.
 type Caller interface {
 	Call(op string, params ...string) ([]string, error)
+}
+
+// ContextCaller is a Caller whose calls honor a context: the deadline or
+// cancellation aborts the round trip in flight (container.Stub does this
+// through the HTTP request's context). The federation layer's per-site
+// deadlines and hedged requests depend on it; endpoints without it are
+// still usable, but a cancelled call runs to completion on the wire.
+type ContextCaller interface {
+	CallContext(ctx context.Context, op string, params ...string) ([]string, error)
+}
+
+// callContext invokes through the context-aware path when the endpoint
+// supports one, otherwise checks the context once and falls back to the
+// plain call.
+func callContext(ctx context.Context, c Caller, op string, params ...string) ([]string, error) {
+	if cc, ok := c.(ContextCaller); ok {
+		return cc.CallContext(ctx, op, params...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Call(op, params...)
 }
 
 // PagedCaller is a Caller that supports the paged-call protocol
@@ -250,6 +273,16 @@ func (l localCaller) Call(op string, params ...string) ([]string, error) {
 	return l.in.Invoke(op, params)
 }
 
+// CallContext checks the context before invoking; an in-process dispatch
+// cannot be interrupted mid-invocation, but an already-expired deadline
+// is honored without doing the work.
+func (l localCaller) CallContext(ctx context.Context, op string, params ...string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.in.Invoke(op, params)
+}
+
 // Binding is one bound Application Grid service instance.
 type Binding struct {
 	Entry   registry.ServiceEntry
@@ -392,9 +425,19 @@ func (e *ExecutionRef) Call(op string, params ...string) ([]string, error) {
 	return e.exec.Call(op, params...)
 }
 
+// CallContext is Call bounded by a context (see ContextCaller).
+func (e *ExecutionRef) CallContext(ctx context.Context, op string, params ...string) ([]string, error) {
+	return callContext(ctx, e.exec, op, params...)
+}
+
 // Info returns the execution's metadata.
 func (e *ExecutionRef) Info() ([]perfdata.KV, error) {
-	out, err := e.exec.Call(core.OpGetInfo)
+	return e.InfoContext(context.Background())
+}
+
+// InfoContext is Info bounded by a context.
+func (e *ExecutionRef) InfoContext(ctx context.Context) ([]perfdata.KV, error) {
+	out, err := callContext(ctx, e.exec, core.OpGetInfo)
 	if err != nil {
 		return nil, err
 	}
@@ -445,7 +488,15 @@ func (e *ExecutionRef) PublishResults(rs []perfdata.Result) (int, error) {
 
 // PerformanceResults runs one getPR query against this execution.
 func (e *ExecutionRef) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
-	out, err := e.exec.Call(core.OpGetPR, q.WireParams()...)
+	return e.PerformanceResultsContext(context.Background(), q)
+}
+
+// PerformanceResultsContext runs one getPR query bounded by a context:
+// the deadline or cancellation aborts the wire round trip in flight —
+// the per-attempt budget the federation engine's hedges and retries are
+// built on.
+func (e *ExecutionRef) PerformanceResultsContext(ctx context.Context, q perfdata.Query) ([]perfdata.Result, error) {
+	out, err := callContext(ctx, e.exec, core.OpGetPR, q.WireParams()...)
 	if err != nil {
 		return nil, err
 	}

@@ -57,30 +57,15 @@ func (o Observation) Sum() float64 {
 
 // Collect runs the query against every execution in parallel (one
 // goroutine per Execution Grid service instance) and returns one
-// Observation per execution, in input order. Executions that fail produce
-// an error naming the instance.
+// Observation per execution, in input order. Any failure aborts the
+// collection with a typed *ObservationError naming the site and
+// instance; use CollectDetailed to harvest partial results instead.
 func Collect(execs []*client.ExecutionRef, q perfdata.Query) ([]Observation, error) {
-	results := client.QueryPerformanceResults(execs, q, client.ParallelOptions{})
-	out := make([]Observation, len(results))
-	for i, r := range results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("compare: query %s: %w", r.Exec.Handle, r.Err)
-		}
-		info, err := r.Exec.Info()
-		if err != nil {
-			return nil, fmt.Errorf("compare: info %s: %w", r.Exec.Handle, err)
-		}
-		o := Observation{Source: r.Exec.Binding.Key(), Attrs: map[string]string{}, Results: r.Results}
-		for _, kv := range info {
-			if kv.Name == "id" {
-				o.ExecID = kv.Value
-				continue
-			}
-			o.Attrs[kv.Name] = kv.Value
-		}
-		out[i] = o
+	obs, errs := CollectDetailed(execs, q)
+	if len(errs) > 0 {
+		return nil, errs[0]
 	}
-	return out, nil
+	return obs, nil
 }
 
 // MetricKind tells the scaling analysis how to orient speedup.

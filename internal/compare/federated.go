@@ -1,0 +1,120 @@
+package compare
+
+import (
+	"context"
+	"fmt"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/federation"
+	"pperfgrid/internal/perfdata"
+)
+
+// ObservationError is a typed per-observation collection failure: which
+// site and execution failed, why, and whether retrying could help.
+// Analyses degrade gracefully on these — a failed execution costs one
+// observation, not the whole study.
+type ObservationError struct {
+	Site      string // binding key of the owning site
+	Exec      string // execution handle or ID, when known
+	Cause     error
+	Retryable bool
+	Timeout   bool
+}
+
+// Error implements error.
+func (e *ObservationError) Error() string {
+	where := e.Site
+	if e.Exec != "" {
+		where += " " + e.Exec
+	}
+	kind := "error"
+	if e.Timeout {
+		kind = "timeout"
+	}
+	return fmt.Sprintf("compare: collect from %s: %s: %v", where, kind, e.Cause)
+}
+
+// Unwrap exposes the cause.
+func (e *ObservationError) Unwrap() error { return e.Cause }
+
+// CollectDetailed runs the query against every execution in parallel and
+// returns the observations that succeeded (in input order) together with
+// one typed error per execution that failed. A partial harvest is a
+// result, not a failure.
+func CollectDetailed(execs []*client.ExecutionRef, q perfdata.Query) ([]Observation, []*ObservationError) {
+	results := client.QueryPerformanceResults(execs, q, client.ParallelOptions{})
+	var out []Observation
+	var errs []*ObservationError
+	for _, r := range results {
+		site := r.Exec.Binding.Key()
+		handle := r.Exec.Handle.String()
+		if r.Err != nil {
+			errs = append(errs, &ObservationError{
+				Site: site, Exec: handle, Cause: r.Err,
+				Retryable: federation.Retryable(r.Err), Timeout: federation.IsTimeout(r.Err),
+			})
+			continue
+		}
+		info, err := r.Exec.Info()
+		if err != nil {
+			errs = append(errs, &ObservationError{
+				Site: site, Exec: handle, Cause: err,
+				Retryable: federation.Retryable(err), Timeout: federation.IsTimeout(err),
+			})
+			continue
+		}
+		out = append(out, observationFrom(site, info, r.Results))
+	}
+	return out, errs
+}
+
+// CollectFederated routes a collection through the federation engine:
+// the query is scatter-gathered across the named sites with deadlines,
+// hedging, retries, and breakers applied, and every site outcome comes
+// back as either observations or a typed per-site error. The engine's
+// Report rides along for callers that want the full annotations.
+func CollectFederated(ctx context.Context, e *federation.Engine, sites []string, q perfdata.Query) ([]Observation, []*ObservationError, *federation.Report) {
+	r := e.Query(ctx, sites, q)
+	var out []Observation
+	var errs []*ObservationError
+	for _, o := range r.Outcomes {
+		if o.Status == federation.StatusOK {
+			for _, fo := range o.Data.Observations {
+				out = append(out, federatedObservation(o.Site, fo))
+			}
+			continue
+		}
+		errs = append(errs, &ObservationError{
+			Site: o.Site, Cause: o.Err,
+			Retryable: federation.Retryable(o.Err),
+			Timeout:   o.Status == federation.StatusTimeout,
+		})
+	}
+	return out, errs, r
+}
+
+// observationFrom builds an Observation from raw execution info —
+// shared by the direct and detailed collection paths.
+func observationFrom(site string, info []perfdata.KV, results []perfdata.Result) Observation {
+	o := Observation{Source: site, Attrs: map[string]string{}, Results: results}
+	for _, kv := range info {
+		if kv.Name == "id" {
+			o.ExecID = kv.Value
+			continue
+		}
+		o.Attrs[kv.Name] = kv.Value
+	}
+	return o
+}
+
+// federatedObservation converts a federation-level observation into the
+// compare shape, identically to observationFrom.
+func federatedObservation(site string, fo federation.Observation) Observation {
+	o := Observation{Source: site, ExecID: fo.ExecID, Attrs: map[string]string{}, Results: fo.Results}
+	for _, kv := range fo.Attrs {
+		if kv.Name != "id" {
+			o.Attrs[kv.Name] = kv.Value
+		}
+	}
+	return o
+}

@@ -1,0 +1,163 @@
+package compare
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/federation"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+// scriptedTransport is a minimal federation.Transport for conversion and
+// error-path tests.
+type scriptedTransport struct {
+	fn func(ctx context.Context, site string) (*federation.SiteData, error)
+}
+
+func (s *scriptedTransport) Do(ctx context.Context, site string, q perfdata.Query) (*federation.SiteData, error) {
+	return s.fn(ctx, site)
+}
+
+// TestCollectFederatedPartialHarvest pins the typed-error contract: a
+// down site costs its observations, not the study — the healthy sites'
+// data arrives converted, the failure arrives as one *ObservationError
+// with site, cause, and retryability filled in.
+func TestCollectFederatedPartialHarvest(t *testing.T) {
+	tr := &scriptedTransport{fn: func(ctx context.Context, site string) (*federation.SiteData, error) {
+		if site == "LLNL/RMA" {
+			return nil, &federation.SiteError{Site: site, Cause: errors.New("connection refused"), Retryable: true}
+		}
+		return &federation.SiteData{Site: site, Observations: []federation.Observation{{
+			ExecID: site + "-e0",
+			Attrs: []perfdata.KV{
+				{Name: "id", Value: site + "-e0"},
+				{Name: "numprocesses", Value: "4"},
+			},
+			Results: []perfdata.Result{{Metric: "gflops", Focus: "/", Type: "hpl", Value: 2.5}},
+		}}}, nil
+	}}
+	e := federation.New(tr, federation.Config{
+		PerSiteTimeout: time.Second, DisableHedging: true, DisableBreaker: true, RetryBudget: -1,
+	})
+
+	obs, errs, report := CollectFederated(context.Background(),
+		e, []string{"PSU/HPL", "LLNL/RMA", "UO/SMG98"}, perfdata.Query{Metric: "gflops"})
+
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d, want 2 (healthy sites)", len(obs))
+	}
+	want := Observation{
+		Source: "PSU/HPL", ExecID: "PSU/HPL-e0",
+		Attrs:   map[string]string{"numprocesses": "4"},
+		Results: []perfdata.Result{{Metric: "gflops", Focus: "/", Type: "hpl", Value: 2.5}},
+	}
+	if !reflect.DeepEqual(obs[0], want) {
+		t.Fatalf("converted observation:\n got %+v\nwant %+v", obs[0], want)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("errors = %d, want 1", len(errs))
+	}
+	oe := errs[0]
+	if oe.Site != "LLNL/RMA" || !oe.Retryable || oe.Timeout || oe.Cause == nil {
+		t.Fatalf("typed error: %+v", oe)
+	}
+	var se *federation.SiteError
+	if !errors.As(oe, &se) {
+		t.Fatalf("ObservationError does not unwrap to SiteError: %v", oe)
+	}
+	if report.Answered != 2 || report.Errored != 1 {
+		t.Fatalf("report: %s", report.Summary())
+	}
+}
+
+// TestCollectReturnsTypedError pins that the legacy all-or-nothing
+// Collect now fails with a typed *ObservationError.
+func TestCollectReturnsTypedError(t *testing.T) {
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{
+		mustWide(t, datagen.HPL(datagen.HPLConfig{Executions: 2, Seed: 64}))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := b.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.Close() // kill the site out from under the collection
+
+	_, err = Collect(execs, perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{End: 1e9}, Type: "hpl"})
+	if err == nil {
+		t.Fatal("collection from a dead site succeeded")
+	}
+	var oe *ObservationError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error is %T, want *ObservationError: %v", err, err)
+	}
+	if oe.Site != "HPL" || oe.Cause == nil {
+		t.Fatalf("typed error fields: %+v", oe)
+	}
+}
+
+// TestCollectFederatedMatchesDirectCollect is the compare-level
+// differential oracle: over a live fault-free site, routing through the
+// federation engine yields exactly the observations direct collection
+// yields.
+func TestCollectFederatedMatchesDirectCollect(t *testing.T) {
+	site, err := core.StartSite(core.SiteConfig{AppName: "HPL", Wrappers: []mapping.ApplicationWrapper{
+		mustWide(t, datagen.HPL(datagen.HPLConfig{Executions: 6, Seed: 65}))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+
+	direct := client.NewWithoutRegistry()
+	db, err := direct.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs, err := db.QueryExecutions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(execs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fed := client.NewWithoutRegistry()
+	fb, err := fed.BindFactory("HPL", site.ApplicationFactoryHandle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := federation.NewBindingTransport()
+	tr.AddSite("HPL", fb)
+	e := federation.New(tr, federation.Config{})
+	got, errs, report := CollectFederated(context.Background(), e, []string{"HPL"}, q)
+	if len(errs) != 0 || !report.Complete {
+		t.Fatalf("fault-free federated collection failed: %v, %s", errs, report.Summary())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("federated observations diverge from direct Collect:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func mustWide(t *testing.T, d *datagen.Dataset) mapping.ApplicationWrapper {
+	t.Helper()
+	w, err := mapping.NewWideTable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -287,11 +287,22 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 
 	// Acquire a simulated-CPU worker slot for the invocation itself. The
 	// in-flight gauge covers the wait for the slot too, so it reflects
-	// queue depth, not just executing requests.
+	// queue depth, not just executing requests. A caller that gave up —
+	// a hedged or deadline-bounded federated request whose client side
+	// cancelled the HTTP request — is turned away while still queued, so
+	// abandoned work never occupies a simulated CPU.
 	c.inflight.Add(1)
 	defer c.inflight.Add(-1)
 	if c.workers != nil {
-		c.workers <- struct{}{}
+		select {
+		case c.workers <- struct{}{}:
+		case <-r.Context().Done():
+			c.writeFault(w, soap.ClientFault("request cancelled while queued: "+r.Context().Err().Error()))
+			return
+		}
+	} else if err := r.Context().Err(); err != nil {
+		c.writeFault(w, soap.ClientFault("request cancelled: "+err.Error()))
+		return
 	}
 	start := time.Now()
 	var (

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,7 +75,16 @@ func (s *Stub) Handle() gsh.Handle { return s.handle }
 // Call invokes an operation on the remote instance and returns its string
 // array result. Remote failures surface as *soap.Fault errors.
 func (s *Stub) Call(op string, params ...string) ([]string, error) {
-	resp, err := s.roundTrip(op, nil, params)
+	return s.CallContext(context.Background(), op, params...)
+}
+
+// CallContext is Call under a caller-supplied context: the deadline (or
+// cancellation) aborts the HTTP round trip in flight, so a federated
+// fan-out's per-site budget propagates down to the transport instead of
+// waiting out the shared client's 60 s timeout. A cancelled call returns
+// an error wrapping ctx.Err().
+func (s *Stub) CallContext(ctx context.Context, op string, params ...string) ([]string, error) {
+	resp, err := s.roundTrip(ctx, op, nil, params)
 	if err != nil {
 		return nil, err
 	}
@@ -89,11 +99,17 @@ func (s *Stub) Call(op string, params ...string) ([]string, error) {
 // operation return the whole result as one terminal page, so callers can
 // use CallPaged unconditionally.
 func (s *Stub) CallPaged(op, cursor string, limit int, params ...string) ([]string, string, error) {
+	return s.CallPagedContext(context.Background(), op, cursor, limit, params...)
+}
+
+// CallPagedContext is CallPaged under a caller-supplied context; see
+// CallContext for the cancellation semantics.
+func (s *Stub) CallPagedContext(ctx context.Context, op, cursor string, limit int, params ...string) ([]string, string, error) {
 	extra := []soap.HeaderEntry{{Name: HeaderPageSize, Value: strconv.Itoa(max(limit, 0))}}
 	if cursor != "" {
 		extra = append(extra, soap.HeaderEntry{Name: HeaderCursor, Value: cursor})
 	}
-	resp, err := s.roundTrip(op, extra, params)
+	resp, err := s.roundTrip(ctx, op, extra, params)
 	if err != nil {
 		return nil, "", err
 	}
@@ -102,8 +118,9 @@ func (s *Stub) CallPaged(op, cursor string, limit int, params ...string) ([]stri
 }
 
 // roundTrip posts one encoded request envelope and decodes the reply,
-// reusing pooled buffers for both bodies.
-func (s *Stub) roundTrip(op string, extraHeaders []soap.HeaderEntry, params []string) (*soap.Response, error) {
+// reusing pooled buffers for both bodies. The context bounds the whole
+// round trip: connection establishment, the write, and the response read.
+func (s *Stub) roundTrip(ctx context.Context, op string, extraHeaders []soap.HeaderEntry, params []string) (*soap.Response, error) {
 	var hdrs []soap.HeaderEntry
 	if s.headers != nil {
 		hdrs = s.headers(op, params)
@@ -118,7 +135,12 @@ func (s *Stub) roundTrip(op string, extraHeaders []soap.HeaderEntry, params []st
 	if err != nil {
 		return nil, err
 	}
-	httpResp, err := s.client.Post(s.handle.URL(), soap.ContentType, bytes.NewReader(reqBody))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.handle.URL(), bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("container: call %s on %s: %w", op, s.handle, err)
+	}
+	httpReq.Header.Set("Content-Type", soap.ContentType)
+	httpResp, err := s.client.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("container: call %s on %s: %w", op, s.handle, err)
 	}

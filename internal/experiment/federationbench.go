@@ -1,0 +1,369 @@
+package experiment
+
+// This file is the Figure 12 successor for the federation layer: where
+// Figure 12 scales one site out across replica hosts, this sweep scales
+// a federated query across whole sites under an emulated WAN — per-site
+// injected latency, jitter, and failure rates from the deterministic
+// seeded chaos transport — and measures what the scatter-gather engine
+// (deadlines, hedged requests, budgeted retries, breakers) delivers:
+// completeness (fraction of sites answering), goodput, and the p50/p99
+// query-latency tail. The headline acceptance bound: at 4 sites, p99
+// with a 10% per-site failure rate stays within 3x the fault-free p99 —
+// graceful degradation, not collapse.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/federation"
+	"pperfgrid/internal/federation/backoff"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/viz"
+)
+
+// FederationBenchConfig tunes the emulated-WAN federation sweep.
+type FederationBenchConfig struct {
+	// Seed feeds the dataset generators and the chaos transport.
+	Seed int64
+	// SiteCounts is the fan-out axis; nil means {2, 4, 8}.
+	SiteCounts []int
+	// LatenciesMs is the emulated per-site WAN latency axis; nil means
+	// {2, 10}. Each cell also injects 50% jitter.
+	LatenciesMs []int
+	// FailureRates is the per-site fast-failure probability axis; nil
+	// means {0, 0.01, 0.10}.
+	FailureRates []float64
+	// QueriesPerCell is the measured query count per cell (after
+	// warmup); 0 means 200 — enough that nearest-rank p99 sits below
+	// the worst one or two queries instead of being the max.
+	QueriesPerCell int
+	// PerSiteTimeout bounds each attempt; 0 means 500ms.
+	PerSiteTimeout time.Duration
+}
+
+func (c FederationBenchConfig) withDefaults() FederationBenchConfig {
+	if len(c.SiteCounts) == 0 {
+		c.SiteCounts = []int{2, 4, 8}
+	}
+	if len(c.LatenciesMs) == 0 {
+		c.LatenciesMs = []int{2, 10}
+	}
+	if len(c.FailureRates) == 0 {
+		c.FailureRates = []float64{0, 0.01, 0.10}
+	}
+	if c.QueriesPerCell <= 0 {
+		c.QueriesPerCell = 200
+	}
+	if c.PerSiteTimeout <= 0 {
+		c.PerSiteTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// FederationBenchRow is one sweep cell.
+type FederationBenchRow struct {
+	Sites        int     `json:"sites"`
+	LatencyMs    int     `json:"latencyMs"`
+	FailureRate  float64 `json:"failureRate"`
+	Queries      int     `json:"queries"`
+	Completeness float64 `json:"completeness"` // mean answered/total
+	GoodputQPS   float64 `json:"goodputQPS"`   // completed queries per wall second
+	P50Ms        float64 `json:"p50Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	Hedges       int64   `json:"hedges"`
+	HedgeWins    int64   `json:"hedgeWins"`
+	Retries      int64   `json:"retries"`
+	Tripped      int64   `json:"tripped"`
+}
+
+// FederationBenchReport is the full sweep.
+type FederationBenchReport struct {
+	Rows           []FederationBenchRow `json:"rows"`
+	Seed           int64                `json:"seed"`
+	PerSiteTimeout string               `json:"perSiteTimeout"`
+	QueriesPerCell int                  `json:"queriesPerCell"`
+}
+
+// row finds one cell (zero value when absent).
+func (r *FederationBenchReport) row(sites, latMs int, rate float64) FederationBenchRow {
+	for _, row := range r.Rows {
+		if row.Sites == sites && row.LatencyMs == latMs && row.FailureRate == rate {
+			return row
+		}
+	}
+	return FederationBenchRow{}
+}
+
+// TailRatioAt returns p99(rate)/p99(fault-free) for one (sites, latency)
+// cell pair — the graceful-degradation figure the acceptance bound pins.
+func (r *FederationBenchReport) TailRatioAt(sites, latMs int, rate float64) float64 {
+	base := r.row(sites, latMs, 0)
+	hot := r.row(sites, latMs, rate)
+	if base.P99Ms == 0 || hot.Queries == 0 {
+		return 0
+	}
+	return hot.P99Ms / base.P99Ms
+}
+
+// RunFederationBench runs the sweep: one live heterogeneous fleet per
+// site count (the three store shapes cycling), wire bindings, and a
+// fresh chaos-wrapped engine per cell so breaker and EWMA state never
+// leaks between cells.
+func RunFederationBench(cfg FederationBenchConfig) (*FederationBenchReport, error) {
+	cfg = cfg.withDefaults()
+	report := &FederationBenchReport{
+		Seed:           cfg.Seed,
+		PerSiteTimeout: cfg.PerSiteTimeout.String(),
+		QueriesPerCell: cfg.QueriesPerCell,
+	}
+	q := perfdata.Query{Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"}
+
+	for _, n := range cfg.SiteCounts {
+		fleet, names, transport, err := startBenchFleet(cfg.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, latMs := range cfg.LatenciesMs {
+			for _, rate := range cfg.FailureRates {
+				row, err := runFederationCell(cfg, transport, names, q, n, latMs, rate)
+				if err != nil {
+					closeFleet(fleet)
+					return nil, err
+				}
+				report.Rows = append(report.Rows, row)
+			}
+		}
+		closeFleet(fleet)
+	}
+	return report, nil
+}
+
+// runFederationCell measures one (sites, latency, failure-rate) cell.
+func runFederationCell(cfg FederationBenchConfig, inner federation.Transport, names []string, q perfdata.Query, n, latMs int, rate float64) (FederationBenchRow, error) {
+	chaos := federation.NewChaosTransport(inner, cfg.Seed)
+	for _, name := range names {
+		chaos.SetSiteFaults(name, federation.SiteFaults{
+			Latency:       time.Duration(latMs) * time.Millisecond,
+			LatencyJitter: time.Duration(latMs) * time.Millisecond / 2,
+			ErrorRate:     rate,
+		})
+	}
+	// Retry pacing is tuned to the emulated WAN: an immediate first
+	// retry (a dropped call should be re-sent at once, not after a
+	// server-scale backoff), then short exponential delays. This is what
+	// keeps the failure-rate cells inside the graceful-degradation
+	// bound — a retried query costs ~2 RTTs, not RTT + 10ms.
+	engine := federation.New(chaos, federation.Config{
+		PerSiteTimeout: cfg.PerSiteTimeout,
+		Backoff:        backoff.Policy{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, FirstFast: true},
+	})
+	ctx := context.Background()
+
+	// Warmup: resolve executions and give the latency EWMA a baseline so
+	// hedging is armed for the measured queries.
+	for i := 0; i < 3; i++ {
+		engine.Query(ctx, names, q)
+	}
+	statsBase := engine.Stats()
+
+	var lat Sample
+	answered, total := 0, 0
+	start := time.Now()
+	for i := 0; i < cfg.QueriesPerCell; i++ {
+		qs := time.Now()
+		r := engine.Query(ctx, names, q)
+		lat.Add(float64(time.Since(qs)) / float64(time.Millisecond))
+		answered += r.Answered
+		total += len(r.Outcomes)
+	}
+	wall := time.Since(start)
+	stats := engine.Stats()
+
+	row := FederationBenchRow{
+		Sites:       n,
+		LatencyMs:   latMs,
+		FailureRate: rate,
+		Queries:     cfg.QueriesPerCell,
+		GoodputQPS:  float64(cfg.QueriesPerCell) / wall.Seconds(),
+		P50Ms:       lat.Percentile(50),
+		P99Ms:       lat.Percentile(99),
+		Hedges:      stats.Hedges - statsBase.Hedges,
+		HedgeWins:   stats.HedgeWins - statsBase.HedgeWins,
+		Retries:     stats.Retries - statsBase.Retries,
+		Tripped:     stats.Tripped - statsBase.Tripped,
+	}
+	if total > 0 {
+		row.Completeness = float64(answered) / float64(total)
+	}
+	return row, nil
+}
+
+// startBenchFleet stands up n live sites cycling the three store shapes
+// (small datasets — the sweep measures the federation layer, not the
+// stores) and binds them over the wire into a BindingTransport.
+func startBenchFleet(seed int64, n int) ([]*core.Site, []string, *federation.BindingTransport, error) {
+	fleet := make([]*core.Site, 0, n)
+	names := make([]string, 0, n)
+	c := client.NewWithoutRegistry()
+	transport := federation.NewBindingTransport()
+	for i := 0; i < n; i++ {
+		var (
+			w    mapping.ApplicationWrapper
+			name string
+			err  error
+		)
+		s := seed + int64(i)
+		switch i % 3 {
+		case 0:
+			name = fmt.Sprintf("HPL-%d", i)
+			w, err = mapping.NewWideTable(datagen.HPL(datagen.HPLConfig{Executions: 2, Seed: s}))
+		case 1:
+			name = fmt.Sprintf("SMG98-%d", i)
+			w, err = mapping.NewStar(datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 2, TimeBins: 3, Seed: s}))
+		case 2:
+			name = fmt.Sprintf("RMA-%d", i)
+			w, err = mapping.NewFlatFile(datagen.PrestaRMA(datagen.RMAConfig{Executions: 1, MessageSizes: 3, Seed: s}))
+		}
+		if err != nil {
+			closeFleet(fleet)
+			return nil, nil, nil, err
+		}
+		site, err := core.StartSite(core.SiteConfig{AppName: name, Wrappers: []mapping.ApplicationWrapper{w}})
+		if err != nil {
+			closeFleet(fleet)
+			return nil, nil, nil, err
+		}
+		fleet = append(fleet, site)
+		b, err := c.BindFactory(name, site.ApplicationFactoryHandle())
+		if err != nil {
+			closeFleet(fleet)
+			return nil, nil, nil, err
+		}
+		transport.AddSite(name, b)
+		names = append(names, name)
+	}
+	return fleet, names, transport, nil
+}
+
+func closeFleet(fleet []*core.Site) {
+	for _, s := range fleet {
+		s.Close()
+	}
+}
+
+// Render prints the sweep and its shape checks.
+func (r *FederationBenchReport) Render() string {
+	header := []string{"Sites", "WAN lat (ms)", "Failure rate", "Queries", "Completeness", "Goodput (q/s)", "p50 ms", "p99 ms", "Hedges (won)", "Retries", "Tripped"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Sites), fmt.Sprint(row.LatencyMs), fmt.Sprintf("%.0f%%", row.FailureRate*100),
+			fmt.Sprint(row.Queries), fmt.Sprintf("%.3f", row.Completeness), Fmt(row.GoodputQPS),
+			Fmt(row.P50Ms), Fmt(row.P99Ms),
+			fmt.Sprintf("%d (%d)", row.Hedges, row.HedgeWins),
+			fmt.Sprint(row.Retries), fmt.Sprint(row.Tripped),
+		})
+	}
+	title := fmt.Sprintf("Federated scatter-gather under emulated WAN (seed=%d, per-site timeout=%s, %d queries/cell)",
+		r.Seed, r.PerSiteTimeout, r.QueriesPerCell)
+	out := viz.Table(title, header, rows)
+	out += "Shape checks:\n"
+	for _, c := range r.CheckShape() {
+		out += "  " + c + "\n"
+	}
+	return out
+}
+
+// CheckShape evaluates the robustness claims.
+func (r *FederationBenchReport) CheckShape() []string {
+	var out []string
+	check := func(name string, ok bool) {
+		status := "ok      "
+		if !ok {
+			status = "MISMATCH"
+		}
+		out = append(out, fmt.Sprintf("%s  %s", status, name))
+	}
+
+	// Fault-free cells are complete; faulted cells still deliver the
+	// overwhelming share of site answers (failures are retried within
+	// the budget, not surrendered).
+	for _, row := range r.Rows {
+		if row.FailureRate == 0 {
+			check(fmt.Sprintf("%d sites @%dms fault-free: complete", row.Sites, row.LatencyMs),
+				row.Completeness == 1)
+		} else {
+			check(fmt.Sprintf("%d sites @%dms %.0f%% failures: completeness >= 0.95", row.Sites, row.LatencyMs, row.FailureRate*100),
+				row.Completeness >= 0.95)
+		}
+	}
+	// Latency percentiles are coherent everywhere.
+	coherent := true
+	for _, row := range r.Rows {
+		if row.P50Ms > row.P99Ms {
+			coherent = false
+		}
+	}
+	check("p50 <= p99 in every cell", coherent)
+	// The WAN latency axis registers: fault-free p50 grows with the
+	// injected latency.
+	if len(r.LatencyAxis()) >= 2 {
+		lats := r.LatencyAxis()
+		lo, hi := lats[0], lats[len(lats)-1]
+		for _, n := range r.SiteAxis() {
+			a, b := r.row(n, lo, 0), r.row(n, hi, 0)
+			if a.Queries > 0 && b.Queries > 0 {
+				check(fmt.Sprintf("%d sites: p50 grows with WAN latency (%dms -> %dms)", n, lo, hi),
+					b.P50Ms > a.P50Ms)
+			}
+		}
+	}
+	// The headline acceptance bound: graceful tail degradation at 4
+	// sites, 10% per-site failures.
+	for _, latMs := range r.LatencyAxis() {
+		ratio := r.TailRatioAt(4, latMs, 0.10)
+		if ratio > 0 {
+			check(fmt.Sprintf("4 sites @%dms: p99 at 10%% failures <= 3x fault-free p99 (ratio %.2f)", latMs, ratio),
+				ratio <= 3)
+		}
+	}
+	return out
+}
+
+// SiteAxis returns the distinct site counts in row order.
+func (r *FederationBenchReport) SiteAxis() []int {
+	return r.axis(func(row FederationBenchRow) int { return row.Sites })
+}
+
+// LatencyAxis returns the distinct WAN latencies in row order.
+func (r *FederationBenchReport) LatencyAxis() []int {
+	return r.axis(func(row FederationBenchRow) int { return row.LatencyMs })
+}
+
+func (r *FederationBenchReport) axis(key func(FederationBenchRow) int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, row := range r.Rows {
+		if k := key(row); !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ShapeOK reports whether every shape check passed.
+func (r *FederationBenchReport) ShapeOK() bool {
+	for _, line := range r.CheckShape() {
+		if strings.HasPrefix(line, "MISMATCH") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// A tiny end-to-end run of the federation sweep: one fault-free cell and
+// one faulted cell over a live 2-site fleet. Keeps `go test ./...`
+// covering the harness itself (fleet assembly, per-cell engine wiring,
+// stats deltas, JSON row layout) without the full grid's runtime.
+func TestRunFederationBenchTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live multi-site fleet")
+	}
+	cfg := FederationBenchConfig{
+		Seed:           7,
+		SiteCounts:     []int{2},
+		LatenciesMs:    []int{2},
+		FailureRates:   []float64{0, 0.10},
+		QueriesPerCell: 40,
+	}
+	rep, err := RunFederationBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Queries != cfg.QueriesPerCell {
+			t.Errorf("cell %d sites %.0f%% fail: queries = %d, want %d", row.Sites, row.FailureRate*100, row.Queries, cfg.QueriesPerCell)
+		}
+		if row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+			t.Errorf("cell %d sites %.0f%% fail: bad percentiles p50=%v p99=%v", row.Sites, row.FailureRate*100, row.P50Ms, row.P99Ms)
+		}
+	}
+	clean := rep.row(2, 2, 0)
+	if clean.Completeness != 1 {
+		t.Errorf("fault-free completeness = %v, want 1", clean.Completeness)
+	}
+	faulted := rep.row(2, 2, 0.10)
+	if faulted.Completeness < 0.9 {
+		t.Errorf("faulted completeness = %v, want >= 0.9 (retries should absorb 10%% errors)", faulted.Completeness)
+	}
+	if out := rep.Render(); !strings.Contains(out, "sites") {
+		t.Errorf("Render output missing table header:\n%s", out)
+	}
+}

@@ -1,0 +1,131 @@
+// Package backoff is the shared exponential-backoff-with-jitter helper
+// behind every retry loop in the federation layer — the scatter-gather
+// engine's per-site retries and the registry client's hardened lookup
+// calls both draw their delays from it, so retry pacing is tuned in one
+// place.
+//
+// It lives in its own leaf package (rather than in federation proper)
+// because the registry client needs it too, and federation imports
+// registry for site discovery; a leaf keeps the import graph acyclic.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes an exponential backoff schedule with jitter.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Multiplier grows the delay per attempt; values <= 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: the
+	// returned delay is uniform in [delay*(1-Jitter), delay]. 0 disables
+	// jitter; values outside [0, 1] are clamped.
+	Jitter float64
+	// FirstFast makes the first retry immediate (attempt 0 delay = 0),
+	// with the exponential schedule starting from the second retry —
+	// the fast-retry pattern for transient single-shot failures, where
+	// waiting a full base delay before the first re-send only adds tail
+	// latency. Later retries still back off, so a persistently sick
+	// target is not hammered.
+	FirstFast bool
+}
+
+// Default is the schedule used when a zero Policy is supplied: 10 ms
+// base, 2x growth, 500 ms cap, half of each delay jittered. Desynchronizing
+// retriers matters more than the exact curve — a wave of queries that all
+// failed against the same sick site must not re-arrive in step.
+func Default() Policy {
+	return Policy{Base: 10 * time.Millisecond, Max: 500 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+}
+
+// WithDefaults fills zero fields from Default.
+func (p Policy) WithDefaults() Policy {
+	d := Default()
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Max <= 0 {
+		p.Max = d.Max
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the jittered delay before retry number attempt (0-based).
+// rnd supplies the jitter draw; nil uses a process-wide locked source.
+func (p Policy) Delay(attempt int, rnd *rand.Rand) time.Duration {
+	p = p.WithDefaults()
+	if p.FirstFast {
+		if attempt == 0 {
+			return 0
+		}
+		attempt--
+	}
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		u := globalFloat64(rnd)
+		d *= 1 - p.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+var (
+	globalMu  sync.Mutex
+	globalRnd = rand.New(rand.NewSource(1))
+)
+
+func globalFloat64(rnd *rand.Rand) float64 {
+	if rnd != nil {
+		return rnd.Float64()
+	}
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	return globalRnd.Float64()
+}
+
+// Sleep waits the jittered delay for attempt, returning early with false
+// if done closes first (the caller's deadline or cancellation) — a retry
+// loop must never outlive the query it serves.
+func (p Policy) Sleep(attempt int, rnd *rand.Rand, done <-chan struct{}) bool {
+	d := p.Delay(attempt, rnd)
+	if d == 0 {
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

@@ -1,0 +1,72 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayFirstFastShiftsSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Multiplier: 2, Jitter: 0, FirstFast: true}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayJitterStaysInBand(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.5}
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0, rnd)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered Delay(0) = %v, want within [50ms, 100ms]", d)
+		}
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay(0, nil)
+	def := Default()
+	if d <= 0 || d > def.Base {
+		t.Errorf("zero-policy Delay(0) = %v, want in (0, %v]", d, def.Base)
+	}
+}
+
+func TestSleepHonorsDone(t *testing.T) {
+	p := Policy{Base: time.Minute, Max: time.Minute, Multiplier: 2, Jitter: 0}
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if p.Sleep(0, nil, done) {
+		t.Error("Sleep returned true with done already closed")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Sleep blocked %v despite closed done", elapsed)
+	}
+}
+
+func TestSleepZeroDelayChecksDone(t *testing.T) {
+	p := Policy{Base: time.Minute, Max: time.Minute, Multiplier: 2, Jitter: 0, FirstFast: true}
+	if !p.Sleep(0, nil, make(chan struct{})) {
+		t.Error("Sleep(0) with open done = false, want true (immediate retry admitted)")
+	}
+	done := make(chan struct{})
+	close(done)
+	if p.Sleep(0, nil, done) {
+		t.Error("Sleep(0) with closed done = true, want false")
+	}
+}

@@ -1,0 +1,182 @@
+package federation
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits every call (healthy site).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every call until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe call at a time; its
+	// outcome decides between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String renders the state for annotations and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-site circuit breaker. The breaker
+// generalizes the scale-out layer's adaptive load-EWMA policy into site
+// selection: instead of merely preferring faster replicas, a site whose
+// calls keep failing is taken out of the fan-out entirely, then
+// re-admitted through probe traffic.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker open. 0 means 5.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting a
+	// half-open probe. 0 means 1 s.
+	OpenTimeout time.Duration
+	// ProbeSuccesses is the number of consecutive successful probes that
+	// reclose the breaker. 0 means 1.
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 1
+	}
+	return c
+}
+
+// Breaker is one site's closed/open/half-open circuit breaker. It is safe
+// for concurrent use; in the half-open state at most one probe is
+// admitted at a time, so a recovering site sees a trickle, not the whole
+// resumed fan-out at once.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu            sync.Mutex
+	state         BreakerState
+	consecFails   int
+	probeWins     int
+	openedAt      time.Time
+	probeInFlight bool
+	trips         int64
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests drive transitions
+// without sleeping).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// State returns the current state, folding in open-window expiry: an open
+// breaker whose window has elapsed reports half-open.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow asks whether a call may proceed. ok is false when the breaker
+// rejects the call (open, or half-open with a probe already in flight).
+// probe marks an admitted call as the half-open probe; its outcome MUST be
+// reported through Record(probe=true, ...) or the breaker would stay
+// half-open with a phantom probe forever.
+func (b *Breaker) Allow() (probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probeWins = 0
+		b.probeInFlight = true
+		return true, true
+	case BreakerHalfOpen:
+		if b.probeInFlight {
+			return false, false
+		}
+		b.probeInFlight = true
+		return true, true
+	}
+	return false, false
+}
+
+// Record reports an admitted call's outcome. probe must echo what Allow
+// returned for that call: probe outcomes drive the half-open state
+// machine, while non-probe outcomes only count in the closed state (a
+// straggler finishing after the breaker already tripped must not corrupt
+// the probe bookkeeping).
+func (b *Breaker) Record(probe, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probeInFlight = false
+		if b.state != BreakerHalfOpen {
+			return
+		}
+		if success {
+			b.probeWins++
+			if b.probeWins >= b.cfg.ProbeSuccesses {
+				b.state = BreakerClosed
+				b.consecFails = 0
+				b.probeWins = 0
+			}
+			return
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probeWins = 0
+		b.trips++
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	if success {
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}

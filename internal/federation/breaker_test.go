@@ -1,0 +1,198 @@
+package federation
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker transitions without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestBreakerTransitions walks the full closed → open → half-open →
+// closed cycle, plus the half-open → open relapse.
+func TestBreakerTransitions(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, ProbeSuccesses: 2})
+	b.SetClock(clock.Now)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Allow(); !ok {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.Record(false, false)
+	}
+	b.Record(false, true) // reset
+	for i := 0; i < 2; i++ {
+		b.Record(false, false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset + 2 failures = %v, want closed", b.State())
+	}
+
+	// The third consecutive failure trips it.
+	b.Record(false, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a call")
+	}
+
+	// After the open window, one probe is admitted.
+	clock.Advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after open window = %v, want half-open", b.State())
+	}
+	probe, ok := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("half-open Allow = (probe=%v, ok=%v), want (true, true)", probe, ok)
+	}
+	// While the probe is out, everything else is rejected.
+	if _, ok := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// First probe success: still half-open (ProbeSuccesses=2).
+	b.Record(true, true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", b.State())
+	}
+	probe, ok = b.Allow()
+	if !ok || !probe {
+		t.Fatal("half-open breaker did not admit the second probe")
+	}
+	b.Record(true, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", b.State())
+	}
+
+	// Relapse: trip again, probe fails, back to open for a full window.
+	for i := 0; i < 3; i++ {
+		b.Record(false, false)
+	}
+	clock.Advance(time.Second)
+	if probe, ok = b.Allow(); !ok || !probe {
+		t.Fatal("relapse probe not admitted")
+	}
+	b.Record(true, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if got := b.Trips(); got != 3 {
+		t.Fatalf("trips = %d, want 3", got)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("reopened breaker admitted a call before the window")
+	}
+}
+
+// TestBreakerStragglerRecords pins that late non-probe outcomes (calls
+// admitted while closed, finishing after the breaker moved on) do not
+// corrupt the open/half-open bookkeeping.
+func TestBreakerStragglerRecords(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Second, ProbeSuccesses: 1})
+	b.SetClock(clock.Now)
+
+	b.Record(false, false)
+	b.Record(false, false) // trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Straggler success/failure while open: ignored.
+	b.Record(false, true)
+	b.Record(false, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after stragglers = %v, want open", b.State())
+	}
+
+	clock.Advance(time.Second)
+	if probe, ok := b.Allow(); !ok || !probe {
+		t.Fatal("probe not admitted")
+	}
+	// Straggler non-probe success in half-open must not close it.
+	b.Record(false, true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after half-open straggler = %v, want half-open", b.State())
+	}
+	b.Record(true, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerProbeAdmissionConcurrent hammers a half-open breaker from
+// many goroutines and pins that exactly one probe is admitted per
+// outstanding-probe window (-race covers the locking).
+func TestBreakerProbeAdmissionConcurrent(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Millisecond, ProbeSuccesses: 1})
+	b.SetClock(clock.Now)
+	b.Record(false, false) // trip
+	clock.Advance(time.Millisecond)
+
+	const goroutines = 32
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if probe, ok := b.Allow(); ok {
+				if !probe {
+					t.Error("half-open admission without probe flag")
+				}
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	// The probe's outcome frees the slot for exactly one more.
+	b.Record(true, false)
+	clock.Advance(time.Millisecond)
+	admitted.Store(0)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := b.Allow(); ok {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("second window admitted %d probes, want exactly 1", got)
+	}
+}

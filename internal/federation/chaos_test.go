@@ -1,0 +1,198 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/perfdata"
+)
+
+// mockTransport is a controllable in-process Transport: it records every
+// call's context (for cancellation assertions) and per-site call index,
+// then delegates to fn.
+type mockTransport struct {
+	mu    sync.Mutex
+	calls map[string]int
+	ctxs  map[string][]context.Context
+	fn    func(ctx context.Context, site string, call int) (*SiteData, error)
+}
+
+func newMockTransport(fn func(ctx context.Context, site string, call int) (*SiteData, error)) *mockTransport {
+	return &mockTransport{calls: make(map[string]int), ctxs: make(map[string][]context.Context), fn: fn}
+}
+
+func (m *mockTransport) Do(ctx context.Context, site string, q perfdata.Query) (*SiteData, error) {
+	m.mu.Lock()
+	k := m.calls[site]
+	m.calls[site]++
+	m.ctxs[site] = append(m.ctxs[site], ctx)
+	m.mu.Unlock()
+	return m.fn(ctx, site, k)
+}
+
+func (m *mockTransport) count(site string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls[site]
+}
+
+func (m *mockTransport) callCtx(site string, k int) context.Context {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k >= len(m.ctxs[site]) {
+		return nil
+	}
+	return m.ctxs[site][k]
+}
+
+func okData(site string) *SiteData {
+	return &SiteData{Site: site, Observations: []Observation{{
+		ExecID:  site + "-exec0",
+		Attrs:   []perfdata.KV{{Name: "id", Value: site + "-exec0"}},
+		Results: []perfdata.Result{{Metric: "gflops", Value: 1.0}},
+	}}}
+}
+
+func alwaysOK(ctx context.Context, site string, call int) (*SiteData, error) {
+	return okData(site), nil
+}
+
+// TestChaosDeterminism pins the seed contract: the same seed yields an
+// identical fault schedule — both through the Schedule preview and
+// through live Do calls — and a different seed yields a different one.
+func TestChaosDeterminism(t *testing.T) {
+	faults := SiteFaults{
+		Latency:       time.Millisecond,
+		LatencyJitter: 3 * time.Millisecond,
+		ErrorRate:     0.3,
+		SlowDripRate:  0.2,
+	}
+	const n = 256
+	mk := func(seed int64) *ChaosTransport {
+		c := NewChaosTransport(newMockTransport(alwaysOK), seed)
+		c.SetSiteFaults("siteA", faults)
+		c.SetSiteFaults("siteB", faults)
+		return c
+	}
+
+	a, b := mk(42), mk(42)
+	for _, site := range []string{"siteA", "siteB"} {
+		sa, sb := a.Schedule(site, n), b.Schedule(site, n)
+		for k := range sa {
+			if sa[k] != sb[k] {
+				t.Fatalf("same seed, %s call %d: %+v vs %+v", site, k, sa[k], sb[k])
+			}
+		}
+	}
+	// Two sites under the same seed must not share a schedule (the site
+	// name is folded into the stream).
+	sameAB := true
+	for k, d := range a.Schedule("siteA", n) {
+		if d != a.Schedule("siteB", n)[k] {
+			sameAB = false
+			break
+		}
+	}
+	if sameAB {
+		t.Fatal("siteA and siteB drew identical schedules under one seed")
+	}
+	// A different seed changes the schedule.
+	c := mk(43)
+	diff := false
+	for k, d := range a.Schedule("siteA", n) {
+		if d != c.Schedule("siteA", n)[k] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+
+	// Live Do calls follow the previewed schedule: the k-th call errors
+	// exactly when Schedule says so.
+	want := a.Schedule("siteA", 64)
+	ctx := context.Background()
+	for k := 0; k < 64; k++ {
+		_, err := a.Do(ctx, "siteA", perfdata.Query{})
+		gotErr := err != nil
+		if gotErr != want[k].Error {
+			t.Fatalf("live call %d: err=%v, schedule says error=%v", k, err, want[k].Error)
+		}
+	}
+}
+
+// TestChaosPassThrough pins the differential-oracle discipline: a site
+// with no configured faults flows through the decorator untouched.
+func TestChaosPassThrough(t *testing.T) {
+	inner := newMockTransport(alwaysOK)
+	c := NewChaosTransport(inner, 7)
+	c.SetSiteFaults("faulty", SiteFaults{ErrorRate: 1})
+
+	data, err := c.Do(context.Background(), "clean", perfdata.Query{})
+	if err != nil {
+		t.Fatalf("unconfigured site errored: %v", err)
+	}
+	if data.Site != "clean" || len(data.Observations) != 1 {
+		t.Fatalf("unconfigured site data mangled: %+v", data)
+	}
+	if e, b, s := c.Injected(); e+b+s != 0 {
+		t.Fatalf("injected counters moved for an unconfigured site: %d/%d/%d", e, b, s)
+	}
+
+	if _, err := c.Do(context.Background(), "faulty", perfdata.Query{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrorRate=1 site returned %v, want ErrInjected", err)
+	}
+	if inner.count("faulty") != 0 {
+		t.Fatal("fast-failed call still reached the inner transport")
+	}
+}
+
+// TestChaosBlackholeHonorsContext pins that a blackholed call blocks
+// until the caller's deadline and then reports a retryable timeout.
+func TestChaosBlackholeHonorsContext(t *testing.T) {
+	c := NewChaosTransport(newMockTransport(alwaysOK), 1)
+	c.SetSiteFaults("dead", SiteFaults{BlackholeRate: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Do(ctx, "dead", perfdata.Query{})
+	elapsed := time.Since(start)
+
+	var se *SiteError
+	if !errors.As(err, &se) || !se.Timeout || !se.Retryable {
+		t.Fatalf("blackhole returned %v, want retryable timeout SiteError", err)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("blackhole answered after %v, before the deadline", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("blackhole took %v to observe the deadline", elapsed)
+	}
+	if _, b, _ := c.Injected(); b != 1 {
+		t.Fatalf("blackhole counter = %d, want 1", b)
+	}
+}
+
+// TestChaosSlowDrip pins the straggler mode: the call eventually answers,
+// but only after the drip latency.
+func TestChaosSlowDrip(t *testing.T) {
+	c := NewChaosTransport(newMockTransport(alwaysOK), 11)
+	c.SetSiteFaults("slow", SiteFaults{SlowDripRate: 1, SlowDripLatency: 30 * time.Millisecond})
+
+	start := time.Now()
+	data, err := c.Do(context.Background(), "slow", perfdata.Query{})
+	if err != nil || data == nil {
+		t.Fatalf("slow drip errored: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("slow drip answered in %v, want >= ~30ms", elapsed)
+	}
+	if _, _, s := c.Injected(); s != 1 {
+		t.Fatalf("slow-drip counter = %d, want 1", s)
+	}
+}

@@ -1,0 +1,195 @@
+package federation_test
+
+// The federation differential oracle: with no faults injected, a
+// federated scatter-gather query over live wire-connected sites must be
+// byte-identical to a plain sequential per-site collection — over 2, 4,
+// and 8 sites, with all three store shapes (star, wide-table, flat-file)
+// in the fleet. The engine runs with its production defaults (hedging,
+// breakers, retries all armed) and the transport is chaos-wrapped with no
+// faults configured, so the oracle also pins the decorator's pass-through.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/federation"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+)
+
+// oracleQueries are the per-shape headline getPR queries; each one is
+// federated across the whole heterogeneous fleet (sites without the
+// metric answer with empty observations, identically on both paths).
+var oracleQueries = map[string]perfdata.Query{
+	"hpl":    {Metric: "gflops", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "hpl"},
+	"presta": {Metric: "bandwidth", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "presta"},
+	"vampir": {Metric: "func_calls", Time: perfdata.TimeRange{Start: 0, End: 1e9}, Type: "vampir"},
+}
+
+// startFleet stands up n live sites cycling through the three store
+// shapes and returns their names and factory handles.
+func startFleet(t *testing.T, n int) []*core.Site {
+	t.Helper()
+	sites := make([]*core.Site, n)
+	for i := 0; i < n; i++ {
+		var (
+			w    mapping.ApplicationWrapper
+			name string
+			err  error
+		)
+		seed := int64(100 + i)
+		switch i % 3 {
+		case 0:
+			name = fmt.Sprintf("SMG98-%d", i)
+			w, err = mapping.NewStar(datagen.SMG98(datagen.SMG98Config{Executions: 2, Processes: 2, TimeBins: 3, Seed: seed}))
+		case 1:
+			name = fmt.Sprintf("HPL-%d", i)
+			w, err = mapping.NewWideTable(datagen.HPL(datagen.HPLConfig{Executions: 4, Seed: seed}))
+		case 2:
+			name = fmt.Sprintf("RMA-%d", i)
+			w, err = mapping.NewFlatFile(datagen.PrestaRMA(datagen.RMAConfig{Executions: 2, MessageSizes: 4, Seed: seed}))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, err := core.StartSite(core.SiteConfig{AppName: name, Wrappers: []mapping.ApplicationWrapper{w}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(site.Close)
+		sites[i] = site
+	}
+	return sites
+}
+
+func siteName(i int) string {
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf("SMG98-%d", i)
+	case 1:
+		return fmt.Sprintf("HPL-%d", i)
+	default:
+		return fmt.Sprintf("RMA-%d", i)
+	}
+}
+
+// renderSiteData serializes one site's answer canonically; the oracle
+// compares these bytes.
+func renderSiteData(d *federation.SiteData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site %s\n", d.Site)
+	for _, o := range d.Observations {
+		fmt.Fprintf(&b, " exec %s", o.ExecID)
+		for _, kv := range o.Attrs {
+			fmt.Fprintf(&b, " %s=%s", kv.Name, kv.Value)
+		}
+		b.WriteByte('\n')
+		for _, r := range o.Results {
+			fmt.Fprintf(&b, "  %s\n", r.Encode())
+		}
+	}
+	return b.String()
+}
+
+// collectSequential is the baseline: visit each site in order over its
+// own wire session, resolve executions, and run getPR one execution at a
+// time — no concurrency, no retries, no hedging.
+func collectSequential(t *testing.T, c *client.Client, names []string, q perfdata.Query) string {
+	t.Helper()
+	var b strings.Builder
+	for _, name := range names {
+		var binding *client.Binding
+		for _, cand := range c.Bindings() {
+			if cand.Key() == name {
+				binding = cand
+			}
+		}
+		if binding == nil {
+			t.Fatalf("no baseline binding for %s", name)
+		}
+		refs, err := binding.QueryExecutions(nil)
+		if err != nil {
+			t.Fatalf("baseline executions of %s: %v", name, err)
+		}
+		data := &federation.SiteData{Site: name}
+		for _, ref := range refs {
+			attrs, err := ref.Info()
+			if err != nil {
+				t.Fatalf("baseline info: %v", err)
+			}
+			rs, err := ref.PerformanceResults(q)
+			if err != nil {
+				t.Fatalf("baseline getPR: %v", err)
+			}
+			id := ""
+			for _, kv := range attrs {
+				if kv.Name == "id" {
+					id = kv.Value
+				}
+			}
+			data.Observations = append(data.Observations, federation.Observation{ExecID: id, Attrs: attrs, Results: rs})
+		}
+		b.WriteString(renderSiteData(data))
+	}
+	return b.String()
+}
+
+func TestFederatedQueryMatchesSequentialOracle(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("%dsites", n), func(t *testing.T) {
+			fleet := startFleet(t, n)
+			names := make([]string, n)
+			for i := range fleet {
+				names[i] = siteName(i)
+			}
+
+			// Federated path: its own client sessions, engine defaults, a
+			// no-fault chaos wrapper.
+			fedClient := client.NewWithoutRegistry()
+			transport := federation.NewBindingTransport()
+			for i, site := range fleet {
+				b, err := fedClient.BindFactory(names[i], site.ApplicationFactoryHandle())
+				if err != nil {
+					t.Fatal(err)
+				}
+				transport.AddSite(names[i], b)
+			}
+			engine := federation.New(federation.NewChaosTransport(transport, 1), federation.Config{})
+
+			// Baseline path: separate sessions, plain sequential calls.
+			seqClient := client.NewWithoutRegistry()
+			for i, site := range fleet {
+				if _, err := seqClient.BindFactory(names[i], site.ApplicationFactoryHandle()); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for qname, q := range oracleQueries {
+				want := collectSequential(t, seqClient, names, q)
+
+				r := engine.Query(context.Background(), names, q)
+				if !r.Complete {
+					t.Fatalf("%s: fault-free federated query incomplete: %s", qname, r.Summary())
+				}
+				var b strings.Builder
+				for _, d := range r.Data() {
+					b.WriteString(renderSiteData(d))
+				}
+				got := b.String()
+
+				if got != want {
+					t.Fatalf("%s over %d sites: federated answer diverges from sequential oracle\nfederated:\n%s\nsequential:\n%s",
+						qname, n, got, want)
+				}
+				if got == "" {
+					t.Fatalf("%s: oracle compared empty answers", qname)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+)
+
+// Observation is one execution's answer within a site's reply: identity,
+// attributes, and the metric results. It is the federation-level unit the
+// compare package converts into its own Observation type.
+type Observation struct {
+	ExecID  string
+	Attrs   []perfdata.KV
+	Results []perfdata.Result
+}
+
+// SiteData is one site's complete answer to a federated query: one
+// Observation per execution, in the site's stable execution order.
+type SiteData struct {
+	Site         string
+	Observations []Observation
+}
+
+// Transport performs one attempt of a federated query against one site.
+// The engine owns retries, hedging, and deadlines; a Transport does one
+// call and honors ctx. Implementations must be safe for concurrent use
+// and for concurrent duplicate attempts against the same site (hedges).
+type Transport interface {
+	Do(ctx context.Context, site string, q perfdata.Query) (*SiteData, error)
+}
+
+// SiteError is a typed per-site failure: which site, what happened, and
+// whether retrying could help. The merge layer surfaces these in the
+// per-site annotations, and the compare layer converts them into
+// per-observation errors.
+type SiteError struct {
+	Site      string
+	Cause     error
+	Retryable bool
+	Timeout   bool
+}
+
+// Error implements error.
+func (e *SiteError) Error() string {
+	kind := "error"
+	if e.Timeout {
+		kind = "timeout"
+	}
+	return fmt.Sprintf("federation: site %s %s: %v", e.Site, kind, e.Cause)
+}
+
+// Unwrap exposes the cause.
+func (e *SiteError) Unwrap() error { return e.Cause }
+
+// ErrSiteTripped marks a site skipped because its circuit breaker is
+// open: no attempt was made, by design.
+var ErrSiteTripped = errors.New("federation: site circuit breaker open")
+
+// ErrUnknownSite marks a query against a site the transport has never
+// heard of — a configuration error, never retryable.
+var ErrUnknownSite = errors.New("federation: unknown site")
+
+// Retryable classifies an error for the retry loop. Timeouts,
+// cancellations, and transport-level failures are retryable; remote SOAP
+// faults are not — they are deterministic application-level answers
+// ("no such metric") that a retry would only repeat; and a breaker
+// rejection is not an attempt at all.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *SiteError
+	if errors.As(err, &se) {
+		return se.Retryable
+	}
+	var fault *soap.Fault
+	if errors.As(err, &fault) {
+		return false
+	}
+	if errors.Is(err, ErrSiteTripped) || errors.Is(err, ErrUnknownSite) {
+		return false
+	}
+	return true
+}
+
+// IsTimeout reports whether an error is a deadline/cancellation outcome.
+func IsTimeout(err error) bool {
+	var se *SiteError
+	if errors.As(err, &se) {
+		return se.Timeout
+	}
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// classify wraps a raw transport error as a SiteError.
+func classify(site string, err error) *SiteError {
+	var se *SiteError
+	if errors.As(err, &se) {
+		return se
+	}
+	return &SiteError{
+		Site:      site,
+		Cause:     err,
+		Retryable: Retryable(err),
+		Timeout:   errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled),
+	}
+}
+
+// BindingTransport queries sites through bound Application Grid services —
+// the production Transport. Each site is one client.Binding (an
+// Application instance, possibly remote); a Do call resolves the site's
+// executions (memoized after the first success), then fans the getPR
+// query out across them under the attempt's context, collecting one
+// Observation per execution in stable execution order.
+type BindingTransport struct {
+	mu    sync.Mutex
+	sites map[string]*boundSite
+}
+
+type boundSite struct {
+	binding *client.Binding
+
+	mu    sync.Mutex
+	refs  []*client.ExecutionRef
+	attrs [][]perfdata.KV // memoized per ref, parallel to refs
+}
+
+// NewBindingTransport creates an empty transport; add sites with AddSite
+// or through Discover.
+func NewBindingTransport() *BindingTransport {
+	return &BindingTransport{sites: make(map[string]*boundSite)}
+}
+
+// AddSite registers a bound site under a name (typically org/service).
+// Re-adding a name replaces the binding and drops memoized state.
+func (t *BindingTransport) AddSite(name string, b *client.Binding) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sites[name] = &boundSite{binding: b}
+}
+
+// Sites lists the registered site names, sorted.
+func (t *BindingTransport) Sites() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.sites))
+	for name := range t.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Binding returns a registered site's binding, or nil.
+func (t *BindingTransport) Binding(name string) *client.Binding {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.sites[name]; s != nil {
+		return s.binding
+	}
+	return nil
+}
+
+// Do implements Transport.
+func (t *BindingTransport) Do(ctx context.Context, site string, q perfdata.Query) (*SiteData, error) {
+	t.mu.Lock()
+	s := t.sites[site]
+	t.mu.Unlock()
+	if s == nil {
+		return nil, &SiteError{Site: site, Cause: fmt.Errorf("%w: %q", ErrUnknownSite, site), Retryable: false}
+	}
+	refs, attrs, err := s.resolve(ctx)
+	if err != nil {
+		return nil, classify(site, err)
+	}
+	data := &SiteData{Site: site, Observations: make([]Observation, len(refs))}
+	errs := make([]error, len(refs))
+	var wg sync.WaitGroup
+	for i, ref := range refs {
+		wg.Add(1)
+		go func(i int, ref *client.ExecutionRef) {
+			defer wg.Done()
+			rs, err := ref.PerformanceResultsContext(ctx, q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			data.Observations[i] = Observation{ExecID: execIDOf(attrs[i]), Attrs: attrs[i], Results: rs}
+		}(i, ref)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Site-granular attempt semantics: one failed execution fails
+			// the attempt (the engine may retry it whole). Per-execution
+			// partial results are the compare layer's concern.
+			return nil, classify(site, err)
+		}
+	}
+	return data, nil
+}
+
+// resolve returns the site's execution refs and memoized attributes,
+// resolving and fetching them on first use. Memoization only commits on
+// full success, so a partially-failed resolution retries cleanly.
+func (s *boundSite) resolve(ctx context.Context) ([]*client.ExecutionRef, [][]perfdata.KV, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refs != nil {
+		return s.refs, s.attrs, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	refs, err := s.binding.QueryExecutions(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := make([][]perfdata.KV, len(refs))
+	for i, ref := range refs {
+		kvs, err := ref.InfoContext(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs[i] = kvs
+	}
+	s.refs, s.attrs = refs, attrs
+	return refs, attrs, nil
+}
+
+// execIDOf extracts the "id" attribute.
+func execIDOf(kvs []perfdata.KV) string {
+	for _, kv := range kvs {
+		if kv.Name == "id" {
+			return kv.Value
+		}
+	}
+	return ""
+}

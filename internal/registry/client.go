@@ -1,32 +1,96 @@
 package registry
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"pperfgrid/internal/container"
+	"pperfgrid/internal/federation/backoff"
 	"pperfgrid/internal/gsh"
+	"pperfgrid/internal/soap"
 )
+
+// Lookup hardening defaults: every discovery call is bounded, and a
+// transient failure earns exactly one jittered retry. Registry lookups
+// gate every federated query's site discovery, so they must neither hang
+// on a dead registry nor give up on a single dropped packet.
+const (
+	// DefaultLookupTimeout bounds one lookup/browse attempt.
+	DefaultLookupTimeout = 2 * time.Second
+	// lookupRetries is the number of extra attempts after a transient
+	// lookup failure.
+	lookupRetries = 1
+)
+
+// lookupCaller abstracts the registry stub's context-aware call for the
+// lookup path, so tests can pin the retry count without a wire.
+type lookupCaller interface {
+	CallContext(ctx context.Context, op string, params ...string) ([]string, error)
+}
 
 // Client is the typed proxy PPerfGrid clients and publishers use against a
 // remote registry — the analogue of the paper's Organization and Service
 // proxy classes over UDDI4J.
 type Client struct {
 	stub *container.Stub
+	call lookupCaller
+
+	lookupTimeout time.Duration
+	policy        backoff.Policy
 }
 
 // Connect binds a client to the registry hosted at the given host:port.
 func Connect(host string) *Client {
-	return &Client{stub: container.Dial(gsh.Persistent(host, ServiceType))}
+	return newClient(container.Dial(gsh.Persistent(host, ServiceType)))
 }
 
 // ConnectHandle binds a client to a registry named by a full GSH.
 func ConnectHandle(h gsh.Handle) *Client {
-	return &Client{stub: container.Dial(h)}
+	return newClient(container.Dial(h))
+}
+
+func newClient(stub *container.Stub) *Client {
+	return &Client{stub: stub, call: stub, lookupTimeout: DefaultLookupTimeout, policy: backoff.Default()}
 }
 
 // Stub exposes the underlying stub, e.g. to install security headers.
 func (c *Client) Stub() *container.Stub { return c.stub }
+
+// SetLookupTimeout overrides the per-attempt bound on lookup/browse
+// calls (<= 0 restores the default).
+func (c *Client) SetLookupTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultLookupTimeout
+	}
+	c.lookupTimeout = d
+}
+
+// lookup runs one read-only registry call with a per-attempt deadline
+// and a single jittered retry on transient failure. SOAP faults are the
+// registry answering (malformed query, unknown org) — retrying would
+// only repeat the answer, so they return immediately. Publish paths are
+// deliberately not routed through here: blind write retries could
+// duplicate side effects.
+func (c *Client) lookup(op string, params ...string) ([]string, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), c.lookupTimeout)
+		rows, err := c.call.CallContext(ctx, op, params...)
+		cancel()
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		var fault *soap.Fault
+		if errors.As(err, &fault) || attempt >= lookupRetries {
+			return nil, lastErr
+		}
+		c.policy.Sleep(attempt, nil, nil)
+	}
+}
 
 // PublishOrganization creates or updates an organization entry.
 func (c *Client) PublishOrganization(o Organization) error {
@@ -55,7 +119,7 @@ func (c *Client) RemoveOrganization(name string) error {
 // FindOrganizations queries organizations by name substring; empty query
 // returns all.
 func (c *Client) FindOrganizations(query string) ([]Organization, error) {
-	rows, err := c.stub.Call(OpFindOrganizations, query)
+	rows, err := c.lookup(OpFindOrganizations, query)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +136,7 @@ func (c *Client) FindOrganizations(query string) ([]Organization, error) {
 
 // Services lists the services published by one organization.
 func (c *Client) Services(org string) ([]ServiceEntry, error) {
-	rows, err := c.stub.Call(OpGetServices, org)
+	rows, err := c.lookup(OpGetServices, org)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +145,7 @@ func (c *Client) Services(org string) ([]ServiceEntry, error) {
 
 // AllServices lists every published service.
 func (c *Client) AllServices() ([]ServiceEntry, error) {
-	rows, err := c.stub.Call(OpGetAllServices)
+	rows, err := c.lookup(OpGetAllServices)
 	if err != nil {
 		return nil, err
 	}
