@@ -55,6 +55,15 @@
 //
 //	pperfgrid-bench -federation-bench -bench-json BENCH_PR8.json
 //	pperfgrid-bench -federation-bench -quick  # reduced cells, for CI smoke
+//
+// The C10k front-door evaluation — an open-loop soak over real loopback
+// sockets against one admission-controlled site, sweeping the
+// connection axis into the thousands and reporting goodput, shed rate,
+// latency percentiles, server-side shed fast-path latency, and the
+// post-drain leak accounting — runs via:
+//
+//	pperfgrid-bench -soak-bench -bench-json BENCH_PR9.json
+//	pperfgrid-bench -soak-bench -quick      # 256 sockets, for CI smoke
 package main
 
 import (
@@ -92,6 +101,7 @@ func main() {
 		scaleBench  = flag.Bool("scale-bench", false, "run only the million-row engine evaluation (open-loop load curves + indexed-vs-naive speedups)")
 		mixedBench  = flag.Bool("mixed-bench", false, "run only the mixed read/write evaluation (live ingestion beside hot readers; throughput retention vs read-only)")
 		fedBench    = flag.Bool("federation-bench", false, "run only the federated scatter-gather evaluation (sites x WAN latency x failure rate; completeness, goodput, tail latency)")
+		soakBench   = flag.Bool("soak-bench", false, "run only the C10k front-door soak (real loopback sockets x offered load; goodput, shed rate, shed fast-path latency, drain leak check)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
 		readers     = flag.String("readers", "1,4,16,64", "comma-separated reader counts for the concurrent Table 5")
@@ -99,7 +109,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench && !*fedBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench && !*fedBench && !*soakBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -152,6 +162,10 @@ func main() {
 	}
 	if *fedBench {
 		runFederationBench(*seed, *quick, *benchJSON)
+		return
+	}
+	if *soakBench {
+		runSoakBench(*seed, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -580,6 +594,83 @@ func runFederationBench(seed int64, quick bool, jsonPath string) {
 	for _, latMs := range report.LatencyAxis() {
 		if ratio := report.TailRatioAt(4, latMs, 0.10); ratio > 0 {
 			rec.TailRatioByLatency[strconv.Itoa(latMs)] = ratio
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// soakBenchRecord is the BENCH_PR9.json schema: the C10k front-door
+// soak curves plus the derived overload-behavior figures the acceptance
+// criteria pin.
+type soakBenchRecord struct {
+	Record            string                 `json:"record"`
+	Workload          string                 `json:"workload"`
+	Soak              *experiment.SoakReport `json:"soak"`
+	PastKneeRetention map[string]float64     `json:"pastKneeGoodputRatioByConns"`
+	ShedP99usByConns  map[string]float64     `json:"serverShedP99usByConns"`
+	GoroutineLeak     int                    `json:"goroutineDeltaAfterDrain"`
+	CursorsAfterDrain int                    `json:"cursorEntriesAfterDrain"`
+}
+
+// runSoakBench runs the C10k front-door evaluation standalone. Shape
+// checks print but never fail the process (quick mode is the CI smoke
+// step; the committed full-run BENCH_PR9.json records the reference
+// numbers).
+func runSoakBench(seed int64, quick bool, jsonPath string) {
+	fmt.Println("=== C10k front-door soak (real loopback sockets) ===")
+	cfg := experiment.SoakBenchConfig{Seed: seed}
+	if quick {
+		// One connection level and a short truncated sweep: exercises
+		// sockets, admission control, shedding, cursor churn, and the
+		// drain leak check in seconds.
+		cfg.Conns = []int{256}
+		cfg.Rates = []float64{250, 1000, 4000}
+		cfg.Duration = 300 * time.Millisecond
+	}
+	report, err := experiment.RunSoakBench(cfg)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: soak bench: %v", err)
+	}
+	fmt.Print(report.Render())
+
+	if jsonPath == "" {
+		return
+	}
+	rec := soakBenchRecord{
+		Record:            "PR9 C10k front-door trajectory",
+		Workload:          "SMG98 star store behind one admission-controlled worker and a calibrated ms-scale Mapping Layer; distinct cold getPR per request over persistent loopback sockets, 1/16 paged-and-abandoned; open-loop sweep past the knee; graceful drain",
+		Soak:              report,
+		PastKneeRetention: map[string]float64{},
+		ShedP99usByConns:  map[string]float64{},
+		GoroutineLeak:     report.GoroutinesAfterDrain - report.GoroutinesBaseline,
+		CursorsAfterDrain: report.CursorEntriesAfterDrain,
+	}
+	for _, c := range report.Curves {
+		key := strconv.Itoa(c.Conns)
+		if c.ShedSamples > 0 {
+			rec.ShedP99usByConns[key] = c.ShedP99us
+		}
+		// Worst past-knee goodput relative to the curve's peak — the
+		// "degrade, don't collapse" ratio.
+		worst := 0.0
+		for _, p := range c.Points {
+			if p.GoodputPerSec < 0.7*p.Offered && c.PeakGoodput > 0 {
+				ratio := p.GoodputPerSec / c.PeakGoodput
+				if worst == 0 || ratio < worst {
+					worst = ratio
+				}
+			}
+		}
+		if worst > 0 {
+			rec.PastKneeRetention[key] = worst
 		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pperfgrid/internal/container"
 	"pperfgrid/internal/ogsi"
@@ -26,6 +28,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
 	state := flag.String("state", "", "snapshot file for persistence across restarts (optional)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM before force close")
 	flag.Parse()
 
 	cont := container.New(ogsi.NewHosting("pending:0"), container.Options{})
@@ -53,11 +56,23 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: finish in-flight lookups/publishes within the
+	// budget, then snapshot state. A second signal force-closes.
+	fmt.Printf("draining (up to %v; signal again to force close)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := cont.Drain(ctx); err != nil {
+		fmt.Printf("drain incomplete: %v\n", err)
+	}
 	if *state != "" {
 		if err := reg.SaveFile(*state); err != nil {
 			log.Fatalf("pperfgrid-registry: save state: %v", err)
 		}
 		fmt.Printf("state saved to %s\n", *state)
 	}
-	fmt.Println("shutting down")
+	fmt.Println("shut down")
 }

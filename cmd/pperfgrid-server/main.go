@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"pperfgrid/internal/core"
 	"pperfgrid/internal/datagen"
@@ -28,20 +30,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:0", "primary host listen address")
-		dataset  = flag.String("dataset", "hpl", "dataset to generate: hpl | rma | smg98")
-		store    = flag.String("store", "", "store format: wide | star | flat | xml (default: the paper's format for the dataset)")
-		regHost  = flag.String("registry", "", "registry host:port to publish to (optional)")
-		org      = flag.String("org", "PSU", "organization name for registry publication")
-		contact  = flag.String("contact", "pperfgrid@pdx.edu", "organization contact")
-		replicas = flag.Int("replicas", 1, "number of replica hosts")
-		workers  = flag.Int("workers", 0, "simulated CPUs per host (0 = unbounded)")
-		cacheOff = flag.Bool("cache-off", false, "disable the Performance Results cache")
-		cachePol = flag.String("cache-policy", "lru", "cache replacement policy: lru | lfu | cost")
-		cacheCap = flag.Int("cache-capacity", 0, "cache capacity (0 = unbounded)")
-		notify   = flag.Bool("notifications", false, "enable Execution update notifications")
-		seed     = flag.Int64("seed", 1, "dataset generator seed")
-		execs    = flag.Int("executions", 0, "override execution count (0 = dataset default)")
+		addr      = flag.String("addr", "127.0.0.1:0", "primary host listen address")
+		dataset   = flag.String("dataset", "hpl", "dataset to generate: hpl | rma | smg98")
+		store     = flag.String("store", "", "store format: wide | star | flat | xml (default: the paper's format for the dataset)")
+		regHost   = flag.String("registry", "", "registry host:port to publish to (optional)")
+		org       = flag.String("org", "PSU", "organization name for registry publication")
+		contact   = flag.String("contact", "pperfgrid@pdx.edu", "organization contact")
+		replicas  = flag.Int("replicas", 1, "number of replica hosts")
+		workers   = flag.Int("workers", 0, "simulated CPUs per host (0 = unbounded)")
+		cacheOff  = flag.Bool("cache-off", false, "disable the Performance Results cache")
+		cachePol  = flag.String("cache-policy", "lru", "cache replacement policy: lru | lfu | cost")
+		cacheCap  = flag.Int("cache-capacity", 0, "cache capacity (0 = unbounded)")
+		notify    = flag.Bool("notifications", false, "enable Execution update notifications")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+		execs     = flag.Int("executions", 0, "override execution count (0 = dataset default)")
+		queue     = flag.Int("queue-depth", 0, "admission queue depth per host (0 = unbounded, no shedding)")
+		queueWait = flag.Duration("queue-wait", 0, "queue-wait budget before a request is shed (0 = none)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM before force close")
 	)
 	flag.Parse()
 
@@ -66,6 +71,8 @@ func main() {
 		AppName:       d.Name,
 		Wrappers:      wrappers,
 		Workers:       *workers,
+		QueueDepth:    *queue,
+		QueueWait:     *queueWait,
 		CachingOff:    *cacheOff,
 		CachePolicy:   *cachePol,
 		CacheCapacity: *cacheCap,
@@ -106,7 +113,20 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// Graceful drain: stop accepting, shed new work on live connections,
+	// let in-flight requests finish within the drain budget, then close.
+	// A second signal force-closes immediately.
+	fmt.Printf("draining (up to %v; signal again to force close)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := site.Drain(ctx); err != nil {
+		fmt.Printf("drain incomplete: %v\n", err)
+	}
+	fmt.Println("shut down")
 }
 
 func makeDataset(name string, seed int64, execs int) (*datagen.Dataset, string, error) {

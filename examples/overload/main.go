@@ -1,0 +1,184 @@
+// Overload: the C10k front door in action. A single-worker site (the
+// paper's one-CPU Sun Ultra host) with a tight admission queue is hit by
+// a saturating burst of concurrent clients. Instead of queueing without
+// bound — every client's latency growing until something times out — the
+// container sheds the excess instantly with a typed overload fault:
+// HTTP 503, soap.FaultOverloaded, and a Retry-After hint sized from the
+// live backlog. The shed clients observe microsecond-scale rejections
+// while admitted work completes at full speed.
+//
+// Act two shows the client half: the federation engine classifies the
+// shed as retryable-with-backoff, honors the server's Retry-After hint
+// instead of the generic schedule, and the query that was turned away
+// succeeds on the retry. Act three drains the site gracefully: in-flight
+// work finishes, late arrivals are shed, and the listener closes.
+//
+// Run with:
+//
+//	go run ./examples/overload
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pperfgrid/internal/client"
+	"pperfgrid/internal/core"
+	"pperfgrid/internal/datagen"
+	"pperfgrid/internal/federation"
+	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+)
+
+func main() {
+	// One simulated CPU, a 4-deep admission queue, and a 10ms queue-wait
+	// budget: the front-door configuration the soak bench sweeps.
+	d := datagen.SMG98(datagen.SMG98Config{Executions: 1, Processes: 8, TimeBins: 32, Seed: 7})
+	w, err := mapping.NewStar(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := core.StartSite(core.SiteConfig{
+		AppName: d.Name,
+		// The calibrated ms-scale Mapping Layer of the paper's testbed —
+		// with it, a burst genuinely saturates the single worker.
+		Wrappers:   []mapping.ApplicationWrapper{mapping.WithLatency(w, 2*time.Millisecond, 0)},
+		Workers:    1,
+		QueueDepth: 4,
+		QueueWait:  10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cont := site.Containers()[0]
+	fmt.Printf("site %q up on %s: workers=1, queue depth=4, queue wait=10ms\n\n", d.Name, site.PrimaryHost())
+
+	c := client.NewWithoutRegistry()
+	b, err := c.BindFactory(d.Name, site.ApplicationFactoryHandle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs, err := b.QueryExecutions(nil)
+	if err != nil || len(refs) == 0 {
+		log.Fatalf("resolve execution: %v", err)
+	}
+	exec := refs[0]
+	tr := d.Execs[0].Time
+
+	// ---- Act one: a saturating burst against the front door ----------
+	fmt.Println("act one: 64 concurrent getPR queries against one worker")
+	query := func(i int) perfdata.Query {
+		return perfdata.Query{
+			Metric: "func_calls",
+			Foci:   []string{fmt.Sprintf("/Process/%d", i%8)},
+			// Distinct narrow time slices: every query is a genuine
+			// Mapping-Layer fetch, not a cache hit.
+			Time: perfdata.TimeRange{Start: tr.Start + float64(i)*1e-9, End: tr.Start + (tr.End-tr.Start)/32},
+			Type: "vampir",
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		okCount  int
+		shedLats []time.Duration
+		hints    []time.Duration
+	)
+	start := time.Now()
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := exec.PerformanceResults(query(i))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if hint, ok := soap.AsOverload(err); ok {
+				shedLats = append(shedLats, lat)
+				hints = append(hints, hint)
+			} else if err == nil {
+				okCount++
+			}
+		}(i)
+	}
+	wg.Wait()
+	burst := time.Since(start)
+
+	var worstShed time.Duration
+	for _, l := range shedLats {
+		if l > worstShed {
+			worstShed = l
+		}
+	}
+	fmt.Printf("  burst completed in %v\n", burst.Round(time.Millisecond))
+	fmt.Printf("  served: %d (each a ~2ms Mapping-Layer fetch, serialized on 1 worker)\n", okCount)
+	fmt.Printf("  shed:   %d with typed overload faults (server counted %d)\n", len(shedLats), cont.Sheds())
+	fmt.Printf("  worst client-observed shed round trip: %v — rejection, not queueing\n", worstShed.Round(100*time.Microsecond))
+	if len(hints) > 0 {
+		fmt.Printf("  server's Retry-After hint on the last shed: %v (sized from live backlog)\n\n", hints[len(hints)-1])
+	}
+
+	// ---- Act two: the client half honors Retry-After -----------------
+	fmt.Println("act two: a federated query arrives mid-burst, is shed, and retries after the hint")
+	ft := federation.NewBindingTransport()
+	ft.AddSite("smg98", b)
+	engine := federation.New(ft, federation.Config{
+		PerSiteTimeout:     5 * time.Second,
+		DisableHedging:     true,
+		DisableBreaker:     true,
+		RetryBudget:        12,
+		MaxAttemptsPerSite: 8,
+	})
+
+	// Re-saturate the worker for a bounded window: long enough that the
+	// federated query's first attempts are shed, short enough that a
+	// backed-off retry lands after the burst subsides.
+	stop := make(chan struct{})
+	time.AfterFunc(120*time.Millisecond, func() { close(stop) })
+	var bg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		bg.Add(1)
+		go func(i int) {
+			defer bg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = exec.PerformanceResults(query(1000 + i*100000 + j))
+			}
+		}(i)
+	}
+
+	r := engine.Query(context.Background(), []string{"smg98"}, perfdata.Query{
+		Metric: "func_calls", Time: tr, Type: "vampir",
+	})
+	bg.Wait()
+	o := r.Outcome("smg98")
+	st := engine.Stats()
+	fmt.Printf("  outcome: %s after %d attempt(s); engine counted %d overload shed(s), %d retri(es)\n",
+		o.Status, o.Attempts, st.Overloads, st.Retries)
+	if o.Status != federation.StatusOK {
+		fmt.Printf("  (site stayed saturated through the whole retry budget: %v)\n", o.Err)
+	}
+	fmt.Println()
+
+	// ---- Act three: graceful drain -----------------------------------
+	fmt.Println("act three: graceful drain")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	if err := site.Drain(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	fmt.Printf("  drained in %v: in-flight work finished, cursors released, listener closed\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  total requests %d, served without fault %d, shed %d — and zero faults counted as failures: %d\n",
+		cont.Requests(), cont.Requests()-cont.Faults()-cont.Sheds(), cont.Sheds(), cont.Faults())
+}

@@ -1,0 +1,366 @@
+package container
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/soap"
+	"pperfgrid/internal/wsdl"
+)
+
+// gateService blocks every "block" invocation until the gate closes, so
+// tests can hold the worker pool saturated deterministically. "count"
+// increments an invocation counter — the probe for "this request never
+// reached the service".
+type gateService struct {
+	entered chan struct{}
+	gate    chan struct{}
+	counted atomic.Int64
+}
+
+func newGateService() *gateService {
+	return &gateService{entered: make(chan struct{}, 64), gate: make(chan struct{})}
+}
+
+func (g *gateService) Invoke(op string, params []string) ([]string, error) {
+	switch op {
+	case "block":
+		g.entered <- struct{}{}
+		<-g.gate
+		return []string{"done"}, nil
+	case "count":
+		g.counted.Add(1)
+		return []string{"counted"}, nil
+	}
+	return nil, fmt.Errorf("gate: unknown op %q", op)
+}
+
+func gateDef() *wsdl.Definition {
+	return wsdl.New("Gate", wsdl.PortType{Name: "Gate", Operations: []wsdl.Operation{
+		wsdl.Op("block", "Blocks until the test opens the gate.", wsdl.PRep("arg")),
+		wsdl.Op("count", "Counts invocations.", wsdl.PRep("arg")),
+	}})
+}
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionShedsExactCount saturates a 1-worker container (one
+// executing request, a full 2-deep queue) and pins that every further
+// request is shed with the typed overload fault — HTTP 503, Retry-After
+// set, soap.AsOverload recoverable — without consuming the worker slot,
+// and that the shed count is exact. The queued requests complete
+// untouched once the gate opens.
+func TestAdmissionShedsExactCount(t *testing.T) {
+	c := startContainer(t, Options{Workers: 1, QueueDepth: 2})
+	svc := newGateService()
+	in, err := c.Hosting().DeployPersistent("Gate", svc, gateDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := Dial(in.Handle())
+
+	// One request holds the worker, two fill the queue.
+	var wg sync.WaitGroup
+	results := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = stub.Call("block", fmt.Sprint(i))
+		}(i)
+	}
+	<-svc.entered // the executing request is inside the service
+	waitUntil(t, "queue to fill", func() bool { return c.Queued() == 2 })
+	if got := c.Executing(); got != 1 {
+		t.Errorf("executing = %d, want 1", got)
+	}
+
+	// Every further request sheds, immediately and countably.
+	const extra = 5
+	for i := 0; i < extra; i++ {
+		_, err := stub.Call("block", "extra")
+		hint, ok := soap.AsOverload(err)
+		if !ok {
+			t.Fatalf("saturated call %d: %v, want overload fault", i, err)
+		}
+		if hint <= 0 {
+			t.Errorf("saturated call %d: Retry-After hint %v, want > 0", i, hint)
+		}
+	}
+	if got := c.Sheds(); got != extra {
+		t.Errorf("sheds = %d, want %d", got, extra)
+	}
+	if got := c.Faults(); got != 0 {
+		t.Errorf("faults = %d, want 0 (sheds are backpressure, not faults)", got)
+	}
+	if got := c.Queued(); got != 2 {
+		t.Errorf("queued = %d after sheds, want 2 (sheds never queue)", got)
+	}
+	if got := c.Executing(); got != 1 {
+		t.Errorf("executing = %d after sheds, want 1 (sheds never take the worker)", got)
+	}
+	if lats := c.ShedLatenciesNs(); len(lats) != extra {
+		t.Errorf("shed latency samples = %d, want %d", len(lats), extra)
+	}
+
+	// The raw wire shape of a shed: HTTP 503 with a Retry-After header.
+	req, err := soap.EncodeRequest("block", nil, []string{"raw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(in.Handle().URL(), soap.ContentType, bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After header")
+	}
+	if !bytes.Contains(body, []byte(soap.FaultOverloaded)) {
+		t.Errorf("shed body missing %s fault code: %s", soap.FaultOverloaded, body)
+	}
+
+	// The saturating requests were never disturbed: open the gate and all
+	// three complete successfully.
+	close(svc.gate)
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Errorf("queued request %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "container to go idle", func() bool {
+		return c.Queued() == 0 && c.Executing() == 0
+	})
+	if got := c.Sheds(); got != extra+1 {
+		t.Errorf("final sheds = %d, want %d", got, extra+1)
+	}
+}
+
+// TestQueueWaitBudgetSheds pins the second shed trigger: a request
+// admitted to the queue is shed with the overload fault once its
+// queue-wait budget expires, instead of waiting forever for the worker.
+func TestQueueWaitBudgetSheds(t *testing.T) {
+	c := startContainer(t, Options{Workers: 1, QueueDepth: 8, QueueWait: 30 * time.Millisecond})
+	svc := newGateService()
+	in, _ := c.Hosting().DeployPersistent("Gate", svc, gateDef())
+	stub := Dial(in.Handle())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var blockErr error
+	go func() {
+		defer wg.Done()
+		_, blockErr = stub.Call("block", "holder")
+	}()
+	<-svc.entered
+
+	start := time.Now()
+	_, err := stub.Call("count", "queued-past-budget")
+	elapsed := time.Since(start)
+	if _, ok := soap.AsOverload(err); !ok {
+		t.Fatalf("queued call: %v, want overload fault after wait budget", err)
+	}
+	if elapsed < 30*time.Millisecond {
+		t.Errorf("shed after %v, before the 30ms budget", elapsed)
+	}
+	if got := svc.counted.Load(); got != 0 {
+		t.Errorf("count invocations = %d, want 0 (shed request must not run)", got)
+	}
+	if got := c.Sheds(); got != 1 {
+		t.Errorf("sheds = %d, want 1", got)
+	}
+
+	close(svc.gate)
+	wg.Wait()
+	if blockErr != nil {
+		t.Errorf("holder request: %v", blockErr)
+	}
+}
+
+// TestDeadlineExpiredWhileQueuedNeverInvokes pins deadline propagation at
+// the front door: a request whose ppg-deadline budget expires while it
+// waits for the worker is turned away with a client fault and never
+// reaches the service implementation.
+func TestDeadlineExpiredWhileQueuedNeverInvokes(t *testing.T) {
+	c := startContainer(t, Options{Workers: 1, QueueDepth: 8})
+	svc := newGateService()
+	in, _ := c.Hosting().DeployPersistent("Gate", svc, gateDef())
+	stub := Dial(in.Handle())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = stub.Call("block", "holder")
+	}()
+	<-svc.entered
+
+	// The stub turns the context deadline into the ppg-deadline header;
+	// the container folds it into the request context, and the queued
+	// request exits via ctx.Done while the worker is still held.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := stub.CallContext(ctx, "count", "doomed")
+	if err == nil {
+		t.Fatal("deadline-expired queued call succeeded, want failure")
+	}
+	if _, ok := soap.AsOverload(err); ok {
+		t.Errorf("deadline expiry classified as overload: %v", err)
+	}
+	if got := svc.counted.Load(); got != 0 {
+		t.Errorf("count invocations = %d, want 0 (expired request must not dispatch)", got)
+	}
+	// The client gives up marginally before the server-side budget (the
+	// header rounds the remaining budget up); wait for the server to
+	// reject the queued request before freeing the worker, or the two
+	// races and the doomed request could still dispatch.
+	waitUntil(t, "doomed request to leave the queue", func() bool { return c.Queued() == 0 })
+
+	close(svc.gate)
+	wg.Wait()
+
+	// The service is intact: a fresh in-budget call dispatches.
+	if _, err := stub.Call("count", "alive"); err != nil {
+		t.Fatalf("post-expiry call: %v", err)
+	}
+	if got := svc.counted.Load(); got != 1 {
+		t.Errorf("count invocations = %d, want 1", got)
+	}
+}
+
+// deadlineProbe records whether the request context carried a deadline
+// into the service — the end-to-end pin for the stub attaching
+// ppg-deadline and the container folding it into ctx.
+type deadlineProbe struct {
+	sawDeadline atomic.Bool
+	remaining   atomic.Int64 // ns until the observed deadline
+}
+
+func (p *deadlineProbe) Invoke(op string, params []string) ([]string, error) {
+	return []string{"no-ctx"}, nil
+}
+
+func (p *deadlineProbe) InvokeContext(ctx context.Context, op string, params []string) ([]string, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		p.sawDeadline.Store(true)
+		p.remaining.Store(int64(time.Until(dl)))
+	} else {
+		p.sawDeadline.Store(false)
+	}
+	return []string{"ok"}, nil
+}
+
+func probeDef() *wsdl.Definition {
+	return wsdl.New("Probe", wsdl.PortType{Name: "Probe", Operations: []wsdl.Operation{
+		wsdl.Op("probe", "Reports the request deadline.", wsdl.PRep("arg")),
+	}})
+}
+
+func TestStubPropagatesDeadlineHeader(t *testing.T) {
+	c := startContainer(t, Options{})
+	probe := &deadlineProbe{}
+	in, err := c.Hosting().DeployPersistent("Probe", probe, probeDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := Dial(in.Handle())
+
+	const budget = 500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if _, err := stub.CallContext(ctx, "probe", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawDeadline.Load() {
+		t.Fatal("service saw no deadline; ppg-deadline not propagated")
+	}
+	remaining := time.Duration(probe.remaining.Load())
+	if remaining <= 0 || remaining > budget+50*time.Millisecond {
+		t.Errorf("observed remaining budget %v, want in (0, ~%v]", remaining, budget)
+	}
+
+	// Without a client deadline, the service must see none.
+	if _, err := stub.Call("probe", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if probe.sawDeadline.Load() {
+		t.Error("service saw a deadline on a deadline-less call")
+	}
+}
+
+// TestDrainingShedsThenDrainCompletes pins the drain lifecycle: a
+// draining container sheds new work with the overload fault while
+// in-flight requests run to completion, and Drain leaves the instance
+// table empty.
+func TestDrainingShedsThenDrainCompletes(t *testing.T) {
+	c := startContainer(t, Options{Workers: 1})
+	svc := newGateService()
+	in, _ := c.Hosting().DeployPersistent("Gate", svc, gateDef())
+	stub := Dial(in.Handle())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var inflightErr error
+	go func() {
+		defer wg.Done()
+		_, inflightErr = stub.Call("block", "inflight")
+	}()
+	<-svc.entered
+
+	// Flip the drain flag directly (Drain itself also stops the listener,
+	// which would race this test's fresh connections).
+	c.draining.Store(true)
+	_, err := stub.Call("count", "late")
+	if _, ok := soap.AsOverload(err); !ok {
+		t.Fatalf("call on draining container: %v, want overload fault", err)
+	}
+	if got := svc.counted.Load(); got != 0 {
+		t.Errorf("count invocations = %d, want 0 during drain", got)
+	}
+
+	// Full drain: the in-flight request finishes, instances are destroyed.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- c.Drain(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond) // let Shutdown begin with the request in flight
+	close(svc.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	if inflightErr != nil {
+		t.Errorf("in-flight request during drain: %v", inflightErr)
+	}
+	if n := c.Hosting().NumInstances(); n != 0 {
+		t.Errorf("instances after drain = %d, want 0", n)
+	}
+	if !c.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+}

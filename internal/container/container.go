@@ -35,6 +35,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -63,6 +64,19 @@ type Options struct {
 	// One worker per simulated CPU reproduces the paper's per-host
 	// serialization.
 	Workers int
+	// QueueDepth bounds how many requests may wait for a worker slot.
+	// When the queue is full, further requests are shed immediately with
+	// a typed overload fault (soap.FaultOverloaded, HTTP 503) carrying a
+	// Retry-After hint — the fast front-door rejection that keeps a
+	// saturated container answering in microseconds instead of letting
+	// its queue (and every client's tail latency) grow without bound.
+	// 0 means unbounded, the historical behavior; only meaningful when
+	// Workers > 0.
+	QueueDepth int
+	// QueueWait bounds how long an admitted request may wait for a
+	// worker slot before it is shed with the same overload fault. 0
+	// means no budget (wait until the client gives up).
+	QueueWait time.Duration
 	// Interceptors run in order on every request before dispatch.
 	Interceptors []Interceptor
 	// ReadLimit bounds request body size in bytes; 0 uses a 16 MiB default.
@@ -70,6 +84,10 @@ type Options struct {
 	// Logf, when set, receives one line per dispatched request.
 	Logf func(format string, args ...any)
 }
+
+// shedSampleN sizes the ring of recent shed-decision latencies kept for
+// the soak bench (power of two, so the index wrap is a mask).
+const shedSampleN = 4096
 
 // Container hosts grid services over HTTP.
 type Container struct {
@@ -83,12 +101,28 @@ type Container struct {
 	requests atomic.Int64
 	faults   atomic.Int64
 
-	// inflight and svcMsEWMA feed load-aware replica scheduling: requests
-	// currently dispatched (including those queued for a worker slot) and
-	// an exponential moving average of service time in milliseconds
-	// (stored as math.Float64bits; 0 means "no samples yet").
-	inflight  atomic.Int64
+	// queued/executing split the old in-flight gauge so shedding
+	// decisions and ServiceData reporting see the real queue depth, not
+	// queue + running conflated; sheds counts admission rejections (not
+	// folded into faults — a shed is backpressure, not a service
+	// failure). svcMsEWMA is an exponential moving average of service
+	// time in milliseconds (stored as math.Float64bits; 0 means "no
+	// samples yet") feeding load-aware replica scheduling and the
+	// Retry-After hint.
+	queued    atomic.Int64
+	executing atomic.Int64
+	sheds     atomic.Int64
 	svcMsEWMA atomic.Uint64
+
+	// draining flips when Drain begins: new requests are shed so
+	// persistent connections go idle and Shutdown can complete.
+	draining atomic.Bool
+
+	// Ring of recent shed-decision latencies (ns, shed decision to
+	// rejection written), sampled lock-free for the soak bench's "sheds
+	// are fast" acceptance.
+	shedSeq atomic.Uint64
+	shedLat [shedSampleN]atomic.Int64
 }
 
 // New creates a container over a hosting table. Call Start before
@@ -153,7 +187,42 @@ func (c *Container) Faults() int64 { return c.faults.Load() }
 // or queued for a worker slot. With single-worker hosts (the paper's
 // one-CPU testbed) this is effectively the host's queue depth, the signal
 // load-aware replica policies balance on.
-func (c *Container) InFlight() int64 { return c.inflight.Load() }
+func (c *Container) InFlight() int64 { return c.queued.Load() + c.executing.Load() }
+
+// Queued returns the number of requests currently waiting for a worker
+// slot (admitted but not yet executing).
+func (c *Container) Queued() int64 { return c.queued.Load() }
+
+// Executing returns the number of requests currently holding a worker
+// slot (or dispatched, on an unbounded container).
+func (c *Container) Executing() int64 { return c.executing.Load() }
+
+// Sheds returns the number of requests rejected by admission control
+// (queue full, queue-wait budget exceeded, or draining). Sheds are not
+// counted in Faults: a shed is deliberate backpressure, not a failure
+// of a dispatched request.
+func (c *Container) Sheds() int64 { return c.sheds.Load() }
+
+// Draining reports whether the container has begun a graceful drain.
+func (c *Container) Draining() bool { return c.draining.Load() }
+
+// ShedLatenciesNs returns a snapshot of recent shed-decision latencies
+// in nanoseconds (shed decision to rejection written; for queue-full and
+// draining sheds the decision is handler entry), most recent shedSampleN
+// at most. The soak bench derives its p99-shed-latency
+// acceptance from these server-side samples, where the measurement is
+// not confounded by client-side scheduling delay.
+func (c *Container) ShedLatenciesNs() []int64 {
+	n := c.shedSeq.Load()
+	if n > shedSampleN {
+		n = shedSampleN
+	}
+	out := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, c.shedLat[i].Load())
+	}
+	return out
+}
 
 // MeanServiceMs returns an exponential moving average of recent request
 // service times (milliseconds), 0 until the first request completes.
@@ -181,6 +250,25 @@ func (c *Container) Close() error {
 	var err error
 	if c.server != nil {
 		err = c.server.Close()
+	}
+	c.hosting.DestroyAll()
+	return err
+}
+
+// Drain gracefully shuts the container down: new work is shed with the
+// overload fault (so persistent connections go idle quickly), the
+// listener stops accepting, in-flight requests run to completion or to
+// ctx's deadline, and finally all hosted instances are destroyed. If
+// ctx expires before the last request finishes, remaining connections
+// are force-closed and ctx's error is returned.
+func (c *Container) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	var err error
+	if c.server != nil {
+		err = c.server.Shutdown(ctx)
+		if err != nil {
+			_ = c.server.Close()
+		}
 	}
 	c.hosting.DestroyAll()
 	return err
@@ -240,9 +328,14 @@ const (
 	HeaderCursor = ogsi.HeaderCursor
 	// HeaderPageSize bounds the number of returned values per page.
 	HeaderPageSize = ogsi.HeaderPageSize
+	// HeaderDeadline carries the caller's remaining deadline budget in
+	// milliseconds; the container folds it into the request context
+	// before dispatch (see ogsi.HeaderDeadline).
+	HeaderDeadline = ogsi.HeaderDeadline
 )
 
 func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gsh.Handle) {
+	arrived := time.Now()
 	c.requests.Add(1)
 	body := soap.GetBuffer()
 	defer soap.PutBuffer(body)
@@ -285,25 +378,79 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		}
 	}
 
-	// Acquire a simulated-CPU worker slot for the invocation itself. The
-	// in-flight gauge covers the wait for the slot too, so it reflects
-	// queue depth, not just executing requests. A caller that gave up —
-	// a hedged or deadline-bounded federated request whose client side
-	// cancelled the HTTP request — is turned away while still queued, so
-	// abandoned work never occupies a simulated CPU.
-	c.inflight.Add(1)
-	defer c.inflight.Add(-1)
-	if c.workers != nil {
-		select {
-		case c.workers <- struct{}{}:
-		case <-r.Context().Done():
-			c.writeFault(w, soap.ClientFault("request cancelled while queued: "+r.Context().Err().Error()))
+	// The request context carries client disconnection; the HeaderDeadline
+	// budget (relative milliseconds — no clock synchronization needed)
+	// tightens it to the caller's remaining deadline. Context-aware
+	// services propagate it through singleflight waits, cache fills, and
+	// Mapping-Layer fetches, so an expired request stops costing work as
+	// early as possible.
+	ctx := r.Context()
+	if dlStr, ok := req.Header(HeaderDeadline); ok {
+		ms, perr := strconv.ParseInt(dlStr, 10, 64)
+		if perr != nil || ms <= 0 {
+			c.writeFault(w, soap.ClientFault("bad "+HeaderDeadline+" header: "+dlStr))
 			return
 		}
-	} else if err := r.Context().Err(); err != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Admission control, in front of the worker pool. A draining
+	// container sheds everything; a full queue sheds before queueing; a
+	// queued request is shed when its queue-wait budget expires. Sheds
+	// are µs-scale typed rejections that never consume a worker slot —
+	// the difference between degrading and collapsing past saturation.
+	if c.draining.Load() {
+		c.shed(w, arrived, "container draining")
+		return
+	}
+	if c.workers != nil {
+		if depth := c.opts.QueueDepth; depth > 0 {
+			for {
+				q := c.queued.Load()
+				if q >= int64(depth) {
+					c.shed(w, arrived, "admission queue full")
+					return
+				}
+				if c.queued.CompareAndSwap(q, q+1) {
+					break
+				}
+			}
+		} else {
+			c.queued.Add(1)
+		}
+		// Acquire a simulated-CPU worker slot for the invocation itself.
+		// A caller that gave up — a hedged or deadline-bounded federated
+		// request whose client side cancelled the HTTP request — is
+		// turned away while still queued, so abandoned work never
+		// occupies a simulated CPU.
+		var waitC <-chan time.Time
+		if c.opts.QueueWait > 0 {
+			tm := time.NewTimer(c.opts.QueueWait)
+			defer tm.Stop()
+			waitC = tm.C
+		}
+		select {
+		case c.workers <- struct{}{}:
+			c.queued.Add(-1)
+		case <-waitC:
+			c.queued.Add(-1)
+			// The shed latency sample starts at the budget expiry, not at
+			// arrival: the queue wait is configured policy, and the sample
+			// measures how fast the rejection itself is produced.
+			c.shed(w, time.Now(), "queue-wait budget exceeded")
+			return
+		case <-ctx.Done():
+			c.queued.Add(-1)
+			c.writeFault(w, soap.ClientFault("request cancelled while queued: "+ctx.Err().Error()))
+			return
+		}
+	} else if err := ctx.Err(); err != nil {
 		c.writeFault(w, soap.ClientFault("request cancelled: "+err.Error()))
 		return
 	}
+	c.executing.Add(1)
 	start := time.Now()
 	var (
 		returns  []string
@@ -332,9 +479,9 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		// A paging-aware service that can stream its own page envelope
 		// (cursor header included) goes first; everything else pages
 		// through the string protocol.
-		next, streamed, err = in.InvokePagedRawTo(req.Operation, req.Params, cursor, pageSize, getOut())
+		next, streamed, err = in.InvokePagedRawToContext(ctx, req.Operation, req.Params, cursor, pageSize, getOut())
 		if !streamed && err == nil {
-			returns, next, err = in.InvokePaged(req.Operation, req.Params, cursor, pageSize)
+			returns, next, err = in.InvokePagedContext(ctx, req.Operation, req.Params, cursor, pageSize)
 		}
 	} else {
 		// The raw fast paths first: a service that caches encoded response
@@ -343,18 +490,19 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 		// with no intermediate result strings. The plain string protocol
 		// is the fallback.
 		var tookRaw bool
-		raw, tookRaw, err = in.InvokeRaw(req.Operation, req.Params)
+		raw, tookRaw, err = in.InvokeRawContext(ctx, req.Operation, req.Params)
 		if !tookRaw && err == nil {
-			streamed, err = in.InvokeRawTo(req.Operation, req.Params, getOut())
+			streamed, err = in.InvokeRawToContext(ctx, req.Operation, req.Params, getOut())
 		}
 		if raw == nil && !streamed && err == nil {
-			returns, err = in.Invoke(req.Operation, req.Params)
+			returns, err = in.InvokeContext(ctx, req.Operation, req.Params)
 		}
 	}
 	elapsed := time.Since(start)
 	if c.workers != nil {
 		<-c.workers
 	}
+	c.executing.Add(-1)
 	c.noteServiceTime(elapsed)
 	if c.opts.Logf != nil {
 		result := fmt.Sprintf("%d values", len(returns))
@@ -389,6 +537,59 @@ func (c *Container) handlePost(w http.ResponseWriter, r *http.Request, handle gs
 	}
 	w.Header().Set("Content-Type", soap.ContentType)
 	_, _ = w.Write(out.Bytes())
+}
+
+// retryHint estimates when a retry has a chance of admission: roughly
+// the time to clear the current backlog at the container's recent
+// service rate, clamped to [1ms, 5s]. With no samples yet it assumes
+// 1 ms per request — the hint only has to be the right order of
+// magnitude for client backoff to stop hammering a saturated site.
+func (c *Container) retryHint() time.Duration {
+	meanMs := c.MeanServiceMs()
+	if meanMs <= 0 {
+		meanMs = 1
+	}
+	workers := 1.0
+	if c.workers != nil {
+		workers = float64(cap(c.workers))
+	}
+	backlog := float64(c.queued.Load()+c.executing.Load()) + 1
+	d := time.Duration(meanMs * backlog / workers * float64(time.Millisecond))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// shed rejects a request at the front door: a typed overload fault
+// (soap.FaultOverloaded) on HTTP 503, with the Retry-After hint both in
+// the fault detail (for SOAP peers — the Stub surfaces it through
+// soap.AsOverload) and in the standard Retry-After header (for generic
+// HTTP clients). No worker slot is consumed; the decision latency since
+// arrival is sampled for the soak bench.
+func (c *Container) shed(w http.ResponseWriter, arrived time.Time, msg string) {
+	hint := c.retryHint()
+	f := soap.OverloadFault(msg, hint)
+	data, err := soap.EncodeFault(f)
+	if err != nil {
+		http.Error(w, f.String, http.StatusServiceUnavailable)
+		return
+	}
+	secs := int64((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write(data)
+
+	c.sheds.Add(1)
+	i := c.shedSeq.Add(1) - 1
+	c.shedLat[i%shedSampleN].Store(time.Since(arrived).Nanoseconds())
 }
 
 func (c *Container) writeFault(w http.ResponseWriter, f *soap.Fault) {

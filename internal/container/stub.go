@@ -126,6 +126,15 @@ func (s *Stub) roundTrip(ctx context.Context, op string, extraHeaders []soap.Hea
 		hdrs = s.headers(op, params)
 	}
 	hdrs = append(hdrs, extraHeaders...)
+	// A context deadline travels to the server as a relative millisecond
+	// budget (HeaderDeadline), so the container can expire the request
+	// inside its own layers instead of doing doomed work until the client
+	// hangs up. Rounded up: a truncated budget of 0 would be rejected.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := int64((time.Until(dl) + time.Millisecond - 1) / time.Millisecond); ms > 0 {
+			hdrs = append(hdrs, soap.HeaderEntry{Name: HeaderDeadline, Value: strconv.FormatInt(ms, 10)})
+		}
+	}
 	// The request body must be freshly owned, not pooled: when the server
 	// answers before draining the body (e.g. a size-limit fault), Post
 	// returns while the Transport's write loop is still reading it, so a

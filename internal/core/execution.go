@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -101,10 +102,23 @@ type ExecutionService struct {
 	timeRange *perfdata.TimeRange
 	info      []perfdata.KV
 
-	cursorMu  sync.Mutex
-	cursors   map[string]*prCursor
-	cursorSeq int64
-	cursorIDs []string // FIFO of live cursor ids, for bounded eviction
+	cursorMu    sync.Mutex
+	cursors     map[string]*prCursor
+	cursorSeq   int64
+	cursorIDs   []string // FIFO of live cursor ids, for bounded eviction
+	cursorBytes int64    // footprint of all live cursors (cursorMu)
+
+	// Cursor budgets (zero values take the Default* constants below).
+	// Slow readers paging huge result sets are connection-level
+	// backpressure risks: without a byte budget and TTL, a few thousand
+	// stalled clients pin a server's memory indefinitely. Eviction is
+	// opportunistic — on cursor open and continuation — so no background
+	// goroutine exists to leak.
+	curMaxEntries   int
+	curMaxBytes     int64
+	curTTL          time.Duration
+	cursorNow       func() time.Time // injectable clock for TTL tests
+	cursorEvictions atomic.Int64
 }
 
 // prCursor is the server-side state of one paged getPR result set: the
@@ -112,8 +126,10 @@ type ExecutionService struct {
 // straight into the transport buffer on the raw-streamed path — so no
 // per-result intermediate strings sit in cursor state.
 type prCursor struct {
-	rs     []perfdata.Result
-	offset int
+	rs      []perfdata.Result
+	offset  int
+	bytes   int64     // footprint charged against the cursor byte budget
+	expires time.Time // idle deadline, refreshed on each continuation
 }
 
 // prFlight is one in-flight getPR Mapping-Layer execution; followers with
@@ -130,6 +146,14 @@ const DefaultPageSize = 256
 // maxLiveCursors bounds per-instance paged-query state; opening more
 // evicts the oldest (its continuation then fails, like an expired cursor).
 const maxLiveCursors = 64
+
+// DefaultCursorBytes is the default byte budget for an instance's live
+// cursor table; DefaultCursorTTL is how long an untouched cursor
+// survives before opportunistic eviction reclaims it.
+const (
+	DefaultCursorBytes = 32 << 20
+	DefaultCursorTTL   = 60 * time.Second
+)
 
 // UpdatesTopic is the notification topic on which an Execution service
 // announces data-store updates (the paper's future-work streaming case).
@@ -186,6 +210,19 @@ func (e *ExecutionService) CacheStats() CacheStats {
 
 // Invoke implements the Execution PortType wire protocol.
 func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) {
+	return e.InvokeContext(context.Background(), op, params)
+}
+
+// InvokeContext implements ogsi.ContextService: the transport's
+// per-request context (client disconnection plus the HeaderDeadline
+// budget) flows through the getPR read path — singleflight waits, cache
+// fills, and the Mapping-Layer fetch guard — so an expired or abandoned
+// request stops costing work instead of running to a result nobody
+// reads.
+func (e *ExecutionService) InvokeContext(ctx context.Context, op string, params []string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch op {
 	case OpGetInfo:
 		info, err := e.Info()
@@ -213,7 +250,7 @@ func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) 
 		if err != nil {
 			return nil, err
 		}
-		rs, err := e.PerformanceResults(q)
+		rs, err := e.performanceResults(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -247,11 +284,17 @@ func (e *ExecutionService) Invoke(op string, params []string) ([]string, error) 
 // protocol; raw-capable transports page through InvokePagedRawTo, which
 // encodes each page straight into the wire buffer.
 func (e *ExecutionService) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
+	return e.InvokePagedContext(context.Background(), op, params, cursor, limit)
+}
+
+// InvokePagedContext implements ogsi.ContextPagedService; see
+// InvokeContext for the propagation contract.
+func (e *ExecutionService) InvokePagedContext(ctx context.Context, op string, params []string, cursor string, limit int) ([]string, string, error) {
 	if op != OpGetPR {
-		out, err := e.Invoke(op, params)
+		out, err := e.InvokeContext(ctx, op, params)
 		return out, "", err
 	}
-	page, next, err := e.pagedResults(op, params, cursor, limit)
+	page, next, err := e.pagedResults(ctx, op, params, cursor, limit)
 	if err != nil {
 		return nil, "", err
 	}
@@ -260,18 +303,21 @@ func (e *ExecutionService) InvokePaged(op string, params []string, cursor string
 
 // pagedResults is the shared paging engine behind both paged protocols:
 // it returns one page of decoded results plus the continuation cursor.
-func (e *ExecutionService) pagedResults(op string, params []string, cursor string, limit int) ([]perfdata.Result, string, error) {
+func (e *ExecutionService) pagedResults(ctx context.Context, op string, params []string, cursor string, limit int) ([]perfdata.Result, string, error) {
 	if limit <= 0 {
 		limit = DefaultPageSize
 	}
 	if cursor != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
 		return e.continueCursor(cursor, limit)
 	}
 	q, err := perfdata.ParseQueryParams(params)
 	if err != nil {
 		return nil, "", err
 	}
-	rs, err := e.PerformanceResults(q)
+	rs, err := e.performanceResults(ctx, q)
 	if err != nil {
 		return nil, "", err
 	}
@@ -279,6 +325,85 @@ func (e *ExecutionService) pagedResults(op string, params []string, cursor strin
 		return rs, "", nil
 	}
 	return e.openCursor(rs, limit)
+}
+
+// SetCursorBudget overrides the live-cursor table's budgets: maximum
+// live cursors, total byte footprint, and idle TTL (zero keeps the
+// current value for each). Configure before serving traffic.
+func (e *ExecutionService) SetCursorBudget(entries int, maxBytes int64, ttl time.Duration) {
+	e.cursorMu.Lock()
+	defer e.cursorMu.Unlock()
+	if entries > 0 {
+		e.curMaxEntries = entries
+	}
+	if maxBytes > 0 {
+		e.curMaxBytes = maxBytes
+	}
+	if ttl > 0 {
+		e.curTTL = ttl
+	}
+}
+
+// SetCursorClock injects the clock used for cursor TTL decisions (tests).
+func (e *ExecutionService) SetCursorClock(now func() time.Time) {
+	e.cursorMu.Lock()
+	defer e.cursorMu.Unlock()
+	e.cursorNow = now
+}
+
+// CursorStats reports the live cursor table's current entry count, byte
+// footprint, and cumulative evictions (budget and TTL combined).
+func (e *ExecutionService) CursorStats() (entries int, bytes int64, evictions int64) {
+	e.cursorMu.Lock()
+	entries, bytes = len(e.cursorIDs), e.cursorBytes
+	e.cursorMu.Unlock()
+	return entries, bytes, e.cursorEvictions.Load()
+}
+
+func (e *ExecutionService) cursorBudgetsLocked() (entries int, maxBytes int64, ttl time.Duration) {
+	entries, maxBytes, ttl = e.curMaxEntries, e.curMaxBytes, e.curTTL
+	if entries <= 0 {
+		entries = maxLiveCursors
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultCursorBytes
+	}
+	if ttl <= 0 {
+		ttl = DefaultCursorTTL
+	}
+	return entries, maxBytes, ttl
+}
+
+func (e *ExecutionService) cursorClockLocked() time.Time {
+	if e.cursorNow != nil {
+		return e.cursorNow()
+	}
+	return time.Now()
+}
+
+// evictCursorsLocked applies the cursor budgets: idle-expired cursors go
+// first, then the oldest-opened cursors until the table fits both the
+// entry count (leaving room for extra new entries) and the byte budget
+// (with extraBytes of headroom). Runs opportunistically under cursorMu
+// on every open and continuation — backpressure without a reaper
+// goroutine.
+func (e *ExecutionService) evictCursorsLocked(extraEntries int, extraBytes int64) {
+	maxEntries, maxBytes, _ := e.cursorBudgetsLocked()
+	now := e.cursorClockLocked()
+	for i := 0; i < len(e.cursorIDs); {
+		id := e.cursorIDs[i]
+		if c := e.cursors[id]; c != nil && now.After(c.expires) {
+			e.dropCursorLocked(id)
+			e.cursorEvictions.Add(1)
+			continue // dropCursorLocked shifted the slice; same index again
+		}
+		i++
+	}
+	for len(e.cursorIDs) > 0 &&
+		(len(e.cursorIDs)+extraEntries > maxEntries || e.cursorBytes+extraBytes > maxBytes) {
+		e.dropCursorLocked(e.cursorIDs[0])
+		e.cursorEvictions.Add(1)
+	}
 }
 
 // openCursor registers the remainder of a paged result set and returns
@@ -291,22 +416,30 @@ func (e *ExecutionService) openCursor(rs []perfdata.Result, limit int) ([]perfda
 	if e.cursors == nil {
 		e.cursors = make(map[string]*prCursor)
 	}
-	for len(e.cursorIDs) >= maxLiveCursors {
-		delete(e.cursors, e.cursorIDs[0])
-		e.cursorIDs = e.cursorIDs[1:]
-	}
+	footprint := resultsFootprint(rs)
+	e.evictCursorsLocked(1, footprint)
+	_, _, ttl := e.cursorBudgetsLocked()
 	e.cursorSeq++
 	id := fmt.Sprintf("pr-%s-%d", e.id, e.cursorSeq)
-	e.cursors[id] = &prCursor{rs: rs, offset: limit}
+	e.cursors[id] = &prCursor{
+		rs:      rs,
+		offset:  limit,
+		bytes:   footprint,
+		expires: e.cursorClockLocked().Add(ttl),
+	}
 	e.cursorIDs = append(e.cursorIDs, id)
+	e.cursorBytes += footprint
 	return rs[:limit], id, nil
 }
 
 // continueCursor serves the next page of a live cursor, retiring it when
-// the set is exhausted.
+// the set is exhausted. A continuation refreshes the cursor's idle TTL:
+// a reader that keeps paging — however slowly relative to its own pace —
+// stays live; one that stops is reclaimed.
 func (e *ExecutionService) continueCursor(id string, limit int) ([]perfdata.Result, string, error) {
 	e.cursorMu.Lock()
 	defer e.cursorMu.Unlock()
+	e.evictCursorsLocked(0, 0)
 	c, ok := e.cursors[id]
 	if !ok {
 		return nil, "", fmt.Errorf("core: unknown or expired getPR cursor %q", id)
@@ -319,6 +452,8 @@ func (e *ExecutionService) continueCursor(id string, limit int) ([]perfdata.Resu
 	}
 	page := c.rs[c.offset:end]
 	c.offset = end
+	_, _, ttl := e.cursorBudgetsLocked()
+	c.expires = e.cursorClockLocked().Add(ttl)
 	return page, id, nil
 }
 
@@ -330,10 +465,16 @@ func (e *ExecutionService) continueCursor(id string, limit int) ([]perfdata.Resu
 // it). Declines under the row-oracle and legacy-codec hooks so ablations
 // measure the string path end to end.
 func (e *ExecutionService) InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
+	return e.InvokePagedRawToContext(context.Background(), op, params, cursor, limit, buf)
+}
+
+// InvokePagedRawToContext implements ogsi.ContextRawPagedStreamer; see
+// InvokeContext for the propagation contract.
+func (e *ExecutionService) InvokePagedRawToContext(ctx context.Context, op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
 	if op != OpGetPR || rowOracle.Load() || soap.LegacyCodec() {
 		return "", false, nil
 	}
-	page, next, err := e.pagedResults(op, params, cursor, limit)
+	page, next, err := e.pagedResults(ctx, op, params, cursor, limit)
 	if err != nil {
 		return "", true, err
 	}
@@ -368,6 +509,9 @@ func encodeResultsTo(buf *bytes.Buffer, headers []soap.HeaderEntry, rs []perfdat
 }
 
 func (e *ExecutionService) dropCursorLocked(id string) {
+	if c, ok := e.cursors[id]; ok {
+		e.cursorBytes -= c.bytes
+	}
 	delete(e.cursors, id)
 	for i, cid := range e.cursorIDs {
 		if cid == id {
@@ -383,6 +527,12 @@ func (e *ExecutionService) dropCursorLocked(id string) {
 // marshalling. On a miss the envelope is encoded exactly once and
 // attached to the cache entry alongside the decoded results.
 func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, error) {
+	return e.InvokeRawContext(context.Background(), op, params)
+}
+
+// InvokeRawContext implements ogsi.ContextRawResponder; see
+// InvokeContext for the propagation contract.
+func (e *ExecutionService) InvokeRawContext(ctx context.Context, op string, params []string) ([]byte, bool, error) {
 	cache := e.cacheRef()
 	if op != OpGetPR || cache == nil {
 		return nil, false, nil
@@ -399,7 +549,7 @@ func (e *ExecutionService) InvokeRaw(op string, params []string) ([]byte, bool, 
 	if raw, ok := cache.GetWire(key); ok {
 		return raw, true, nil
 	}
-	rs, err := e.resultsByKey(cache, key, q)
+	rs, err := e.resultsByKey(ctx, cache, key, q)
 	if err != nil {
 		return nil, true, err
 	}
@@ -446,6 +596,14 @@ func (e *ExecutionService) encodeResults(rs []perfdata.Result) ([]byte, error) {
 // row-oracle and legacy-codec hooks and wrappers without a vectorized
 // path.
 func (e *ExecutionService) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (bool, error) {
+	return e.InvokeRawToContext(context.Background(), op, params, buf)
+}
+
+// InvokeRawToContext implements ogsi.ContextRawStreamer; see
+// InvokeContext for the propagation contract. The context is checked at
+// the store boundary — an expired request never reaches the Mapping
+// Layer.
+func (e *ExecutionService) InvokeRawToContext(ctx context.Context, op string, params []string, buf *bytes.Buffer) (bool, error) {
 	if op != OpGetPR || rowOracle.Load() || soap.LegacyCodec() {
 		return false, nil
 	}
@@ -458,6 +616,9 @@ func (e *ExecutionService) InvokeRawTo(op string, params []string, buf *bytes.Bu
 	}
 	q, err := perfdata.ParseQueryParams(params)
 	if err != nil {
+		return true, err
+	}
+	if err := ctx.Err(); err != nil {
 		return true, err
 	}
 	arena := mapping.GetResultArena(e.resultsHint())
@@ -636,16 +797,21 @@ func (e *ExecutionService) TimeStartEnd() (perfdata.TimeRange, error) {
 // only reaching the Mapping Layer (and data store) on a miss — exactly the
 // flow of section 5.3.2.3.
 func (e *ExecutionService) PerformanceResults(q perfdata.Query) ([]perfdata.Result, error) {
-	return e.resultsThrough(e.cacheRef(), q)
+	return e.performanceResults(context.Background(), q)
+}
+
+// performanceResults is PerformanceResults under a request context.
+func (e *ExecutionService) performanceResults(ctx context.Context, q perfdata.Query) ([]perfdata.Result, error) {
+	return e.resultsThrough(ctx, e.cacheRef(), q)
 }
 
 // resultsThrough answers a getPR query against one cache snapshot (which
 // may be nil for uncached instances).
-func (e *ExecutionService) resultsThrough(cache Cache, q perfdata.Query) ([]perfdata.Result, error) {
+func (e *ExecutionService) resultsThrough(ctx context.Context, cache Cache, q perfdata.Query) ([]perfdata.Result, error) {
 	if cache == nil {
-		return e.fetchResults(q)
+		return e.fetchResults(ctx, q)
 	}
-	return e.resultsByKey(cache, e.versionedKey(q.Key()), q)
+	return e.resultsByKey(ctx, cache, e.versionedKey(q.Key()), q)
 }
 
 // versionedKey prefixes a query key with the execution's current write
@@ -674,7 +840,14 @@ func (e *ExecutionService) versionedKey(key string) string {
 // further counts. Uncached instances skip coalescing — with caching off,
 // every query must generate real store load (the Table 5 / Figure 12
 // baseline workloads depend on it).
-func (e *ExecutionService) resultsByKey(cache Cache, key string, q perfdata.Query) ([]perfdata.Result, error) {
+// Context contract: a follower whose context expires abandons its wait
+// without disturbing the flight (the leader still completes, fills the
+// cache, and retires the flight — no orphans); a leader whose context
+// has already expired retires its flight immediately with the context
+// error, before the Mapping Layer is reached. A leader that expires
+// mid-fetch still completes the fill — the result is complete by
+// construction, so the cache never holds a half-filled entry.
+func (e *ExecutionService) resultsByKey(ctx context.Context, cache Cache, key string, q perfdata.Query) ([]perfdata.Result, error) {
 	if rs, ok := cache.Get(key); ok {
 		return rs, nil
 	}
@@ -682,8 +855,12 @@ func (e *ExecutionService) resultsByKey(cache Cache, key string, q perfdata.Quer
 	if f, ok := e.flights[key]; ok {
 		e.flightMu.Unlock()
 		e.coalesced.Add(1)
-		<-f.done
-		return f.rs, f.err
+		select {
+		case <-f.done:
+			return f.rs, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	// A leader fills the cache before retiring its flight, so a request
 	// that finds neither a flight nor (on this stats-free re-check) an
@@ -700,7 +877,7 @@ func (e *ExecutionService) resultsByKey(cache Cache, key string, q perfdata.Quer
 	e.flightMu.Unlock()
 
 	start := time.Now()
-	rs, err := e.fetchResults(q)
+	rs, err := e.fetchResults(ctx, q)
 	if err == nil {
 		// Fill the cache before retiring the flight, so a request arriving
 		// after the flight is gone finds the entry.
@@ -728,7 +905,14 @@ func (e *ExecutionService) CoalescedQueries() int64 { return e.coalesced.Load() 
 // row-oracle hook forces the streaming path, the differential baseline
 // of the cold-path overhaul. The returned slice is freshly allocated —
 // never an arena — because the cache (and callers) retain it.
-func (e *ExecutionService) fetchResults(q perfdata.Query) ([]perfdata.Result, error) {
+//
+// The context gate here is the "never reaches the Mapping Layer"
+// boundary: an already-expired request is turned away before any store
+// work begins.
+func (e *ExecutionService) fetchResults(ctx context.Context, q perfdata.Query) ([]perfdata.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !rowOracle.Load() {
 		if a, ok := e.wrapper.(mapping.ResultAppender); ok {
 			rs, err := a.AppendPerformanceResults(q, make([]perfdata.Result, 0, e.resultsHint()))
@@ -764,11 +948,21 @@ func (e *ExecutionService) NotifyUpdate(message string) {
 		e.cache.Store(&fresh)
 	}
 	e.cursorMu.Lock()
-	e.cursors, e.cursorIDs = nil, nil
+	e.cursors, e.cursorIDs, e.cursorBytes = nil, nil, 0
 	e.cursorMu.Unlock()
 	if e.hub != nil {
 		e.hub.Notify(UpdatesTopic, message)
 	}
+}
+
+// OnDestroy implements ogsi.Destroyer: live cursor state is released and
+// in-flight asynchronous deliveries are flushed, so a drained container
+// leaves no paged-query memory or background goroutines behind.
+func (e *ExecutionService) OnDestroy() {
+	e.cursorMu.Lock()
+	e.cursors, e.cursorIDs, e.cursorBytes = nil, nil, 0
+	e.cursorMu.Unlock()
+	e.FlushAsync()
 }
 
 // PublishResults ingests Performance Results into the execution's data
@@ -848,6 +1042,10 @@ func (e *ExecutionService) ServiceData() map[string][]string {
 		"epoch":       {strconv.FormatInt(e.epoch.Load(), 10)},
 		"publishes":   {strconv.FormatInt(e.publishes.Load(), 10)},
 	}
+	cEntries, cBytes, cEvictions := e.CursorStats()
+	out["cursorEntries"] = []string{strconv.Itoa(cEntries)}
+	out["cursorBytes"] = []string{strconv.FormatInt(cBytes, 10)}
+	out["cursorEvictions"] = []string{strconv.FormatInt(cEvictions, 10)}
 	if cache != nil {
 		s := cache.Stats()
 		out["cachePolicy"] = []string{cache.Policy()}

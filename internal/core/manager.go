@@ -43,6 +43,12 @@ type HostLoad struct {
 	// InFlight counts requests currently executing or queued on the host
 	// — per-host worker-pool feedback when the ref can see its container.
 	InFlight int
+	// Queued and Executing split InFlight into its components: requests
+	// waiting for a worker slot versus requests holding one. Shedding
+	// decisions and ServiceData reporting read the split; InFlight stays
+	// the policies' aggregate signal.
+	Queued    int
+	Executing int
 	// LatencyMs is an exponential moving average of recent service time
 	// on the host (0 until a sample exists).
 	LatencyMs float64
@@ -488,6 +494,7 @@ func (m *Manager) assignLocked(ids []string) []int {
 		if lr, ok := f.(LoadReporter); ok {
 			live := lr.Load()
 			l.InFlight = live.InFlight
+			l.Queued, l.Executing = live.Queued, live.Executing
 			if live.LatencyMs > 0 {
 				l.LatencyMs = live.LatencyMs
 			}
@@ -595,12 +602,20 @@ func (m *Manager) ServiceData() map[string][]string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	hosts := make([]string, 0, len(m.factories))
+	loads := make([]string, 0, len(m.factories))
 	for _, f := range m.factories {
 		hosts = append(hosts, f.Host())
+		var l HostLoad
+		if lr, ok := f.(LoadReporter); ok {
+			l = lr.Load()
+		}
+		loads = append(loads, fmt.Sprintf("host=%s|queued=%d|executing=%d|latencyMs=%.3f",
+			f.Host(), l.Queued, l.Executing, l.LatencyMs))
 	}
 	return map[string][]string{
 		"policy":       {m.policy.Name()},
 		"replicaHosts": hosts,
+		"replicaLoads": loads,
 		"cachedCount":  {strconv.Itoa(len(m.cache))},
 		"replicaCount": {strconv.Itoa(len(m.factories))},
 	}

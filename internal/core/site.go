@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pperfgrid/internal/container"
 	"pperfgrid/internal/gsh"
@@ -25,6 +27,13 @@ type SiteConfig struct {
 	// Workers bounds concurrent invocations per host (0 = unbounded).
 	// One worker models the paper's single-CPU hosts.
 	Workers int
+	// QueueDepth bounds requests waiting for a worker slot per host;
+	// past it the container sheds with a typed overload fault. 0 means
+	// unbounded (no admission control). See container.Options.
+	QueueDepth int
+	// QueueWait bounds how long an admitted request may wait for a
+	// worker slot before being shed. 0 means no budget.
+	QueueWait time.Duration
 	// CachingOff disables the Performance Results cache, as in the
 	// paper's Table 5 baseline runs.
 	CachingOff bool
@@ -80,6 +89,8 @@ func StartSite(cfg SiteConfig) (*Site, error) {
 		hosting := ogsi.NewHosting("pending:0")
 		cont := container.New(hosting, container.Options{
 			Workers:      cfg.Workers,
+			QueueDepth:   cfg.QueueDepth,
+			QueueWait:    cfg.QueueWait,
 			Interceptors: cfg.Interceptors,
 		})
 		addr := "127.0.0.1:0"
@@ -107,7 +118,8 @@ func StartSite(cfg SiteConfig) (*Site, error) {
 			// Feed the container's worker-pool signals (queue depth,
 			// service-time EWMA) to load-aware replica policies.
 			LoadFn: func() HostLoad {
-				return HostLoad{InFlight: int(cont.InFlight()), LatencyMs: cont.MeanServiceMs()}
+				q, x := int(cont.Queued()), int(cont.Executing())
+				return HostLoad{InFlight: q + x, Queued: q, Executing: x, LatencyMs: cont.MeanServiceMs()}
 			},
 		})
 	}
@@ -182,6 +194,25 @@ func (s *Site) Close() {
 	for _, c := range s.containers {
 		_ = c.Close()
 	}
+}
+
+// Drain gracefully shuts the site down: every container stops accepting,
+// sheds new work, and lets in-flight requests finish (or deadline out at
+// ctx). Containers drain concurrently, so the site's drain time is the
+// slowest host's, not the sum. Returns the first container's error, if
+// any.
+func (s *Site) Drain(ctx context.Context) error {
+	errs := make(chan error, len(s.containers))
+	for _, c := range s.containers {
+		go func() { errs <- c.Drain(ctx) }()
+	}
+	var first error
+	for range s.containers {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Hosts returns the site's replica host addresses; element 0 is the

@@ -192,6 +192,10 @@ type Stats struct {
 	HedgeWins int64
 	Retries   int64
 	Tripped   int64
+	// Overloads counts attempts answered with a typed overload shed —
+	// the site's admission control turning the request away with a
+	// Retry-After hint the retry loop then honors.
+	Overloads int64
 }
 
 // Engine is the scatter-gather query engine. Safe for concurrent use;
@@ -209,6 +213,7 @@ type Engine struct {
 	hedgeWins atomic.Int64
 	retries   atomic.Int64
 	tripped   atomic.Int64
+	overloads atomic.Int64
 }
 
 // New creates an engine over a transport.
@@ -228,6 +233,7 @@ func (e *Engine) Stats() Stats {
 		HedgeWins: e.hedgeWins.Load(),
 		Retries:   e.retries.Load(),
 		Tripped:   e.tripped.Load(),
+		Overloads: e.overloads.Load(),
 	}
 }
 
@@ -331,16 +337,41 @@ func (e *Engine) querySite(ctx context.Context, site string, q perfdata.Query, b
 		} else {
 			out.Status = StatusError
 		}
+		if se.Overloaded {
+			e.overloads.Add(1)
+		}
 		if ctx.Err() != nil || !se.Retryable || attempt+1 >= e.cfg.MaxAttemptsPerSite || !budget.take() {
 			return out
 		}
 		out.Retries++
 		e.retries.Add(1)
-		if !e.cfg.Backoff.Sleep(attempt, nil, ctx.Done()) {
+		// An overload shed carries the server's own Retry-After hint —
+		// retrying sooner than that is a wasted attempt against a site
+		// that already said "not yet", so the hint overrides the generic
+		// schedule when it asks for a longer wait.
+		var slept bool
+		if se.Overloaded && se.RetryAfter > e.cfg.Backoff.Delay(attempt, nil) {
+			slept = sleepUntil(se.RetryAfter, ctx.Done())
+		} else {
+			slept = e.cfg.Backoff.Sleep(attempt, nil, ctx.Done())
+		}
+		if !slept {
 			out.Status = StatusTimeout
 			out.Err = &SiteError{Site: site, Cause: ctx.Err(), Retryable: false, Timeout: true}
 			return out
 		}
+	}
+}
+
+// sleepUntil waits d, returning early with false if done closes first.
+func sleepUntil(d time.Duration, done <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
 	}
 }
 

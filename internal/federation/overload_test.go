@@ -1,0 +1,68 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pperfgrid/internal/perfdata"
+	"pperfgrid/internal/soap"
+)
+
+// TestOverloadShedRetriedAfterHint pins the client half of admission
+// control: a typed overload shed (soap.FaultOverloaded carrying a
+// Retry-After hint) is classified retryable, counted in Stats.Overloads,
+// and retried no sooner than the server's hint — the hint overrides the
+// generic backoff schedule when it asks for a longer wait.
+func TestOverloadShedRetriedAfterHint(t *testing.T) {
+	const hint = 80 * time.Millisecond
+	mt := newMockTransport(func(ctx context.Context, site string, call int) (*SiteData, error) {
+		if call == 0 {
+			return nil, soap.OverloadFault("admission queue full", hint)
+		}
+		return okData(site), nil
+	})
+	cfg := quietConfig()
+	cfg.RetryBudget = 4
+	cfg.MaxAttemptsPerSite = 2
+	e := New(mt, cfg)
+
+	start := time.Now()
+	r := e.Query(context.Background(), []string{"busy"}, perfdata.Query{})
+	elapsed := time.Since(start)
+
+	o := r.Outcome("busy")
+	if o == nil || o.Status != StatusOK || o.Data == nil {
+		t.Fatalf("overloaded-then-healthy site outcome: %+v", o)
+	}
+	if o.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (shed, then success)", o.Attempts)
+	}
+	if got := e.Stats().Overloads; got != 1 {
+		t.Errorf("Stats.Overloads = %d, want 1", got)
+	}
+	if mt.count("busy") != 2 {
+		t.Errorf("transport calls = %d, want 2", mt.count("busy"))
+	}
+	if elapsed < hint {
+		t.Errorf("retried after %v, sooner than the server's %v Retry-After hint", elapsed, hint)
+	}
+}
+
+// TestOverloadClassification pins the error surface: a wire-level
+// overload fault maps to a SiteError with Overloaded set and the hint
+// preserved, recoverable through the package's AsOverload.
+func TestOverloadClassification(t *testing.T) {
+	const hint = 250 * time.Millisecond
+	se := classify("s0", soap.OverloadFault("draining", hint))
+	if !se.Overloaded || !se.Retryable {
+		t.Fatalf("classified overload: %+v, want Overloaded and Retryable", se)
+	}
+	if se.RetryAfter != hint {
+		t.Errorf("RetryAfter = %v, want %v", se.RetryAfter, hint)
+	}
+	got, ok := AsOverload(se)
+	if !ok || got != hint {
+		t.Errorf("AsOverload = %v, %v; want %v, true", got, ok, hint)
+	}
+}

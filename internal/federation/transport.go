@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"pperfgrid/internal/client"
 	"pperfgrid/internal/perfdata"
@@ -45,13 +46,23 @@ type SiteError struct {
 	Cause     error
 	Retryable bool
 	Timeout   bool
+	// Overloaded marks a typed overload shed (soap.FaultOverloaded) from
+	// a saturated container's admission control — retryable, but backed
+	// off by RetryAfter (the server's hint) rather than the generic
+	// policy, so budgets and breakers compose with shedding instead of
+	// hammering a saturated site.
+	Overloaded bool
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *SiteError) Error() string {
 	kind := "error"
-	if e.Timeout {
+	switch {
+	case e.Timeout:
 		kind = "timeout"
+	case e.Overloaded:
+		kind = "overloaded"
 	}
 	return fmt.Sprintf("federation: site %s %s: %v", e.Site, kind, e.Cause)
 }
@@ -70,7 +81,9 @@ var ErrUnknownSite = errors.New("federation: unknown site")
 // Retryable classifies an error for the retry loop. Timeouts,
 // cancellations, and transport-level failures are retryable; remote SOAP
 // faults are not — they are deterministic application-level answers
-// ("no such metric") that a retry would only repeat; and a breaker
+// ("no such metric") that a retry would only repeat — with one
+// exception: the typed overload fault is a transient "come back later",
+// retryable with the server's Retry-After backoff; and a breaker
 // rejection is not an attempt at all.
 func Retryable(err error) bool {
 	if err == nil {
@@ -80,6 +93,9 @@ func Retryable(err error) bool {
 	if errors.As(err, &se) {
 		return se.Retryable
 	}
+	if _, ok := soap.AsOverload(err); ok {
+		return true
+	}
 	var fault *soap.Fault
 	if errors.As(err, &fault) {
 		return false
@@ -88,6 +104,16 @@ func Retryable(err error) bool {
 		return false
 	}
 	return true
+}
+
+// AsOverload reports whether err is (or wraps) an overload shed, and the
+// server's Retry-After hint when present.
+func AsOverload(err error) (time.Duration, bool) {
+	var se *SiteError
+	if errors.As(err, &se) && se.Overloaded {
+		return se.RetryAfter, true
+	}
+	return soap.AsOverload(err)
 }
 
 // IsTimeout reports whether an error is a deadline/cancellation outcome.
@@ -105,11 +131,14 @@ func classify(site string, err error) *SiteError {
 	if errors.As(err, &se) {
 		return se
 	}
+	retryAfter, overloaded := soap.AsOverload(err)
 	return &SiteError{
-		Site:      site,
-		Cause:     err,
-		Retryable: Retryable(err),
-		Timeout:   errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled),
+		Site:       site,
+		Cause:      err,
+		Retryable:  Retryable(err),
+		Timeout:    errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled),
+		Overloaded: overloaded,
+		RetryAfter: retryAfter,
 	}
 }
 

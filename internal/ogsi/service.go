@@ -18,6 +18,7 @@ package ogsi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,6 +40,13 @@ const (
 	HeaderCursor = "ppg-cursor"
 	// HeaderPageSize bounds the number of returned values per page.
 	HeaderPageSize = "ppg-pageSize"
+	// HeaderDeadline carries the caller's remaining deadline budget in
+	// milliseconds (a relative budget, not an absolute timestamp, so
+	// clients and servers need no clock synchronization). The transport
+	// folds it into the request context before dispatch, and
+	// context-aware services propagate it down through their layers — an
+	// expired request is turned away before it reaches a data store.
+	HeaderDeadline = "ppg-deadline"
 )
 
 // Service is the invocation interface every grid service implementation
@@ -113,6 +121,38 @@ type RawStreamer interface {
 // indistinguishable on the wire whichever path served them.
 type RawPagedStreamer interface {
 	InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (next string, ok bool, err error)
+}
+
+// ContextService is optionally implemented by services whose operations
+// honor a per-request context: the transport derives it from the HTTP
+// request (cancellation when the peer goes away) and the HeaderDeadline
+// budget, and the service propagates it down — through singleflight
+// waits, cache fills, and Mapping-Layer fetches in the Execution
+// service's case. Services without it are dispatched through plain
+// Invoke and simply cannot be cut short mid-operation.
+type ContextService interface {
+	InvokeContext(ctx context.Context, op string, params []string) ([]string, error)
+}
+
+// ContextPagedService is the context-aware counterpart of PagedService.
+type ContextPagedService interface {
+	InvokePagedContext(ctx context.Context, op string, params []string, cursor string, limit int) (values []string, next string, err error)
+}
+
+// ContextRawResponder is the context-aware counterpart of RawResponder.
+type ContextRawResponder interface {
+	InvokeRawContext(ctx context.Context, op string, params []string) (raw []byte, ok bool, err error)
+}
+
+// ContextRawStreamer is the context-aware counterpart of RawStreamer.
+type ContextRawStreamer interface {
+	InvokeRawToContext(ctx context.Context, op string, params []string, buf *bytes.Buffer) (ok bool, err error)
+}
+
+// ContextRawPagedStreamer is the context-aware counterpart of
+// RawPagedStreamer.
+type ContextRawPagedStreamer interface {
+	InvokePagedRawToContext(ctx context.Context, op string, params []string, cursor string, limit int, buf *bytes.Buffer) (next string, ok bool, err error)
 }
 
 // Destroyer is optionally implemented by services that must release
@@ -203,6 +243,15 @@ func (in *Instance) SetServiceData(name string, values ...string) {
 // are handled by the instance itself; everything else is validated against
 // the WSDL definition and delegated to the implementation.
 func (in *Instance) Invoke(op string, params []string) ([]string, error) {
+	return in.InvokeContext(context.Background(), op, params)
+}
+
+// InvokeContext is Invoke under a caller-supplied context. Standard
+// GridService operations ignore it (they are instance-local and fast);
+// implementation operations reach the service's ContextService entry
+// point when it has one, so the transport's per-request deadline flows
+// into the service's own layers.
+func (in *Instance) InvokeContext(ctx context.Context, op string, params []string) ([]string, error) {
 	in.mu.Lock()
 	if in.destroyed {
 		in.mu.Unlock()
@@ -235,6 +284,12 @@ func (in *Instance) Invoke(op string, params []string) ([]string, error) {
 	}
 
 	if err := in.validate(op, params); err != nil {
+		return nil, err
+	}
+	if cs, ok := in.impl.(ContextService); ok {
+		return cs.InvokeContext(ctx, op, params)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return in.impl.Invoke(op, params)
@@ -270,9 +325,16 @@ func standardOp(op string) bool {
 // back to a plain Invoke whose whole result is returned as a single
 // terminal page, so callers can page uniformly against any instance.
 func (in *Instance) InvokePaged(op string, params []string, cursor string, limit int) ([]string, string, error) {
-	ps, ok := in.impl.(PagedService)
-	if !ok || standardOp(op) {
-		out, err := in.Invoke(op, params)
+	return in.InvokePagedContext(context.Background(), op, params, cursor, limit)
+}
+
+// InvokePagedContext is InvokePaged under a caller-supplied context; see
+// InvokeContext for the propagation contract.
+func (in *Instance) InvokePagedContext(ctx context.Context, op string, params []string, cursor string, limit int) ([]string, string, error) {
+	cps, ctxOK := in.impl.(ContextPagedService)
+	ps, plainOK := in.impl.(PagedService)
+	if (!ctxOK && !plainOK) || standardOp(op) {
+		out, err := in.InvokeContext(ctx, op, params)
 		return out, "", err
 	}
 	in.mu.Lock()
@@ -288,6 +350,12 @@ func (in *Instance) InvokePaged(op string, params []string, cursor string, limit
 			return nil, "", err
 		}
 	}
+	if ctxOK {
+		return cps.InvokePagedContext(ctx, op, params, cursor, limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
 	return ps.InvokePaged(op, params, cursor, limit)
 }
 
@@ -297,8 +365,15 @@ func (in *Instance) InvokePaged(op string, params []string, cursor string, limit
 // WSDL validation covers the declined path (accepted calls are validated
 // by the implementation, per the RawResponder contract).
 func (in *Instance) InvokeRaw(op string, params []string) ([]byte, bool, error) {
-	rr, isRaw := in.impl.(RawResponder)
-	if !isRaw || standardOp(op) {
+	return in.InvokeRawContext(context.Background(), op, params)
+}
+
+// InvokeRawContext is InvokeRaw under a caller-supplied context; see
+// InvokeContext for the propagation contract.
+func (in *Instance) InvokeRawContext(ctx context.Context, op string, params []string) ([]byte, bool, error) {
+	crr, ctxOK := in.impl.(ContextRawResponder)
+	rr, plainOK := in.impl.(RawResponder)
+	if (!ctxOK && !plainOK) || standardOp(op) {
 		return nil, false, nil
 	}
 	in.mu.Lock()
@@ -306,6 +381,12 @@ func (in *Instance) InvokeRaw(op string, params []string) ([]byte, bool, error) 
 	in.mu.Unlock()
 	if destroyed {
 		return nil, false, ErrDestroyed
+	}
+	if ctxOK {
+		return crr.InvokeRawContext(ctx, op, params)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	return rr.InvokeRaw(op, params)
 }
@@ -315,8 +396,15 @@ func (in *Instance) InvokeRaw(op string, params []string) ([]byte, bool, error) 
 // leave buf untouched; the caller falls back to Invoke, whose WSDL
 // validation covers that path.
 func (in *Instance) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (bool, error) {
-	rs, isRaw := in.impl.(RawStreamer)
-	if !isRaw || standardOp(op) {
+	return in.InvokeRawToContext(context.Background(), op, params, buf)
+}
+
+// InvokeRawToContext is InvokeRawTo under a caller-supplied context; see
+// InvokeContext for the propagation contract.
+func (in *Instance) InvokeRawToContext(ctx context.Context, op string, params []string, buf *bytes.Buffer) (bool, error) {
+	crs, ctxOK := in.impl.(ContextRawStreamer)
+	rs, plainOK := in.impl.(RawStreamer)
+	if (!ctxOK && !plainOK) || standardOp(op) {
 		return false, nil
 	}
 	in.mu.Lock()
@@ -324,6 +412,12 @@ func (in *Instance) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (
 	in.mu.Unlock()
 	if destroyed {
 		return false, ErrDestroyed
+	}
+	if ctxOK {
+		return crs.InvokeRawToContext(ctx, op, params, buf)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	return rs.InvokeRawTo(op, params, buf)
 }
@@ -333,8 +427,15 @@ func (in *Instance) InvokeRawTo(op string, params []string, buf *bytes.Buffer) (
 // validated like InvokePaged; continuations were validated when their
 // cursor was opened.
 func (in *Instance) InvokePagedRawTo(op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
-	ps, isRaw := in.impl.(RawPagedStreamer)
-	if !isRaw || standardOp(op) {
+	return in.InvokePagedRawToContext(context.Background(), op, params, cursor, limit, buf)
+}
+
+// InvokePagedRawToContext is InvokePagedRawTo under a caller-supplied
+// context; see InvokeContext for the propagation contract.
+func (in *Instance) InvokePagedRawToContext(ctx context.Context, op string, params []string, cursor string, limit int, buf *bytes.Buffer) (string, bool, error) {
+	cps, ctxOK := in.impl.(ContextRawPagedStreamer)
+	ps, plainOK := in.impl.(RawPagedStreamer)
+	if (!ctxOK && !plainOK) || standardOp(op) {
 		return "", false, nil
 	}
 	in.mu.Lock()
@@ -347,6 +448,12 @@ func (in *Instance) InvokePagedRawTo(op string, params []string, cursor string, 
 		if err := in.validate(op, params); err != nil {
 			return "", true, err
 		}
+	}
+	if ctxOK {
+		return cps.InvokePagedRawToContext(ctx, op, params, cursor, limit, buf)
+	}
+	if err := ctx.Err(); err != nil {
+		return "", false, err
 	}
 	return ps.InvokePagedRawTo(op, params, cursor, limit, buf)
 }

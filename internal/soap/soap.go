@@ -23,8 +23,10 @@ package soap
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Namespace URIs used in PPerfGrid SOAP messages.
@@ -88,6 +90,12 @@ type Fault struct {
 const (
 	FaultServer = "Server"
 	FaultClient = "Client"
+	// FaultOverloaded is the typed overload rejection a saturated
+	// container sheds with: the request was turned away by admission
+	// control before consuming a worker slot. Unlike a plain Server
+	// fault it is retryable — the Detail carries a Retry-After hint
+	// ("retry-after-ms=N") that backoff loops honor.
+	FaultOverloaded = "Server.Overloaded"
 )
 
 func (f *Fault) Error() string {
@@ -105,6 +113,42 @@ func ServerFault(err error) *Fault {
 // ClientFault builds a Client-side (bad request) Fault.
 func ClientFault(msg string) *Fault {
 	return &Fault{Code: FaultClient, String: msg}
+}
+
+// overloadDetailPrefix introduces the Retry-After hint in an overload
+// fault's Detail element.
+const overloadDetailPrefix = "retry-after-ms="
+
+// OverloadFault builds the typed overload rejection shed by admission
+// control. retryAfter is the server's hint for when a retry has a chance
+// of being admitted; it is clamped to at least 1 ms so the hint survives
+// the millisecond wire encoding.
+func OverloadFault(msg string, retryAfter time.Duration) *Fault {
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return &Fault{
+		Code:   FaultOverloaded,
+		String: msg,
+		Detail: overloadDetailPrefix + strconv.FormatInt(ms, 10),
+	}
+}
+
+// AsOverload reports whether err is (or wraps) a typed overload fault,
+// returning the Retry-After hint it carries (0 when the detail is absent
+// or malformed — still an overload, just without a usable hint).
+func AsOverload(err error) (time.Duration, bool) {
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultOverloaded {
+		return 0, false
+	}
+	if rest, ok := strings.CutPrefix(f.Detail, overloadDetailPrefix); ok {
+		if n, perr := strconv.ParseInt(rest, 10, 64); perr == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond, true
+		}
+	}
+	return 0, true
 }
 
 // ErrMalformed reports an XML document that is not a well-formed SOAP
