@@ -101,6 +101,7 @@ func main() {
 		scaleBench  = flag.Bool("scale-bench", false, "run only the million-row engine evaluation (open-loop load curves + indexed-vs-naive speedups)")
 		mixedBench  = flag.Bool("mixed-bench", false, "run only the mixed read/write evaluation (live ingestion beside hot readers; throughput retention vs read-only)")
 		fedBench    = flag.Bool("federation-bench", false, "run only the federated scatter-gather evaluation (sites x WAN latency x failure rate; completeness, goodput, tail latency)")
+		durBench    = flag.Bool("durability-bench", false, "run only the durable-engine evaluation (disk vs memory query sweep, zone-map + group-commit ablations, recovery curve)")
 		soakBench   = flag.Bool("soak-bench", false, "run only the C10k front-door soak (real loopback sockets x offered load; goodput, shed rate, shed fast-path latency, drain leak check)")
 		cachePolicy = flag.String("cache-policy", "cost", "cache replacement policy for the concurrent Table 5 and byte-budget ablation (lru, lfu, cost)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "cache byte budget; > 0 budgets the sharded cache in the concurrent Table 5 and sets the byte-ablation budget")
@@ -109,7 +110,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench && !*fedBench && !*soakBench {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*cacheBench && !*coldBench && !*scaleBench && !*mixedBench && !*fedBench && !*soakBench && !*durBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -166,6 +167,10 @@ func main() {
 	}
 	if *soakBench {
 		runSoakBench(*seed, *quick, *benchJSON)
+		return
+	}
+	if *durBench {
+		runDurabilityBench(*seed, *quick, *benchJSON)
 		return
 	}
 	failed := false
@@ -671,6 +676,69 @@ func runSoakBench(seed int64, quick bool, jsonPath string) {
 		}
 		if worst > 0 {
 			rec.PastKneeRetention[key] = worst
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: marshal bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		log.Fatalf("pperfgrid-bench: write %s: %v", jsonPath, err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// durabilityBenchRecord is the BENCH_PR10.json schema: the disk-vs-
+// memory query sweep, the zone-map and group-commit ablations, and the
+// recovery-time curve the acceptance criteria pin.
+type durabilityBenchRecord struct {
+	Record             string                       `json:"record"`
+	Workload           string                       `json:"workload"`
+	Durability         *experiment.DurabilityReport `json:"durability"`
+	RangeDiskOverMem   float64                      `json:"rangeDiskOverMemory"`
+	ZoneMapSpeedup     float64                      `json:"zoneMapSpeedup"`
+	GroupCommitSpeedup float64                      `json:"groupCommitSpeedup"`
+}
+
+// runDurabilityBench runs the durable-engine evaluation standalone.
+// Shape checks print but never fail the process (quick mode is the CI
+// smoke step; the committed full-run BENCH_PR10.json records the
+// reference numbers). Differential mismatches are hard errors regardless
+// of mode.
+func runDurabilityBench(seed int64, quick bool, jsonPath string) {
+	fmt.Println("=== Durable engine evaluation (segment store) ===")
+	cfg := experiment.DurabilityBenchConfig{Seed: seed}
+	rowsLabel := "10^6"
+	if quick {
+		// ~50k rows and a light committer pool: exercises sealing,
+		// checkpointing, pruning, group commit, and recovery in seconds.
+		cfg.Rows = 50_000
+		cfg.CommitsPerWriter = 10
+		rowsLabel = "5*10^4 (quick)"
+	}
+	report, err := experiment.RunDurabilityBench(cfg)
+	if err != nil {
+		log.Fatalf("pperfgrid-bench: durability bench: %v", err)
+	}
+	fmt.Print(report.Render())
+	for _, msg := range report.CheckShape() {
+		fmt.Printf("shape check: %s\n", msg)
+	}
+
+	if jsonPath == "" {
+		return
+	}
+	rec := durabilityBenchRecord{
+		Record:             "PR10 durable-engine perf trajectory",
+		Workload:           "monotone-ts samples table, " + rowsLabel + " rows sealed into columnar segments; hot/selective/cold query sweep vs in-memory engine, zone-map + group-commit ablations, recovery curve",
+		Durability:         report,
+		ZoneMapSpeedup:     report.ZoneMap.Speedup,
+		GroupCommitSpeedup: report.GroupCommitSpeedup,
+	}
+	for _, q := range report.Queries {
+		if strings.HasPrefix(q.Scenario, "selective range") {
+			rec.RangeDiskOverMem = q.Ratio
 		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

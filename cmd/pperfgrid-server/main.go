@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"pperfgrid/internal/core"
 	"pperfgrid/internal/datagen"
 	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/minidb"
 	"pperfgrid/internal/registry"
 )
 
@@ -47,6 +49,8 @@ func main() {
 		queue     = flag.Int("queue-depth", 0, "admission queue depth per host (0 = unbounded, no shedding)")
 		queueWait = flag.Duration("queue-wait", 0, "queue-wait budget before a request is shed (0 = none)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM before force close")
+		dataDir   = flag.String("data-dir", "", "directory for disk-resident SQL stores (wide/star only; empty = in-memory)")
+		cacheByte = flag.Int64("page-cache-bytes", 0, "block page-cache budget per replica (0 = engine default, <0 = disabled)")
 	)
 	flag.Parse()
 
@@ -60,7 +64,13 @@ func main() {
 
 	wrappers := make([]mapping.ApplicationWrapper, *replicas)
 	for i := range wrappers {
-		w, err := makeWrapper(*store, d)
+		// Each replica owns its own segment directory: the disk engine is
+		// single-writer, so replicas recover and serve independent copies.
+		opts := minidb.Options{PageCacheBytes: *cacheByte}
+		if *dataDir != "" {
+			opts.Dir = filepath.Join(*dataDir, fmt.Sprintf("replica-%d", i))
+		}
+		w, err := makeWrapper(*store, d, opts)
 		if err != nil {
 			log.Fatalf("pperfgrid-server: %v", err)
 		}
@@ -148,15 +158,21 @@ func makeDataset(name string, seed int64, execs int) (*datagen.Dataset, string, 
 	return nil, "", fmt.Errorf("unknown dataset %q (want hpl, rma, or smg98)", name)
 }
 
-func makeWrapper(store string, d *datagen.Dataset) (mapping.ApplicationWrapper, error) {
+func makeWrapper(store string, d *datagen.Dataset, opts minidb.Options) (mapping.ApplicationWrapper, error) {
 	switch strings.ToLower(store) {
 	case "wide":
-		return mapping.NewWideTable(d)
+		return mapping.NewWideTableWithOptions(d, opts)
 	case "star":
-		return mapping.NewStar(d)
+		return mapping.NewStarWithOptions(d, opts)
 	case "flat":
+		if opts.Dir != "" {
+			return nil, fmt.Errorf("store %q does not support -data-dir (disk engine is SQL-only)", store)
+		}
 		return mapping.NewFlatFile(d)
 	case "xml":
+		if opts.Dir != "" {
+			return nil, fmt.Errorf("store %q does not support -data-dir (disk engine is SQL-only)", store)
+		}
 		return mapping.NewXML(d)
 	}
 	return nil, fmt.Errorf("unknown store %q (want wide, star, flat, or xml)", store)

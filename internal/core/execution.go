@@ -12,6 +12,7 @@ import (
 
 	"pperfgrid/internal/gsh"
 	"pperfgrid/internal/mapping"
+	"pperfgrid/internal/minidb"
 	"pperfgrid/internal/ogsi"
 	"pperfgrid/internal/perfdata"
 	"pperfgrid/internal/soap"
@@ -1026,6 +1027,12 @@ func (e *ExecutionService) Publishes() int64 { return e.publishes.Load() }
 // the write path.
 func (e *ExecutionService) Invalidations() int64 { return e.invalidated.Load() }
 
+// engineStatser is the optional wrapper interface exposing the backing
+// storage engine's counters; the minidb-backed wrappers implement it.
+type engineStatser interface {
+	EngineStats() minidb.EngineStats
+}
+
 // ServiceData publishes the execution's discovery sets as service data
 // elements, so clients can use FindServiceData path queries (the paper's
 // future-work XPath mechanism) instead of discovery calls:
@@ -1065,6 +1072,21 @@ func (e *ExecutionService) ServiceData() map[string][]string {
 			}
 			out["cacheShards"] = []string{strconv.Itoa(len(loads))}
 			out["cacheShardLoads"] = shards
+		}
+	}
+	if es, ok := e.wrapper.(engineStatser); ok {
+		st := es.EngineStats()
+		out["engine"] = []string{st.Engine}
+		if st.Engine == "disk" {
+			out["pageCacheBytes"] = []string{strconv.FormatInt(st.PageCacheBytes, 10)}
+			out["pageCacheHits"] = []string{strconv.FormatInt(st.PageCacheHits, 10)}
+			out["pageCacheMisses"] = []string{strconv.FormatInt(st.PageCacheMisses, 10)}
+			out["blocksSkipped"] = []string{strconv.FormatInt(st.BlocksSkipped, 10)}
+			out["blocksScanned"] = []string{strconv.FormatInt(st.BlocksScanned, 10)}
+			out["compactions"] = []string{strconv.FormatInt(st.Seals+st.Merges+st.Checkpoints, 10)}
+			out["walFsyncs"] = []string{strconv.FormatInt(st.WALFsyncs, 10)}
+			out["segments"] = []string{strconv.Itoa(st.Segments)}
+			out["sealedRows"] = []string{strconv.Itoa(st.SealedRows)}
 		}
 	}
 	if ms, err := e.Metrics(); err == nil {

@@ -107,14 +107,24 @@ var (
 // loaded tables are identical regardless of worker count. Declare indexes
 // after loading — ordered indexes are lazily built, so declaration order
 // does not matter, but loading into index-free tables keeps hash-index
-// maintenance off the bulk path.
+// maintenance off the bulk path. On a disk-backed database the whole load
+// runs inside BulkLoad: per-batch fsyncs are suppressed, rows stream
+// straight into sealed segments, and one checkpoint at the end makes the
+// load durable.
 func LoadScaleStar(db *minidb.Database, cfg ScaleConfig) (ScaleConfig, error) {
 	cfg = cfg.withDefaults()
-	if err := CreateStarTables(db); err != nil {
+	if err := db.BulkLoad(func() error { return loadScaleStarRows(db, cfg) }); err != nil {
 		return cfg, err
 	}
+	return cfg, nil
+}
+
+func loadScaleStarRows(db *minidb.Database, cfg ScaleConfig) error {
+	if err := CreateStarTables(db); err != nil {
+		return err
+	}
 	if err := loadScaleDims(db, cfg); err != nil {
-		return cfg, err
+		return err
 	}
 
 	type execData struct {
@@ -149,15 +159,15 @@ func LoadScaleStar(db *minidb.Database, cfg ScaleConfig) (ScaleConfig, error) {
 		// deterministic and row positions reproducible.
 		for k := 0; k < m; k++ {
 			if err := db.InsertRows("executions", bufs[k].attrs); err != nil {
-				return cfg, err
+				return err
 			}
 			if err := db.InsertRows("results", bufs[k].results); err != nil {
-				return cfg, err
+				return err
 			}
 			bufs[k] = execData{}
 		}
 	}
-	return cfg, nil
+	return nil
 }
 
 // loadScaleDims inserts the dimension vocabularies (single-threaded; they

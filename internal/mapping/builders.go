@@ -35,10 +35,26 @@ var WideOrderedIndexes = []string{"starttime", "endtime"}
 // scanning, and the time-window columns carry ordered indexes so range
 // predicates binary-search instead of scanning.
 func NewWideTable(d *datagen.Dataset) (*WideTableWrapper, error) {
-	db := minidb.NewDatabase()
+	return NewWideTableWithOptions(d, minidb.Options{})
+}
+
+// NewWideTableWithOptions is NewWideTable with storage-engine options.
+// When opts.Dir names a directory that already holds a recovered wide
+// table, the load is skipped and the store serves the recovered rows —
+// the restart path; a fresh directory (or no Dir: the in-memory engine)
+// loads the dataset, disk-backed loads streaming through BulkLoad.
+func NewWideTableWithOptions(d *datagen.Dataset, opts minidb.Options) (*WideTableWrapper, error) {
+	db, recovered, err := openStore(opts)
+	if err != nil {
+		return nil, err
+	}
 	const table = "executions"
-	if err := datagen.LoadWideTable(db, table, d); err != nil {
-		return nil, fmt.Errorf("mapping: load wide table: %w", err)
+	if !recovered {
+		if err := db.BulkLoad(func() error {
+			return datagen.LoadWideTable(db, table, d)
+		}); err != nil {
+			return nil, fmt.Errorf("mapping: load wide table: %w", err)
+		}
 	}
 	if err := db.CreateIndex(table, "execid"); err != nil {
 		return nil, fmt.Errorf("mapping: index wide table: %w", err)
@@ -100,14 +116,45 @@ var StarOrderedIndexes = [][2]string{
 // indexes declared on the join and filter columns and ordered indexes on
 // the fact table's time and value columns.
 func NewStar(d *datagen.Dataset) (*StarWrapper, error) {
-	db := minidb.NewDatabase()
-	if err := datagen.LoadStarSchema(db, d); err != nil {
-		return nil, fmt.Errorf("mapping: load star schema: %w", err)
+	return NewStarWithOptions(d, minidb.Options{})
+}
+
+// NewStarWithOptions is NewStar with storage-engine options. A Dir that
+// already holds a recovered star schema skips the load and serves the
+// recovered rows (the restart path); otherwise the dataset loads through
+// BulkLoad when disk-backed. Index declarations are idempotent, so they
+// run on both paths.
+func NewStarWithOptions(d *datagen.Dataset, opts minidb.Options) (*StarWrapper, error) {
+	db, recovered, err := openStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	if !recovered {
+		if err := db.BulkLoad(func() error {
+			return datagen.LoadStarSchema(db, d)
+		}); err != nil {
+			return nil, fmt.Errorf("mapping: load star schema: %w", err)
+		}
 	}
 	if err := DeclareStarIndexes(db); err != nil {
 		return nil, err
 	}
 	return &StarWrapper{DB: db, Meta: d.Meta}, nil
+}
+
+// openStore opens the backing database for a builder: in-memory when
+// opts.Dir is empty, otherwise the disk engine rooted there. recovered
+// reports whether the directory already held tables (so the caller must
+// not re-load the dataset on top of them).
+func openStore(opts minidb.Options) (db *minidb.Database, recovered bool, err error) {
+	if opts.Dir == "" {
+		return minidb.NewDatabase(), false, nil
+	}
+	db, err = minidb.Open(opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("mapping: open store %s: %w", opts.Dir, err)
+	}
+	return db, len(db.TableNames()) > 0, nil
 }
 
 // DeclareStarIndexes declares the production star-schema index

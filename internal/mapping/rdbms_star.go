@@ -42,6 +42,14 @@ func (w *StarWrapper) query(sql string, args ...minidb.Value) (*minidb.ResultSet
 	return prepQuery(w.DB, sql, args...)
 }
 
+// EngineStats reports the backing storage engine's counters (page cache,
+// zone-map skipping, WAL) for service-data publication.
+func (w *StarWrapper) EngineStats() minidb.EngineStats { return w.DB.EngineStats() }
+
+// Close flushes and closes the backing store (a no-op for the in-memory
+// engine).
+func (w *StarWrapper) Close() error { return w.DB.Close() }
+
 // AppInfo implements ApplicationWrapper.
 func (w *StarWrapper) AppInfo() ([]perfdata.KV, error) {
 	out := make([]perfdata.KV, len(w.Meta))

@@ -40,6 +40,14 @@ type WideTableWrapper struct {
 	pubMu sync.Mutex
 }
 
+// EngineStats reports the backing storage engine's counters (page cache,
+// zone-map skipping, WAL) for service-data publication.
+func (w *WideTableWrapper) EngineStats() minidb.EngineStats { return w.DB.EngineStats() }
+
+// Close flushes and closes the backing store (a no-op for the in-memory
+// engine).
+func (w *WideTableWrapper) Close() error { return w.DB.Close() }
+
 // wideSQLCache holds the wrapper's composed SQL texts: the fixed
 // per-table statements (built once) and the identifier-parameterized
 // templates, keyed by attribute or metric column name. Identifiers

@@ -1,0 +1,113 @@
+package minidb
+
+import (
+	"pperfgrid/internal/minidb/segment"
+)
+
+// Block-aligned position math: sealed blocks hold exactly vecBlockSize
+// rows, and a table's sealed prefix is always a multiple of vecBlockSize,
+// so a global row position maps to (pos>>vecBlockShift, pos&vecBlockMask)
+// with no per-block offset table.
+const (
+	vecBlockShift = 8
+	vecBlockMask  = vecBlockSize - 1
+)
+
+// blockRef points a table at one sealed block: the segment file handle,
+// the file's engine-wide id (the page-cache key), the block index within
+// the file, and the block's decoded zone map for plan-time and scan-time
+// pruning.
+type blockRef struct {
+	file   *segment.File
+	fileID uint64
+	idx    int
+	zm     []zoneEntry
+}
+
+// decodedBlock is the page-cache value: the decoded rows of one block,
+// sharing a flat Value arena. Blocks are immutable once sealed, so cached
+// rows are safe to share between concurrent readers — and must never be
+// mutated in place (UPDATE/DELETE materialize the table first, cloning
+// every sealed row).
+type decodedBlock struct {
+	rows []Row
+}
+
+// rowsView is a position-addressed view over a table's rows: the sealed,
+// disk-resident prefix (blocks) followed by the in-memory tail. Global
+// positions — the ones stored in hash and ordered indexes — are stable
+// across sealing, so index structures survive tail rows migrating into
+// segments.
+//
+// The view memoizes the most recently decoded block, so sequential scans
+// pay one page-cache probe per vecBlockSize rows, not per row. A view is
+// single-use and single-goroutine (each iterator embeds its own); the
+// shared state behind it (page cache, segment files) is concurrency-safe.
+//
+// Block fetch errors latch into err; row returns an all-NULL row for the
+// failed block so callers can run tight loops and check err once per
+// batch. Every consumer (scan iterators, join builds, index rebuilds)
+// checks err and propagates it.
+type rowsView struct {
+	tail   []Row
+	sealed int
+	blocks []blockRef
+	eng    *diskEngine
+	ncols  int
+	curID  int
+	cur    []Row
+	err    error
+}
+
+// view snapshots the table's current row layout. Callers must hold the
+// database lock (read or write) for the view's lifetime.
+func (t *Table) view() rowsView {
+	return rowsView{
+		tail:   t.Rows,
+		sealed: t.sealedRows,
+		blocks: t.blocks,
+		eng:    t.eng,
+		ncols:  len(t.Columns),
+		curID:  -1,
+	}
+}
+
+// total returns the number of addressable rows.
+func (v *rowsView) total() int { return v.sealed + len(v.tail) }
+
+// row returns the row at global position pos. The tail fast path is
+// inlinable; the sealed path hides the decode behind a non-inlined miss
+// method so pure-memory tables pay only the one comparison.
+func (v *rowsView) row(pos int) Row {
+	if pos >= v.sealed {
+		return v.tail[pos-v.sealed]
+	}
+	return v.sealedRow(pos)
+}
+
+func (v *rowsView) sealedRow(pos int) Row {
+	b := pos >> vecBlockShift
+	if b != v.curID {
+		rows, err := v.eng.blockRows(&v.blocks[b])
+		if err != nil {
+			if v.err == nil {
+				v.err = err
+			}
+			rows = nullBlockRows(v.ncols)
+		}
+		v.curID, v.cur = b, rows
+	}
+	return v.cur[pos&vecBlockMask]
+}
+
+// nullBlockRows builds an all-NULL stand-in block after a fetch error so
+// the scan loop in flight stays memory-safe while the latched error
+// propagates at the next checkpoint.
+func nullBlockRows(ncols int) []Row {
+	r := make(Row, ncols)
+	rows := make([]Row, vecBlockSize)
+	for i := range rows {
+		rows[i] = r
+	}
+	return rows
+}

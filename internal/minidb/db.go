@@ -14,6 +14,19 @@ type Table struct {
 	colIndex map[string]int
 	indexes  map[string]*hashIndex    // secondary hash indexes, by column
 	ordered  map[string]*orderedIndex // sorted range indexes, by column
+
+	// Disk-engine state (zero for memory databases). Rows is then only
+	// the mutable tail: the table's first sealedRows rows live in
+	// immutable columnar blocks, and global row positions — the ones
+	// indexes store — run [0, sealedRows) in blocks, then the tail.
+	// sealedRows is always a multiple of vecBlockSize. rewriteGen
+	// increments whenever existing rows are rewritten (DELETE/UPDATE/
+	// materialize), invalidating in-flight seal/merge snapshots;
+	// append-only inserts never bump it.
+	eng        *diskEngine
+	sealedRows int
+	blocks     []blockRef
+	rewriteGen uint64
 }
 
 func newTable(name string, cols []Column) *Table {
@@ -43,6 +56,9 @@ type Database struct {
 
 	stmtMu sync.Mutex
 	stmts  map[string]*Stmt // prepared-statement cache, by SQL text
+
+	// eng is non-nil for disk-backed databases opened with Open.
+	eng *diskEngine
 }
 
 // NewDatabase creates an empty database.
@@ -79,7 +95,7 @@ func (db *Database) NumRows(table string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(t.Rows), nil
+	return t.sealedRows + len(t.Rows), nil
 }
 
 // Exec parses and runs a DDL/DML statement (CREATE, DROP, INSERT, DELETE,
@@ -96,8 +112,15 @@ func (db *Database) Exec(sql string) (int, error) {
 	return db.execStatement(st, nil)
 }
 
-// execStatement runs a parsed non-SELECT statement with bound parameters.
+// execStatement runs a parsed non-SELECT statement with bound parameters
+// and, on a disk engine, blocks until the commit's WAL records are
+// durable (riding the group-commit leader's fsync when one is in flight).
 func (db *Database) execStatement(st Statement, args []Value) (int, error) {
+	n, err := db.applyStatement(st, args)
+	return n, db.commitDurable(err)
+}
+
+func (db *Database) applyStatement(st Statement, args []Value) (int, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
 		return 0, errf("exec", "use Query for SELECT statements")
@@ -199,20 +222,72 @@ func (db *Database) createTable(s *CreateTableStmt) error {
 		}
 		seen[c.Name] = true
 	}
-	db.tables[s.Name] = newTable(s.Name, s.Columns)
+	t := newTable(s.Name, s.Columns)
+	t.eng = db.eng
+	db.tables[s.Name] = t
 	db.schemaGen++
+	if db.eng != nil {
+		db.eng.logRecord(encCreateTable(s.Name, s.Columns))
+	}
 	return nil
 }
 
 func (db *Database) dropTable(s *DropTableStmt) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, exists := db.tables[s.Name]; !exists {
+	t, exists := db.tables[s.Name]
+	if !exists {
 		return errf("exec", "no such table %q", s.Name)
 	}
 	delete(db.tables, s.Name)
 	db.schemaGen++
 	db.dropCachedPlans()
+	if db.eng != nil {
+		t.retireBlocks()
+		db.eng.logRecord(encDropTable(s.Name))
+	}
+	return nil
+}
+
+// retireBlocks drops every sealed block, retiring the backing segment
+// files. Caller holds the database write lock (and db.eng is non-nil).
+func (t *Table) retireBlocks() {
+	seen := make(map[uint64]struct{})
+	for i := range t.blocks {
+		id := t.blocks[i].fileID
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			t.eng.retireFileLocked(id)
+		}
+	}
+	t.blocks = nil
+	t.sealedRows = 0
+	t.rewriteGen++
+}
+
+// materialize pulls every sealed row back into the in-memory tail so
+// DELETE/UPDATE can reuse the in-place row machinery. Sealed rows are
+// deep-copied — decoded block rows are shared with the page cache and
+// must never be mutated. Global row positions are preserved, so indexes
+// stay valid. The swap is atomic: on a block read error the table is
+// untouched. The caller is responsible for logging a rewrite record
+// afterwards — the WAL's earlier seal records reference the retired
+// segment files, which stay on disk until the next checkpoint.
+func (db *Database) materialize(t *Table) error {
+	if t.sealedRows == 0 {
+		return nil
+	}
+	rows := make([]Row, 0, t.sealedRows+len(t.Rows))
+	v := t.view()
+	for pos := 0; pos < t.sealedRows; pos++ {
+		rows = append(rows, v.row(pos).clone())
+	}
+	if v.err != nil {
+		return v.err
+	}
+	rows = append(rows, t.Rows...)
+	t.retireBlocks()
+	t.Rows = rows
 	return nil
 }
 
@@ -255,6 +330,13 @@ func (db *Database) insert(s *InsertStmt, args []Value) (int, error) {
 	}
 	valEnv := &env{args: args}
 	inserted := 0
+	// Rows applied before an error stay applied (partial-progress
+	// semantics), so the WAL record must cover exactly the applied prefix.
+	defer func() {
+		if inserted > 0 && db.eng != nil {
+			db.eng.logInsert(t, t.Rows[len(t.Rows)-inserted:])
+		}
+	}()
 	for _, exprs := range s.Rows {
 		if len(exprs) != len(positions) {
 			return inserted, errf("exec", "INSERT row has %d values, want %d", len(exprs), len(positions))
@@ -286,12 +368,22 @@ func (db *Database) delete(s *DeleteStmt, args []Value) (int, error) {
 		return 0, err
 	}
 	if s.Where == nil {
-		n := len(t.Rows)
+		n := t.sealedRows + len(t.Rows)
 		t.Rows = nil
+		if db.eng != nil {
+			t.retireBlocks()
+			if n > 0 {
+				db.eng.logRecord(encRewrite(t.Name, nil))
+			}
+		}
 		if n > 0 {
 			t.reindex()
 		}
 		return n, nil
+	}
+	materialized := t.sealedRows > 0
+	if err := db.materialize(t); err != nil {
+		return 0, err
 	}
 	e := &env{cols: make([]qcol, len(t.Columns)), args: args}
 	for i, c := range t.Columns {
@@ -306,6 +398,14 @@ func (db *Database) delete(s *DeleteStmt, args []Value) (int, error) {
 	defer func() {
 		if deleted > 0 {
 			t.reindex()
+		}
+		// A materialize alone already changed the storage layout out from
+		// under the WAL's seal records, so it must log a rewrite even when
+		// the DELETE itself matched nothing — otherwise a later seal would
+		// replay against a tail those earlier records already consumed.
+		if db.eng != nil && (materialized || deleted > 0) {
+			t.rewriteGen++
+			db.eng.logRecord(encRewrite(t.Name, t.Rows))
 		}
 	}()
 	for i, r := range rows {
@@ -346,28 +446,40 @@ func (db *Database) update(s *UpdateStmt, args []Value) (int, error) {
 		}
 		targets[i] = col
 	}
+	materialized := t.sealedRows > 0
+	if err := db.materialize(t); err != nil {
+		return 0, err
+	}
 	updated := 0
 	// UPDATE mutates rows in place (positions never move), so only the
 	// indexes over assigned columns go stale — and only if a row changed.
+	// In-place mutation is safe on a disk table too: materialize above
+	// cloned every sealed row out of the shared page cache, and a seal
+	// cannot run concurrently (it encodes under the read lock and its
+	// flip revalidates rewriteGen, bumped below whenever rows changed).
 	defer func() {
-		if updated == 0 {
-			return
-		}
-		for _, ix := range t.indexes {
-			for _, col := range targets {
-				if ix.col == col {
-					ix.rebuild(t.Rows)
-					break
+		if updated > 0 {
+			tv := t.view()
+			for _, ix := range t.indexes {
+				for _, col := range targets {
+					if ix.col == col {
+						ix.rebuild(&tv)
+						break
+					}
+				}
+			}
+			for _, ox := range t.ordered {
+				for _, col := range targets {
+					if ox.col == col {
+						ox.invalidate()
+						break
+					}
 				}
 			}
 		}
-		for _, ox := range t.ordered {
-			for _, col := range targets {
-				if ox.col == col {
-					ox.invalidate()
-					break
-				}
-			}
+		if db.eng != nil && (materialized || updated > 0) {
+			t.rewriteGen++
+			db.eng.logRecord(encRewrite(t.Name, t.Rows))
 		}
 	}()
 	e := &env{cols: make([]qcol, len(t.Columns)), args: args}
@@ -406,6 +518,10 @@ func (db *Database) update(s *UpdateStmt, args []Value) (int, error) {
 // InsertRow appends a row directly (bypassing SQL parsing) for bulk dataset
 // loading. Values are coerced to the declared column types.
 func (db *Database) InsertRow(table string, vals ...Value) error {
+	return db.commitDurable(db.insertRow(table, vals))
+}
+
+func (db *Database) insertRow(table string, vals []Value) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(table)
@@ -421,6 +537,9 @@ func (db *Database) InsertRow(table string, vals ...Value) error {
 	}
 	t.Rows = append(t.Rows, row)
 	t.noteInsert()
+	if db.eng != nil {
+		db.eng.logInsert(t, t.Rows[len(t.Rows)-1:])
+	}
 	return nil
 }
 
@@ -430,12 +549,22 @@ func (db *Database) InsertRow(table string, vals ...Value) error {
 // on a mismatch, rows inserted so far stay inserted (matching INSERT's
 // partial-progress semantics).
 func (db *Database) InsertRows(table string, rows [][]Value) error {
+	return db.commitDurable(db.insertRows(table, rows))
+}
+
+func (db *Database) insertRows(table string, rows [][]Value) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(table)
 	if err != nil {
 		return err
 	}
+	inserted := 0
+	defer func() {
+		if inserted > 0 && db.eng != nil {
+			db.eng.logInsert(t, t.Rows[len(t.Rows)-inserted:])
+		}
+	}()
 	for _, vals := range rows {
 		if len(vals) != len(t.Columns) {
 			return errf("exec", "InsertRows: %d values for %d columns", len(vals), len(t.Columns))
@@ -446,6 +575,7 @@ func (db *Database) InsertRows(table string, rows [][]Value) error {
 		}
 		t.Rows = append(t.Rows, row)
 		t.noteInsert()
+		inserted++
 	}
 	return nil
 }

@@ -278,8 +278,11 @@ func (db *Database) runSelectNaive(st *SelectStmt, args []Value) (*ResultSet, er
 	// Materialize the row stream (scan + optional nested-loop join + filter).
 	var rows []Row
 	e := &env{cols: cols, args: args}
+	bv := base.view()
 	if st.Join == nil {
-		for _, r := range base.Rows {
+		total := bv.total()
+		for i := 0; i < total; i++ {
+			r := bv.row(i)
 			e.row = r
 			ok, err := passWhere(st.Where, e)
 			if err != nil {
@@ -288,6 +291,9 @@ func (db *Database) runSelectNaive(st *SelectStmt, args []Value) (*ResultSet, er
 			if ok {
 				rows = append(rows, r)
 			}
+		}
+		if bv.err != nil {
+			return nil, bv.err
 		}
 	} else {
 		right, err := db.table(st.Join.Table)
@@ -303,9 +309,13 @@ func (db *Database) runSelectNaive(st *SelectStmt, args []Value) (*ResultSet, er
 		}
 		e.cols = cols
 		combined := make(Row, len(cols))
-		for _, lr := range base.Rows {
+		rv := right.view()
+		nLeft, nRight := bv.total(), rv.total()
+		for li := 0; li < nLeft; li++ {
+			lr := bv.row(li)
 			copy(combined, lr)
-			for _, rr := range right.Rows {
+			for ri := 0; ri < nRight; ri++ {
+				rr := rv.row(ri)
 				copy(combined[len(lr):], rr)
 				e.row = combined
 				ok, err := passWhere(st.Join.On, e)
@@ -323,6 +333,12 @@ func (db *Database) runSelectNaive(st *SelectStmt, args []Value) (*ResultSet, er
 					rows = append(rows, combined.clone())
 				}
 			}
+		}
+		if bv.err != nil {
+			return nil, bv.err
+		}
+		if rv.err != nil {
+			return nil, rv.err
 		}
 	}
 

@@ -30,6 +30,11 @@ type PlanInfo struct {
 
 	Kernels  int // base-scan conjuncts compiled to vectorized kernels
 	Residual int // total base-scan conjuncts (re-checked on candidates)
+
+	// Disk-engine full scans: how many sealed blocks the scan would visit
+	// and how many the zone maps prove skippable for these bindings.
+	Blocks        int
+	BlocksSkipped int
 }
 
 // String renders a compact one-line EXPLAIN.
@@ -64,6 +69,9 @@ func (pi *PlanInfo) String() string {
 	if pi.Residual > 0 {
 		fmt.Fprintf(&b, " kernels=%d/%d", pi.Kernels, pi.Residual)
 	}
+	if pi.Blocks > 0 {
+		fmt.Fprintf(&b, " blocks=%d skipped=%d", pi.Blocks, pi.BlocksSkipped)
+	}
 	return b.String()
 }
 
@@ -84,7 +92,7 @@ func (s *Stmt) Explain(args ...Value) (*PlanInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.explain(args), nil
+	return p.explain(args)
 }
 
 // Explain reports how a parameter-free SELECT would execute.
@@ -99,17 +107,20 @@ func (db *Database) Explain(sql string) (*PlanInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.explain(nil), nil
+	return p.explain(nil)
 }
 
-func (p *selectPlan) explain(args []Value) *PlanInfo {
+func (p *selectPlan) explain(args []Value) (*PlanInfo, error) {
 	info := &PlanInfo{Table: p.base.Name, Candidates: -1}
 	if p.unsafe {
 		info.Naive = true
 		info.Access = accessSeqScan
-		return info
+		return info, nil
 	}
-	acc := p.chooseAccess(args)
+	acc, err := p.chooseAccess(args)
+	if err != nil {
+		return nil, err
+	}
 	info.Access = acc.kind
 	info.AccessColumn = acc.column
 	if acc.idx != nil {
@@ -145,5 +156,22 @@ func (p *selectPlan) explain(args []Value) *PlanInfo {
 		}
 	}
 	info.Residual = len(p.leftPred)
-	return info
+
+	// Report zone-map skipping for full scans over sealed blocks: bind the
+	// kernels to these parameters and probe each block's zone map exactly
+	// as the scan would.
+	if acc.kind == accessSeqScan && len(p.base.blocks) > 0 {
+		info.Blocks = len(p.base.blocks)
+		if p.db.eng != nil && p.db.eng.pruneOn.Load() {
+			var vf vecFilter
+			v := p.base.view()
+			vf.bind(p.vecPreds, args, nil, &v)
+			for i := range p.base.blocks {
+				if pruneBlock(p.base.blocks[i].zm, vf.kernels) {
+					info.BlocksSkipped++
+				}
+			}
+		}
+	}
+	return info, nil
 }

@@ -77,31 +77,41 @@ func (ix *hashIndex) lookup(v Value) []int {
 }
 
 // rebuild recomputes the index from scratch, after deletes or updates
-// invalidate stored positions.
-func (ix *hashIndex) rebuild(rows []Row) {
+// invalidate stored positions. It iterates the table's full position
+// space — sealed blocks then tail — so building an index on a disk table
+// decodes every block once; the error is the view's block-read error, if
+// any (impossible on pure-tail tables, which is every post-materialize
+// rebuild site).
+func (ix *hashIndex) rebuild(v *rowsView) error {
 	ix.buckets = make(map[string][]int, len(ix.buckets))
-	for pos, r := range rows {
-		ix.add(pos, r)
+	n := v.total()
+	for pos := 0; pos < n; pos++ {
+		ix.add(pos, v.row(pos))
 	}
+	return v.err
 }
 
 // addIndex builds a hash index on the named column. Indexing the same
-// column twice is a no-op.
-func (t *Table) addIndex(column string) error {
+// column twice is a no-op; created reports whether this call built it
+// (so the caller knows to log the declaration).
+func (t *Table) addIndex(column string) (created bool, err error) {
 	col := t.ColumnIndex(column)
 	if col < 0 {
-		return errf("plan", "table %q has no column %q to index", t.Name, column)
+		return false, errf("plan", "table %q has no column %q to index", t.Name, column)
 	}
 	if t.indexes == nil {
 		t.indexes = make(map[string]*hashIndex)
 	}
 	if _, ok := t.indexes[column]; ok {
-		return nil
+		return false, nil
 	}
 	ix := &hashIndex{column: column, col: col, buckets: make(map[string][]int)}
-	ix.rebuild(t.Rows)
+	v := t.view()
+	if err := ix.rebuild(&v); err != nil {
+		return false, err
+	}
 	t.indexes[column] = ix
-	return nil
+	return true, nil
 }
 
 // index returns the hash index on the named column, or nil.
@@ -113,8 +123,8 @@ func (t *Table) index(column string) *hashIndex {
 // appended to incrementally, ordered indexes are just marked stale (their
 // rebuild is deferred to the next probe, keeping bulk loads O(1) per row).
 func (t *Table) noteInsert() {
-	pos := len(t.Rows) - 1
-	row := t.Rows[pos]
+	pos := t.sealedRows + len(t.Rows) - 1
+	row := t.Rows[len(t.Rows)-1]
 	for _, ix := range t.indexes {
 		ix.add(pos, row)
 	}
@@ -124,10 +134,12 @@ func (t *Table) noteInsert() {
 }
 
 // reindex rebuilds all indexes, after deletes or updates move or change
-// rows in place.
+// rows in place. Every caller runs after materialize (or on a memory
+// table), so the view is pure tail and cannot hit a block-read error.
 func (t *Table) reindex() {
 	for _, ix := range t.indexes {
-		ix.rebuild(t.Rows)
+		v := t.view()
+		ix.rebuild(&v)
 	}
 	for _, ox := range t.ordered {
 		ox.invalidate()
@@ -139,13 +151,28 @@ func (t *Table) reindex() {
 // of scanning. The index is maintained automatically: inserts append to
 // it, deletes and updates rebuild it.
 func (db *Database) CreateIndex(table, column string) error {
+	return db.commitDurable(db.createIndex(table, column, false))
+}
+
+// createIndex builds a hash (or declares an ordered) index, logging the
+// declaration to the WAL when it is new.
+func (db *Database) createIndex(table, column string, ordered bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.table(table)
 	if err != nil {
 		return err
 	}
-	return t.addIndex(column)
+	var created bool
+	if ordered {
+		created, err = t.addOrderedIndex(column)
+	} else {
+		created, err = t.addIndex(column)
+	}
+	if err == nil && created && db.eng != nil {
+		db.eng.logRecord(encCreateIndex(table, column, ordered))
+	}
+	return err
 }
 
 // Indexes reports the indexed columns of a table, for introspection and

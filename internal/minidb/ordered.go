@@ -45,27 +45,35 @@ func (ix *orderedIndex) invalidate() { ix.stale = true }
 
 // ensure rebuilds the index if stale. Callers must hold at least the
 // database read lock; after ensure returns, keys/pos/nulls are immutable
-// until the next write-locked mutation.
-func (ix *orderedIndex) ensure(rows []Row) {
+// until the next write-locked mutation. A block-read error during the
+// build leaves the index stale (so the next probe retries) and is
+// returned for the caller to propagate.
+func (ix *orderedIndex) ensure(v *rowsView) error {
 	ix.mu.Lock()
-	if ix.stale {
-		ix.build(rows)
-		ix.stale = false
+	defer ix.mu.Unlock()
+	if !ix.stale {
+		return nil
 	}
-	ix.mu.Unlock()
+	ix.build(v)
+	if v.err != nil {
+		return v.err
+	}
+	ix.stale = false
+	return nil
 }
 
-func (ix *orderedIndex) build(rows []Row) {
+func (ix *orderedIndex) build(v *rowsView) {
 	ix.keys = ix.keys[:0]
 	ix.pos = ix.pos[:0]
 	ix.nulls = ix.nulls[:0]
-	for p, r := range rows {
-		v := r[ix.col]
-		if v.IsNull() {
+	n := v.total()
+	for p := 0; p < n; p++ {
+		val := v.row(p)[ix.col]
+		if val.IsNull() {
 			ix.nulls = append(ix.nulls, p)
 			continue
 		}
-		ix.keys = append(ix.keys, v)
+		ix.keys = append(ix.keys, val)
 		ix.pos = append(ix.pos, p)
 	}
 	sort.Sort(&keyPosSorter{keys: ix.keys, pos: ix.pos})
@@ -118,21 +126,21 @@ func (ix *orderedIndex) upperBound(v Value, incl bool) int {
 }
 
 // addOrderedIndex declares an ordered index on the named column. Declaring
-// the same column twice is a no-op. The index is built lazily on first
-// probe.
-func (t *Table) addOrderedIndex(column string) error {
+// the same column twice is a no-op; created reports whether this call
+// declared it. The index is built lazily on first probe.
+func (t *Table) addOrderedIndex(column string) (created bool, err error) {
 	col := t.ColumnIndex(column)
 	if col < 0 {
-		return errf("plan", "table %q has no column %q to index", t.Name, column)
+		return false, errf("plan", "table %q has no column %q to index", t.Name, column)
 	}
 	if t.ordered == nil {
 		t.ordered = make(map[string]*orderedIndex)
 	}
 	if _, ok := t.ordered[column]; ok {
-		return nil
+		return false, nil
 	}
 	t.ordered[column] = &orderedIndex{column: column, col: col, stale: true}
-	return nil
+	return true, nil
 }
 
 // orderedIx returns the ordered index on the named column, or nil.
@@ -148,13 +156,7 @@ func (t *Table) orderedIx(column string) *orderedIndex {
 // (with LIMIT stopping early). The index is maintained lazily: mutations
 // mark it stale and the next probe rebuilds it.
 func (db *Database) CreateOrderedIndex(table, column string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.table(table)
-	if err != nil {
-		return err
-	}
-	return t.addOrderedIndex(column)
+	return db.commitDurable(db.createIndex(table, column, true))
 }
 
 // OrderedIndexes reports the ordered-indexed columns of a table, for

@@ -541,9 +541,11 @@ type accessChoice struct {
 
 // chooseAccess evaluates the plan's probe candidates against the bound
 // parameters and current indexes, picking the narrowest. The caller must
-// hold at least the database read lock.
-func (p *selectPlan) chooseAccess(args []Value) accessChoice {
+// hold at least the database read lock. The error is a block-read
+// failure while lazily building a probed ordered index on a disk table.
+func (p *selectPlan) chooseAccess(args []Value) (accessChoice, error) {
 	acc := accessChoice{kind: accessSeqScan}
+	bv := p.base.view()
 	constEnv := &env{args: args}
 	best := -1 // candidate count of the current winner; -1: full scan
 
@@ -626,7 +628,9 @@ func (p *selectPlan) chooseAccess(args []Value) accessChoice {
 		if ox == nil {
 			continue
 		}
-		ox.ensure(p.base.Rows)
+		if err := ox.ensure(&bv); err != nil {
+			return acc, err
+		}
 		nulls := ox.nulls
 		if nulls == nil {
 			nulls = emptyIdx
@@ -686,7 +690,9 @@ func (p *selectPlan) chooseAccess(args []Value) accessChoice {
 		if !hasLo && !hasHi {
 			continue
 		}
-		ox.ensure(p.base.Rows)
+		if err := ox.ensure(&bv); err != nil {
+			return acc, err
+		}
 		start, end := 0, len(ox.keys)
 		if hasLo {
 			start = ox.lowerBound(lo, loIncl)
@@ -713,14 +719,16 @@ func (p *selectPlan) chooseAccess(args []Value) accessChoice {
 	// candidate positions are in table order, not key order.)
 	if p.orderBy != nil && acc.kind == accessSeqScan {
 		if ox := p.base.orderedIx(p.base.Columns[p.orderBy.col].Name); ox != nil {
-			ox.ensure(p.base.Rows)
+			if err := ox.ensure(&bv); err != nil {
+				return acc, err
+			}
 			acc.kind = accessOrderedWalk
 			acc.column = ox.column
 			acc.walk = ox
 			acc.walkDesc = p.orderBy.desc
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 // tighterBound reports whether bound (v, incl) is strictly tighter than
@@ -754,7 +762,7 @@ type hashJoinIter struct {
 
 	built     bool
 	rightIx   *hashIndex       // reused right-table index (nil: self-built)
-	rightRows []Row            // row storage rightIx positions refer to
+	rightView rowsView         // row storage rightIx positions refer to
 	buckets   map[string][]Row // self-built buckets when rightIx is nil
 	curRows   []Row            // current probe bucket (self-built mode)
 	curPos    []int            // current probe positions (index mode)
@@ -769,12 +777,13 @@ func (h *hashJoinIter) build() error {
 		key := h.jp.right.Columns[h.jp.rightKey].Name
 		if ix := h.jp.right.index(key); ix != nil {
 			h.rightIx = ix
-			h.rightRows = h.jp.right.Rows
 			return nil
 		}
 	}
 	h.buckets = make(map[string][]Row)
-	for _, r := range h.jp.right.Rows {
+	n := h.rightView.total()
+	for i := 0; i < n; i++ {
+		r := h.rightView.row(i)
 		ok, err := passAll(h.jp.rightPred, h.rightEnv, r)
 		if err != nil {
 			return err
@@ -786,7 +795,7 @@ func (h *hashJoinIter) build() error {
 			h.buckets[k] = append(h.buckets[k], r)
 		}
 	}
-	return nil
+	return h.rightView.err
 }
 
 // bucketLen returns the size of the current probe bucket.
@@ -798,10 +807,11 @@ func (h *hashJoinIter) bucketLen() int {
 }
 
 // bucketRow returns the i-th right row of the current probe bucket; both
-// modes yield rows in right-table insertion order.
+// modes yield rows in right-table insertion order (index positions are
+// global, so they address the sealed prefix and the tail alike).
 func (h *hashJoinIter) bucketRow(i int) Row {
 	if h.rightIx != nil {
-		return h.rightRows[h.curPos[i]]
+		return h.rightView.row(h.curPos[i])
 	}
 	return h.curRows[i]
 }
@@ -815,6 +825,9 @@ func (h *hashJoinIter) next() (Row, error) {
 	for {
 		for h.bucketPos < h.bucketLen() {
 			rr := h.bucketRow(h.bucketPos)
+			if h.rightView.err != nil {
+				return nil, h.rightView.err
+			}
 			h.bucketPos++
 			copy(h.combined[h.nLeft:], rr)
 			ok, err := passAll(h.checks, h.env, h.combined)
@@ -856,6 +869,7 @@ type nlJoinIter struct {
 	nLeft    int
 
 	prepared  bool
+	rightView rowsView
 	rightRows []Row
 	curLeft   Row
 	rightPos  int
@@ -863,10 +877,14 @@ type nlJoinIter struct {
 }
 
 func (n *nlJoinIter) prepare() error {
-	if len(n.jp.rightPred) == 0 {
-		n.rightRows = n.jp.right.Rows
+	if len(n.jp.rightPred) == 0 && n.rightView.sealed == 0 {
+		n.rightRows = n.rightView.tail
 	} else {
-		for _, r := range n.jp.right.Rows {
+		// Materialize row headers once (the backing blocks stay cached);
+		// the nested loop re-walks them per left row.
+		total := n.rightView.total()
+		for i := 0; i < total; i++ {
+			r := n.rightView.row(i)
 			ok, err := passAll(n.jp.rightPred, n.rightEnv, r)
 			if err != nil {
 				return err
@@ -874,6 +892,9 @@ func (n *nlJoinIter) prepare() error {
 			if ok {
 				n.rightRows = append(n.rightRows, r)
 			}
+		}
+		if n.rightView.err != nil {
+			return n.rightView.err
 		}
 	}
 	n.prepared = true
@@ -918,13 +939,17 @@ func (p *selectPlan) pipeline(args []Value, acc accessChoice) rowSrc {
 	leftEnv := &env{cols: p.cols[:p.nLeft], args: args}
 	var scan rowSrc
 	if acc.walk != nil {
-		w := &orderedWalkIter{rows: p.base.Rows, ix: acc.walk, desc: acc.walkDesc}
-		w.vf.bind(p.vecPreds, args, leftEnv, p.base.Rows)
+		w := &orderedWalkIter{view: p.base.view(), ix: acc.walk, desc: acc.walkDesc}
+		w.vf.bind(p.vecPreds, args, leftEnv, &w.view)
 		w.hi = len(acc.walk.keys)
 		scan = w
 	} else {
-		s := &vecScanIter{rows: p.base.Rows, idx: acc.idx}
-		s.vf.bind(p.vecPreds, args, leftEnv, p.base.Rows)
+		s := &vecScanIter{view: p.base.view(), idx: acc.idx}
+		s.vf.bind(p.vecPreds, args, leftEnv, &s.view)
+		// Zone-map skipping applies to full scans over sealed blocks; index
+		// probes already narrowed the positions.
+		s.pruneOn = acc.idx == nil && s.view.eng != nil &&
+			len(s.view.blocks) > 0 && s.view.eng.pruneOn.Load()
 		scan = s
 	}
 	if p.join == nil {
@@ -938,13 +963,15 @@ func (p *selectPlan) pipeline(args []Value, acc accessChoice) rowSrc {
 		return &hashJoinIter{
 			left: scan, jp: p.join, checks: checks, env: combEnv,
 			rightEnv: rightEnv, nLeft: p.nLeft,
-			combined: make(Row, len(p.cols)),
+			rightView: p.join.right.view(),
+			combined:  make(Row, len(p.cols)),
 		}
 	}
 	return &nlJoinIter{
 		left: scan, jp: p.join, checks: checks, env: combEnv,
 		rightEnv: rightEnv, nLeft: p.nLeft,
-		combined: make(Row, len(p.cols)),
+		rightView: p.join.right.view(),
+		combined:  make(Row, len(p.cols)),
 	}
 }
 
@@ -976,7 +1003,10 @@ func (p *selectPlan) rows(args []Value) (*Rows, error) {
 		}
 		return &Rows{Columns: rs.Columns, mat: rs.Rows, limit: -1, materialized: true}, nil
 	}
-	acc := p.chooseAccess(args)
+	acc, err := p.chooseAccess(args)
+	if err != nil {
+		return nil, err
+	}
 	src := p.pipeline(args, acc)
 	outCols := outputColumns(st, p.cols)
 

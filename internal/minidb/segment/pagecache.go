@@ -1,0 +1,211 @@
+package segment
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PageKey identifies one cached block: the owning segment file's id and
+// the block index within it. Segment files are immutable, so a key's
+// content never changes — entries are only ever inserted and evicted,
+// never updated in place.
+type PageKey struct {
+	File  uint64
+	Block uint32
+}
+
+// PageCache is a sharded, byte-budgeted cache of decoded blocks with
+// second-chance (clock) eviction. The byte budget counts caller-reported
+// sizes (decoded in-memory footprint, not on-disk payload bytes),
+// continuing the byte-accounting discipline of the PR 4 result cache.
+//
+// The hit path is one shard-mutex lock, one map lookup, and one bool
+// store — no allocation and no list surgery (unlike LRU, a hit does not
+// reorder anything; it just sets the entry's reference bit, which the
+// clock hand inspects at eviction time).
+type PageCache struct {
+	shards []pcShard
+	mask   uint32
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type pcShard struct {
+	mu      sync.Mutex
+	limit   int64
+	used    int64
+	entries map[PageKey]*pcEntry
+	ring    []*pcEntry // clock order; position is not meaningful, only membership
+	hand    int
+	_       [24]byte // keep shards off each other's cache lines
+}
+
+type pcEntry struct {
+	key   PageKey
+	val   any
+	bytes int64
+	slot  int // index in ring, for O(1) removal
+	ref   bool
+}
+
+// NewPageCache builds a cache with the given total byte budget, split
+// evenly across shards. shards is rounded up to a power of two; <= 0
+// picks a default of 8. A budget <= 0 disables caching entirely (every
+// Get misses, Put is a no-op) — the "cold, uncached" ablation.
+func NewPageCache(budget int64, shards int) *PageCache {
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &PageCache{shards: make([]pcShard, n), mask: uint32(n - 1)}
+	if budget > 0 {
+		per := budget / int64(n)
+		if per < 1 {
+			per = 1
+		}
+		for i := range c.shards {
+			c.shards[i].limit = per
+			c.shards[i].entries = make(map[PageKey]*pcEntry)
+		}
+	}
+	return c
+}
+
+func (c *PageCache) shard(k PageKey) *pcShard {
+	h := uint32(k.File)*0x9e3779b9 ^ k.Block*0x85ebca6b
+	h ^= h >> 16
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the cached value for k. The hit path does not allocate.
+func (c *PageCache) Get(k PageKey) (any, bool) {
+	s := c.shard(k)
+	if s.entries == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		e.ref = true
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// Put inserts a value of the given byte size, evicting second-chance
+// victims as needed. Values larger than the shard budget are not cached.
+// Inserting an existing key is a no-op (blocks are immutable; the first
+// decode wins and concurrent decoders produced identical values).
+func (c *PageCache) Put(k PageKey, val any, bytes int64) {
+	s := c.shard(k)
+	if s.entries == nil || bytes > s.limit {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[k]; ok {
+		return
+	}
+	for s.used+bytes > s.limit && len(s.ring) > 0 {
+		s.evictOne()
+		c.evictions.Add(1)
+	}
+	// New entries start with the reference bit clear: only a hit earns the
+	// second chance. That keeps the policy scan-resistant — a single cold
+	// sweep inserts blocks that are immediately evictable and cannot flush
+	// the re-referenced hot set.
+	e := &pcEntry{key: k, val: val, bytes: bytes, slot: len(s.ring), ref: false}
+	s.ring = append(s.ring, e)
+	s.entries[k] = e
+	s.used += bytes
+}
+
+// evictOne advances the clock hand, clearing reference bits, until it
+// finds an unreferenced entry to drop. An entry whose bit was set by a
+// hit survives the sweep that clears it and is only evictable on the
+// next full revolution — the "second chance".
+func (s *pcShard) evictOne() {
+	for {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		e := s.ring[s.hand]
+		if e.ref {
+			e.ref = false
+			s.hand++
+			continue
+		}
+		last := len(s.ring) - 1
+		s.ring[s.hand] = s.ring[last]
+		s.ring[s.hand].slot = s.hand
+		s.ring = s.ring[:last]
+		delete(s.entries, e.key)
+		s.used -= e.bytes
+		return
+	}
+}
+
+// DropFile evicts every cached block of one segment file, called when a
+// compaction retires the file.
+func (c *PageCache) DropFile(file uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.entries == nil {
+			continue
+		}
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.File != file {
+				continue
+			}
+			last := len(s.ring) - 1
+			s.ring[e.slot] = s.ring[last]
+			s.ring[e.slot].slot = e.slot
+			s.ring = s.ring[:last]
+			delete(s.entries, k)
+			s.used -= e.bytes
+		}
+		if s.hand > len(s.ring) {
+			s.hand = 0
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Bytes                   int64
+	Entries                 int
+}
+
+// Snapshot reads the cache's counters and occupancy.
+func (c *PageCache) Snapshot() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.entries == nil {
+			continue
+		}
+		s.mu.Lock()
+		st.Bytes += s.used
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}

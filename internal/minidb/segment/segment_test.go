@@ -1,0 +1,353 @@
+package segment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%d-%s", i, string(make([]byte, i*7))))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if validLen != st.Size() {
+		t.Fatalf("validLen = %d, file size = %d", validLen, st.Size())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestWALTornTail truncates the log at every byte boundary inside the
+// last record and checks the reader recovers exactly the full-record
+// prefix — the core crash-recovery contract.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("alpha"), []byte("beta-beta"), []byte("gamma-gamma-gamma")}
+	var bounds []int64 // cumulative frame-end offsets
+	off := int64(0)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(walFrameHeader + len(r))
+		bounds = append(bounds, off)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		p := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, validLen, err := ReadWAL(p)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantN := 0
+		wantLen := int64(0)
+		for i, b := range bounds {
+			if b <= cut {
+				wantN = i + 1
+				wantLen = b
+			}
+		}
+		if len(got) != wantN || validLen != wantLen {
+			t.Fatalf("cut %d: got %d records validLen %d, want %d records validLen %d",
+				cut, len(got), validLen, wantN, wantLen)
+		}
+	}
+}
+
+// TestWALCorruptRecord flips a byte inside a middle record's payload: the
+// reader must stop at the corrupt record, keeping only the prefix.
+func TestWALCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _ := CreateWAL(path)
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	// Corrupt the second record's payload (first record is 8+9 bytes).
+	raw[walFrameHeader+9+walFrameHeader+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "payload-0" {
+		t.Fatalf("got %d records after corruption, want 1", len(got))
+	}
+	if validLen != walFrameHeader+9 {
+		t.Fatalf("validLen = %d", validLen)
+	}
+}
+
+func TestWALOpenAppendTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _ := CreateWAL(path)
+	if err := w.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn tail: append garbage bytes directly.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	_, validLen, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWALAppend(path, validLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "keep" || string(recs[1]) != "after" {
+		t.Fatalf("recs = %q", recs)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg-1.seg")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads, metas [][]byte
+	for i := 0; i < 10; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, 100+i*37)
+		m := []byte(fmt.Sprintf("meta-%d", i))
+		payloads, metas = append(payloads, p), append(metas, m)
+		idx, err := w.Append(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("block index %d, want %d", idx, i)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.NumBlocks() != 10 {
+		t.Fatalf("blocks = %d", s.NumBlocks())
+	}
+	for i := range payloads {
+		if !bytes.Equal(s.Blocks[i].Meta, metas[i]) {
+			t.Fatalf("block %d meta mismatch", i)
+		}
+		got, err := s.ReadBlock(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("block %d payload mismatch", i)
+		}
+	}
+}
+
+// TestSegmentAtomicVisibility: an unfinished writer leaves only a .tmp
+// file; the final name never exists until Finish completes.
+func TestSegmentAtomicVisibility(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-2.seg")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("data"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("final path exists before Finish")
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatal("tmp path missing mid-write")
+	}
+	w.Abort()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("tmp path survives Abort")
+	}
+}
+
+func TestSegmentDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-3.seg")
+	w, _ := NewWriter(path)
+	if _, err := w.Append(bytes.Repeat([]byte{7}, 500), []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated file: Open must fail.
+	raw, _ := os.ReadFile(path)
+	trunc := filepath.Join(dir, "trunc.seg")
+	os.WriteFile(trunc, raw[:len(raw)-10], 0o644)
+	if _, err := Open(trunc); err == nil {
+		t.Fatal("Open accepted truncated segment")
+	}
+
+	// Flipped payload byte: Open succeeds (footer intact), ReadBlock fails.
+	bad := append([]byte(nil), raw...)
+	bad[segHeaderLen+17] ^= 0xff
+	badPath := filepath.Join(dir, "bad.seg")
+	os.WriteFile(badPath, bad, 0o644)
+	s, err := Open(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ReadBlock(0); err == nil {
+		t.Fatal("ReadBlock accepted corrupt payload")
+	}
+}
+
+func TestPageCacheHitMissEvict(t *testing.T) {
+	c := NewPageCache(1000, 1) // one shard: deterministic budget
+	k := func(i int) PageKey { return PageKey{File: 1, Block: uint32(i)} }
+	for i := 0; i < 5; i++ {
+		c.Put(k(i), i, 200)
+	}
+	st := c.Snapshot()
+	if st.Entries != 5 || st.Bytes != 1000 {
+		t.Fatalf("after fill: %+v", st)
+	}
+	if v, ok := c.Get(k(0)); !ok || v.(int) != 0 {
+		t.Fatal("miss on resident block")
+	}
+	// Inserting one more 200-byte page must evict exactly one victim.
+	c.Put(k(5), 5, 200)
+	st = c.Snapshot()
+	if st.Entries != 5 || st.Bytes != 1000 || st.Evictions != 1 {
+		t.Fatalf("after evict: %+v", st)
+	}
+	// Oversized values are refused.
+	c.Put(PageKey{File: 2}, "big", 2000)
+	if _, ok := c.Get(PageKey{File: 2}); ok {
+		t.Fatal("cached an oversized value")
+	}
+}
+
+// TestPageCacheSecondChance: a hot entry (reference bit repeatedly set by
+// Gets) survives eviction pressure that cycles cold entries through.
+func TestPageCacheSecondChance(t *testing.T) {
+	c := NewPageCache(400, 1)
+	hot := PageKey{File: 9, Block: 9}
+	c.Put(hot, "hot", 100)
+	for i := 0; i < 50; i++ {
+		c.Get(hot) // keep the reference bit set
+		c.Put(PageKey{File: 1, Block: uint32(i)}, i, 100)
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("hot entry evicted despite constant hits")
+	}
+}
+
+func TestPageCacheDropFile(t *testing.T) {
+	c := NewPageCache(1<<20, 4)
+	for i := 0; i < 20; i++ {
+		c.Put(PageKey{File: uint64(i % 2), Block: uint32(i)}, i, 10)
+	}
+	c.DropFile(0)
+	for i := 0; i < 20; i++ {
+		_, ok := c.Get(PageKey{File: uint64(i % 2), Block: uint32(i)})
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("block %d resident=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestPageCacheDisabled(t *testing.T) {
+	c := NewPageCache(0, 4)
+	c.Put(PageKey{File: 1}, "x", 1)
+	if _, ok := c.Get(PageKey{File: 1}); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestPageCacheConcurrent(t *testing.T) {
+	c := NewPageCache(1<<16, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := PageKey{File: uint64(g % 3), Block: uint32(i % 97)}
+				if v, ok := c.Get(k); ok {
+					if v.(uint32) != k.Block {
+						t.Errorf("wrong value for %+v", k)
+						return
+					}
+				} else {
+					c.Put(k, k.Block, 64)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,174 @@
+// Package segment holds minidb's disk-storage primitives: a framed
+// write-ahead log, immutable block-structured segment files, and a
+// sharded byte-budgeted page cache. The package is deliberately
+// value-agnostic — records, block payloads, and block metadata are
+// opaque byte slices, and cached pages are opaque interface values — so
+// it has no dependency on minidb's Value types and can be tested in
+// isolation with synthetic payloads.
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// WAL record framing: every record is [u32 payload len][u32 crc32(payload)]
+// [payload]. A reader stops at the first frame whose length field is
+// implausible, whose payload is short (torn tail), or whose CRC mismatches
+// (partial in-place write) — everything before that point is the committed
+// prefix, everything after is discarded by recovery.
+const (
+	walFrameHeader = 8
+	// maxRecordLen bounds a single record; a length field above it is
+	// treated as tail corruption rather than attempted as an allocation.
+	maxRecordLen = 1 << 30
+)
+
+// WAL is an append-only log file with buffered writes. Append and Flush
+// serialize on an internal mutex; Sync (fsync) intentionally does not
+// take it, so a group-commit leader can flush the buffer, release the
+// mutex, and fsync while new appends continue to buffer behind it.
+// Group-commit sequencing (who fsyncs, who waits) is the caller's job —
+// the WAL only promises that after Flush+Sync return, every previously
+// appended record is durable.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	size int64 // bytes appended (including buffered)
+
+	fsyncs atomic.Int64
+	frame  [walFrameHeader]byte
+}
+
+// CreateWAL creates a new empty log at path, failing if it exists.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// OpenWALAppend opens an existing log for appending, first truncating it
+// to size — the committed-prefix length ReadWAL reported — so a torn tail
+// is physically removed before new records land after it.
+func OpenWALAppend(path string, size int64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, w: bufio.NewWriterSize(f, 1<<16), size: size}, nil
+}
+
+// Append buffers one framed record. It is safe for concurrent use, but
+// callers that need a meaningful commit order must serialize appends
+// themselves (minidb appends under its database write lock, so record
+// order equals apply order).
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("segment: record of %d bytes exceeds limit", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	binary.LittleEndian.PutUint32(w.frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(w.frame[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.size += int64(walFrameHeader + len(payload))
+	return nil
+}
+
+// Flush pushes buffered records to the OS. Durability still requires Sync.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Flush()
+}
+
+// Sync fsyncs the file. Callers must Flush first; the two are split so a
+// group-commit leader holds the append mutex only for the memory copy,
+// never across the disk wait.
+func (w *WAL) Sync() error {
+	w.fsyncs.Add(1)
+	return w.f.Sync()
+}
+
+// Fsyncs reports how many fsyncs this log has issued — the denominator of
+// the group-commit amortization measurement.
+func (w *WAL) Fsyncs() int64 { return w.fsyncs.Load() }
+
+// Size returns the log length in bytes, counting buffered appends.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReadWAL reads every complete, checksum-valid record from the log and
+// returns them with the byte length of that committed prefix. A torn or
+// corrupt tail is not an error — the prefix before it is the recoverable
+// state, and validLen tells the caller where to truncate before appending.
+func ReadWAL(path string) (records [][]byte, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var hdr [walFrameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return records, off, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordLen {
+			return records, off, nil // implausible length: corrupt tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return records, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, off, nil // corrupted record
+		}
+		records = append(records, payload)
+		off += int64(walFrameHeader) + int64(n)
+	}
+}

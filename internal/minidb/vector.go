@@ -123,19 +123,21 @@ type boundVec struct {
 }
 
 // vecFilter applies a plan's kernels to selection-vector blocks. It is
-// per-execution state, embedded by value in the scan iterators.
+// per-execution state, embedded by value in the scan iterators; view
+// points at the owning iterator's rowsView so kernels read sealed blocks
+// and the in-memory tail through one position-addressed interface.
 type vecFilter struct {
 	kernels []boundVec
 	env     *env // fallback-eval environment (base columns)
-	rows    []Row
+	view    *rowsView
 }
 
 // bind evaluates each kernel's constant operands for this execution. A
 // binding error degrades that kernel to fallback so the error surfaces
 // per row exactly where the row-at-a-time path would raise it.
-func (vf *vecFilter) bind(preds []vecPred, args []Value, e *env, rows []Row) {
+func (vf *vecFilter) bind(preds []vecPred, args []Value, e *env, view *rowsView) {
 	vf.env = e
-	vf.rows = rows
+	vf.view = view
 	if len(preds) == 0 {
 		return
 	}
@@ -217,13 +219,13 @@ func (vf *vecFilter) filter(sel []int) ([]int, error) {
 }
 
 func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) {
-	rows := vf.rows
+	v := vf.view
 	col := bv.pred.col
 	w := 0
 	switch kind {
 	case vpTruthy:
 		for _, pos := range sel {
-			if rows[pos][col].Truthy() {
+			if v.row(pos)[col].Truthy() {
 				sel[w] = pos
 				w++
 			}
@@ -231,7 +233,7 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 	case vpIsNull:
 		neg := bv.pred.neg
 		for _, pos := range sel {
-			if rows[pos][col].IsNull() != neg {
+			if v.row(pos)[col].IsNull() != neg {
 				sel[w] = pos
 				w++
 			}
@@ -244,42 +246,42 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 		switch bv.pred.op {
 		case "=":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && Equal(v, a) {
+				if r := v.row(pos)[col]; !r.IsNull() && Equal(r, a) {
 					sel[w] = pos
 					w++
 				}
 			}
 		case "!=":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && !Equal(v, a) {
+				if r := v.row(pos)[col]; !r.IsNull() && !Equal(r, a) {
 					sel[w] = pos
 					w++
 				}
 			}
 		case "<":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && Compare(v, a) < 0 {
+				if r := v.row(pos)[col]; !r.IsNull() && Compare(r, a) < 0 {
 					sel[w] = pos
 					w++
 				}
 			}
 		case "<=":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && Compare(v, a) <= 0 {
+				if r := v.row(pos)[col]; !r.IsNull() && Compare(r, a) <= 0 {
 					sel[w] = pos
 					w++
 				}
 			}
 		case ">":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && Compare(v, a) > 0 {
+				if r := v.row(pos)[col]; !r.IsNull() && Compare(r, a) > 0 {
 					sel[w] = pos
 					w++
 				}
 			}
 		case ">=":
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && Compare(v, a) >= 0 {
+				if r := v.row(pos)[col]; !r.IsNull() && Compare(r, a) >= 0 {
 					sel[w] = pos
 					w++
 				}
@@ -287,7 +289,7 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 		case "LIKE":
 			pat := a.String()
 			for _, pos := range sel {
-				if v := rows[pos][col]; !v.IsNull() && likeMatch(pat, v.String()) {
+				if r := v.row(pos)[col]; !r.IsNull() && likeMatch(pat, r.String()) {
 					sel[w] = pos
 					w++
 				}
@@ -296,8 +298,8 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 	case vpBetween:
 		lo, hi, neg := bv.a, bv.b, bv.pred.neg
 		for _, pos := range sel {
-			v := rows[pos][col]
-			in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+			r := v.row(pos)[col]
+			in := Compare(r, lo) >= 0 && Compare(r, hi) <= 0
 			if in != neg {
 				sel[w] = pos
 				w++
@@ -306,10 +308,10 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 	case vpIn:
 		neg := bv.pred.neg
 		for _, pos := range sel {
-			v := rows[pos][col]
+			r := v.row(pos)[col]
 			match := false
 			for _, iv := range bv.list {
-				if Equal(v, iv) {
+				if Equal(r, iv) {
 					match = true
 					break
 				}
@@ -322,12 +324,12 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 	default: // vpFallback
 		e := vf.env
 		for _, pos := range sel {
-			e.row = rows[pos]
-			v, err := eval(bv.pred.expr, e)
+			e.row = v.row(pos)
+			val, err := eval(bv.pred.expr, e)
 			if err != nil {
 				return nil, err
 			}
-			if v.Truthy() {
+			if val.Truthy() {
 				sel[w] = pos
 				w++
 			}
@@ -340,13 +342,101 @@ func (vf *vecFilter) apply(bv *boundVec, kind vpKind, sel []int) ([]int, error) 
 // amortize per-block overhead, small enough to stay cache-resident.
 const vecBlockSize = 256
 
+// pruneBlock reports whether a block's zone map proves no row in it can
+// satisfy every bound kernel, so the scan may skip the block without
+// decoding it. Only Compare-based kernel shapes prune (the zone map
+// stores Compare-order extremes; Equal folds numeric text across kinds,
+// so =, !=, LIKE, and IN are never zone-bounded) — with one exception:
+// an all-NULL column prunes any vpCmp op, since every comparison kernel
+// rejects NULL rows outright. The rules mirror apply() exactly; the
+// differential tests pin pruned scans against the naive executor.
+func pruneBlock(zm []zoneEntry, kernels []boundVec) bool {
+	for k := range kernels {
+		bv := &kernels[k]
+		if bv.drop || bv.fallback {
+			continue
+		}
+		if bv.none {
+			return true // a falsy const conjunct rejects every row
+		}
+		pred := bv.pred
+		if pred.col >= len(zm) {
+			continue
+		}
+		z := &zm[pred.col]
+		allNull := z.nulls >= vecBlockSize
+		switch pred.kind {
+		case vpTruthy:
+			if allNull {
+				return true // NULL is never truthy
+			}
+		case vpIsNull:
+			if !pred.neg && z.nulls == 0 {
+				return true
+			}
+			if pred.neg && allNull {
+				return true
+			}
+		case vpCmp:
+			if bv.a.IsNull() || allNull {
+				// apply() rejects every row when the operand is NULL, and
+				// every comparison rejects NULL rows.
+				return true
+			}
+			switch pred.op {
+			case "<":
+				if Compare(z.min, bv.a) >= 0 {
+					return true
+				}
+			case "<=":
+				if Compare(z.min, bv.a) > 0 {
+					return true
+				}
+			case ">":
+				if Compare(z.max, bv.a) <= 0 {
+					return true
+				}
+			case ">=":
+				if Compare(z.max, bv.a) < 0 {
+					return true
+				}
+			}
+		case vpBetween:
+			lo, hi := bv.a, bv.b
+			// in(NULL) = Compare(NULL,lo)>=0 && Compare(NULL,hi)<=0; NULL is
+			// the global minimum under Compare, so the second clause always
+			// holds and the first holds exactly when lo is NULL.
+			nullIn := lo.IsNull()
+			if !pred.neg {
+				overlap := !allNull && Compare(z.max, lo) >= 0 && Compare(z.min, hi) <= 0
+				if !overlap && !(z.nulls > 0 && nullIn) {
+					return true
+				}
+			} else {
+				// NOT BETWEEN keeps rows outside [lo, hi]; prune only if every
+				// row — non-NULL extremes and any NULLs — is inside.
+				nonNullAllIn := allNull ||
+					(Compare(z.min, lo) >= 0 && Compare(z.max, hi) <= 0)
+				if nonNullAllIn && (z.nulls == 0 || nullIn) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // vecScanIter scans the table (optionally narrowed to index candidate
 // positions, ascending) in blocks, filtering each block through the
-// compiled kernels.
+// compiled kernels. Full scans over a disk table walk the sealed prefix
+// block-aligned (the sealed row count is always a multiple of
+// vecBlockSize), consulting each block's zone map before decode when
+// pruning is enabled.
 type vecScanIter struct {
-	rows []Row
-	idx  []int // nil: scan every row
-	vf   vecFilter
+	view    rowsView
+	idx     []int // nil: scan every row
+	vf      vecFilter
+	pruneOn bool // zone-map skipping (full scans over sealed blocks only)
 
 	cursor int
 	sel    []int
@@ -357,7 +447,10 @@ type vecScanIter struct {
 func (s *vecScanIter) next() (Row, error) {
 	for {
 		if s.selPos < len(s.sel) {
-			r := s.rows[s.sel[s.selPos]]
+			r := s.view.row(s.sel[s.selPos])
+			if s.view.err != nil {
+				return nil, s.view.err
+			}
 			s.selPos++
 			return r, nil
 		}
@@ -372,12 +465,30 @@ func (s *vecScanIter) next() (Row, error) {
 			}
 			copy(s.buf[:n], s.idx[s.cursor:s.cursor+n])
 		} else {
-			n = len(s.rows) - s.cursor
+			total := s.view.total()
+			for {
+				if s.cursor < s.view.sealed {
+					// Sealed prefix: the cursor is block-aligned here, so one
+					// refill is exactly one block — skippable via its zone map.
+					if s.pruneOn && pruneBlock(s.view.blocks[s.cursor>>vecBlockShift].zm, s.vf.kernels) {
+						s.view.eng.blocksSkipped.Add(1)
+						s.cursor += vecBlockSize
+						continue
+					}
+					if s.view.eng != nil {
+						s.view.eng.blocksScanned.Add(1)
+					}
+					n = vecBlockSize
+				} else {
+					n = total - s.cursor
+					if n > vecBlockSize {
+						n = vecBlockSize
+					}
+				}
+				break
+			}
 			if n == 0 {
 				return nil, nil
-			}
-			if n > vecBlockSize {
-				n = vecBlockSize
 			}
 			for i := 0; i < n; i++ {
 				s.buf[i] = s.cursor + i
@@ -387,6 +498,9 @@ func (s *vecScanIter) next() (Row, error) {
 		sel, err := s.vf.filter(s.buf[:n])
 		if err != nil {
 			return nil, err
+		}
+		if s.view.err != nil {
+			return nil, s.view.err
 		}
 		s.sel, s.selPos = sel, 0
 	}
@@ -399,7 +513,7 @@ func (s *vecScanIter) next() (Row, error) {
 // position within each run — exactly the order the naive executor's
 // stable descending sort produces — then NULL rows last.
 type orderedWalkIter struct {
-	rows []Row
+	view rowsView
 	ix   *orderedIndex
 	desc bool
 	vf   vecFilter
@@ -416,7 +530,10 @@ type orderedWalkIter struct {
 func (s *orderedWalkIter) next() (Row, error) {
 	for {
 		if s.selPos < len(s.sel) {
-			r := s.rows[s.sel[s.selPos]]
+			r := s.view.row(s.sel[s.selPos])
+			if s.view.err != nil {
+				return nil, s.view.err
+			}
 			s.selPos++
 			return r, nil
 		}
@@ -432,6 +549,9 @@ func (s *orderedWalkIter) next() (Row, error) {
 		sel, err := s.vf.filter(s.buf[:n])
 		if err != nil {
 			return nil, err
+		}
+		if s.view.err != nil {
+			return nil, s.view.err
 		}
 		s.sel, s.selPos = sel, 0
 	}

@@ -1,0 +1,271 @@
+package minidb
+
+import (
+	"math"
+	"sort"
+)
+
+// WAL record payload codec. Every record starts with a one-byte kind tag;
+// the segment package frames and checksums the payload, so this layer is
+// pure value encoding. All integers are little-endian; strings and rows
+// are length-prefixed. Record kinds:
+//
+//	'T' create table   name, columns
+//	'D' drop table     name
+//	'X' create index   table, column, ordered flag
+//	'I' insert batch   table, rows appended to the tail
+//	'R' rewrite        table, full replacement row set (DELETE/UPDATE)
+//	'S' seal           table, segment file id, rows moved tail -> blocks
+//	'M' merge          table, segment file id, block count re-pointed
+//	'C' checkpoint     full schema + segment refs (first record of a log)
+//
+// A checkpoint log is 'C' followed by one 'I' per table tail, so replay
+// of a checkpointed log reuses the ordinary insert path.
+const (
+	recCreateTable = 'T'
+	recDropTable   = 'D'
+	recCreateIndex = 'X'
+	recInsert      = 'I'
+	recRewrite     = 'R'
+	recSeal        = 'S'
+	recMerge       = 'M'
+	recCheckpoint  = 'C'
+)
+
+// wbuf is an append-only record encoder.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte) { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (w *wbuf) u64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// val encodes one Value: kind byte, then the kind's payload.
+func (w *wbuf) val(v Value) {
+	w.u8(byte(v.Kind))
+	switch v.Kind {
+	case KindInt:
+		w.u64(uint64(v.Int))
+	case KindFloat:
+		w.u64(math.Float64bits(v.Float))
+	case KindText:
+		w.str(v.Text)
+	}
+}
+
+func (w *wbuf) row(r Row) {
+	w.u32(uint32(len(r)))
+	for _, v := range r {
+		w.val(v)
+	}
+}
+
+// rbuf is the matching decoder. The first decode failure latches err and
+// turns every subsequent read into a zero value, so decoders can run
+// straight-line and check err once.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = errf("exec", "wal: truncated record")
+	}
+}
+
+func (r *rbuf) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *rbuf) val() Value {
+	k := Kind(r.u8())
+	switch k {
+	case KindNull:
+		return Null()
+	case KindInt:
+		return Int(int64(r.u64()))
+	case KindFloat:
+		return Float(math.Float64frombits(r.u64()))
+	case KindText:
+		return Text(r.str())
+	}
+	r.fail()
+	return Null()
+}
+
+func (r *rbuf) rowVals() Row {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b)-r.off {
+		r.fail()
+		return nil
+	}
+	row := make(Row, n)
+	for i := range row {
+		row[i] = r.val()
+	}
+	return row
+}
+
+// Record encoders. Row-bearing records carry the column count implicitly
+// per row; replay validates against the table's schema.
+
+func encCreateTable(name string, cols []Column) []byte {
+	w := &wbuf{b: make([]byte, 0, 16+16*len(cols))}
+	w.u8(recCreateTable)
+	w.str(name)
+	w.u32(uint32(len(cols)))
+	for _, c := range cols {
+		w.str(c.Name)
+		w.u8(byte(c.Type))
+	}
+	return w.b
+}
+
+func encDropTable(name string) []byte {
+	w := &wbuf{b: make([]byte, 0, 8+len(name))}
+	w.u8(recDropTable)
+	w.str(name)
+	return w.b
+}
+
+func encCreateIndex(table, column string, ordered bool) []byte {
+	w := &wbuf{b: make([]byte, 0, 16+len(table)+len(column))}
+	w.u8(recCreateIndex)
+	w.str(table)
+	w.str(column)
+	if ordered {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.b
+}
+
+func encRows(kind byte, table string, rows []Row) []byte {
+	w := &wbuf{b: make([]byte, 0, 32+len(table)+24*len(rows))}
+	w.u8(kind)
+	w.str(table)
+	w.u32(uint32(len(rows)))
+	for _, r := range rows {
+		w.row(r)
+	}
+	return w.b
+}
+
+func encInsert(table string, rows []Row) []byte  { return encRows(recInsert, table, rows) }
+func encRewrite(table string, rows []Row) []byte { return encRows(recRewrite, table, rows) }
+
+func encSeal(table string, fileID uint64, k int) []byte {
+	w := &wbuf{b: make([]byte, 0, 24+len(table))}
+	w.u8(recSeal)
+	w.str(table)
+	w.u64(fileID)
+	w.u32(uint32(k))
+	return w.b
+}
+
+func encMerge(table string, fileID uint64, nblocks int) []byte {
+	w := &wbuf{b: make([]byte, 0, 24+len(table))}
+	w.u8(recMerge)
+	w.str(table)
+	w.u64(fileID)
+	w.u32(uint32(nblocks))
+	return w.b
+}
+
+// encCheckpoint snapshots the full schema, index declarations, and
+// per-table segment references. The caller must hold the database write
+// lock. Table tails are not included — the checkpoint writer follows the
+// 'C' record with one 'I' record per non-empty tail.
+func encCheckpoint(db *Database) []byte {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := &wbuf{b: make([]byte, 0, 256)}
+	w.u8(recCheckpoint)
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		t := db.tables[name]
+		w.str(name)
+		w.u32(uint32(len(t.Columns)))
+		for _, c := range t.Columns {
+			w.str(c.Name)
+			w.u8(byte(c.Type))
+		}
+		hash := make([]string, 0, len(t.indexes))
+		for c := range t.indexes {
+			hash = append(hash, c)
+		}
+		sort.Strings(hash)
+		w.u32(uint32(len(hash)))
+		for _, c := range hash {
+			w.str(c)
+		}
+		ord := make([]string, 0, len(t.ordered))
+		for c := range t.ordered {
+			ord = append(ord, c)
+		}
+		sort.Strings(ord)
+		w.u32(uint32(len(ord)))
+		for _, c := range ord {
+			w.str(c)
+		}
+		w.u32(uint32(t.sealedRows))
+		w.u32(uint32(len(t.blocks)))
+		for i := range t.blocks {
+			w.u64(t.blocks[i].fileID)
+			w.u32(uint32(t.blocks[i].idx))
+		}
+	}
+	return w.b
+}
